@@ -1,0 +1,32 @@
+// Shared helpers for the bench harness binaries.
+//
+// Every bench reproduces one table or figure of the paper, prints the
+// paper's rows/series to stdout, and dumps the full data as CSV next to
+// the binary.  Campaign sizes are software-feasible defaults; scale them
+// with GLITCHMASK_TRACE_SCALE (e.g. 4.0 for a 4x longer, sharper run).
+// EXPERIMENTS.md records the mapping to the paper's trace counts.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "support/env.hpp"
+
+namespace glitchmask::bench {
+
+/// Applies GLITCHMASK_TRACE_SCALE to a default trace count.
+[[nodiscard]] inline std::size_t scaled_traces(std::size_t base) {
+    const double scaled = static_cast<double>(base) * trace_scale();
+    return static_cast<std::size_t>(std::max(100.0, scaled));
+}
+
+inline void banner(const char* title) {
+    std::printf("\n==== %s ====\n\n", title);
+}
+
+[[nodiscard]] inline std::string verdict(double max_abs_t, double threshold = 4.5) {
+    return max_abs_t > threshold ? "LEAKS" : "no leak";
+}
+
+}  // namespace glitchmask::bench

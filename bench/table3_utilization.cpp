@@ -1,0 +1,100 @@
+// Reproduces paper Table III: utilization of the full masked DES
+// implementations (including the masked key schedule).
+//
+// ASIC area is counted in gate equivalents over our structural netlists
+// with NanGate-45nm-like cell weights, costing each DelayBuf as 12
+// inverters (the paper's 120-INV DelayUnit of 10 LUTs); FPGA utilization
+// is FF count plus a greedy LUT6-packing estimate; max frequency comes
+// from static timing analysis over the annotated netlist.  The DOM rows
+// are the reference numbers the paper cites from [17] (Sasdrich & Hutter,
+// COSADE 2018), scaled to one DES as in the paper.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "des/masked_des.hpp"
+#include "netlist/area.hpp"
+#include "netlist/lutmap.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+using namespace glitchmask;
+
+int main() {
+    bench::banner("Table III: utilization of full DES implementations");
+
+    TablePrinter table({"Version", "ASIC [GEs]", "FPGA [FF/LUT]",
+                        "Rand (bits/round)", "Cycles/round", "Max freq [MHz]"});
+    CsvWriter csv("table3_utilization.csv",
+                  {"version", "ge", "ge_excl_delay", "ff", "lut", "rand",
+                   "cycles_per_round", "max_freq_mhz"});
+
+    const netlist::AreaModel area_model =
+        netlist::AreaModel::nangate45_with_delay_inverters(12.0);
+
+    for (const des::CoreFlavor flavor :
+         {des::CoreFlavor::FF, des::CoreFlavor::PD, des::CoreFlavor::DOM}) {
+        des::MaskedDesOptions options;
+        options.flavor = flavor;
+        options.delayunit_luts = 10;
+        const des::MaskedDesCore core(options);
+
+        const double ge = netlist::total_ge(core.nl(), area_model);
+        const double ge_core =
+            netlist::total_ge_excluding_delay(core.nl(), area_model);
+        const netlist::LutMapResult luts = netlist::estimate_luts(core.nl());
+        const sim::DelayModel dm(core.nl(), sim::DelayConfig::spartan6());
+        const sim::CriticalPath critical = sim::analyze_timing(core.nl(), dm);
+
+        const char* name = flavor == des::CoreFlavor::FF   ? "secAND2-FF"
+                           : flavor == des::CoreFlavor::PD ? "secAND2-PD"
+                                                           : "DOM-indep (ours)";
+        table.add_row(
+            {name, TablePrinter::integer(static_cast<long long>(ge)),
+             std::to_string(luts.ffs) + "/ " + std::to_string(luts.luts),
+             std::to_string(core.random_bits_per_round()),
+             std::to_string(core.cycles_per_round()),
+             TablePrinter::num(critical.max_freq_mhz, 0)});
+        csv.raw_row({name, TablePrinter::num(ge, 1),
+                     TablePrinter::num(ge_core, 1),
+                     std::to_string(luts.ffs), std::to_string(luts.luts),
+                     std::to_string(core.random_bits_per_round()),
+                     std::to_string(core.cycles_per_round()),
+                     TablePrinter::num(critical.max_freq_mhz, 1)});
+        if (flavor == des::CoreFlavor::PD)
+            std::printf(
+                "secAND2-PD core excluding DelayUnits: %.0f GEs "
+                "(paper: 12592 GEs)\n",
+                ge_core);
+    }
+
+    // Reference rows quoted by the paper from [17] (28nm library; unmasked
+    // key schedule; cycle count scaled to one DES).  Our own DOM row above
+    // keeps the paper's S-box structure and a masked key schedule, so it is
+    // the apples-to-apples baseline for the secAND2 rows.
+    table.add_row({"[17] DOM-indep", "13800", "-", "176", "5", "-"});
+    table.add_row({"[17] DOM-dep", "22400", "-", "528", "5", "-"});
+    csv.raw_row({"dom_indep_ref", "13800", "-", "-", "-", "176", "5", "-"});
+    csv.raw_row({"dom_dep_ref", "22400", "-", "-", "-", "528", "5", "-"});
+    table.print();
+
+    std::printf(
+        "\nPaper Table III for comparison: secAND2-FF 15180 GEs, 819 FF / "
+        "2129 LUT, 14 bits, 7 cycles, 183 MHz;\n"
+        "secAND2-PD 52273 GEs, 678 FF / 6163 LUT, 14 bits, 2 cycles, 21 MHz.\n"
+        "Our PD critical path carries 6 DelayUnits (global Table-II schedule\n"
+        "over 4 shared variables) vs. the paper's 4, which lowers max freq\n"
+        "accordingly -- see DESIGN.md for the documented deviation.\n");
+    std::printf("CSV: table3_utilization.csv\n");
+
+    // Per-module breakdown of the FF core (bonus detail).
+    bench::banner("FF-core area by top-level module");
+    const des::MaskedDesCore ff(des::MaskedDesOptions{});
+    TablePrinter modules({"module", "GE", "cells"});
+    for (const netlist::ModuleArea& entry :
+         netlist::area_by_module(ff.nl(), area_model)) {
+        modules.add_row({entry.module, TablePrinter::num(entry.ge, 0),
+                         std::to_string(entry.cells)});
+    }
+    modules.print();
+    return 0;
+}

@@ -1,0 +1,80 @@
+// Masked DES / Triple-DES demo: encrypt the classic DES worked example on
+// both protected cores and verify against the reference implementation.
+//
+// Uses the zero-delay engine for speed; swap in sim::ClockedSim (as the
+// benches do) to run the same cores glitch-accurately.
+#include <cstdio>
+
+#include "core/sharing.hpp"
+#include "des/des_reference.hpp"
+#include "des/masked_des.hpp"
+#include "sim/functional.hpp"
+#include "support/rng.hpp"
+
+using namespace glitchmask;
+
+namespace {
+
+bool demo_core(des::CoreFlavor flavor, const char* name, Xoshiro256& rng) {
+    des::MaskedDesOptions options;
+    options.flavor = flavor;
+    options.delayunit_luts = flavor == des::CoreFlavor::PD ? 10 : 0;
+    const des::MaskedDesCore core(options);
+    sim::ZeroDelaySim sim(core.nl());
+
+    const std::uint64_t pt = 0x0123456789ABCDEFull;
+    const std::uint64_t key = 0x133457799BBCDFF1ull;
+    const std::uint64_t expected = des::encrypt_block(pt, key);
+
+    sim.restart();
+    const core::MaskedWord mpt = core::mask_word(pt, 64, rng);
+    const core::MaskedWord mkey = core::mask_word(key, 64, rng);
+    const core::MaskedWord mct = core.encrypt(sim, mpt, mkey, &rng);
+
+    std::printf("%s core (%u cells, %u cycles/round, %u cycles/block):\n",
+                name, static_cast<unsigned>(core.nl().size()),
+                core.cycles_per_round(), core.total_cycles());
+    std::printf("  pt  %016llx   key %016llx\n",
+                static_cast<unsigned long long>(pt),
+                static_cast<unsigned long long>(key));
+    std::printf("  ct shares: %016llx ^ %016llx\n",
+                static_cast<unsigned long long>(mct.s0),
+                static_cast<unsigned long long>(mct.s1));
+    std::printf("  ct  %016llx   reference %016llx   %s\n\n",
+                static_cast<unsigned long long>(mct.value()),
+                static_cast<unsigned long long>(expected),
+                mct.value() == expected ? "MATCH" : "MISMATCH");
+    return mct.value() == expected;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Masked DES demo: the worked example on both cores\n\n");
+    Xoshiro256 rng(7);
+    bool ok = demo_core(des::CoreFlavor::FF, "secAND2-FF", rng);
+    ok = demo_core(des::CoreFlavor::PD, "secAND2-PD", rng) && ok;
+
+    // Triple-DES (EDE) by chaining masked single-DES operations -- DES's
+    // main use today (paper Sec. IV).  E(k3, D(k2, E(k1, pt))): the
+    // decryption step runs on the reference model here for brevity.
+    const std::uint64_t pt = 0x0123456789ABCDEFull;
+    const std::uint64_t k1 = 0x133457799BBCDFF1ull;
+    const std::uint64_t k2 = 0x0E329232EA6D0D73ull;
+    const std::uint64_t k3 = 0xAABB09182736CCDDull;
+    const des::MaskedDesCore core(des::MaskedDesOptions{});
+    sim::ZeroDelaySim sim(core.nl());
+
+    sim.restart();
+    const std::uint64_t stage1 = core.encrypt_value(sim, pt, k1, &rng);
+    const std::uint64_t stage2 = des::decrypt_block(stage1, k2);
+    sim.restart();
+    const std::uint64_t stage3 = core.encrypt_value(sim, stage2, k3, &rng);
+    const std::uint64_t expected = des::tdes_encrypt(pt, k1, k2, k3);
+    std::printf("TDES-EDE via masked cores: %016llx   reference %016llx   %s\n",
+                static_cast<unsigned long long>(stage3),
+                static_cast<unsigned long long>(expected),
+                stage3 == expected ? "MATCH" : "MISMATCH");
+    ok = ok && stage3 == expected;
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+#include "core/circuits.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace glitchmask::core {
+
+std::vector<InputSequence> all_input_sequences() {
+    std::array<ShareId, 4> ids{ShareId::X0, ShareId::X1, ShareId::Y0,
+                               ShareId::Y1};
+    std::vector<InputSequence> sequences;
+    sequences.reserve(24);
+    do {
+        sequences.push_back({ids[0], ids[1], ids[2], ids[3]});
+    } while (std::next_permutation(
+        ids.begin(), ids.end(),
+        [](ShareId a, ShareId b) { return static_cast<int>(a) < static_cast<int>(b); }));
+    return sequences;
+}
+
+RegisteredSecand2 build_registered_secand2(unsigned replicas) {
+    RegisteredSecand2 circuit;
+    Netlist& nl = circuit.nl;
+    circuit.in = {nl.input("x0"), nl.input("x1"), nl.input("y0"),
+                  nl.input("y1")};
+    circuit.enable = {1, 2, 3, 4};
+    circuit.reset = 5;
+
+    std::array<NetId, 4> registered{};
+    for (std::size_t s = 0; s < 4; ++s)
+        registered[s] = nl.dff(circuit.in[s], circuit.enable[s], circuit.reset,
+                               std::string("reg_") +
+                                   share_name(static_cast<ShareId>(s)));
+
+    const SharedNet x{registered[0], registered[1]};
+    const SharedNet y{registered[2], registered[3]};
+    circuit.outputs.reserve(replicas);
+    for (unsigned k = 0; k < replicas; ++k)
+        circuit.outputs.push_back(
+            secand2(nl, x, y, "g" + std::to_string(k)));
+    nl.freeze();
+    return circuit;
+}
+
+MaskedF build_masked_f(bool with_refresh) {
+    MaskedF circuit;
+    Netlist& nl = circuit.nl;
+    circuit.x0 = nl.input("x0");
+    circuit.x1 = nl.input("x1");
+    circuit.y0 = nl.input("y0");
+    circuit.y1 = nl.input("y1");
+    circuit.m = nl.input("m");
+    circuit.refreshed = with_refresh;
+
+    const SharedNet x{
+        nl.dff(circuit.x0, circuit.in_enable, circuit.reset, "rx0"),
+        nl.dff(circuit.x1, circuit.in_enable, circuit.reset, "rx1")};
+    const SharedNet y{
+        nl.dff(circuit.y0, circuit.in_enable, circuit.reset, "ry0"),
+        nl.dff(circuit.y1, circuit.in_enable, circuit.reset, "ry1")};
+
+    SharedNet z = secand2_ff(nl, x, y, circuit.mul_enable, circuit.reset, "mul");
+    if (with_refresh) {
+        const NetId m_reg = nl.dff(circuit.m, circuit.in_enable, circuit.reset, "rm");
+        z = refresh_shares(nl, z, m_reg, "refresh");
+    }
+    circuit.f = xor_shares(nl, xor_shares(nl, x, y), z);
+    nl.freeze();
+    return circuit;
+}
+
+}  // namespace glitchmask::core

@@ -1,0 +1,78 @@
+// Self-contained experiment circuits built from the gadget library.
+//
+// These are the circuits the paper's gadget-level experiments run on:
+//   * RegisteredSecand2 -- secAND2 behind four individually enable-
+//     controlled input registers (Fig. 5), replicated in parallel for SNR
+//     exactly like the paper's Table I experiment.  The testbench updates
+//     one register per cycle to realize any of the 4! input sequences.
+//   * MaskedF -- the f = x ^ y ^ (x & y) circuit of Fig. 7, with and
+//     without the refresh gadget, used to demonstrate why dependent terms
+//     must be refreshed before a XOR (Sec. III-C).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/composition.hpp"
+#include "core/gadgets.hpp"
+
+namespace glitchmask::core {
+
+/// Which input share a sequence slot refers to.
+enum class ShareId : std::uint8_t { X0 = 0, X1 = 1, Y0 = 2, Y1 = 3 };
+
+[[nodiscard]] constexpr const char* share_name(ShareId id) noexcept {
+    switch (id) {
+        case ShareId::X0: return "x0";
+        case ShareId::X1: return "x1";
+        case ShareId::Y0: return "y0";
+        case ShareId::Y1: return "y1";
+    }
+    return "?";
+}
+
+/// An order in which the four shares are applied, one per clock cycle.
+using InputSequence = std::array<ShareId, 4>;
+
+/// All 24 permutations of (x0, x1, y0, y1), lexicographic.
+[[nodiscard]] std::vector<InputSequence> all_input_sequences();
+
+/// Table I ground truth: a sequence is *expected* to leak iff an x share
+/// arrives in the last clock cycle.
+[[nodiscard]] constexpr bool sequence_expected_to_leak(
+    const InputSequence& seq) noexcept {
+    return seq[3] == ShareId::X0 || seq[3] == ShareId::X1;
+}
+
+/// secAND2 with an input-register layer (Fig. 5), replicated `replicas`
+/// times in parallel on the same registers.
+struct RegisteredSecand2 {
+    Netlist nl;
+    /// Primary inputs carrying the share values (stable during the op).
+    std::array<NetId, 4> in{};  // indexed by ShareId
+    /// Enable group of each input register (toggle to sample that share).
+    std::array<CtrlGroup, 4> enable{};  // indexed by ShareId
+    /// Reset group covering all four input registers.
+    CtrlGroup reset = 0;
+    /// Gadget outputs, one per replica.
+    std::vector<SharedNet> outputs;
+};
+[[nodiscard]] RegisteredSecand2 build_registered_secand2(unsigned replicas);
+
+/// f = x ^ y ^ (x & y) (Fig. 7).  Inputs land in an input-register layer
+/// (group `in_enable`), the product is computed with secAND2-FF (internal
+/// flop in group `mul_enable`, i.e. the cycle after the inputs), and --
+/// when `with_refresh` -- the product shares are refreshed with mask `m`
+/// before the XOR plane.
+struct MaskedF {
+    Netlist nl;
+    NetId x0, x1, y0, y1, m;
+    CtrlGroup in_enable = 1;
+    CtrlGroup mul_enable = 2;
+    CtrlGroup reset = 3;
+    SharedNet f;
+    bool refreshed = false;
+};
+[[nodiscard]] MaskedF build_masked_f(bool with_refresh);
+
+}  // namespace glitchmask::core

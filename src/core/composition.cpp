@@ -1,0 +1,98 @@
+#include "core/composition.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace glitchmask::core {
+
+FfProduct product_tree_ff(Netlist& nl, std::span<const SharedNet> vars,
+                          CtrlGroup first_group, CtrlGroup reset) {
+    if (vars.empty())
+        throw std::invalid_argument("product_tree_ff: no variables");
+    FfProduct result;
+    result.first_group = first_group;
+
+    std::vector<SharedNet> level(vars.begin(), vars.end());
+    unsigned layer = 0;
+    while (level.size() > 1) {
+        std::vector<SharedNet> next;
+        next.reserve((level.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+            const std::string name = "l" + std::to_string(layer) + "_g" +
+                                     std::to_string(i / 2);
+            next.push_back(secand2_ff(nl, level[i], level[i + 1],
+                                      static_cast<CtrlGroup>(first_group + layer),
+                                      reset, name));
+        }
+        // An odd leftover rides through unregistered: its operand registers
+        // hold it stable, and it always enters the next layer as the x
+        // operand's partner via the pairing order below.
+        if (level.size() % 2 != 0) next.push_back(level.back());
+        level = std::move(next);
+        ++layer;
+    }
+    result.out = level.front();
+    result.layers = layer;
+    return result;
+}
+
+DelaySchedule table2_schedule(unsigned n) {
+    if (n == 0) throw std::invalid_argument("table2_schedule: n == 0");
+    DelaySchedule schedule;
+    schedule.share0.resize(n);
+    schedule.share1.resize(n);
+    for (unsigned i = 0; i < n; ++i) {
+        schedule.share0[i] = n - 1 - i;
+        schedule.share1[i] = n - 1 + i;
+    }
+    return schedule;
+}
+
+DelayedShared delay_shared(Netlist& nl, SharedNet a, unsigned units0,
+                           unsigned units1, unsigned luts_per_unit,
+                           std::string_view name) {
+    DelayedShared result;
+    const std::string base(name);
+    result.chain0 = netlist::delay_units(nl, a.s0, units0, luts_per_unit,
+                                         base.empty() ? base : base + "_s0");
+    result.chain1 = netlist::delay_units(nl, a.s1, units1, luts_per_unit,
+                                         base.empty() ? base : base + "_s1");
+    result.out = SharedNet{result.chain0.out, result.chain1.out};
+    return result;
+}
+
+PdProduct product_chain_pd(Netlist& nl, std::span<const SharedNet> vars,
+                           const PathDelayOptions& options) {
+    if (vars.empty())
+        throw std::invalid_argument("product_chain_pd: no variables");
+    const unsigned n = static_cast<unsigned>(vars.size());
+    const DelaySchedule schedule = table2_schedule(n);
+
+    std::vector<DelayedShared> delayed(n);
+    for (unsigned i = 0; i < n; ++i)
+        delayed[i] = delay_shared(nl, vars[i], schedule.share0[i],
+                                  schedule.share1[i], options.luts_per_unit,
+                                  "v" + std::to_string(i));
+
+    if (options.couple_adjacent) {
+        // Chains are stacked in creation order; couple each chain with the
+        // next non-empty one (paper Fig. 11: DelayUnits sit side by side).
+        std::vector<const netlist::DelayChain*> chains;
+        for (const DelayedShared& d : delayed) {
+            if (!d.chain0.stages.empty()) chains.push_back(&d.chain0);
+            if (!d.chain1.stages.empty()) chains.push_back(&d.chain1);
+        }
+        for (std::size_t i = 0; i + 1 < chains.size(); ++i)
+            netlist::couple_chains(nl, *chains[i], *chains[i + 1]);
+    }
+
+    PdProduct result;
+    result.max_delay_units = 2 * (n - 1);
+    SharedNet acc = delayed[0].out;
+    for (unsigned i = 1; i < n; ++i)
+        acc = secand2(nl, acc, delayed[i].out, "chain_g" + std::to_string(i));
+    result.out = acc;
+    return result;
+}
+
+}  // namespace glitchmask::core

@@ -1,0 +1,70 @@
+// Composition of secAND2 gadgets into products of more than two shared
+// variables (paper Sec. III).
+//
+//   * product_tree_ff(): the Fig. 4/5 construction -- a balanced tree of
+//     secAND2-FF gadgets whose internal flip-flops are grouped per layer;
+//     the caller's FSM enables layer l's group in cycle l+1 after the
+//     operands arrive, giving a latency of log2(n)+1 cycles.
+//   * product_chain_pd(): the Fig. 6 construction -- a chain of secAND2
+//     gadgets with the Table II path-delay schedule applied to the input
+//     shares, computing the whole product in a single cycle.
+//   * table2_schedule(): the delay schedule itself, exposed so tests and
+//     documentation can cross-check it against the paper's Table II.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/gadgets.hpp"
+
+namespace glitchmask::core {
+
+struct FfProduct {
+    SharedNet out;
+    unsigned layers = 0;       // tree depth; latency is layers + 1 cycles
+    CtrlGroup first_group = 0; // layer l samples via group first_group + l
+};
+
+/// Product of `vars` (independently shared) with secAND2-FF gadgets.
+/// Layer l's internal flip-flops live in enable group `first_group + l`
+/// and reset group `reset`.  Requires at least one variable; a single
+/// variable is returned unchanged (layers = 0).
+[[nodiscard]] FfProduct product_tree_ff(Netlist& nl,
+                                        std::span<const SharedNet> vars,
+                                        CtrlGroup first_group,
+                                        CtrlGroup reset = netlist::kAlwaysEnabled);
+
+struct PdProduct {
+    SharedNet out;
+    unsigned max_delay_units = 0;  // depth of the longest delay chain
+};
+
+/// Product of `vars` with chained secAND2 gadgets and the Table II
+/// path-delay schedule: for n variables, variable i (0-based) has share 0
+/// delayed by n-1-i DelayUnits and share 1 by n-1+i DelayUnits, so the
+/// global arrival order is
+///   v_{n-1}.s0 -> ... -> v_0.s0, v_0.s1 -> ... -> v_{n-1}.s1.
+[[nodiscard]] PdProduct product_chain_pd(Netlist& nl,
+                                         std::span<const SharedNet> vars,
+                                         const PathDelayOptions& options = {});
+
+/// The Table II delay schedule in DelayUnits for a product of n variables.
+struct DelaySchedule {
+    std::vector<unsigned> share0;  // per variable
+    std::vector<unsigned> share1;
+};
+[[nodiscard]] DelaySchedule table2_schedule(unsigned n);
+
+/// Applies independent delay chains to the two shares of a masked wire and
+/// returns the chains for coupling registration.
+struct DelayedShared {
+    SharedNet out;
+    netlist::DelayChain chain0;
+    netlist::DelayChain chain1;
+};
+[[nodiscard]] DelayedShared delay_shared(Netlist& nl, SharedNet a,
+                                         unsigned units0, unsigned units1,
+                                         unsigned luts_per_unit,
+                                         std::string_view name = {});
+
+}  // namespace glitchmask::core

@@ -1,0 +1,131 @@
+#include "core/gadgets.hpp"
+
+#include <string>
+
+namespace glitchmask::core {
+
+namespace {
+
+/// The shared secAND2 arithmetic on four already-conditioned share nets.
+/// z0 = (x0 & y0) ^ (x0 | !y1);  z1 = (x1 & y0) ^ (x1 | !y1).
+/// Each output share is a single SecAnd3 cell: this is exactly how the
+/// equations map to hardware -- one 3-input LUT per output on the FPGA
+/// (Fig. 1 draws discrete AND/OR/XOR/INV gates, but no real mapping gives
+/// the sub-gates their own routed nets), so each output transitions once
+/// per input arrival, with the Hamming distance the paper reasons about.
+SharedNet secand2_core(Netlist& nl, NetId x0, NetId x1, NetId y0, NetId y1) {
+    return SharedNet{nl.secand3(x0, y0, y1, "z0"),
+                     nl.secand3(x1, y0, y1, "z1")};
+}
+
+}  // namespace
+
+SharedNet secand2(Netlist& nl, SharedNet x, SharedNet y, std::string_view name) {
+    Netlist::Scope scope(nl, name);
+    return secand2_core(nl, x.s0, x.s1, y.s0, y.s1);
+}
+
+SharedNet secand2_ff(Netlist& nl, SharedNet x, SharedNet y, CtrlGroup enable,
+                     CtrlGroup reset, std::string_view name) {
+    Netlist::Scope scope(nl, name);
+    const NetId y1_delayed = nl.dff(y.s1, enable, reset, "y1_ff");
+    return secand2_core(nl, x.s0, x.s1, y.s0, y1_delayed);
+}
+
+SharedNet secand2_pd(Netlist& nl, SharedNet x, SharedNet y,
+                     const PathDelayOptions& options, std::string_view name) {
+    Netlist::Scope scope(nl, name);
+    // Arrival order (Fig. 3): y0 first (+0), then x0 and x1 (+1 DelayUnit
+    // each), finally y1 (+2 DelayUnits).
+    const netlist::DelayChain x0_chain =
+        netlist::delay_units(nl, x.s0, 1, options.luts_per_unit, "x0");
+    const netlist::DelayChain x1_chain =
+        netlist::delay_units(nl, x.s1, 1, options.luts_per_unit, "x1");
+    const netlist::DelayChain y1_chain =
+        netlist::delay_units(nl, y.s1, 2, options.luts_per_unit, "y1");
+    if (options.couple_adjacent) {
+        // Chains are placed side by side in creation order: x0|x1, x1|y1.
+        netlist::couple_chains(nl, x0_chain, x1_chain);
+        netlist::couple_chains(nl, x1_chain, y1_chain);
+    }
+    return secand2_core(nl, x0_chain.out, x1_chain.out, y.s0, y1_chain.out);
+}
+
+SharedNet trichina_and(Netlist& nl, SharedNet x, SharedNet y, NetId r,
+                       std::string_view name) {
+    Netlist::Scope scope(nl, name);
+    // Literal left-to-right chain: r ^ x0y0 ^ x0y1 ^ x1y1 ^ x1y0.
+    NetId acc = r;
+    acc = nl.xor2(acc, nl.and2(x.s0, y.s0, "t00"), "c0");
+    acc = nl.xor2(acc, nl.and2(x.s0, y.s1, "t01"), "c1");
+    acc = nl.xor2(acc, nl.and2(x.s1, y.s1, "t11"), "c2");
+    acc = nl.xor2(acc, nl.and2(x.s1, y.s0, "t10"), "c3");
+    return SharedNet{acc, r};
+}
+
+SharedNet dom_and_indep(Netlist& nl, SharedNet x, SharedNet y, NetId r,
+                        CtrlGroup enable, std::string_view name) {
+    Netlist::Scope scope(nl, name);
+    const NetId t00 = nl.and2(x.s0, y.s0, "t00");
+    const NetId t01 = nl.xor2(nl.and2(x.s0, y.s1, "t01"), r, "t01r");
+    const NetId t10 = nl.xor2(nl.and2(x.s1, y.s0, "t10"), r, "t10r");
+    const NetId t11 = nl.and2(x.s1, y.s1, "t11");
+    // Domain-crossing terms go through the register stage; the inner
+    // terms are registered too so both XOR inputs arrive aligned.
+    const NetId q00 = nl.dff(t00, enable, netlist::kAlwaysEnabled, "q00");
+    const NetId q01 = nl.dff(t01, enable, netlist::kAlwaysEnabled, "q01");
+    const NetId q10 = nl.dff(t10, enable, netlist::kAlwaysEnabled, "q10");
+    const NetId q11 = nl.dff(t11, enable, netlist::kAlwaysEnabled, "q11");
+    return SharedNet{nl.xor2(q00, q01, "z0"), nl.xor2(q11, q10, "z1")};
+}
+
+SharedNet dom_and_dep(Netlist& nl, SharedNet x, SharedNet y, NetId r0, NetId r1,
+                      NetId r2, CtrlGroup enable, std::string_view name) {
+    Netlist::Scope scope(nl, name);
+    const SharedNet xr = refresh_shares(nl, x, r0, "rx");
+    const SharedNet yr = refresh_shares(nl, y, r1, "ry");
+    const SharedNet xq = reg_shares(nl, xr, enable, netlist::kAlwaysEnabled, "xq");
+    const SharedNet yq = reg_shares(nl, yr, enable, netlist::kAlwaysEnabled, "yq");
+    return dom_and_indep(nl, xq, yq, r2, enable, "mul");
+}
+
+SharedNet refresh_shares(Netlist& nl, SharedNet a, NetId m,
+                         std::string_view name) {
+    Netlist::Scope scope(nl, name);
+    return SharedNet{nl.xor2(a.s0, m, "r0"), nl.xor2(a.s1, m, "r1")};
+}
+
+SharedNet xor_shares(Netlist& nl, SharedNet a, SharedNet b) {
+    return SharedNet{nl.xor2(a.s0, b.s0), nl.xor2(a.s1, b.s1)};
+}
+
+SharedNet not_shares(Netlist& nl, SharedNet a) {
+    return SharedNet{nl.inv(a.s0), a.s1};
+}
+
+SharedNet reg_shares(Netlist& nl, SharedNet a, CtrlGroup enable, CtrlGroup reset,
+                     std::string_view name) {
+    std::string n0;
+    std::string n1;
+    if (!name.empty()) {
+        n0 = std::string(name) + "_s0";
+        n1 = std::string(name) + "_s1";
+    }
+    return SharedNet{nl.dff(a.s0, enable, reset, n0),
+                     nl.dff(a.s1, enable, reset, n1)};
+}
+
+SharedNet shared_input(Netlist& nl, std::string_view name) {
+    const std::string base(name);
+    return SharedNet{nl.input(base + "_s0"), nl.input(base + "_s1")};
+}
+
+SharedBus shared_input_bus(Netlist& nl, std::string_view name,
+                           std::size_t width) {
+    SharedBus bus(width);
+    for (std::size_t i = 0; i < width; ++i)
+        bus[i] = shared_input(nl, std::string(name) + '[' + std::to_string(i) + ']');
+    return bus;
+}
+
+}  // namespace glitchmask::core

@@ -1,0 +1,121 @@
+// Netlist builders for the masked gadgets -- the paper's core contribution
+// plus the baselines it compares against.
+//
+//   * secand2()        raw combinational secAND2 (Fig. 1).  Functionally
+//                      correct but *insecure under glitches*; it exists so
+//                      the benches can demonstrate exactly that.
+//   * secand2_ff()     secAND2 with an internal enable-controlled flip-flop
+//                      delaying y1 (Fig. 2): 2-cycle latency, must be reset
+//                      between consecutive multiplications.
+//   * secand2_pd()     secAND2 with DelayUnit path delays (Fig. 3):
+//                      y0 +0, x0/x1 +1, y1 +2 DelayUnits; single cycle, no
+//                      reset needed.
+//   * trichina_and()   Eq. 1 baseline (1 fresh bit, order-sensitive).
+//   * dom_and_indep()  DOM-indep baseline (1 fresh bit, register stage).
+//   * dom_and_dep()    DOM-dep-style baseline (3 fresh bits: two refreshes
+//                      plus the DOM cross-domain bit).
+//   * refresh_shares() fresh-mask refresh of one shared bit.
+//   * xor_shares() / not_shares() linear operations.
+//
+// All builders work share-wise on SharedNet and never mix share domains
+// outside the masked-AND cross terms, mirroring the "Keep Hierarchy"
+// synthesis discipline of the paper.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "netlist/builder.hpp"
+#include "netlist/netlist.hpp"
+
+namespace glitchmask::core {
+
+using netlist::CtrlGroup;
+using netlist::NetId;
+using netlist::Netlist;
+
+/// One masked wire: the two share nets.
+struct SharedNet {
+    NetId s0 = netlist::kNoNet;
+    NetId s1 = netlist::kNoNet;
+};
+
+/// A shared multi-bit signal.
+using SharedBus = std::vector<SharedNet>;
+
+/// Raw combinational secAND2 (Eq. 2 / Fig. 1).  The caller is responsible
+/// for input arrival order; with simultaneous arrivals this gadget leaks
+/// under glitches (paper Sec. II-A).
+[[nodiscard]] SharedNet secand2(Netlist& nl, SharedNet x, SharedNet y,
+                                std::string_view name = "secand2");
+
+/// secAND2-FF (Fig. 2): y1 is delayed through an internal flip-flop in
+/// enable group `enable` (reset group `reset`), guaranteeing it arrives
+/// one cycle after the other operands.  Latency: 2 cycles.  The flop must
+/// be reset (or the gadget's inputs cleared) between unrelated
+/// multiplications (paper Sec. II-C).
+[[nodiscard]] SharedNet secand2_ff(Netlist& nl, SharedNet x, SharedNet y,
+                                   CtrlGroup enable,
+                                   CtrlGroup reset = netlist::kAlwaysEnabled,
+                                   std::string_view name = "secand2_ff");
+
+struct PathDelayOptions {
+    /// LUTs per DelayUnit; the paper finds 10 optimal (Sec. VII-B).
+    unsigned luts_per_unit = 10;
+    /// Register physically-adjacent chains as coupled pairs (Sec. VII-C).
+    bool couple_adjacent = true;
+};
+
+/// secAND2-PD (Fig. 3): path-delay enforced arrival order
+/// y0 (+0) -> x0, x1 (+1 DelayUnit) -> y1 (+2 DelayUnits).
+/// Single-cycle latency, no reset required between multiplications.
+[[nodiscard]] SharedNet secand2_pd(Netlist& nl, SharedNet x, SharedNet y,
+                                   const PathDelayOptions& options = {},
+                                   std::string_view name = "secand2_pd");
+
+/// Trichina AND (Eq. 1): z0 = r ^ x0y0 ^ x0y1 ^ x1y1 ^ x1y0, z1 = r.
+/// Built as the literal left-to-right XOR chain; only that evaluation
+/// order is secure, which hardware does not honour -- baseline only.
+[[nodiscard]] SharedNet trichina_and(Netlist& nl, SharedNet x, SharedNet y,
+                                     NetId r,
+                                     std::string_view name = "trichina");
+
+/// DOM-indep AND: cross terms x0y1^r and x1y0^r pass through flops in
+/// `enable` before recombination.  Latency: 1 cycle, 1 fresh bit.
+[[nodiscard]] SharedNet dom_and_indep(Netlist& nl, SharedNet x, SharedNet y,
+                                      NetId r,
+                                      CtrlGroup enable = netlist::kAlwaysEnabled,
+                                      std::string_view name = "dom_indep");
+
+/// DOM-dep-style AND: refreshes both operands (r0, r1) through a register
+/// stage, then a DOM-indep multiplication with r2.  3 fresh bits,
+/// 2 cycles -- the conservative variant [17] evaluates.
+[[nodiscard]] SharedNet dom_and_dep(Netlist& nl, SharedNet x, SharedNet y,
+                                    NetId r0, NetId r1, NetId r2,
+                                    CtrlGroup enable = netlist::kAlwaysEnabled,
+                                    std::string_view name = "dom_dep");
+
+/// Fresh-mask refresh: (s0 ^ m, s1 ^ m).
+[[nodiscard]] SharedNet refresh_shares(Netlist& nl, SharedNet a, NetId m,
+                                       std::string_view name = "refresh");
+
+/// Share-wise XOR.
+[[nodiscard]] SharedNet xor_shares(Netlist& nl, SharedNet a, SharedNet b);
+
+/// Masked NOT: inverts share 0.
+[[nodiscard]] SharedNet not_shares(Netlist& nl, SharedNet a);
+
+/// Registers both shares (same groups).
+[[nodiscard]] SharedNet reg_shares(Netlist& nl, SharedNet a,
+                                   CtrlGroup enable = netlist::kAlwaysEnabled,
+                                   CtrlGroup reset = netlist::kAlwaysEnabled,
+                                   std::string_view name = {});
+
+/// Two primary inputs forming one masked input bit.
+[[nodiscard]] SharedNet shared_input(Netlist& nl, std::string_view name);
+
+/// Shared input bus of `width` masked bits.
+[[nodiscard]] SharedBus shared_input_bus(Netlist& nl, std::string_view name,
+                                         std::size_t width);
+
+}  // namespace glitchmask::core

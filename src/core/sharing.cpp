@@ -1,0 +1,12 @@
+#include "core/sharing.hpp"
+
+namespace glitchmask::core {
+
+MaskedWord mask_word(std::uint64_t value, unsigned width, Xoshiro256& rng) {
+    const std::uint64_t mask = (width >= 64) ? ~std::uint64_t{0}
+                                             : ((std::uint64_t{1} << width) - 1);
+    const std::uint64_t r = rng.bits(width == 0 ? 1 : width) & mask;
+    return MaskedWord{r, (r ^ value) & mask};
+}
+
+}  // namespace glitchmask::core

@@ -1,0 +1,103 @@
+// First-order Boolean sharing: types, mask generation, and *software*
+// reference models of every gadget in the library.
+//
+// A sensitive bit x is split into two shares (x0, x1) with x = x0 ^ x1 and
+// x0 uniform.  The functions here are pure bit arithmetic -- they are the
+// specification the netlist gadgets (core/gadgets.hpp) are tested against,
+// and they power the fast functional masked models in the test suite.
+// They deliberately know nothing about glitches: the whole point of the
+// paper is that a functionally correct masked AND is not automatically a
+// *hardware*-secure one.
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace glitchmask::core {
+
+/// One masked bit (2 shares).
+struct MaskedBit {
+    bool s0 = false;
+    bool s1 = false;
+
+    [[nodiscard]] constexpr bool value() const noexcept { return s0 != s1; }
+
+    friend constexpr bool operator==(const MaskedBit&, const MaskedBit&) = default;
+};
+
+/// Splits `value` into a fresh uniform sharing.
+[[nodiscard]] inline MaskedBit mask_bit(bool value, Xoshiro256& rng) {
+    const bool r = rng.bit();
+    return MaskedBit{r, r != value};
+}
+
+/// A masked word: share 0 and share 1 packed bitwise.
+struct MaskedWord {
+    std::uint64_t s0 = 0;
+    std::uint64_t s1 = 0;
+
+    [[nodiscard]] constexpr std::uint64_t value() const noexcept { return s0 ^ s1; }
+
+    friend constexpr bool operator==(const MaskedWord&, const MaskedWord&) = default;
+};
+
+/// Splits `value` (low `width` bits) into a fresh uniform sharing.
+[[nodiscard]] MaskedWord mask_word(std::uint64_t value, unsigned width,
+                                   Xoshiro256& rng);
+
+// ----- reference gadget semantics (bit level) ---------------------------
+
+/// secAND2 (Biryukov et al., paper Eq. 2):
+///   z0 = (x0 & y0) ^ (x0 | !y1)
+///   z1 = (x1 & y0) ^ (x1 | !y1)
+/// No fresh randomness; output is NOT independent of the inputs, which
+/// composition must account for (paper Sec. III-C).
+[[nodiscard]] constexpr MaskedBit secand2_ref(MaskedBit x, MaskedBit y) noexcept {
+    const bool ny1 = !y.s1;
+    return MaskedBit{(x.s0 && y.s0) != (x.s0 || ny1),
+                     (x.s1 && y.s0) != (x.s1 || ny1)};
+}
+
+/// Trichina masked AND (paper Eq. 1); secure only with left-to-right
+/// evaluation order, consumes one fresh bit `r`.
+[[nodiscard]] constexpr MaskedBit trichina_and_ref(MaskedBit x, MaskedBit y,
+                                                   bool r) noexcept {
+    bool z0 = r;
+    z0 = z0 != (x.s0 && y.s0);
+    z0 = z0 != (x.s0 && y.s1);
+    z0 = z0 != (x.s1 && y.s1);
+    z0 = z0 != (x.s1 && y.s0);
+    return MaskedBit{z0, r};
+}
+
+/// Domain-oriented masked AND for independent shares (Gross et al.):
+///   z0 = x0 y0 ^ (x0 y1 ^ r),  z1 = x1 y1 ^ (x1 y0 ^ r).
+/// In hardware the parenthesised cross terms pass through a register.
+[[nodiscard]] constexpr MaskedBit dom_and_ref(MaskedBit x, MaskedBit y,
+                                              bool r) noexcept {
+    return MaskedBit{(x.s0 && y.s0) != ((x.s0 && y.s1) != r),
+                     (x.s1 && y.s1) != ((x.s1 && y.s0) != r)};
+}
+
+/// Share refresh with fresh mask m: (s0 ^ m, s1 ^ m).
+[[nodiscard]] constexpr MaskedBit refresh_ref(MaskedBit a, bool m) noexcept {
+    return MaskedBit{a.s0 != m, a.s1 != m};
+}
+
+/// Masked XOR (share-wise).
+[[nodiscard]] constexpr MaskedBit xor_ref(MaskedBit a, MaskedBit b) noexcept {
+    return MaskedBit{a.s0 != b.s0, a.s1 != b.s1};
+}
+
+/// Masked NOT (invert exactly one share).
+[[nodiscard]] constexpr MaskedBit not_ref(MaskedBit a) noexcept {
+    return MaskedBit{!a.s0, a.s1};
+}
+
+/// XOR with an unmasked constant (folds into share 0).
+[[nodiscard]] constexpr MaskedBit xor_const_ref(MaskedBit a, bool c) noexcept {
+    return MaskedBit{a.s0 != c, a.s1};
+}
+
+}  // namespace glitchmask::core

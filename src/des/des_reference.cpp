@@ -1,0 +1,185 @@
+#include "des/des_reference.hpp"
+
+#include "support/bits.hpp"
+
+namespace glitchmask::des {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 64> kIp = {
+    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4,
+    62, 54, 46, 38, 30, 22, 14, 6, 64, 56, 48, 40, 32, 24, 16, 8,
+    57, 49, 41, 33, 25, 17, 9,  1, 59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7};
+
+constexpr std::array<std::uint8_t, 64> kFp = {
+    40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31,
+    38, 6, 46, 14, 54, 22, 62, 30, 37, 5, 45, 13, 53, 21, 61, 29,
+    36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9,  49, 17, 57, 25};
+
+constexpr std::array<std::uint8_t, 48> kE = {
+    32, 1,  2,  3,  4,  5,  4,  5,  6,  7,  8,  9,  8,  9,  10, 11,
+    12, 13, 12, 13, 14, 15, 16, 17, 16, 17, 18, 19, 20, 21, 20, 21,
+    22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1};
+
+constexpr std::array<std::uint8_t, 32> kP = {
+    16, 7, 20, 21, 29, 12, 28, 17, 1,  15, 23, 26, 5,  18, 31, 10,
+    2,  8, 24, 14, 32, 27, 3,  9,  19, 13, 30, 6,  22, 11, 4,  25};
+
+constexpr std::array<std::uint8_t, 56> kPc1 = {
+    57, 49, 41, 33, 25, 17, 9,  1,  58, 50, 42, 34, 26, 18,
+    10, 2,  59, 51, 43, 35, 27, 19, 11, 3,  60, 52, 44, 36,
+    63, 55, 47, 39, 31, 23, 15, 7,  62, 54, 46, 38, 30, 22,
+    14, 6,  61, 53, 45, 37, 29, 21, 13, 5,  28, 20, 12, 4};
+
+constexpr std::array<std::uint8_t, 48> kPc2 = {
+    14, 17, 11, 24, 1,  5,  3,  28, 15, 6,  21, 10, 23, 19, 12, 4,
+    26, 8,  16, 7,  27, 20, 13, 2,  41, 52, 31, 37, 47, 55, 30, 40,
+    51, 45, 33, 48, 44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32};
+
+constexpr std::array<std::uint8_t, 16> kShifts = {1, 1, 2, 2, 2, 2, 2, 2,
+                                                  1, 2, 2, 2, 2, 2, 2, 1};
+
+// The eight S-boxes, [box][row * 16 + column].
+constexpr std::uint8_t kSbox[8][64] = {
+    {14, 4,  13, 1, 2,  15, 11, 8,  3,  10, 6,  12, 5,  9,  0, 7,
+     0,  15, 7,  4, 14, 2,  13, 1,  10, 6,  12, 11, 9,  5,  3, 8,
+     4,  1,  14, 8, 13, 6,  2,  11, 15, 12, 9,  7,  3,  10, 5, 0,
+     15, 12, 8,  2, 4,  9,  1,  7,  5,  11, 3,  14, 10, 0,  6, 13},
+    {15, 1,  8,  14, 6,  11, 3,  4,  9,  7, 2,  13, 12, 0, 5,  10,
+     3,  13, 4,  7,  15, 2,  8,  14, 12, 0, 1,  10, 6,  9, 11, 5,
+     0,  14, 7,  11, 10, 4,  13, 1,  5,  8, 12, 6,  9,  3, 2,  15,
+     13, 8,  10, 1,  3,  15, 4,  2,  11, 6, 7,  12, 0,  5, 14, 9},
+    {10, 0,  9,  14, 6, 3,  15, 5,  1,  13, 12, 7,  11, 4,  2,  8,
+     13, 7,  0,  9,  3, 4,  6,  10, 2,  8,  5,  14, 12, 11, 15, 1,
+     13, 6,  4,  9,  8, 15, 3,  0,  11, 1,  2,  12, 5,  10, 14, 7,
+     1,  10, 13, 0,  6, 9,  8,  7,  4,  15, 14, 3,  11, 5,  2,  12},
+    {7,  13, 14, 3, 0,  6,  9,  10, 1,  2, 8, 5,  11, 12, 4,  15,
+     13, 8,  11, 5, 6,  15, 0,  3,  4,  7, 2, 12, 1,  10, 14, 9,
+     10, 6,  9,  0, 12, 11, 7,  13, 15, 1, 3, 14, 5,  2,  8,  4,
+     3,  15, 0,  6, 10, 1,  13, 8,  9,  4, 5, 11, 12, 7,  2,  14},
+    {2,  12, 4,  1,  7,  10, 11, 6,  8,  5,  3,  15, 13, 0, 14, 9,
+     14, 11, 2,  12, 4,  7,  13, 1,  5,  0,  15, 10, 3,  9, 8,  6,
+     4,  2,  1,  11, 10, 13, 7,  8,  15, 9,  12, 5,  6,  3, 0,  14,
+     11, 8,  12, 7,  1,  14, 2,  13, 6,  15, 0,  9,  10, 4, 5,  3},
+    {12, 1,  10, 15, 9, 2,  6,  8,  0,  13, 3,  4,  14, 7,  5,  11,
+     10, 15, 4,  2,  7, 12, 9,  5,  6,  1,  13, 14, 0,  11, 3,  8,
+     9,  14, 15, 5,  2, 8,  12, 3,  7,  0,  4,  10, 1,  13, 11, 6,
+     4,  3,  2,  12, 9, 5,  15, 10, 11, 14, 1,  7,  6,  0,  8,  13},
+    {4,  11, 2,  14, 15, 0, 8,  13, 3,  12, 9, 7,  5,  10, 6, 1,
+     13, 0,  11, 7,  4,  9, 1,  10, 14, 3,  5, 12, 2,  15, 8, 6,
+     1,  4,  11, 13, 12, 3, 7,  14, 10, 15, 6, 8,  0,  5,  9, 2,
+     6,  11, 13, 8,  1,  4, 10, 7,  9,  5,  0, 15, 14, 2,  3, 12},
+    {13, 2,  8,  4, 6,  15, 11, 1,  10, 9,  3,  14, 5,  0,  12, 7,
+     1,  15, 13, 8, 10, 3,  7,  4,  12, 5,  6,  11, 0,  14, 9,  2,
+     7,  11, 4,  1, 9,  12, 14, 2,  0,  6,  10, 13, 15, 3,  5,  8,
+     2,  1,  14, 7, 4,  10, 8,  13, 15, 12, 9,  0,  3,  5,  6,  11}};
+
+}  // namespace
+
+std::uint64_t permute(std::uint64_t in, std::span<const std::uint8_t> table,
+                      unsigned in_width) {
+    std::uint64_t out = 0;
+    const auto out_width = static_cast<unsigned>(table.size());
+    for (unsigned i = 0; i < out_width; ++i) {
+        const unsigned src = table[i];  // 1-based from MSB
+        const bool bit = ((in >> (in_width - src)) & 1u) != 0;
+        out |= static_cast<std::uint64_t>(bit) << (out_width - 1 - i);
+    }
+    return out;
+}
+
+std::span<const std::uint8_t> table_ip() { return kIp; }
+std::span<const std::uint8_t> table_fp() { return kFp; }
+std::span<const std::uint8_t> table_e() { return kE; }
+std::span<const std::uint8_t> table_p() { return kP; }
+std::span<const std::uint8_t> table_pc1() { return kPc1; }
+std::span<const std::uint8_t> table_pc2() { return kPc2; }
+std::span<const std::uint8_t> key_shifts() { return kShifts; }
+
+std::uint8_t sbox(unsigned box, std::uint8_t in) {
+    const unsigned row = ((in >> 4) & 2u) | (in & 1u);
+    const unsigned column = (in >> 1) & 0xFu;
+    return kSbox[box][row * 16 + column];
+}
+
+std::uint8_t mini_sbox(unsigned box, unsigned row, std::uint8_t middle4) {
+    return kSbox[box][row * 16 + (middle4 & 0xFu)];
+}
+
+std::array<std::uint64_t, kRounds> key_schedule(std::uint64_t key) {
+    const std::uint64_t cd = permute(key, kPc1, 64);
+    std::uint32_t c = static_cast<std::uint32_t>(cd >> 28) & 0x0FFFFFFFu;
+    std::uint32_t d = static_cast<std::uint32_t>(cd) & 0x0FFFFFFFu;
+    std::array<std::uint64_t, kRounds> subkeys{};
+    for (unsigned round = 0; round < kRounds; ++round) {
+        c = static_cast<std::uint32_t>(rotl_bits(c, 28, kShifts[round]));
+        d = static_cast<std::uint32_t>(rotl_bits(d, 28, kShifts[round]));
+        const std::uint64_t merged =
+            (static_cast<std::uint64_t>(c) << 28) | d;
+        subkeys[round] = permute(merged, kPc2, 56);
+    }
+    return subkeys;
+}
+
+std::uint32_t feistel(std::uint32_t r, std::uint64_t subkey) {
+    const std::uint64_t expanded = permute(r, kE, 32) ^ subkey;
+    std::uint32_t s_out = 0;
+    for (unsigned box = 0; box < 8; ++box) {
+        const auto six =
+            static_cast<std::uint8_t>((expanded >> (42 - 6 * box)) & 0x3Fu);
+        s_out = (s_out << 4) | sbox(box, six);
+    }
+    return static_cast<std::uint32_t>(permute(s_out, kP, 32));
+}
+
+RoundTrace encrypt_trace(std::uint64_t plaintext, std::uint64_t key) {
+    RoundTrace trace;
+    const std::uint64_t ip = permute(plaintext, kIp, 64);
+    trace.left[0] = static_cast<std::uint32_t>(ip >> 32);
+    trace.right[0] = static_cast<std::uint32_t>(ip);
+    const auto subkeys = key_schedule(key);
+    for (unsigned round = 0; round < kRounds; ++round) {
+        trace.subkey[round] = subkeys[round];
+        trace.left[round + 1] = trace.right[round];
+        trace.right[round + 1] =
+            trace.left[round] ^ feistel(trace.right[round], subkeys[round]);
+    }
+    // Final swap: pre-output is R16 || L16.
+    const std::uint64_t preoutput =
+        (static_cast<std::uint64_t>(trace.right[kRounds]) << 32) |
+        trace.left[kRounds];
+    trace.ciphertext = permute(preoutput, kFp, 64);
+    return trace;
+}
+
+std::uint64_t encrypt_block(std::uint64_t plaintext, std::uint64_t key) {
+    return encrypt_trace(plaintext, key).ciphertext;
+}
+
+std::uint64_t decrypt_block(std::uint64_t ciphertext, std::uint64_t key) {
+    const std::uint64_t ip = permute(ciphertext, kIp, 64);
+    std::uint32_t l = static_cast<std::uint32_t>(ip >> 32);
+    std::uint32_t r = static_cast<std::uint32_t>(ip);
+    const auto subkeys = key_schedule(key);
+    for (unsigned round = 0; round < kRounds; ++round) {
+        const std::uint32_t next_r = l ^ feistel(r, subkeys[kRounds - 1 - round]);
+        l = r;
+        r = next_r;
+    }
+    const std::uint64_t preoutput = (static_cast<std::uint64_t>(r) << 32) | l;
+    return permute(preoutput, kFp, 64);
+}
+
+std::uint64_t tdes_encrypt(std::uint64_t plaintext, std::uint64_t k1,
+                           std::uint64_t k2, std::uint64_t k3) {
+    return encrypt_block(decrypt_block(encrypt_block(plaintext, k1), k2), k3);
+}
+
+std::uint64_t tdes_decrypt(std::uint64_t ciphertext, std::uint64_t k1,
+                           std::uint64_t k2, std::uint64_t k3) {
+    return decrypt_block(encrypt_block(decrypt_block(ciphertext, k3), k2), k1);
+}
+
+}  // namespace glitchmask::des

@@ -1,0 +1,80 @@
+// Bit-exact reference implementation of DES (FIPS 46-3) and two-key /
+// three-key Triple-DES.
+//
+// This is the functional golden model: the masked hardware cores in
+// des/masked_des.hpp must produce exactly these ciphertexts, and the
+// S-box ANF decomposition in des/sbox_anf.hpp is derived from and
+// verified against these tables.
+//
+// Conventions: 64-bit blocks and keys are passed as std::uint64_t with
+// DES bit 1 = most significant bit (the numbering used by the standard's
+// permutation tables).  Subkeys are 48 bits right-aligned; halves L/R and
+// C/D are right-aligned in 32/28-bit words.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace glitchmask::des {
+
+inline constexpr unsigned kRounds = 16;
+
+/// Generic DES-style permutation/expansion: output bit i (1-based from
+/// the MSB of a `table.size()`-bit word) takes input bit table[i-1]
+/// (1-based from the MSB of an `in_width`-bit word).
+[[nodiscard]] std::uint64_t permute(std::uint64_t in,
+                                    std::span<const std::uint8_t> table,
+                                    unsigned in_width);
+
+/// Table accessors (exposed for the netlist builders, which implement
+/// permutations as wiring).
+[[nodiscard]] std::span<const std::uint8_t> table_ip();
+[[nodiscard]] std::span<const std::uint8_t> table_fp();
+[[nodiscard]] std::span<const std::uint8_t> table_e();
+[[nodiscard]] std::span<const std::uint8_t> table_p();
+[[nodiscard]] std::span<const std::uint8_t> table_pc1();
+[[nodiscard]] std::span<const std::uint8_t> table_pc2();
+/// Left-shift amount of each round (1 or 2).
+[[nodiscard]] std::span<const std::uint8_t> key_shifts();
+
+/// S-box lookup: `box` in 0..7, `in` the 6 input bits (b5..b0 with b5 the
+/// MSB as cut from the expanded word); returns 4 bits.
+[[nodiscard]] std::uint8_t sbox(unsigned box, std::uint8_t in);
+
+/// Raw S-box table row: `row` in 0..3 selected by (b5, b0) -- this is the
+/// paper's "mini S-box", a 4-bit permutation over the middle bits.
+[[nodiscard]] std::uint8_t mini_sbox(unsigned box, unsigned row,
+                                     std::uint8_t middle4);
+
+/// The 16 round subkeys (48 bits each).
+[[nodiscard]] std::array<std::uint64_t, kRounds> key_schedule(std::uint64_t key);
+
+/// Feistel round function f(R, K).
+[[nodiscard]] std::uint32_t feistel(std::uint32_t r, std::uint64_t subkey);
+
+[[nodiscard]] std::uint64_t encrypt_block(std::uint64_t plaintext,
+                                          std::uint64_t key);
+[[nodiscard]] std::uint64_t decrypt_block(std::uint64_t ciphertext,
+                                          std::uint64_t key);
+
+/// Per-round intermediate state, for cross-checking the hardware cores.
+struct RoundTrace {
+    std::array<std::uint32_t, kRounds + 1> left{};   // L0..L16
+    std::array<std::uint32_t, kRounds + 1> right{};  // R0..R16
+    std::array<std::uint64_t, kRounds> subkey{};
+    std::uint64_t ciphertext = 0;
+};
+[[nodiscard]] RoundTrace encrypt_trace(std::uint64_t plaintext,
+                                       std::uint64_t key);
+
+/// EDE Triple-DES (keying option 1 with three keys; pass k1 == k3 for
+/// two-key TDES, k1 == k2 == k3 degenerates to single DES).
+[[nodiscard]] std::uint64_t tdes_encrypt(std::uint64_t plaintext,
+                                         std::uint64_t k1, std::uint64_t k2,
+                                         std::uint64_t k3);
+[[nodiscard]] std::uint64_t tdes_decrypt(std::uint64_t ciphertext,
+                                         std::uint64_t k1, std::uint64_t k2,
+                                         std::uint64_t k3);
+
+}  // namespace glitchmask::des

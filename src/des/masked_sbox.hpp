@@ -1,0 +1,125 @@
+// Masked DES S-box netlist builders (paper Sec. IV, Figs. 8a / 9a).
+//
+// Both flavours share the same structure (the input register layer sits
+// in the DES core, which feeds these builders registered shares):
+//   -> mini S-box AND stage: the 10 product monomials of x1..x4, computed
+//      once and shared by all four mini S-boxes (10 secAND2 gadgets:
+//      6 pairs + 4 triples chained on the pairs)
+//   -> refresh layer: 10 fresh bits
+//   -> mini S-box XOR stage: ANF recombination per row/coordinate
+//   -> MUX stage 1: the 4 select products of x0/x5 (4 secAND2 gadgets),
+//      refreshed with 4 fresh bits and registered (the paper's "move the
+//      refresh before the synchronization register" optimization)
+//   -> MUX stage 2: 16 secAND2 gadgets (select x mini output)
+//   -> MUX stage 3: XOR recombination into the 4 output bits.
+// Total: 30 secAND2 gadgets and 14 fresh random bits per S-box, matching
+// the paper exactly; the random nets are shared across all 8 S-boxes of
+// the DES core.
+//
+// secAND2-FF flavour: safe arrival order is enforced by the control FSM
+// through enable groups; S-box latency 5 cycles:
+//   cycle 1: (core's g_sbox_in) input registers sample; gadget FFs reset
+//   cycle 2: g_layer1   pair products + MUX select products complete
+//   cycle 3: g_layer2   triple products complete; g_sync MUX-1 register
+//   cycle 4: g_mux2     stage-2 delayed shares sample
+//   cycle 5: g_out      S-box output register samples
+//
+// secAND2-PD flavour: safe arrival order is enforced by DelayUnit taps.
+// The mini AND stage uses one global Table-II-style schedule over
+// x1..x4 (share 0 delayed by 3,2,1,0 units, share 1 by 3,4,5,6), which
+// keeps the shared pair products safe inside the triple chains; the
+// paper's dedicated 3-variable schedule tops out at 4 units, ours at 6 --
+// a documented deviation that costs maximum frequency, not security.
+// Latency 2 cycles: the core's input register samples at round start,
+// g_mid (MUX-1 refresh register + mini S-box outputs) one cycle later;
+// stage 2/3 settle before the next round-start edge.
+#pragma once
+
+#include <span>
+
+#include "core/composition.hpp"
+#include "core/gadgets.hpp"
+#include "des/sbox_anf.hpp"
+
+namespace glitchmask::des {
+
+using core::CtrlGroup;
+using core::NetId;
+using core::Netlist;
+using core::SharedBus;
+using core::SharedNet;
+
+inline constexpr std::size_t kRandomBitsPerSbox = 14;  // 10 mini + 4 select
+inline constexpr unsigned kSecand2PerSbox = 30;        // 10 + 4 + 16
+
+/// DOM baseline: every masked AND consumes one fresh bit (6 pairs + 4
+/// triples + 4 selects + 16 stage-2 products).
+inline constexpr std::size_t kDomRandomBitsPerSbox = 30;
+
+/// Control groups of the secAND2-FF S-box (shared by all 8 instances).
+struct SboxFfGroups {
+    CtrlGroup g_layer1 = 0;
+    CtrlGroup g_layer2 = 0;
+    CtrlGroup g_sync = 0;
+    CtrlGroup g_mux2 = 0;
+    CtrlGroup g_out = 0;
+    /// Reset groups for the y1-delay flops.  They must be staggered: the
+    /// *late* group (triple-layer and MUX-stage-2 delay flops) resets one
+    /// cycle before the *early* group (pair-layer and select flops),
+    /// because clearing the early flops makes the pair outputs and mini
+    /// coordinates transition -- and those transitions must find the
+    /// downstream gadgets' y1 already cleared, or an x operand arrives
+    /// while both old y shares are visible (the Table I hazard).
+    CtrlGroup rst_early = 0;  // pair-layer + select y1 flops (reset at c0)
+    CtrlGroup rst_late = 0;   // triple-layer + stage-2 y1 flops (reset at c5)
+};
+
+/// Control groups of the secAND2-PD S-box.
+struct SboxPdGroups {
+    CtrlGroup g_mid = 0;
+};
+
+struct SboxPdOptions {
+    unsigned luts_per_unit = 10;
+    bool couple_adjacent = true;
+};
+
+/// Builds one masked S-box (`box` 0..7) of the secAND2-FF flavour.
+/// `in`: 6 masked input bits, in[0] = x0 (b5) ... in[5] = x5 (b0); the
+/// caller must feed *registered* shares (the S-box input register layer
+/// belongs to the DES core so it can be shared across experiment
+/// harnesses).  `rand`: 14 fresh-mask nets.  Returns the 4 registered
+/// masked output bits, out[0] = y1 (MSB of the S-box nibble).
+[[nodiscard]] SharedBus build_masked_sbox_ff(Netlist& nl, unsigned box,
+                                             const SharedBus& in,
+                                             std::span<const NetId> rand,
+                                             const SboxFfGroups& groups);
+
+/// Builds one masked S-box of the secAND2-PD flavour (output is
+/// combinational off the g_mid registers; the consumer registers it).
+[[nodiscard]] SharedBus build_masked_sbox_pd(Netlist& nl, unsigned box,
+                                             const SharedBus& in,
+                                             std::span<const NetId> rand,
+                                             const SboxPdGroups& groups,
+                                             const SboxPdOptions& options = {});
+
+/// Control groups of the DOM baseline S-box: one register stage per
+/// masked-AND layer (glitch robustness by construction, no resets).
+struct SboxDomGroups {
+    CtrlGroup g_dom1 = 0;  // pair + select DOM register stage
+    CtrlGroup g_dom2 = 0;  // triple DOM register stage
+    CtrlGroup g_dom3 = 0;  // MUX stage-2 DOM register stage
+    CtrlGroup g_out = 0;   // S-box output register
+};
+
+/// Builds one masked S-box from DOM-indep AND gadgets -- the baseline the
+/// paper compares against ([17]).  Same mini-S-box/MUX structure, but
+/// every masked AND passes its domain-crossing terms through a register
+/// and consumes one fresh bit: 30 bits per S-box per round, S-box latency
+/// 5 cycles.  `rand` must supply kDomRandomBitsPerSbox nets.
+[[nodiscard]] SharedBus build_masked_sbox_dom(Netlist& nl, unsigned box,
+                                              const SharedBus& in,
+                                              std::span<const NetId> rand,
+                                              const SboxDomGroups& groups);
+
+}  // namespace glitchmask::des

@@ -1,0 +1,60 @@
+// Trace-collection and experiment drivers shared by the test suite and
+// the bench harness.
+//
+// The general pattern of every evaluation in the paper is:
+//   restart device -> apply stimulus (fixed or random class) -> record the
+//   per-cycle power trace -> add Gaussian measurement noise -> feed the
+//   TVLA accumulators; repeat with randomly interleaved classes.
+// collect_trace() implements one iteration of that loop; the experiment
+// functions wrap it with the paper's specific stimulus schedules.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/circuits.hpp"
+#include "leakage/tvla.hpp"
+#include "power/power_model.hpp"
+#include "sim/clocked.hpp"
+#include "support/rng.hpp"
+
+namespace glitchmask::eval {
+
+/// Restarts `sim`, records `cycles` power bins while `drive` runs the
+/// stimulus, and returns the trace with Gaussian noise of `sigma` added.
+[[nodiscard]] std::vector<double> collect_trace(
+    sim::ClockedSim& sim, power::PowerRecorder& recorder, std::size_t cycles,
+    double sigma, Xoshiro256& noise_rng,
+    const std::function<void(sim::ClockedSim&)>& drive);
+
+// ----- Table I: safe input sequences of secAND2 -------------------------
+
+struct SequenceExperimentConfig {
+    unsigned replicas = 16;       // parallel secAND2 instances (SNR)
+    std::size_t traces = 4000;    // per sequence
+    double noise_sigma = 1.0;     // measurement noise
+    std::uint64_t seed = 1;       // masks, classes, noise
+    std::uint64_t placement_seed = 1;  // delay-model jitter
+    int max_test_order = 2;
+};
+
+struct SequenceLeakResult {
+    core::InputSequence sequence{};
+    double max_abs_t1 = 0.0;      // first-order, max over cycles
+    std::size_t argmax_cycle = 0;
+    double max_abs_t2 = 0.0;      // second-order, for reporting
+    bool leaks_first_order = false;
+    bool expected_to_leak = false;
+};
+
+/// Runs the paper's Sec. II-B experiment for one input sequence: the four
+/// shares are applied one per cycle in the given order to the registered
+/// secAND2 harness, and a fixed-vs-random TVLA is evaluated per cycle.
+[[nodiscard]] SequenceLeakResult run_sequence_experiment(
+    const core::InputSequence& sequence, const SequenceExperimentConfig& config);
+
+/// Convenience: runs all 24 sequences.
+[[nodiscard]] std::vector<SequenceLeakResult> run_all_sequences(
+    const SequenceExperimentConfig& config);
+
+}  // namespace glitchmask::eval

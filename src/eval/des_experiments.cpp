@@ -1,0 +1,93 @@
+#include "eval/des_experiments.hpp"
+
+#include "core/sharing.hpp"
+#include "support/rng.hpp"
+
+namespace glitchmask::eval {
+
+namespace {
+
+power::PowerConfig des_power_config(sim::TimePs period) {
+    power::PowerConfig config;
+    config.bin_ps = period;
+    return config;
+}
+
+}  // namespace
+
+DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
+                           const DesTvlaConfig& config) {
+    sim::DelayConfig delay_config = sim::DelayConfig::spartan6();
+    delay_config.seed = config.placement_seed;
+    const sim::DelayModel dm(core.nl(), delay_config);
+
+    sim::ClockConfig clock;
+    clock.period_ps = core.recommended_period();
+    sim::ClockedSim simulator(core.nl(), dm, clock, config.coupling);
+
+    power::PowerConfig power_config = des_power_config(clock.period_ps);
+    power_config.coupling_epsilon = config.coupling_epsilon;
+    power::PowerRecorder recorder(core.nl(), power_config);
+    recorder.attach(&simulator.engine());
+    simulator.engine().set_sink(&recorder);
+
+    const std::size_t samples = core.total_cycles();
+    DesTvlaResult result(samples, config.max_test_order);
+    result.samples = samples;
+
+    Xoshiro256 rng(config.seed);
+    Xoshiro256 noise_rng(mix64(config.seed, 0x646573746e6fULL));
+
+    for (std::size_t n = 0; n < config.traces; ++n) {
+        const bool fixed = rng.bit();
+        const std::uint64_t pt = fixed ? config.fixed_plaintext : rng();
+
+        simulator.restart();
+        recorder.begin_trace(samples);
+        if (config.prng_on) {
+            const core::MaskedWord mpt = core::mask_word(pt, 64, rng);
+            const core::MaskedWord mkey = core::mask_word(config.key, 64, rng);
+            (void)core.encrypt(simulator, mpt, mkey, &rng);
+        } else {
+            (void)core.encrypt(simulator, core::MaskedWord{0, pt},
+                               core::MaskedWord{0, config.key}, nullptr);
+        }
+        const std::vector<double> trace =
+            recorder.noisy_trace(noise_rng, config.noise_sigma);
+        result.campaign.add_trace(fixed, trace);
+    }
+
+    result.traces = config.traces;
+    for (int order = 1; order <= config.max_test_order; ++order)
+        result.max_abs_t[order] =
+            result.campaign.max_abs_t(order, &result.argmax[order]);
+    return result;
+}
+
+std::vector<double> mean_power_trace(const des::MaskedDesCore& core,
+                                     std::size_t traces, std::uint64_t seed,
+                                     std::uint64_t placement_seed) {
+    sim::DelayConfig delay_config = sim::DelayConfig::spartan6();
+    delay_config.seed = placement_seed;
+    const sim::DelayModel dm(core.nl(), delay_config);
+    sim::ClockConfig clock;
+    clock.period_ps = core.recommended_period();
+    sim::ClockedSim simulator(core.nl(), dm, clock);
+    power::PowerRecorder recorder(core.nl(), des_power_config(clock.period_ps));
+    simulator.engine().set_sink(&recorder);
+
+    const std::size_t samples = core.total_cycles();
+    std::vector<double> mean(samples, 0.0);
+    Xoshiro256 rng(seed);
+    for (std::size_t n = 0; n < traces; ++n) {
+        simulator.restart();
+        recorder.begin_trace(samples);
+        (void)core.encrypt_value(simulator, rng(), rng(), &rng);
+        const std::vector<double>& trace = recorder.trace();
+        for (std::size_t i = 0; i < samples; ++i) mean[i] += trace[i];
+    }
+    for (double& v : mean) v /= static_cast<double>(traces);
+    return mean;
+}
+
+}  // namespace glitchmask::eval

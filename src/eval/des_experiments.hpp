@@ -1,0 +1,59 @@
+// DES-level leakage-assessment drivers (paper Sec. VII).
+//
+// run_des_tvla() reproduces the paper's measurement campaigns: the masked
+// DES core runs fixed-vs-random plaintexts in random order with a fixed
+// (but freshly masked) key, one power sample per clock cycle, Gaussian
+// measurement noise, and univariate t-tests at orders 1..3 over all time
+// samples.  "PRNG off" zeroes both the initial masks and the 14 per-round
+// refresh bits (paper Figs. 14a / 17d).
+//
+// mean_power_trace() produces the averaged per-cycle power consumption
+// the paper shows as raw scope traces (Figs. 13 / 16).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "des/masked_des.hpp"
+#include "leakage/tvla.hpp"
+#include "power/power_model.hpp"
+#include "sim/clocked.hpp"
+
+namespace glitchmask::eval {
+
+struct DesTvlaConfig {
+    std::size_t traces = 1500;
+    double noise_sigma = 1.0;
+    std::uint64_t seed = 1;
+    std::uint64_t placement_seed = 1;
+    /// PRNG on: fresh masks + refresh bits; off: all zero (sanity check).
+    bool prng_on = true;
+    std::uint64_t fixed_plaintext = 0xDA39A3EE5E6B4B0Dull;
+    std::uint64_t key = 0x133457799BBCDFF1ull;
+    int max_test_order = 3;
+    /// Physical-coupling models (PD core, paper Sec. VII-C).
+    sim::CouplingConfig coupling = {};
+    double coupling_epsilon = 0.0;
+};
+
+struct DesTvlaResult {
+    std::size_t samples = 0;
+    std::size_t traces = 0;
+    /// max |t| per order (index 1..3; index 0 unused).
+    std::array<double, 4> max_abs_t{};
+    std::array<std::size_t, 4> argmax{};
+    leakage::TvlaCampaign campaign;
+
+    explicit DesTvlaResult(std::size_t n_samples, int max_order)
+        : campaign(n_samples, max_order) {}
+};
+
+[[nodiscard]] DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
+                                         const DesTvlaConfig& config);
+
+/// Mean per-cycle power over `traces` random encryptions (PRNG on).
+[[nodiscard]] std::vector<double> mean_power_trace(
+    const des::MaskedDesCore& core, std::size_t traces, std::uint64_t seed,
+    std::uint64_t placement_seed = 1);
+
+}  // namespace glitchmask::eval

@@ -1,0 +1,212 @@
+#include "leakage/probing.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace glitchmask::leakage {
+
+namespace {
+
+using netlist::CellKind;
+using netlist::NetId;
+
+/// Levelized evaluation with transparent flops; values packed per net.
+void evaluate_packed(const core::Netlist& nl,
+                     const std::vector<std::uint8_t>& source_values,
+                     std::vector<std::uint8_t>& values,
+                     std::vector<std::uint64_t>& row) {
+    for (netlist::CellId id = 0; id < nl.size(); ++id) {
+        const netlist::Cell& cell = nl.cell(id);
+        bool v = false;
+        switch (cell.kind) {
+            case CellKind::Input:
+                v = source_values[id] != 0;
+                break;
+            case CellKind::Const0:
+                v = false;
+                break;
+            case CellKind::Const1:
+                v = true;
+                break;
+            case CellKind::Dff:
+                v = values[cell.in[0]] != 0;  // transparent
+                break;
+            default: {
+                const unsigned pins = netlist::pin_count(cell.kind);
+                bool a = false;
+                bool b = false;
+                bool c = false;
+                if (pins > 0) a = values[cell.in[0]] != 0;
+                if (pins > 1) b = values[cell.in[1]] != 0;
+                if (pins > 2) c = values[cell.in[2]] != 0;
+                v = netlist::eval_cell(cell.kind, a, b, c);
+                break;
+            }
+        }
+        values[id] = v ? 1 : 0;
+        if (v)
+            row[id / 64] |= std::uint64_t{1} << (id % 64);
+        else
+            row[id / 64] &= ~(std::uint64_t{1} << (id % 64));
+    }
+}
+
+}  // namespace
+
+ProbingAnalyzer::ProbingAnalyzer(const core::Netlist& nl,
+                                 std::vector<core::SharedNet> secrets,
+                                 std::vector<netlist::NetId> fresh,
+                                 ProbingOptions options)
+    : nl_(nl),
+      secrets_(std::move(secrets)),
+      fresh_(std::move(fresh)),
+      options_(options) {
+    // Note: flops are transparent, so creation order remains a valid
+    // evaluation order only when no flop's D references a later cell; the
+    // gadget builders satisfy this (no feedback inside gadgets).
+    for (const netlist::CellId flop : nl.flops())
+        if (nl.cell(flop).in[0] > flop)
+            throw std::invalid_argument(
+                "ProbingAnalyzer: feedback flop; analyze gadgets, not cores");
+
+    const std::size_t k = secrets_.size();
+    const std::size_t mask_bits = k + fresh_.size();
+    if (k > 16 || mask_bits > 62)
+        throw std::invalid_argument("ProbingAnalyzer: too many inputs");
+
+    const std::uint64_t n_secrets = std::uint64_t{1} << k;
+    const std::uint64_t n_masks = std::uint64_t{1} << mask_bits;
+    exhaustive_ = n_secrets * n_masks <= options_.max_exhaustive;
+    samples_per_secret_ =
+        exhaustive_ ? n_masks : options_.samples_per_secret;
+
+    words_ = (nl.size() + 63) / 64;
+    rows_.assign(n_secrets, {});
+    evaluate_all();
+}
+
+void ProbingAnalyzer::accumulate(std::uint64_t secret_index,
+                                 std::uint64_t mask_bits) {
+    static thread_local std::vector<std::uint8_t> sources;
+    static thread_local std::vector<std::uint8_t> values;
+    sources.assign(nl_.size(), 0);
+    values.assign(nl_.size(), 0);
+
+    const std::size_t k = secrets_.size();
+    for (std::size_t i = 0; i < k; ++i) {
+        const bool secret = ((secret_index >> i) & 1u) != 0;
+        const bool s0 = ((mask_bits >> i) & 1u) != 0;
+        sources[secrets_[i].s0] = s0 ? 1 : 0;
+        sources[secrets_[i].s1] = (s0 != secret) ? 1 : 0;
+    }
+    for (std::size_t j = 0; j < fresh_.size(); ++j)
+        sources[fresh_[j]] = ((mask_bits >> (k + j)) & 1u) != 0 ? 1 : 0;
+
+    std::vector<std::uint64_t> row(words_, 0);
+    evaluate_packed(nl_, sources, values, row);
+    rows_[secret_index].push_back(std::move(row));
+}
+
+void ProbingAnalyzer::evaluate_all() {
+    const std::uint64_t n_secrets = std::uint64_t{1} << secrets_.size();
+    Xoshiro256 rng(options_.seed);
+    for (std::uint64_t u = 0; u < n_secrets; ++u) {
+        rows_[u].reserve(samples_per_secret_);
+        if (exhaustive_) {
+            for (std::uint64_t m = 0; m < samples_per_secret_; ++m)
+                accumulate(u, m);
+        } else {
+            const unsigned bits =
+                static_cast<unsigned>(secrets_.size() + fresh_.size());
+            for (std::uint64_t s = 0; s < samples_per_secret_; ++s)
+                accumulate(u, rng.bits(bits));
+        }
+    }
+}
+
+double ProbingAnalyzer::net_bias(NetId net) const {
+    const double n = static_cast<double>(samples_per_secret_);
+    std::vector<double> p_one(rows_.size(), 0.0);
+    double mean = 0.0;
+    for (std::size_t u = 0; u < rows_.size(); ++u) {
+        std::uint64_t ones = 0;
+        for (const auto& row : rows_[u])
+            ones += (row[net / 64] >> (net % 64)) & 1u;
+        p_one[u] = static_cast<double>(ones) / n;
+        mean += p_one[u];
+    }
+    mean /= static_cast<double>(rows_.size());
+    double bias = 0.0;
+    for (const double p : p_one) bias = std::max(bias, std::fabs(p - mean));
+    return bias;
+}
+
+double ProbingAnalyzer::pair_bias(NetId a, NetId b) const {
+    const double n = static_cast<double>(samples_per_secret_);
+    std::vector<std::array<double, 4>> dist(rows_.size());
+    std::array<double, 4> mean{};
+    for (std::size_t u = 0; u < rows_.size(); ++u) {
+        std::array<std::uint64_t, 4> counts{};
+        for (const auto& row : rows_[u]) {
+            const unsigned va = (row[a / 64] >> (a % 64)) & 1u;
+            const unsigned vb = (row[b / 64] >> (b % 64)) & 1u;
+            ++counts[va | (vb << 1)];
+        }
+        for (int j = 0; j < 4; ++j) {
+            dist[u][j] = static_cast<double>(counts[j]) / n;
+            mean[j] += dist[u][j];
+        }
+    }
+    for (double& m : mean) m /= static_cast<double>(rows_.size());
+    double bias = 0.0;
+    for (const auto& d : dist) {
+        double tv = 0.0;
+        for (int j = 0; j < 4; ++j) tv += std::fabs(d[j] - mean[j]);
+        bias = std::max(bias, tv / 2.0);  // total variation distance
+    }
+    return bias;
+}
+
+double ProbingAnalyzer::sharing_uniformity_bias(const core::SharedNet& z) const {
+    const double n = static_cast<double>(samples_per_secret_);
+    double bias = 0.0;
+    for (std::size_t u = 0; u < rows_.size(); ++u) {
+        std::array<std::uint64_t, 4> counts{};
+        for (const auto& row : rows_[u]) {
+            const unsigned s0 = (row[z.s0 / 64] >> (z.s0 % 64)) & 1u;
+            const unsigned s1 = (row[z.s1 / 64] >> (z.s1 % 64)) & 1u;
+            ++counts[s0 | (s1 << 1)];
+        }
+        // The unshared value must be constant for this secret (otherwise
+        // z is not a sharing of a deterministic function of the secrets).
+        const bool value_one = (counts[1] + counts[2]) > (counts[0] + counts[3]);
+        const std::uint64_t consistent_a = value_one ? counts[1] : counts[0];
+        const std::uint64_t consistent_b = value_one ? counts[2] : counts[3];
+        const double tv =
+            (std::fabs(static_cast<double>(consistent_a) / n - 0.5) +
+             std::fabs(static_cast<double>(consistent_b) / n - 0.5)) /
+            2.0;
+        bias = std::max(bias, tv);
+    }
+    return bias;
+}
+
+std::vector<ProbeBias> ProbingAnalyzer::first_order_violations() const {
+    std::vector<ProbeBias> violations;
+    for (NetId net = 0; net < nl_.size(); ++net) {
+        const netlist::CellKind kind = nl_.cell(net).kind;
+        if (kind == netlist::CellKind::Input) continue;  // inputs are shares
+        const double bias = net_bias(net);
+        if (bias > options_.bias_threshold)
+            violations.push_back(ProbeBias{net, netlist::kNoNet, bias});
+    }
+    std::sort(violations.begin(), violations.end(),
+              [](const ProbeBias& x, const ProbeBias& y) {
+                  return x.bias > y.bias;
+              });
+    return violations;
+}
+
+}  // namespace glitchmask::leakage

@@ -1,0 +1,50 @@
+#include "leakage/snr.hpp"
+
+#include <stdexcept>
+
+namespace glitchmask::leakage {
+
+SnrAccumulator::SnrAccumulator(std::size_t classes)
+    : n_(classes, 0.0), mean_(classes, 0.0), m2_(classes, 0.0) {
+    if (classes < 2) throw std::invalid_argument("SnrAccumulator: < 2 classes");
+}
+
+void SnrAccumulator::add(std::size_t cls, double x) {
+    if (cls >= n_.size()) throw std::out_of_range("SnrAccumulator::add");
+    n_[cls] += 1.0;
+    const double delta = x - mean_[cls];
+    mean_[cls] += delta / n_[cls];
+    m2_[cls] += delta * (x - mean_[cls]);
+}
+
+double SnrAccumulator::snr() const {
+    double total_n = 0.0;
+    double grand_mean = 0.0;
+    std::size_t populated = 0;
+    for (std::size_t c = 0; c < n_.size(); ++c) {
+        if (n_[c] == 0.0) continue;
+        ++populated;
+        total_n += n_[c];
+        grand_mean += n_[c] * mean_[c];
+    }
+    if (populated < 2 || total_n == 0.0) return 0.0;
+    grand_mean /= total_n;
+
+    double signal = 0.0;
+    double noise = 0.0;
+    for (std::size_t c = 0; c < n_.size(); ++c) {
+        if (n_[c] == 0.0) continue;
+        const double dm = mean_[c] - grand_mean;
+        signal += n_[c] * dm * dm;
+        noise += m2_[c];
+    }
+    signal /= total_n;
+    noise /= total_n;
+    if (!(noise > 0.0)) return 0.0;
+    return signal / noise;
+}
+
+double SnrAccumulator::class_mean(std::size_t cls) const { return mean_.at(cls); }
+double SnrAccumulator::class_count(std::size_t cls) const { return n_.at(cls); }
+
+}  // namespace glitchmask::leakage

@@ -1,0 +1,72 @@
+#include "leakage/ttest.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace glitchmask::leakage {
+
+double welch_t(double mean_a, double var_a, double n_a, double mean_b,
+               double var_b, double n_b) {
+    if (n_a <= 1.0 || n_b <= 1.0) return 0.0;
+    const double denom = std::sqrt(var_a / n_a + var_b / n_b);
+    if (!(denom > 0.0)) return 0.0;
+    return (mean_a - mean_b) / denom;
+}
+
+double preprocessed_mean(const MomentAccumulator& acc, int order) {
+    if (order < 1) throw std::invalid_argument("preprocessed_mean: order < 1");
+    if (order == 1) return acc.mean();
+    if (order == 2) return acc.central_moment(2);
+    const double m2 = acc.central_moment(2);
+    if (!(m2 > 0.0)) return 0.0;
+    return acc.central_moment(order) / std::pow(m2, order / 2.0);
+}
+
+double preprocessed_variance(const MomentAccumulator& acc, int order) {
+    if (order < 1) throw std::invalid_argument("preprocessed_variance: order < 1");
+    if (order == 1) return acc.central_moment(2);
+    const double md = acc.central_moment(order);
+    const double m2d = acc.central_moment(2 * order);
+    if (order == 2) return m2d - md * md;
+    const double m2 = acc.central_moment(2);
+    if (!(m2 > 0.0)) return 0.0;
+    return (m2d - md * md) / std::pow(m2, static_cast<double>(order));
+}
+
+UnivariateTTest::UnivariateTTest(int max_test_order)
+    : max_test_order_(max_test_order),
+      fixed_(2 * max_test_order < 2 ? 2 : 2 * max_test_order),
+      random_(2 * max_test_order < 2 ? 2 : 2 * max_test_order) {
+    if (max_test_order < 1 || max_test_order > 3)
+        throw std::invalid_argument("UnivariateTTest: order must be 1..3");
+}
+
+void UnivariateTTest::add(bool fixed_class, double x) {
+    (fixed_class ? fixed_ : random_).add(x);
+}
+
+double UnivariateTTest::t(int order) const {
+    if (order < 1 || order > max_test_order_)
+        throw std::out_of_range("UnivariateTTest::t: order out of range");
+    if (fixed_.count() <= 1.0 || random_.count() <= 1.0) return 0.0;
+    return welch_t(preprocessed_mean(fixed_, order),
+                   preprocessed_variance(fixed_, order), fixed_.count(),
+                   preprocessed_mean(random_, order),
+                   preprocessed_variance(random_, order), random_.count());
+}
+
+double UnivariateTTest::count(bool fixed_class) const {
+    return fixed_class ? fixed_.count() : random_.count();
+}
+
+void UnivariateTTest::merge(const UnivariateTTest& other) {
+    fixed_.merge(other.fixed_);
+    random_.merge(other.random_);
+}
+
+void UnivariateTTest::reset() {
+    fixed_.reset();
+    random_.reset();
+}
+
+}  // namespace glitchmask::leakage

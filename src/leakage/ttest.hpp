@@ -1,0 +1,58 @@
+// Welch's t-test and its higher-order univariate extensions.
+//
+// Implements the TVLA statistics of Goodwill et al. (2011) and the
+// moment-based higher-order formulation of Schneider & Moradi (CHES
+// 2015): at order d the traces are conceptually preprocessed to
+// ((x - mu)/sigma)^d (standardized for d >= 3, centered for d = 2) and a
+// Welch t-test is applied; both the preprocessed means and variances are
+// computed directly from the streaming central moments, so no second pass
+// over the traces is needed.
+#pragma once
+
+#include "leakage/moments.hpp"
+
+namespace glitchmask::leakage {
+
+/// The commonly applied TVLA decision threshold (paper: red lines at 4.5).
+inline constexpr double kTvlaThreshold = 4.5;
+
+/// Welch's t-statistic from summary statistics.
+[[nodiscard]] double welch_t(double mean_a, double var_a, double n_a,
+                             double mean_b, double var_b, double n_b);
+
+/// Mean of the order-d preprocessed trace, from central moments.
+[[nodiscard]] double preprocessed_mean(const MomentAccumulator& acc, int order);
+
+/// Variance of the order-d preprocessed trace, from central moments
+/// (requires the accumulator to hold moments up to 2*order).
+[[nodiscard]] double preprocessed_variance(const MomentAccumulator& acc, int order);
+
+/// One sample point of a fixed-vs-random test, orders 1..max_order.
+class UnivariateTTest {
+public:
+    /// `max_test_order` in 1..3 (central moments to 2*order are kept).
+    explicit UnivariateTTest(int max_test_order = 3);
+
+    void add(bool fixed_class, double x);
+
+    /// t-statistic at order `d` (1 <= d <= max_test_order); 0 while a
+    /// class is still empty or degenerate.
+    [[nodiscard]] double t(int order) const;
+
+    [[nodiscard]] double count(bool fixed_class) const;
+    [[nodiscard]] const MomentAccumulator& moments(bool fixed_class) const {
+        return fixed_class ? fixed_ : random_;
+    }
+
+    void merge(const UnivariateTTest& other);
+    void reset();
+
+    [[nodiscard]] int max_test_order() const noexcept { return max_test_order_; }
+
+private:
+    int max_test_order_;
+    MomentAccumulator fixed_;
+    MomentAccumulator random_;
+};
+
+}  // namespace glitchmask::leakage

@@ -1,0 +1,75 @@
+#include "leakage/tvla.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace glitchmask::leakage {
+
+TvlaCampaign::TvlaCampaign(std::size_t samples, int max_test_order)
+    : points_(samples, UnivariateTTest(max_test_order)) {}
+
+void TvlaCampaign::add_trace(bool fixed_class, std::span<const double> trace) {
+    if (trace.size() < points_.size())
+        throw std::invalid_argument("TvlaCampaign::add_trace: trace too short");
+    for (std::size_t i = 0; i < points_.size(); ++i)
+        points_[i].add(fixed_class, trace[i]);
+}
+
+std::size_t TvlaCampaign::traces(bool fixed_class) const {
+    if (points_.empty()) return 0;
+    return static_cast<std::size_t>(points_.front().count(fixed_class));
+}
+
+std::vector<double> TvlaCampaign::t_curve(int order) const {
+    std::vector<double> curve(points_.size());
+    for (std::size_t i = 0; i < points_.size(); ++i) curve[i] = points_[i].t(order);
+    return curve;
+}
+
+double TvlaCampaign::max_abs_t(int order, std::size_t* argmax) const {
+    double best = 0.0;
+    std::size_t best_index = 0;
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        const double value = std::fabs(points_[i].t(order));
+        if (value > best) {
+            best = value;
+            best_index = i;
+        }
+    }
+    if (argmax != nullptr) *argmax = best_index;
+    return best;
+}
+
+std::vector<std::size_t> TvlaCampaign::exceedances(int order,
+                                                   double threshold) const {
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < points_.size(); ++i)
+        if (std::fabs(points_[i].t(order)) > threshold) indices.push_back(i);
+    return indices;
+}
+
+void TvlaCampaign::merge(const TvlaCampaign& other) {
+    if (other.points_.size() != points_.size())
+        throw std::invalid_argument("TvlaCampaign::merge: size mismatch");
+    for (std::size_t i = 0; i < points_.size(); ++i)
+        points_[i].merge(other.points_[i]);
+}
+
+std::vector<std::size_t> consistent_exceedances(
+    std::span<const TvlaCampaign> campaigns, int order, double threshold) {
+    std::vector<std::size_t> result;
+    if (campaigns.empty()) return result;
+    result = campaigns.front().exceedances(order, threshold);
+    for (std::size_t c = 1; c < campaigns.size() && !result.empty(); ++c) {
+        const std::vector<std::size_t> next =
+            campaigns[c].exceedances(order, threshold);
+        std::vector<std::size_t> intersection;
+        std::set_intersection(result.begin(), result.end(), next.begin(),
+                              next.end(), std::back_inserter(intersection));
+        result = std::move(intersection);
+    }
+    return result;
+}
+
+}  // namespace glitchmask::leakage

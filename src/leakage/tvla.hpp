@@ -1,0 +1,60 @@
+// Fixed-vs-random TVLA campaigns over multi-sample traces.
+//
+// A campaign holds one UnivariateTTest per trace sample point and is fed
+// complete traces labelled fixed/random (the caller interleaves the
+// classes randomly, as the methodology requires).  Queries return the
+// per-sample t curves the paper plots (Figs. 14, 15, 17) and the summary
+// statistics the benches print.  The paper's decision rule -- a design is
+// leaky only when the threshold is exceeded *consistently at the same
+// time indexes across different fixed plaintexts* -- is implemented by
+// consistent_exceedances().
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "leakage/ttest.hpp"
+
+namespace glitchmask::leakage {
+
+class TvlaCampaign {
+public:
+    TvlaCampaign(std::size_t samples, int max_test_order = 3);
+
+    /// Adds one complete trace; `trace.size()` may exceed the campaign
+    /// width (extra samples ignored) but not undercut it.
+    void add_trace(bool fixed_class, std::span<const double> trace);
+
+    [[nodiscard]] std::size_t samples() const noexcept { return points_.size(); }
+    [[nodiscard]] std::size_t traces(bool fixed_class) const;
+
+    /// t curve at the given order (one value per sample point).
+    [[nodiscard]] std::vector<double> t_curve(int order) const;
+
+    /// max |t| over all samples; optionally reports the argmax index.
+    [[nodiscard]] double max_abs_t(int order,
+                                   std::size_t* argmax = nullptr) const;
+
+    /// Sample indices where |t| exceeds the threshold.
+    [[nodiscard]] std::vector<std::size_t> exceedances(
+        int order, double threshold = kTvlaThreshold) const;
+
+    void merge(const TvlaCampaign& other);
+
+    [[nodiscard]] const UnivariateTTest& point(std::size_t i) const {
+        return points_[i];
+    }
+
+private:
+    std::vector<UnivariateTTest> points_;
+};
+
+/// Paper decision rule: indices where *every* campaign exceeds the
+/// threshold at the same sample (same order).  An implementation is
+/// deemed first-order leaky only when this set is non-empty.
+[[nodiscard]] std::vector<std::size_t> consistent_exceedances(
+    std::span<const TvlaCampaign> campaigns, int order,
+    double threshold = kTvlaThreshold);
+
+}  // namespace glitchmask::leakage

@@ -1,0 +1,78 @@
+#include "netlist/area.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace glitchmask::netlist {
+
+AreaModel AreaModel::nangate45() {
+    AreaModel model;
+    auto set = [&model](CellKind kind, double value) {
+        model.ge[static_cast<std::size_t>(kind)] = value;
+    };
+    set(CellKind::Input, 0.0);
+    set(CellKind::Const0, 0.0);
+    set(CellKind::Const1, 0.0);
+    set(CellKind::Buf, 1.0);
+    set(CellKind::Inv, 0.67);
+    set(CellKind::DelayBuf, 1.0);
+    set(CellKind::And2, 1.33);
+    set(CellKind::Nand2, 1.0);
+    set(CellKind::Or2, 1.33);
+    set(CellKind::Nor2, 1.0);
+    set(CellKind::Xor2, 2.33);
+    set(CellKind::Xnor2, 2.0);
+    set(CellKind::Orn2, 1.33);
+    // SecAnd3 is one LUT on FPGA; the ASIC realization is AND2+ORN2+XOR2.
+    set(CellKind::SecAnd3, 1.33 + 1.33 + 2.33);
+    set(CellKind::Mux2, 2.33);
+    set(CellKind::Dff, 6.0);  // enable flop (DFF + feedback mux)
+    return model;
+}
+
+AreaModel AreaModel::nangate45_with_delay_inverters(double inverters_per_delaybuf) {
+    AreaModel model = nangate45();
+    model.ge[static_cast<std::size_t>(CellKind::DelayBuf)] =
+        inverters_per_delaybuf * 0.67;
+    return model;
+}
+
+double total_ge(const Netlist& nl, const AreaModel& model) {
+    double total = 0.0;
+    for (const Cell& cell : nl.cells())
+        total += model.ge[static_cast<std::size_t>(cell.kind)];
+    return total;
+}
+
+double total_ge_excluding_delay(const Netlist& nl, const AreaModel& model) {
+    double total = 0.0;
+    for (const Cell& cell : nl.cells()) {
+        if (cell.kind == CellKind::DelayBuf) continue;
+        total += model.ge[static_cast<std::size_t>(cell.kind)];
+    }
+    return total;
+}
+
+std::vector<ModuleArea> area_by_module(const Netlist& nl, const AreaModel& model) {
+    std::map<std::string, ModuleArea> by_prefix;
+    const auto& modules = nl.module_names();
+    for (CellId id = 0; id < nl.size(); ++id) {
+        const Cell& cell = nl.cell(id);
+        const std::string& full = modules[cell.module];
+        const std::size_t slash = full.find('/');
+        const std::string prefix =
+            (slash == std::string::npos) ? full : full.substr(0, slash);
+        ModuleArea& entry = by_prefix[prefix];
+        entry.module = prefix.empty() ? "<top>" : prefix;
+        entry.ge += model.ge[static_cast<std::size_t>(cell.kind)];
+        entry.cells += 1;
+    }
+    std::vector<ModuleArea> result;
+    result.reserve(by_prefix.size());
+    for (auto& [prefix, entry] : by_prefix) result.push_back(std::move(entry));
+    std::sort(result.begin(), result.end(),
+              [](const ModuleArea& a, const ModuleArea& b) { return a.ge > b.ge; });
+    return result;
+}
+
+}  // namespace glitchmask::netlist

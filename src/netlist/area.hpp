@@ -1,0 +1,52 @@
+// ASIC area accounting in gate equivalents (GE, 1 GE = area of a NAND2).
+//
+// The paper reports NanGate 45nm Open Cell Library synthesis results
+// (Table III).  We reproduce the accounting methodology: every cell kind
+// gets a GE weight close to the NanGate X1 drive-strength cells, and a
+// DelayBuf is costed as the paper costs its ASIC DelayUnits -- as a run
+// of inverters (120 INV per 10-LUT DelayUnit, i.e. 12 INV per LUT-buffer).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace glitchmask::netlist {
+
+struct AreaModel {
+    /// GE weight per cell kind (indexed by CellKind).
+    std::array<double, kNumCellKinds> ge{};
+
+    /// NanGate-45nm-like defaults (X1 cells, NAND2_X1 = 1.0 GE;
+    /// DFF includes the enable mux of an enable flop).
+    [[nodiscard]] static AreaModel nangate45();
+
+    /// Number of inverters a single DelayBuf stands for in the ASIC
+    /// estimate (paper Sec. VI-B: 120 INV per 10-LUT DelayUnit).
+    [[nodiscard]] static AreaModel nangate45_with_delay_inverters(
+        double inverters_per_delaybuf);
+};
+
+/// Per-module area breakdown entry.
+struct ModuleArea {
+    std::string module;
+    double ge = 0.0;
+    std::size_t cells = 0;
+};
+
+/// Total area of `nl` in GE under `model`.
+[[nodiscard]] double total_ge(const Netlist& nl, const AreaModel& model);
+
+/// Area of cells excluding DelayBuf chains (the paper quotes the
+/// secAND2-PD core as 12592 GE when DelayUnits are excluded).
+[[nodiscard]] double total_ge_excluding_delay(const Netlist& nl,
+                                              const AreaModel& model);
+
+/// GE per top-level module prefix (depth-1 hierarchy split).
+[[nodiscard]] std::vector<ModuleArea> area_by_module(const Netlist& nl,
+                                                     const AreaModel& model);
+
+}  // namespace glitchmask::netlist

@@ -1,0 +1,60 @@
+// Bus- and structure-level construction helpers on top of the raw
+// Netlist API: multi-bit buses, share-wise XOR planes, register banks,
+// XOR-reduction trees, and the DelayUnit chains of the secAND2-PD design
+// (paper Sec. V: a DelayUnit is a chain of LUTs used as buffers; signals
+// are delayed by stacking DelayUnits).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace glitchmask::netlist {
+
+/// A multi-bit signal; index 0 is bit 0 (LSB) unless stated otherwise.
+using Bus = std::vector<NetId>;
+
+/// `width` fresh primary inputs named `<name>[i]`.
+[[nodiscard]] Bus input_bus(Netlist& nl, std::string_view name, std::size_t width);
+
+/// Share-wise XOR of two equal-width buses.
+[[nodiscard]] Bus xor_bus(Netlist& nl, const Bus& a, const Bus& b);
+
+/// Balanced XOR-reduction tree over `nets` (returns const0 for empty).
+[[nodiscard]] NetId xor_reduce(Netlist& nl, std::span<const NetId> nets);
+
+/// One DFF per bus bit, all in the given enable/reset groups.
+[[nodiscard]] Bus register_bank(Netlist& nl, const Bus& data,
+                                CtrlGroup enable = kAlwaysEnabled,
+                                CtrlGroup reset = kAlwaysEnabled,
+                                std::string_view name = {});
+
+/// Floating DFF bank (connect later with connect_flop).
+[[nodiscard]] Bus register_bank_floating(Netlist& nl, std::size_t width,
+                                         CtrlGroup enable = kAlwaysEnabled,
+                                         CtrlGroup reset = kAlwaysEnabled,
+                                         std::string_view name = {});
+
+/// Result of building a delay chain: the delayed net plus every
+/// intermediate chain net (used to register coupling pairs between
+/// physically adjacent chains).
+struct DelayChain {
+    NetId out = kNoNet;
+    std::vector<NetId> stages;  // includes `out` as the last element
+};
+
+/// Delays `net` by `units` DelayUnits of `luts_per_unit` chained
+/// DelayBuf cells each (paper Fig. 10).  `units == 0` returns `net`
+/// unchanged with an empty stage list.
+[[nodiscard]] DelayChain delay_units(Netlist& nl, NetId net, unsigned units,
+                                     unsigned luts_per_unit,
+                                     std::string_view name = {});
+
+/// Registers coupling pairs between corresponding stages of two adjacent
+/// delay chains (paper Sec. VII-C: long parallel delay paths couple).
+void couple_chains(Netlist& nl, const DelayChain& a, const DelayChain& b);
+
+}  // namespace glitchmask::netlist

@@ -1,0 +1,42 @@
+// Netlist export: structural Verilog and Graphviz DOT.
+//
+// The Verilog export emits one `assign` per combinational cell and one
+// clocked `always` block per flip-flop, with the enable/reset control
+// groups exposed as module ports (`en_g<k>` / `rst_g<k>`) -- exactly the
+// interface the C++ control FSMs drive in simulation, so a design can be
+// taken to a real synthesis flow with the same controller contract.
+// Primary inputs become input ports; nets without fanout become output
+// ports.  Cell and net names use the hierarchical names recorded by the
+// builder (sanitized), falling back to n<id>.
+//
+// The DOT export draws the gate graph for inspection of small gadgets;
+// cells are shaped by kind and DelayBuf chains are collapsed into single
+// labelled nodes to keep secAND2-PD drawings readable.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace glitchmask::netlist {
+
+/// Structural Verilog for the whole netlist as one module.
+[[nodiscard]] std::string to_verilog(const Netlist& nl,
+                                     std::string_view module_name);
+
+/// Writes to_verilog() to `path`; throws std::runtime_error on I/O error.
+void write_verilog(const Netlist& nl, const std::string& path,
+                   std::string_view module_name);
+
+struct DotOptions {
+    /// Collapse runs of DelayBuf cells into one node labelled "delay xN".
+    bool collapse_delay_chains = true;
+    /// Refuse to draw more than this many cells (0 = unlimited).
+    std::size_t max_cells = 2000;
+};
+
+/// Graphviz "digraph" of the gate graph.
+[[nodiscard]] std::string to_dot(const Netlist& nl, const DotOptions& options = {});
+
+}  // namespace glitchmask::netlist

@@ -1,0 +1,28 @@
+// FPGA utilization estimate: greedy LUT packing.
+//
+// The paper reports Spartan-6 FF/LUT counts from Xilinx ISE (Table III).
+// We estimate LUT counts with a classic greedy fanout-free-cone packing:
+// walking the combinational netlist in topological order, a cell absorbs
+// an input driver whenever the driver is combinational, has a single
+// fanout, and the merged cone still fits the LUT input budget (K = 6 for
+// Spartan-6).  DelayBuf cells are never absorbed -- in the real flow they
+// carry KEEP/LOC constraints precisely so the tools leave them as one LUT
+// each (paper Sec. V).
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace glitchmask::netlist {
+
+struct LutMapResult {
+    std::size_t luts = 0;        // logic LUTs after packing (incl. delay LUTs)
+    std::size_t delay_luts = 0;  // of which DelayBuf (route-through) LUTs
+    std::size_t ffs = 0;         // flip-flops
+};
+
+/// Greedy K-input LUT packing estimate over a frozen netlist.
+[[nodiscard]] LutMapResult estimate_luts(const Netlist& nl, unsigned k = 6);
+
+}  // namespace glitchmask::netlist

@@ -1,0 +1,77 @@
+// Power-trace synthesis from simulated switching activity.
+//
+// CMOS dynamic power is dominated by the charging of node capacitances on
+// every output transition, so the model is: each committed net toggle
+// deposits an energy weight (base + load term proportional to fanout)
+// into the time bin it occurs in; one bin per clock cycle reproduces the
+// per-cycle power samples a scope capture would integrate to.  Gaussian
+// noise of configurable sigma is added per sample at collection time --
+// this is the knob that maps the paper's trace counts (50M on an FPGA
+// with amplifier/scope noise) onto software-feasible campaign sizes.
+//
+// For nets the netlist marked as coupled (adjacent delay-chain stages) an
+// optional Miller term is added: a toggle costs more energy when the
+// neighbour sits at the opposite level (the cross capacitance is charged
+// through a doubled swing) and less when it sits at the same level.  The
+// term therefore depends on the *product* of two wires' signals -- the
+// physical effect the paper names as the likely cause of the secAND2-PD
+// core's residual first-order leakage (Sec. VII-C).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace glitchmask::power {
+
+using netlist::Netlist;
+using netlist::NetId;
+using sim::TimePs;
+
+struct PowerConfig {
+    double base_weight = 1.0;      // energy per toggle
+    double fanout_weight = 0.35;   // extra energy per sink (load)
+    /// Scale factor for DelayBuf (route-through LUT) toggles: a delay
+    /// element drives exactly one short local hop, so it switches far
+    /// less capacitance than a logic net with real routing.
+    double delaybuf_weight = 0.1;
+    double coupling_epsilon = 0.0; // Miller energy term for coupled pairs
+    TimePs bin_ps = 20000;         // sample period (one clock cycle)
+};
+
+class PowerRecorder final : public sim::ToggleSink {
+public:
+    PowerRecorder(const Netlist& nl, PowerConfig config);
+
+    /// Gives the recorder access to neighbour states for the coupling
+    /// term; required only when coupling_epsilon != 0.
+    void attach(const sim::EventSimulator* engine) noexcept { engine_ = engine; }
+
+    /// Starts a fresh trace of `bins` samples (all zero).
+    void begin_trace(std::size_t bins);
+
+    void on_toggle(NetId net, TimePs time, bool new_value) override;
+
+    /// The accumulated (noise-free) trace.
+    [[nodiscard]] const std::vector<double>& trace() const noexcept {
+        return trace_;
+    }
+
+    /// Returns the trace with i.i.d. Gaussian measurement noise added.
+    [[nodiscard]] std::vector<double> noisy_trace(Xoshiro256& rng,
+                                                  double sigma) const;
+
+    [[nodiscard]] const PowerConfig& config() const noexcept { return config_; }
+
+private:
+    PowerConfig config_;
+    const sim::EventSimulator* engine_ = nullptr;
+    std::vector<double> weight_;      // per net: base + fanout load
+    std::vector<NetId> partner_;      // coupling neighbour or kNoNet
+    std::vector<double> trace_;
+};
+
+}  // namespace glitchmask::power

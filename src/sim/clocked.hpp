@@ -1,0 +1,77 @@
+// Cycle-level testbench driver around the event simulator.
+//
+// ClockedSim owns the clock: at every rising edge it samples the D pins
+// of enabled flip-flops (as visible through the wire delays -- a signal
+// arriving "too late" genuinely misses the edge), applies pending primary
+// input changes, launches the new Q values with clock-to-Q delay, and then
+// lets the combinational network settle event by event until the next
+// edge.  Flip-flop enable and reset lines are grouped; the per-design
+// control FSMs (e.g. the secAND2-FF sampling schedule of paper Sec. III-A)
+// toggle whole groups per cycle from C++.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/builder.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/delay_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace glitchmask::sim {
+
+using netlist::Bus;
+using netlist::CtrlGroup;
+
+struct ClockConfig {
+    TimePs period_ps = 20000;
+};
+
+class ClockedSim {
+public:
+    ClockedSim(const Netlist& nl, const DelayModel& dm, ClockConfig clock = {},
+               CouplingConfig coupling = {}, SimOptions options = {});
+
+    /// Enables/disables a flop group for subsequent edges.  Group 0 is
+    /// always enabled; non-zero groups start *disabled*.
+    void set_enable(CtrlGroup group, bool enabled);
+
+    /// Asserts/deasserts synchronous reset (to 0) for a flop group.
+    void set_reset(CtrlGroup group, bool asserted);
+
+    /// Schedules a primary-input change; it takes effect right after the
+    /// next clock edge (like the output of an external register).
+    void set_input(NetId input, bool value);
+    void set_input_bus(const Bus& bus, std::uint64_t value);
+
+    /// Advances `cycles` rising edges.
+    void step(std::size_t cycles = 1);
+
+    [[nodiscard]] bool value(NetId net) const { return engine_.value(net); }
+    [[nodiscard]] std::uint64_t read_bus(const Bus& bus) const;
+
+    [[nodiscard]] std::size_t cycle() const noexcept { return cycle_; }
+    [[nodiscard]] TimePs period() const noexcept { return clock_.period_ps; }
+    [[nodiscard]] EventSimulator& engine() noexcept { return engine_; }
+    [[nodiscard]] const EventSimulator& engine() const noexcept { return engine_; }
+
+    /// Back to the all-zero reset state at cycle 0 (keeps the configured
+    /// sink, enables and resets return to defaults, pending inputs drop).
+    void restart();
+
+private:
+    const Netlist& nl_;
+    const DelayModel& dm_;
+    ClockConfig clock_;
+    EventSimulator engine_;
+    std::vector<std::uint8_t> enable_;
+    std::vector<std::uint8_t> reset_;
+    struct PendingInput {
+        NetId net;
+        bool value;
+    };
+    std::vector<PendingInput> pending_;
+    std::size_t cycle_ = 0;
+};
+
+}  // namespace glitchmask::sim

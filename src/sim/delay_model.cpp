@@ -1,0 +1,143 @@
+#include "sim/delay_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+
+namespace glitchmask::sim {
+
+DelayConfig DelayConfig::spartan6() {
+    DelayConfig config;
+    auto set = [&config](CellKind kind, std::uint32_t ps) {
+        config.nominal_ps[static_cast<std::size_t>(kind)] = ps;
+    };
+    set(CellKind::Input, 0);
+    set(CellKind::Const0, 0);
+    set(CellKind::Const1, 0);
+    set(CellKind::Buf, 150);
+    set(CellKind::Inv, 150);
+    set(CellKind::DelayBuf, 600);
+    set(CellKind::And2, 250);
+    set(CellKind::Nand2, 250);
+    set(CellKind::Or2, 250);
+    set(CellKind::Nor2, 250);
+    set(CellKind::Xor2, 300);
+    set(CellKind::Xnor2, 300);
+    set(CellKind::Orn2, 250);
+    set(CellKind::SecAnd3, 300);  // one LUT
+    set(CellKind::Mux2, 300);
+    set(CellKind::Dff, 0);  // sequential; clk-to-q handled separately
+    return config;
+}
+
+DelayConfig DelayConfig::deterministic() {
+    DelayConfig config = spartan6();
+    config.gate_jitter = 0.0;
+    config.delaybuf_jitter = 0.0;
+    config.wire_max_ps = config.wire_min_ps;
+    return config;
+}
+
+DelayModel::DelayModel(const Netlist& nl, const DelayConfig& config)
+    : config_(config) {
+    if (config.wire_max_ps < config.wire_min_ps)
+        throw std::runtime_error("DelayModel: wire_max < wire_min");
+
+    gate_ps_.resize(nl.size());
+    wire_ps_.resize(nl.size() * 3, 0);
+
+    for (CellId id = 0; id < nl.size(); ++id) {
+        const CellKind kind = nl.cell(id).kind;
+        const std::uint32_t nominal =
+            config.nominal_ps[static_cast<std::size_t>(kind)];
+        const double jitter = (kind == CellKind::DelayBuf)
+                                  ? config.delaybuf_jitter
+                                  : config.gate_jitter;
+        Xoshiro256 rng(mix64(config.seed, 0x6761746564656cULL ^ id));
+        const double factor = 1.0 + jitter * rng.uniform(-1.0, 1.0);
+        gate_ps_[id] = static_cast<std::uint32_t>(
+            std::max(1.0, static_cast<double>(nominal) * factor));
+        if (nominal == 0) gate_ps_[id] = 0;
+
+        // Routing delay of each incoming edge.  DelayBuf chain internal
+        // edges are short, hand-routed hops: give them the minimum wire
+        // delay plus the (small) DelayBuf jitter, not the full placement
+        // spread.
+        const unsigned pins = netlist::pin_count(kind);
+        for (unsigned p = 0; p < pins; ++p) {
+            Xoshiro256 wire_rng(mix64(config.seed, 0x77697265ULL ^ (id * 3ull + p)));
+            const bool short_hop =
+                kind == CellKind::DelayBuf &&
+                nl.cell(nl.cell(id).in[p]).kind == CellKind::DelayBuf;
+            std::uint32_t wire = 0;
+            if (short_hop) {
+                wire = config.wire_min_ps;
+            } else {
+                wire = static_cast<std::uint32_t>(wire_rng.uniform(
+                    static_cast<double>(config.wire_min_ps),
+                    static_cast<double>(config.wire_max_ps) + 1.0));
+            }
+            wire_ps_[id * 3 + p] = wire;
+        }
+    }
+}
+
+CriticalPath analyze_timing(const Netlist& nl, const DelayModel& dm) {
+    if (!nl.frozen()) throw std::runtime_error("analyze_timing: netlist not frozen");
+
+    constexpr TimePs kUnset = 0;
+    std::vector<TimePs> arrival(nl.size(), kUnset);
+    std::vector<CellId> argmax(nl.size(), netlist::kNoNet);
+
+    for (const CellId id : nl.inputs()) arrival[id] = dm.clk_to_q();
+    for (const CellId id : nl.flops()) arrival[id] = dm.clk_to_q();
+
+    for (const CellId id : nl.topo_order()) {
+        const netlist::Cell& cell = nl.cell(id);
+        const unsigned pins = netlist::pin_count(cell.kind);
+        TimePs latest = 0;
+        CellId from = netlist::kNoNet;
+        for (unsigned p = 0; p < pins; ++p) {
+            const NetId in = cell.in[p];
+            const TimePs t = arrival[in] + dm.wire_delay(id, p);
+            if (t >= latest) {
+                latest = t;
+                from = in;
+            }
+        }
+        arrival[id] = latest + dm.gate_delay(id);
+        argmax[id] = from;
+    }
+
+    // Endpoints: flop D pins and every net -- dangling nets are circuit
+    // outputs and bound the clock period too.
+    TimePs worst = 0;
+    CellId endpoint = netlist::kNoNet;
+    for (const CellId flop : nl.flops()) {
+        const NetId d = nl.cell(flop).in[0];
+        const TimePs t = arrival[d] + dm.wire_delay(flop, 0);
+        if (t > worst) {
+            worst = t;
+            endpoint = d;
+        }
+    }
+    for (CellId id = 0; id < nl.size(); ++id) {
+        if (arrival[id] > worst) {
+            worst = arrival[id];
+            endpoint = id;
+        }
+    }
+
+    CriticalPath result;
+    result.delay_ps = worst;
+    const double period_ps = static_cast<double>(worst + dm.setup());
+    result.max_freq_mhz = (period_ps > 0.0) ? 1e6 / period_ps : 0.0;
+    for (CellId at = endpoint; at != netlist::kNoNet; at = argmax[at]) {
+        result.path.push_back(at);
+        if (result.path.size() > nl.size()) break;  // defensive
+    }
+    return result;
+}
+
+}  // namespace glitchmask::sim

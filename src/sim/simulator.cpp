@@ -1,0 +1,198 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace glitchmask::sim {
+
+namespace {
+constexpr std::uint8_t kOutputPin = 0xFF;
+constexpr std::uint8_t kSourcePin = 0xFE;
+constexpr TimePs kNever = ~TimePs{0};
+}  // namespace
+
+EventSimulator::EventSimulator(const Netlist& nl, const DelayModel& dm,
+                               CouplingConfig coupling, SimOptions options)
+    : nl_(nl), dm_(dm), coupling_(coupling), options_(options) {
+    if (!nl.frozen())
+        throw std::runtime_error("EventSimulator: netlist not frozen");
+    out_val_.resize(nl.size(), 0);
+    pin_val_.resize(nl.size() * 3, 0);
+    last_sched_out_.resize(nl.size(), 0);
+    last_sched_time_.resize(nl.size(), 0);
+    pending_.resize(nl.size());
+    last_toggle_.assign(nl.size(), kNever);
+    last_toggle_dir_.resize(nl.size(), 0);
+    partner_.assign(nl.size(), netlist::kNoNet);
+    for (const netlist::CoupledPair& pair : nl.coupled_pairs()) {
+        if (partner_[pair.a] == netlist::kNoNet) partner_[pair.a] = pair.b;
+        if (partner_[pair.b] == netlist::kNoNet) partner_[pair.b] = pair.a;
+    }
+    initialize();
+}
+
+void EventSimulator::initialize() {
+    queue_ = {};
+    now_ = 0;
+    seq_ = 0;
+    std::fill(out_val_.begin(), out_val_.end(), 0);
+    std::fill(pin_val_.begin(), pin_val_.end(), 0);
+    std::fill(last_sched_time_.begin(), last_sched_time_.end(), 0);
+    std::fill(last_toggle_.begin(), last_toggle_.end(), kNever);
+    std::fill(last_toggle_dir_.begin(), last_toggle_dir_.end(), 0);
+    for (auto& pending : pending_) pending.clear();
+
+    // Constants first (they are sources), then a levelized pass: creation
+    // order is topological for combinational cells.
+    for (CellId id = 0; id < nl_.size(); ++id) {
+        const netlist::Cell& cell = nl_.cell(id);
+        bool value = false;
+        switch (cell.kind) {
+            case CellKind::Input:
+            case CellKind::Dff:
+                value = false;
+                break;
+            case CellKind::Const0:
+                value = false;
+                break;
+            case CellKind::Const1:
+                value = true;
+                break;
+            default: {
+                const unsigned pins = netlist::pin_count(cell.kind);
+                bool a = false;
+                bool b = false;
+                bool c = false;
+                if (pins > 0) a = out_val_[cell.in[0]] != 0;
+                if (pins > 1) b = out_val_[cell.in[1]] != 0;
+                if (pins > 2) c = out_val_[cell.in[2]] != 0;
+                value = netlist::eval_cell(cell.kind, a, b, c);
+                break;
+            }
+        }
+        out_val_[id] = value ? 1 : 0;
+        last_sched_out_[id] = out_val_[id];
+    }
+    // Make the pin view consistent with the settled output values.
+    for (CellId id = 0; id < nl_.size(); ++id) {
+        const netlist::Cell& cell = nl_.cell(id);
+        const unsigned pins = netlist::pin_count(cell.kind);
+        for (unsigned p = 0; p < pins; ++p)
+            pin_val_[id * 3 + p] = out_val_[cell.in[p]];
+    }
+}
+
+void EventSimulator::drive(NetId source, bool value, TimePs time) {
+    queue_.push(Event{time, seq_++, source, kSourcePin,
+                      static_cast<std::uint8_t>(value)});
+}
+
+std::uint32_t EventSimulator::effective_gate_delay(CellId cell, bool new_value,
+                                                   TimePs now) const {
+    std::uint32_t delay = dm_.gate_delay(cell);
+    if (!coupling_.timing_enabled) return delay;
+    if (nl_.cell(cell).kind != CellKind::DelayBuf) return delay;
+    const NetId neighbour = partner_[cell];
+    if (neighbour == netlist::kNoNet) return delay;
+    const TimePs last = last_toggle_[neighbour];
+    if (last == kNever || now < last || now - last > coupling_.window_ps)
+        return delay;
+    const bool neighbour_rose = last_toggle_dir_[neighbour] != 0;
+    if (neighbour_rose != new_value) {
+        delay += coupling_.slowdown_ps;  // opposite transitions fight (Miller)
+    } else if (delay > coupling_.speedup_ps) {
+        delay -= coupling_.speedup_ps;   // same direction assists
+    }
+    return delay;
+}
+
+void EventSimulator::schedule_output(CellId cell, bool value, TimePs at) {
+    // Per-cell monotonic commits: a later evaluation must not commit
+    // before an earlier one, or the settled value could be stale.
+    TimePs when = at;
+    if (when <= last_sched_time_[cell]) when = last_sched_time_[cell] + 1;
+
+    // Inertial pulse filtering: if the previous (still pending) commit of
+    // the opposite value lies closer than the gate's inertial window, the
+    // two transitions form a sub-propagation-delay pulse and cancel.  With
+    // binary values the cancellation always annihilates both edges.
+    if (options_.inertial_filtering && !pending_[cell].empty()) {
+        const PendingCommit& last = pending_[cell].back();
+        const auto window = static_cast<TimePs>(
+            options_.inertial_factor * static_cast<double>(dm_.gate_delay(cell)));
+        if (when >= last.time && when - last.time < window) {
+            pending_[cell].pop_back();
+            last_sched_out_[cell] = value ? 1 : 0;
+            last_sched_time_[cell] = when;
+            return;
+        }
+    }
+
+    last_sched_time_[cell] = when;
+    last_sched_out_[cell] = value ? 1 : 0;
+    pending_[cell].push_back(PendingCommit{when, seq_});
+    queue_.push(Event{when, seq_++, cell, kOutputPin,
+                      static_cast<std::uint8_t>(value)});
+}
+
+void EventSimulator::commit_output(const Event& ev) {
+    if (ev.pin == kOutputPin) {
+        // A gate commit must still be at the head of its pending list;
+        // otherwise it was cancelled by inertial filtering.
+        auto& pending = pending_[ev.cell];
+        if (pending.empty() || pending.front().seq != ev.seq) return;
+        pending.erase(pending.begin());
+    }
+    if (out_val_[ev.cell] == ev.value) return;
+    out_val_[ev.cell] = ev.value;
+    last_toggle_[ev.cell] = ev.time;
+    last_toggle_dir_[ev.cell] = ev.value;
+    if (sink_ != nullptr) sink_->on_toggle(ev.cell, ev.time, ev.value != 0);
+    for (const netlist::Sink& sink : nl_.fanout(ev.cell)) {
+        const TimePs at = ev.time + dm_.wire_delay(sink.cell, sink.pin);
+        queue_.push(Event{at, seq_++, sink.cell, sink.pin, ev.value});
+    }
+}
+
+void EventSimulator::update_pin(const Event& ev) {
+    pin_val_[ev.cell * 3 + ev.pin] = ev.value;
+    const netlist::Cell& cell = nl_.cell(ev.cell);
+    if (cell.kind == CellKind::Dff) return;  // D sampled at clock edges only
+
+    const bool a = pin_val_[ev.cell * 3 + 0] != 0;
+    const bool b = pin_val_[ev.cell * 3 + 1] != 0;
+    const bool c = pin_val_[ev.cell * 3 + 2] != 0;
+    const bool value = netlist::eval_cell(cell.kind, a, b, c);
+    if ((last_sched_out_[ev.cell] != 0) == value) return;
+    schedule_output(ev.cell, value,
+                    ev.time + effective_gate_delay(ev.cell, value, ev.time));
+}
+
+void EventSimulator::run_until(TimePs t_end) {
+    while (!queue_.empty() && queue_.top().time < t_end) {
+        const Event ev = queue_.top();
+        queue_.pop();
+        now_ = ev.time;
+        ++processed_;
+        if (ev.pin == kOutputPin || ev.pin == kSourcePin)
+            commit_output(ev);
+        else
+            update_pin(ev);
+    }
+    now_ = t_end;
+}
+
+TimePs EventSimulator::run_to_quiescence() {
+    while (!queue_.empty()) {
+        const Event ev = queue_.top();
+        queue_.pop();
+        now_ = ev.time;
+        ++processed_;
+        if (ev.pin == kOutputPin || ev.pin == kSourcePin)
+            commit_output(ev);
+        else
+            update_pin(ev);
+    }
+    return now_;
+}
+
+}  // namespace glitchmask::sim

@@ -1,0 +1,74 @@
+#include "sim/vcd.hpp"
+
+#include <stdexcept>
+
+namespace glitchmask::sim {
+
+namespace {
+
+/// Short printable VCD identifier for index i (base-94 over '!'..'~').
+std::string vcd_code(std::size_t i) {
+    std::string code;
+    do {
+        code += static_cast<char>('!' + (i % 94));
+        i /= 94;
+    } while (i != 0);
+    return code;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(const netlist::Netlist& nl, const std::string& path)
+    : out_(path) {
+    if (!out_) throw std::runtime_error("VcdWriter: cannot open " + path);
+    watch_.resize(nl.size());
+    for (netlist::NetId id = 0; id < nl.size(); ++id) watch_[id] = id;
+    write_header(nl);
+}
+
+VcdWriter::VcdWriter(const netlist::Netlist& nl, const std::string& path,
+                     const std::vector<netlist::NetId>& watch)
+    : out_(path), watch_(watch) {
+    if (!out_) throw std::runtime_error("VcdWriter: cannot open " + path);
+    write_header(nl);
+}
+
+void VcdWriter::write_header(const netlist::Netlist& nl) {
+    out_ << "$timescale 1ps $end\n$scope module glitchmask $end\n";
+    codes_.assign(nl.size(), std::string());
+    for (std::size_t i = 0; i < watch_.size(); ++i) {
+        const netlist::NetId id = watch_[i];
+        codes_[id] = vcd_code(i);
+        std::string name = nl.name(id);
+        if (name.empty()) name = "n" + std::to_string(id);
+        for (char& c : name)
+            if (c == ' ') c = '_';
+        out_ << "$var wire 1 " << codes_[id] << ' ' << name << " $end\n";
+    }
+    out_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void VcdWriter::dump_initial(const EventSimulator& sim) {
+    out_ << "$dumpvars\n";
+    for (const netlist::NetId id : watch_)
+        out_ << (sim.value(id) ? '1' : '0') << codes_[id] << '\n';
+    out_ << "$end\n";
+    last_time_ = 0;
+}
+
+void VcdWriter::on_toggle(netlist::NetId net, TimePs time, bool value) {
+    if (codes_[net].empty()) return;
+    if (time != last_time_) {
+        out_ << '#' << time << '\n';
+        last_time_ = time;
+    }
+    out_ << (value ? '1' : '0') << codes_[net] << '\n';
+}
+
+void VcdWriter::close() {
+    if (out_.is_open()) out_.close();
+}
+
+VcdWriter::~VcdWriter() { close(); }
+
+}  // namespace glitchmask::sim

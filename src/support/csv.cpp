@@ -1,0 +1,52 @@
+#include "support/csv.hpp"
+
+#include <iomanip>
+#include <stdexcept>
+
+namespace glitchmask {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::initializer_list<std::string_view> header)
+    : out_(path), path_(path) {
+    if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+    bool first = true;
+    for (auto field : header) {
+        if (!first) out_ << ',';
+        out_ << field;
+        first = false;
+    }
+    out_ << '\n';
+    out_ << std::setprecision(10);
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+    bool first = true;
+    for (double v : values) {
+        if (!first) out_ << ',';
+        out_ << v;
+        first = false;
+    }
+    out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+    bool first = true;
+    for (double v : values) {
+        if (!first) out_ << ',';
+        out_ << v;
+        first = false;
+    }
+    out_ << '\n';
+}
+
+void CsvWriter::raw_row(std::initializer_list<std::string_view> fields) {
+    bool first = true;
+    for (auto f : fields) {
+        if (!first) out_ << ',';
+        out_ << f;
+        first = false;
+    }
+    out_ << '\n';
+}
+
+}  // namespace glitchmask

@@ -1,0 +1,34 @@
+// Minimal CSV writer used by benches to dump the series behind each
+// reproduced figure (one file per figure, columns documented in the
+// header row).  Values are written with enough precision to re-plot.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace glitchmask {
+
+class CsvWriter {
+public:
+    /// Opens `path` for writing and emits the header row.
+    /// Throws std::runtime_error if the file cannot be created.
+    CsvWriter(const std::string& path, std::initializer_list<std::string_view> header);
+
+    /// Appends one row; the number of fields should match the header.
+    void row(std::initializer_list<double> values);
+    void row(const std::vector<double>& values);
+
+    /// Appends one row of preformatted fields (e.g. labels + numbers).
+    void raw_row(std::initializer_list<std::string_view> fields);
+
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+private:
+    std::ofstream out_;
+    std::string path_;
+};
+
+}  // namespace glitchmask

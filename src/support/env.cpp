@@ -1,0 +1,25 @@
+#include "support/env.hpp"
+
+#include <cstdlib>
+
+namespace glitchmask {
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+    const char* raw = std::getenv(name.c_str());
+    if (raw == nullptr || *raw == '\0') return fallback;
+    char* end = nullptr;
+    const long long value = std::strtoll(raw, &end, 10);
+    return (end == raw) ? fallback : static_cast<std::int64_t>(value);
+}
+
+double env_double(const std::string& name, double fallback) {
+    const char* raw = std::getenv(name.c_str());
+    if (raw == nullptr || *raw == '\0') return fallback;
+    char* end = nullptr;
+    const double value = std::strtod(raw, &end);
+    return (end == raw) ? fallback : value;
+}
+
+double trace_scale() { return env_double("GLITCHMASK_TRACE_SCALE", 1.0); }
+
+}  // namespace glitchmask

@@ -1,0 +1,23 @@
+// Environment-variable based experiment scaling.
+//
+// Benches reproduce the paper's campaigns at software-feasible trace
+// counts by default; set GLITCHMASK_TRACES / GLITCHMASK_NOISE / _SEED to
+// rescale without recompiling (documented in EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace glitchmask {
+
+/// Integer env var with default; accepts plain integers ("20000").
+[[nodiscard]] std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Floating-point env var with default.
+[[nodiscard]] double env_double(const std::string& name, double fallback);
+
+/// Scale factor applied to every bench's trace counts:
+/// value of GLITCHMASK_TRACE_SCALE, default 1.0.
+[[nodiscard]] double trace_scale();
+
+}  // namespace glitchmask

@@ -1,0 +1,42 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace glitchmask {
+
+std::uint64_t Xoshiro256::below(std::uint64_t n) noexcept {
+    // Lemire's nearly-divisionless unbiased bounded generation.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low < n) {
+        const std::uint64_t threshold = (0 - n) % n;
+        while (low < threshold) {
+            x = (*this)();
+            m = static_cast<__uint128_t>(x) * n;
+            low = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::gaussian() noexcept {
+    if (has_spare_) {
+        has_spare_ = false;
+        return spare_;
+    }
+    double u = 0.0;
+    double v = 0.0;
+    double s = 0.0;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * factor;
+    has_spare_ = true;
+    return u * factor;
+}
+
+}  // namespace glitchmask

@@ -1,0 +1,55 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace glitchmask {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+    cells.resize(header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::str() const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            out << cells[c];
+            if (c + 1 < cells.size())
+                out << std::string(width[c] - cells[c].size() + 2, ' ');
+        }
+        out << '\n';
+    };
+    emit(header_);
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        out << std::string(width[c], '-');
+        if (c + 1 < header_.size()) out << "  ";
+    }
+    out << '\n';
+    for (const auto& row : rows_) emit(row);
+    return out.str();
+}
+
+void TablePrinter::print() const { std::fputs(str().c_str(), stdout); }
+
+std::string TablePrinter::num(double value, int precision) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+    return buffer;
+}
+
+std::string TablePrinter::integer(long long value) {
+    return std::to_string(value);
+}
+
+}  // namespace glitchmask

@@ -1,0 +1,35 @@
+// ASCII table printer for the bench harness.  Every bench prints the
+// paper's table/figure as aligned rows on stdout (plus a CSV dump); this
+// keeps that formatting in one place.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace glitchmask {
+
+class TablePrinter {
+public:
+    explicit TablePrinter(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Renders the table with a rule under the header, e.g.
+    ///   Version       GE     Cycles
+    ///   -----------  ------  ------
+    ///   secAND2-FF   15180   7
+    [[nodiscard]] std::string str() const;
+
+    /// str() to stdout.
+    void print() const;
+
+    /// Convenience number formatting used by the benches.
+    [[nodiscard]] static std::string num(double value, int precision = 2);
+    [[nodiscard]] static std::string integer(long long value);
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace glitchmask

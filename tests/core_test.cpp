@@ -1,0 +1,549 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "core/circuits.hpp"
+#include "core/composition.hpp"
+#include "core/gadgets.hpp"
+#include "core/sharing.hpp"
+#include "sim/clocked.hpp"
+#include "sim/functional.hpp"
+#include "support/rng.hpp"
+
+namespace glitchmask::core {
+namespace {
+
+using netlist::NetId;
+using netlist::Netlist;
+using sim::ZeroDelaySim;
+
+MaskedBit shares_of(unsigned bits, unsigned offset) {
+    return MaskedBit{((bits >> offset) & 1) != 0, ((bits >> (offset + 1)) & 1) != 0};
+}
+
+// ----- reference semantics ----------------------------------------------
+
+TEST(SharingRef, MaskBitRoundtrip) {
+    Xoshiro256 rng(1);
+    int share0_ones = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const bool v = rng.bit();
+        const MaskedBit m = mask_bit(v, rng);
+        ASSERT_EQ(m.value(), v);
+        share0_ones += m.s0;
+    }
+    EXPECT_NEAR(share0_ones / 2000.0, 0.5, 0.05);
+}
+
+TEST(SharingRef, MaskWordRoundtripAndWidth) {
+    Xoshiro256 rng(2);
+    for (int i = 0; i < 500; ++i) {
+        const std::uint64_t v = rng.bits(48);
+        const MaskedWord m = mask_word(v, 48, rng);
+        ASSERT_EQ(m.value(), v);
+        ASSERT_EQ(m.s0 >> 48, 0u);
+        ASSERT_EQ(m.s1 >> 48, 0u);
+    }
+}
+
+TEST(SharingRef, Secand2ComputesAndExhaustively) {
+    for (unsigned bits = 0; bits < 16; ++bits) {
+        const MaskedBit x = shares_of(bits, 0);
+        const MaskedBit y = shares_of(bits, 2);
+        EXPECT_EQ(secand2_ref(x, y).value(), x.value() && y.value())
+            << "bits=" << bits;
+    }
+}
+
+TEST(SharingRef, TrichinaComputesAndExhaustively) {
+    for (unsigned bits = 0; bits < 32; ++bits) {
+        const MaskedBit x = shares_of(bits, 0);
+        const MaskedBit y = shares_of(bits, 2);
+        const bool r = ((bits >> 4) & 1) != 0;
+        EXPECT_EQ(trichina_and_ref(x, y, r).value(), x.value() && y.value());
+    }
+}
+
+TEST(SharingRef, DomComputesAndExhaustively) {
+    for (unsigned bits = 0; bits < 32; ++bits) {
+        const MaskedBit x = shares_of(bits, 0);
+        const MaskedBit y = shares_of(bits, 2);
+        const bool r = ((bits >> 4) & 1) != 0;
+        EXPECT_EQ(dom_and_ref(x, y, r).value(), x.value() && y.value());
+    }
+}
+
+TEST(SharingRef, LinearGadgets) {
+    for (unsigned bits = 0; bits < 32; ++bits) {
+        const MaskedBit a = shares_of(bits, 0);
+        const MaskedBit b = shares_of(bits, 2);
+        const bool m = ((bits >> 4) & 1) != 0;
+        EXPECT_EQ(refresh_ref(a, m).value(), a.value());
+        EXPECT_EQ(xor_ref(a, b).value(), a.value() != b.value());
+        EXPECT_EQ(not_ref(a).value(), !a.value());
+        EXPECT_EQ(xor_const_ref(a, m).value(), a.value() != m);
+    }
+}
+
+TEST(SharingRef, Secand2OutputSharesMatchEquation2) {
+    // Spot-check the share-level equations, not just the unshared value.
+    const MaskedBit x{true, false};
+    const MaskedBit y{false, true};
+    const MaskedBit z = secand2_ref(x, y);
+    // z0 = (1&0) ^ (1|!1) = 0 ^ 1 = 1;  z1 = (0&0) ^ (0|!1) = 0 ^ 0 = 0.
+    EXPECT_TRUE(z.s0);
+    EXPECT_FALSE(z.s1);
+}
+
+// ----- netlist gadgets vs reference -------------------------------------
+
+struct GadgetHarness {
+    Netlist nl;
+    SharedNet x, y;
+    NetId r0 = netlist::kNoNet, r1 = netlist::kNoNet, r2 = netlist::kNoNet;
+    SharedNet z;
+};
+
+void drive_shares(ZeroDelaySim& sim, const SharedNet& net, MaskedBit value) {
+    sim.set_input(net.s0, value.s0);
+    sim.set_input(net.s1, value.s1);
+}
+
+MaskedBit read_shares(const ZeroDelaySim& sim, const SharedNet& net) {
+    return MaskedBit{sim.value(net.s0), sim.value(net.s1)};
+}
+
+TEST(Gadgets, Secand2NetlistMatchesReference) {
+    GadgetHarness h;
+    h.x = shared_input(h.nl, "x");
+    h.y = shared_input(h.nl, "y");
+    h.z = secand2(h.nl, h.x, h.y);
+    h.nl.freeze();
+    ZeroDelaySim sim(h.nl);
+    for (unsigned bits = 0; bits < 16; ++bits) {
+        const MaskedBit x = shares_of(bits, 0);
+        const MaskedBit y = shares_of(bits, 2);
+        drive_shares(sim, h.x, x);
+        drive_shares(sim, h.y, y);
+        sim.step();
+        EXPECT_EQ(read_shares(sim, h.z), secand2_ref(x, y)) << "bits=" << bits;
+    }
+}
+
+TEST(Gadgets, TrichinaNetlistMatchesReference) {
+    GadgetHarness h;
+    h.x = shared_input(h.nl, "x");
+    h.y = shared_input(h.nl, "y");
+    h.r0 = h.nl.input("r");
+    h.z = trichina_and(h.nl, h.x, h.y, h.r0);
+    h.nl.freeze();
+    ZeroDelaySim sim(h.nl);
+    for (unsigned bits = 0; bits < 32; ++bits) {
+        const MaskedBit x = shares_of(bits, 0);
+        const MaskedBit y = shares_of(bits, 2);
+        const bool r = ((bits >> 4) & 1) != 0;
+        drive_shares(sim, h.x, x);
+        drive_shares(sim, h.y, y);
+        sim.set_input(h.r0, r);
+        sim.step();
+        EXPECT_EQ(read_shares(sim, h.z), trichina_and_ref(x, y, r));
+    }
+}
+
+TEST(Gadgets, DomIndepNetlistMatchesReference) {
+    GadgetHarness h;
+    h.x = shared_input(h.nl, "x");
+    h.y = shared_input(h.nl, "y");
+    h.r0 = h.nl.input("r");
+    h.z = dom_and_indep(h.nl, h.x, h.y, h.r0);
+    h.nl.freeze();
+    ZeroDelaySim sim(h.nl);
+    for (unsigned bits = 0; bits < 32; ++bits) {
+        const MaskedBit x = shares_of(bits, 0);
+        const MaskedBit y = shares_of(bits, 2);
+        const bool r = ((bits >> 4) & 1) != 0;
+        drive_shares(sim, h.x, x);
+        drive_shares(sim, h.y, y);
+        sim.set_input(h.r0, r);
+        sim.step(2);  // one register stage
+        EXPECT_EQ(read_shares(sim, h.z), dom_and_ref(x, y, r));
+    }
+}
+
+TEST(Gadgets, DomDepComputesAnd) {
+    GadgetHarness h;
+    h.x = shared_input(h.nl, "x");
+    h.y = shared_input(h.nl, "y");
+    h.r0 = h.nl.input("r0");
+    h.r1 = h.nl.input("r1");
+    h.r2 = h.nl.input("r2");
+    h.z = dom_and_dep(h.nl, h.x, h.y, h.r0, h.r1, h.r2);
+    h.nl.freeze();
+    ZeroDelaySim sim(h.nl);
+    Xoshiro256 rng(4);
+    for (int i = 0; i < 64; ++i) {
+        const MaskedBit x = mask_bit(rng.bit(), rng);
+        const MaskedBit y = mask_bit(rng.bit(), rng);
+        drive_shares(sim, h.x, x);
+        drive_shares(sim, h.y, y);
+        sim.set_input(h.r0, rng.bit());
+        sim.set_input(h.r1, rng.bit());
+        sim.set_input(h.r2, rng.bit());
+        sim.step(3);  // refresh registers + DOM register stage
+        EXPECT_EQ(read_shares(sim, h.z).value(), x.value() && y.value());
+    }
+}
+
+TEST(Gadgets, Secand2FfNeedsEnableSchedule) {
+    GadgetHarness h;
+    h.x = shared_input(h.nl, "x");
+    h.y = shared_input(h.nl, "y");
+    h.z = secand2_ff(h.nl, h.x, h.y, /*enable=*/1, /*reset=*/2);
+    h.nl.freeze();
+    ZeroDelaySim sim(h.nl);
+    Xoshiro256 rng(5);
+    for (int i = 0; i < 64; ++i) {
+        sim.restart();
+        const MaskedBit x = mask_bit(rng.bit(), rng);
+        const MaskedBit y = mask_bit(rng.bit(), rng);
+        drive_shares(sim, h.x, x);
+        drive_shares(sim, h.y, y);
+        sim.step();  // inputs land, internal FF still holds 0
+        sim.set_enable(1, true);
+        sim.step();  // y1 sampled: gadget complete
+        EXPECT_EQ(read_shares(sim, h.z), secand2_ref(x, y));
+    }
+}
+
+TEST(Gadgets, Secand2PdFunctionallyTransparent) {
+    GadgetHarness h;
+    h.x = shared_input(h.nl, "x");
+    h.y = shared_input(h.nl, "y");
+    h.z = secand2_pd(h.nl, h.x, h.y);
+    h.nl.freeze();
+    ZeroDelaySim sim(h.nl);
+    for (unsigned bits = 0; bits < 16; ++bits) {
+        const MaskedBit x = shares_of(bits, 0);
+        const MaskedBit y = shares_of(bits, 2);
+        drive_shares(sim, h.x, x);
+        drive_shares(sim, h.y, y);
+        sim.step();
+        EXPECT_EQ(read_shares(sim, h.z), secand2_ref(x, y));
+    }
+}
+
+TEST(Gadgets, Secand2PdSettlesCorrectlyUnderTiming) {
+    GadgetHarness h;
+    h.x = shared_input(h.nl, "x");
+    h.y = shared_input(h.nl, "y");
+    h.z = secand2_pd(h.nl, h.x, h.y);
+    h.nl.freeze();
+    sim::DelayConfig config = sim::DelayConfig::spartan6();
+    const sim::DelayModel dm(h.nl, config);
+    sim::ClockConfig clock;
+    clock.period_ps = 48000;  // fits 2 DelayUnits + logic comfortably
+    sim::ClockedSim sim(h.nl, dm, clock);
+    Xoshiro256 rng(6);
+    for (int i = 0; i < 32; ++i) {
+        const MaskedBit x = mask_bit(rng.bit(), rng);
+        const MaskedBit y = mask_bit(rng.bit(), rng);
+        sim.set_input(h.x.s0, x.s0);
+        sim.set_input(h.x.s1, x.s1);
+        sim.set_input(h.y.s0, y.s0);
+        sim.set_input(h.y.s1, y.s1);
+        sim.step();
+        const MaskedBit z{sim.value(h.z.s0), sim.value(h.z.s1)};
+        EXPECT_EQ(z, secand2_ref(x, y));
+    }
+}
+
+TEST(Gadgets, Secand2PdRegistersCoupledChains) {
+    Netlist nl;
+    const SharedNet x = shared_input(nl, "x");
+    const SharedNet y = shared_input(nl, "y");
+    (void)secand2_pd(nl, x, y, PathDelayOptions{.luts_per_unit = 4});
+    // x0|x1 chains overlap on 4 stages, x1|y1 on 4 stages.
+    EXPECT_EQ(nl.coupled_pairs().size(), 8u);
+}
+
+TEST(Gadgets, RefreshAndLinearNetlist) {
+    Netlist nl;
+    const SharedNet a = shared_input(nl, "a");
+    const SharedNet b = shared_input(nl, "b");
+    const NetId m = nl.input("m");
+    const SharedNet r = refresh_shares(nl, a, m);
+    const SharedNet x = xor_shares(nl, a, b);
+    const SharedNet n = not_shares(nl, a);
+    nl.freeze();
+    ZeroDelaySim sim(nl);
+    for (unsigned bits = 0; bits < 32; ++bits) {
+        const MaskedBit av = shares_of(bits, 0);
+        const MaskedBit bv = shares_of(bits, 2);
+        const bool mv = ((bits >> 4) & 1) != 0;
+        drive_shares(sim, a, av);
+        drive_shares(sim, b, bv);
+        sim.set_input(m, mv);
+        sim.step();
+        EXPECT_EQ(read_shares(sim, r), refresh_ref(av, mv));
+        EXPECT_EQ(read_shares(sim, x).value(), av.value() != bv.value());
+        EXPECT_EQ(read_shares(sim, n).value(), !av.value());
+    }
+}
+
+// ----- composition -------------------------------------------------------
+
+TEST(Composition, Table2ScheduleMatchesPaper) {
+    // Product of 3: c0 -> b0 -> a0,a1 -> b1 -> c1  (delays 2,1,0 / 2,3,4).
+    const DelaySchedule s3 = table2_schedule(3);
+    EXPECT_EQ(s3.share0, (std::vector<unsigned>{2, 1, 0}));
+    EXPECT_EQ(s3.share1, (std::vector<unsigned>{2, 3, 4}));
+    // Product of 4: d0 -> c0 -> b0 -> a0,a1 -> b1 -> c1 -> d1.
+    const DelaySchedule s4 = table2_schedule(4);
+    EXPECT_EQ(s4.share0, (std::vector<unsigned>{3, 2, 1, 0}));
+    EXPECT_EQ(s4.share1, (std::vector<unsigned>{3, 4, 5, 6}));
+}
+
+TEST(Composition, ScheduleArrivalOrderIsSafe) {
+    // Every x-share (any variable's shares entering a gadget as the x
+    // operand) must be bracketed: some y0 earlier, some y1 later.  The
+    // global order must start with share0 of the last variable and end
+    // with share1 of the last variable.
+    for (unsigned n = 2; n <= 6; ++n) {
+        const DelaySchedule s = table2_schedule(n);
+        EXPECT_EQ(s.share0[n - 1], 0u);
+        EXPECT_EQ(s.share1[n - 1], 2 * (n - 1));
+        for (unsigned i = 0; i + 1 < n; ++i) {
+            EXPECT_GT(s.share0[i], s.share0[i + 1]);
+            EXPECT_LT(s.share1[i], s.share1[i + 1]);
+        }
+    }
+}
+
+class ProductTreeTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ProductTreeTest, ComputesProduct) {
+    const unsigned n = GetParam();
+    Netlist nl;
+    SharedBus vars = shared_input_bus(nl, "v", n);
+    const FfProduct product = product_tree_ff(nl, vars, /*first_group=*/1);
+    nl.freeze();
+
+    const unsigned expected_layers =
+        n == 1 ? 0 : static_cast<unsigned>(std::ceil(std::log2(n)));
+    EXPECT_EQ(product.layers, expected_layers);
+
+    ZeroDelaySim sim(nl);
+    Xoshiro256 rng(100 + n);
+    for (int trial = 0; trial < 40; ++trial) {
+        sim.restart();
+        bool expected = true;
+        for (unsigned i = 0; i < n; ++i) {
+            const bool v = rng.bit();
+            expected = expected && v;
+            const MaskedBit m = mask_bit(v, rng);
+            sim.set_input(vars[i].s0, m.s0);
+            sim.set_input(vars[i].s1, m.s1);
+        }
+        sim.step();  // operands land
+        for (unsigned layer = 0; layer < product.layers; ++layer) {
+            sim.set_enable(static_cast<netlist::CtrlGroup>(1 + layer), true);
+            sim.step();
+        }
+        const MaskedBit z{sim.value(product.out.s0), sim.value(product.out.s1)};
+        EXPECT_EQ(z.value(), expected) << "n=" << n << " trial=" << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ProductTreeTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 8u));
+
+class ProductChainTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ProductChainTest, ComputesProductZeroDelay) {
+    const unsigned n = GetParam();
+    Netlist nl;
+    SharedBus vars = shared_input_bus(nl, "v", n);
+    const PdProduct product = product_chain_pd(nl, vars);
+    nl.freeze();
+    EXPECT_EQ(product.max_delay_units, 2 * (n - 1));
+
+    ZeroDelaySim sim(nl);
+    Xoshiro256 rng(200 + n);
+    for (int trial = 0; trial < 40; ++trial) {
+        bool expected = true;
+        for (unsigned i = 0; i < n; ++i) {
+            const bool v = rng.bit();
+            expected = expected && v;
+            const MaskedBit m = mask_bit(v, rng);
+            sim.set_input(vars[i].s0, m.s0);
+            sim.set_input(vars[i].s1, m.s1);
+        }
+        sim.step();
+        const MaskedBit z{sim.value(product.out.s0), sim.value(product.out.s1)};
+        EXPECT_EQ(z.value(), expected) << "n=" << n << " trial=" << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ProductChainTest,
+                         ::testing::Values(2u, 3u, 4u));
+
+TEST(Composition, ChainOfThreeSettlesUnderTiming) {
+    Netlist nl;
+    SharedBus vars = shared_input_bus(nl, "v", 3);
+    const PdProduct product =
+        product_chain_pd(nl, vars, PathDelayOptions{.luts_per_unit = 10});
+    nl.freeze();
+    sim::DelayConfig config = sim::DelayConfig::spartan6();
+    const sim::DelayModel dm(nl, config);
+    sim::ClockConfig clock;
+    clock.period_ps = 60000;  // 4 DelayUnits + logic: ~30 ns, margin 2x
+    sim::ClockedSim sim(nl, dm, clock);
+    Xoshiro256 rng(7);
+    for (int trial = 0; trial < 24; ++trial) {
+        bool expected = true;
+        for (unsigned i = 0; i < 3; ++i) {
+            const bool v = rng.bit();
+            expected = expected && v;
+            const MaskedBit m = mask_bit(v, rng);
+            sim.set_input(vars[i].s0, m.s0);
+            sim.set_input(vars[i].s1, m.s1);
+        }
+        sim.step();
+        const MaskedBit z{sim.value(product.out.s0), sim.value(product.out.s1)};
+        EXPECT_EQ(z.value(), expected) << "trial=" << trial;
+    }
+}
+
+TEST(Composition, RejectsEmptyInput) {
+    Netlist nl;
+    EXPECT_THROW((void)product_tree_ff(nl, {}, 1), std::invalid_argument);
+    EXPECT_THROW((void)product_chain_pd(nl, {}), std::invalid_argument);
+    EXPECT_THROW((void)table2_schedule(0), std::invalid_argument);
+}
+
+// ----- experiment circuits ------------------------------------------------
+
+TEST(Circuits, TwentyFourUniqueSequences) {
+    const std::vector<InputSequence> sequences = all_input_sequences();
+    EXPECT_EQ(sequences.size(), 24u);
+    std::map<std::array<int, 4>, int> seen;
+    for (const InputSequence& s : sequences)
+        ++seen[{static_cast<int>(s[0]), static_cast<int>(s[1]),
+                static_cast<int>(s[2]), static_cast<int>(s[3])}];
+    EXPECT_EQ(seen.size(), 24u);
+}
+
+TEST(Circuits, ExpectedLeakRuleMatchesTable1) {
+    int leaky = 0;
+    for (const InputSequence& s : all_input_sequences())
+        leaky += sequence_expected_to_leak(s);
+    // Exactly half the sequences end in an x share.
+    EXPECT_EQ(leaky, 12);
+    EXPECT_TRUE(sequence_expected_to_leak({ShareId::Y0, ShareId::Y1,
+                                           ShareId::X1, ShareId::X0}));
+    EXPECT_FALSE(sequence_expected_to_leak({ShareId::X0, ShareId::X1,
+                                            ShareId::Y0, ShareId::Y1}));
+}
+
+TEST(Circuits, RegisteredSecand2ComputesAfterSequence) {
+    RegisteredSecand2 circuit = build_registered_secand2(3);
+    ZeroDelaySim sim(circuit.nl);
+    Xoshiro256 rng(8);
+    for (const InputSequence& sequence : all_input_sequences()) {
+        sim.restart();
+        const MaskedBit x = mask_bit(rng.bit(), rng);
+        const MaskedBit y = mask_bit(rng.bit(), rng);
+        const std::array<bool, 4> shares{x.s0, x.s1, y.s0, y.s1};
+        for (std::size_t i = 0; i < 4; ++i)
+            sim.set_input(circuit.in[i], shares[i]);
+        sim.step();
+        for (const ShareId slot : sequence) {
+            sim.set_enable(circuit.enable[static_cast<std::size_t>(slot)], true);
+            sim.step();
+        }
+        for (const SharedNet& out : circuit.outputs) {
+            const MaskedBit z{sim.value(out.s0), sim.value(out.s1)};
+            ASSERT_EQ(z, secand2_ref(x, y));
+        }
+    }
+}
+
+TEST(Circuits, MaskedFComputesF) {
+    for (const bool with_refresh : {false, true}) {
+        MaskedF circuit = build_masked_f(with_refresh);
+        ZeroDelaySim sim(circuit.nl);
+        Xoshiro256 rng(9);
+        for (int trial = 0; trial < 32; ++trial) {
+            sim.restart();
+            const bool xv = rng.bit();
+            const bool yv = rng.bit();
+            const MaskedBit x = mask_bit(xv, rng);
+            const MaskedBit y = mask_bit(yv, rng);
+            sim.set_input(circuit.x0, x.s0);
+            sim.set_input(circuit.x1, x.s1);
+            sim.set_input(circuit.y0, y.s0);
+            sim.set_input(circuit.y1, y.s1);
+            sim.set_input(circuit.m, rng.bit());
+            sim.step();
+            sim.set_enable(circuit.in_enable, true);
+            sim.step();
+            sim.set_enable(circuit.mul_enable, true);
+            sim.step();
+            const MaskedBit f{sim.value(circuit.f.s0), sim.value(circuit.f.s1)};
+            const bool expected = (xv != yv) != (xv && yv);
+            ASSERT_EQ(f.value(), expected)
+                << "refresh=" << with_refresh << " trial=" << trial;
+        }
+    }
+}
+
+TEST(Circuits, RefreshRestoresOutputUniformity) {
+    // Paper Sec. III-C: without refresh the shares of f are not uniform
+    // (for x=y=1 the pair (f0,f1) degenerates to a single point); the
+    // 1-bit refresh restores a uniform distribution over the consistent
+    // share pairs.
+    auto share_histogram = [](bool with_refresh) {
+        MaskedF circuit = build_masked_f(with_refresh);
+        ZeroDelaySim sim(circuit.nl);
+        Xoshiro256 rng(10);
+        std::array<int, 4> histogram{};
+        for (int trial = 0; trial < 2000; ++trial) {
+            sim.restart();
+            const MaskedBit x = mask_bit(true, rng);
+            const MaskedBit y = mask_bit(true, rng);
+            sim.set_input(circuit.x0, x.s0);
+            sim.set_input(circuit.x1, x.s1);
+            sim.set_input(circuit.y0, y.s0);
+            sim.set_input(circuit.y1, y.s1);
+            sim.set_input(circuit.m, rng.bit());
+            sim.step();
+            sim.set_enable(circuit.in_enable, true);
+            sim.step();
+            sim.set_enable(circuit.mul_enable, true);
+            sim.step();
+            const unsigned pair = (sim.value(circuit.f.s0) ? 1u : 0u) |
+                                  (sim.value(circuit.f.s1) ? 2u : 0u);
+            ++histogram[pair];
+        }
+        return histogram;
+    };
+
+    const std::array<int, 4> without = share_histogram(false);
+    // Degenerate: all mass on a single share pair.
+    int nonzero = 0;
+    for (const int count : without) nonzero += (count > 0);
+    EXPECT_EQ(nonzero, 1);
+
+    const std::array<int, 4> with = share_histogram(true);
+    // f = 1: consistent pairs are (1,0) and (0,1); both near 50%.
+    EXPECT_EQ(with[0], 0);
+    EXPECT_EQ(with[3], 0);
+    EXPECT_NEAR(with[1] / 2000.0, 0.5, 0.05);
+    EXPECT_NEAR(with[2] / 2000.0, 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace glitchmask::core

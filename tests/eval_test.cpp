@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "core/circuits.hpp"
+#include "eval/campaign.hpp"
+#include "leakage/ttest.hpp"
+
+namespace glitchmask::eval {
+namespace {
+
+using core::InputSequence;
+using core::ShareId;
+
+SequenceExperimentConfig small_config() {
+    SequenceExperimentConfig config;
+    config.replicas = 16;
+    config.traces = 8000;
+    config.noise_sigma = 0.5;
+    config.seed = 42;
+    config.placement_seed = 7;
+    return config;
+}
+
+TEST(SequenceExperiment, XShareLastLeaksFirstOrder) {
+    // Paper Table I: any sequence ending in x0 or x1 leaks.
+    const InputSequence sequence{ShareId::Y0, ShareId::X1, ShareId::Y1,
+                                 ShareId::X0};
+    const SequenceLeakResult result =
+        run_sequence_experiment(sequence, small_config());
+    EXPECT_TRUE(result.expected_to_leak);
+    EXPECT_GT(result.max_abs_t1, leakage::kTvlaThreshold)
+        << "sequence ending in x0 must show first-order leakage";
+    // The leak appears when the last share lands: cycle 4.
+    EXPECT_EQ(result.argmax_cycle, 4u);
+}
+
+TEST(SequenceExperiment, YShareLastDoesNotLeakFirstOrder) {
+    // Paper Table I: any sequence ending in y0 or y1 does not leak.
+    const InputSequence sequence{ShareId::X0, ShareId::X1, ShareId::Y0,
+                                 ShareId::Y1};
+    const SequenceLeakResult result =
+        run_sequence_experiment(sequence, small_config());
+    EXPECT_FALSE(result.expected_to_leak);
+    EXPECT_LT(result.max_abs_t1, leakage::kTvlaThreshold)
+        << "sequence ending in y1 must stay below the TVLA threshold";
+}
+
+TEST(SequenceExperiment, SecondOrderLeakageIsPresentEitherWay) {
+    // Both shares are processed in parallel: second-order leakage is
+    // expected for 2-share designs (the paper sees it clearly too).
+    const InputSequence sequence{ShareId::X0, ShareId::X1, ShareId::Y0,
+                                 ShareId::Y1};
+    SequenceExperimentConfig config = small_config();
+    config.traces = 4000;
+    const SequenceLeakResult result = run_sequence_experiment(sequence, config);
+    EXPECT_GT(result.max_abs_t2, leakage::kTvlaThreshold);
+}
+
+}  // namespace
+}  // namespace glitchmask::eval

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "leakage/moments.hpp"
+#include "leakage/snr.hpp"
+#include "leakage/ttest.hpp"
+#include "leakage/tvla.hpp"
+#include "support/rng.hpp"
+
+namespace glitchmask::leakage {
+namespace {
+
+/// Direct (two-pass) central moment for cross-checking the streaming code.
+double direct_moment(const std::vector<double>& xs, int p) {
+    double mean = 0.0;
+    for (const double x : xs) mean += x;
+    mean /= static_cast<double>(xs.size());
+    double sum = 0.0;
+    for (const double x : xs) sum += std::pow(x - mean, p);
+    return sum / static_cast<double>(xs.size());
+}
+
+std::vector<double> random_data(std::uint64_t seed, std::size_t n,
+                                double mean = 0.0, double sigma = 1.0) {
+    Xoshiro256 rng(seed);
+    std::vector<double> xs(n);
+    for (double& x : xs) x = rng.gaussian(mean, sigma);
+    return xs;
+}
+
+TEST(Moments, MatchDirectComputationOrders2To6) {
+    const std::vector<double> xs = random_data(1, 5000, 2.0, 3.0);
+    MomentAccumulator acc(6);
+    for (const double x : xs) acc.add(x);
+    EXPECT_EQ(acc.count(), 5000.0);
+    EXPECT_NEAR(acc.mean(), direct_moment(xs, 1) + acc.mean(), 1e-9);
+    for (int p = 2; p <= 6; ++p)
+        EXPECT_NEAR(acc.central_moment(p), direct_moment(xs, p),
+                    1e-7 * std::max(1.0, std::fabs(direct_moment(xs, p))))
+            << "order " << p;
+}
+
+TEST(Moments, SinglePointHasZeroCentralMoments) {
+    MomentAccumulator acc(4);
+    acc.add(5.0);
+    EXPECT_EQ(acc.mean(), 5.0);
+    EXPECT_EQ(acc.central_moment(2), 0.0);
+    EXPECT_EQ(acc.central_moment(4), 0.0);
+}
+
+TEST(Moments, MergeEqualsSequential) {
+    const std::vector<double> xs = random_data(2, 3000, -1.0, 2.0);
+    MomentAccumulator whole(6);
+    MomentAccumulator left(6);
+    MomentAccumulator right(6);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        whole.add(xs[i]);
+        (i < xs.size() / 3 ? left : right).add(xs[i]);
+    }
+    left.merge(right);
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+    for (int p = 2; p <= 6; ++p)
+        EXPECT_NEAR(left.central_moment(p), whole.central_moment(p),
+                    1e-6 * std::max(1.0, std::fabs(whole.central_moment(p))))
+            << "order " << p;
+}
+
+TEST(Moments, MergeWithEmptySides) {
+    MomentAccumulator a(4);
+    MomentAccumulator b(4);
+    a.add(1.0);
+    a.add(2.0);
+    MomentAccumulator a_copy = a;
+    a.merge(b);  // empty rhs: unchanged
+    EXPECT_EQ(a.count(), 2.0);
+    EXPECT_EQ(a.mean(), a_copy.mean());
+    b.merge(a);  // empty lhs: adopt
+    EXPECT_EQ(b.count(), 2.0);
+    EXPECT_EQ(b.mean(), 1.5);
+}
+
+TEST(Moments, ResetClears) {
+    MomentAccumulator acc(4);
+    acc.add(1.0);
+    acc.add(3.0);
+    acc.reset();
+    EXPECT_EQ(acc.count(), 0.0);
+    EXPECT_EQ(acc.mean(), 0.0);
+}
+
+TEST(Moments, RejectsBadOrders) {
+    EXPECT_THROW(MomentAccumulator(1), std::invalid_argument);
+    MomentAccumulator acc(4);
+    acc.add(1.0);
+    EXPECT_THROW((void)acc.central_moment(1), std::out_of_range);
+    EXPECT_THROW((void)acc.central_moment(5), std::out_of_range);
+}
+
+TEST(Welch, KnownValue) {
+    // Two-sample t with equal n, means 1 vs 0, variances 1:
+    // t = 1 / sqrt(2/n).
+    const double n = 50.0;
+    EXPECT_NEAR(welch_t(1.0, 1.0, n, 0.0, 1.0, n), 1.0 / std::sqrt(2.0 / n), 1e-12);
+    EXPECT_EQ(welch_t(1.0, 1.0, 1.0, 0.0, 1.0, 50.0), 0.0);  // degenerate
+}
+
+TEST(TTest, DetectsFirstOrderDifference) {
+    UnivariateTTest test(3);
+    Xoshiro256 rng(3);
+    for (int i = 0; i < 20000; ++i) {
+        test.add(true, rng.gaussian(0.3, 1.0));
+        test.add(false, rng.gaussian(0.0, 1.0));
+    }
+    EXPECT_GT(std::fabs(test.t(1)), kTvlaThreshold);
+}
+
+TEST(TTest, NullDistributionStaysUnderThreshold) {
+    // Same distribution in both classes: |t| should almost surely stay
+    // small at every order for a single seeded draw.
+    UnivariateTTest test(3);
+    Xoshiro256 rng(4);
+    for (int i = 0; i < 20000; ++i) test.add(rng.bit(), rng.gaussian(0.0, 1.0));
+    EXPECT_LT(std::fabs(test.t(1)), kTvlaThreshold);
+    EXPECT_LT(std::fabs(test.t(2)), kTvlaThreshold);
+    EXPECT_LT(std::fabs(test.t(3)), kTvlaThreshold);
+}
+
+TEST(TTest, SecondOrderOnlyDifference) {
+    // Equal means, different variances: invisible at order 1, glaring at
+    // order 2 -- the signature of a well-masked 2-share implementation.
+    UnivariateTTest test(3);
+    Xoshiro256 rng(5);
+    for (int i = 0; i < 40000; ++i) {
+        test.add(true, rng.gaussian(0.0, 2.0));
+        test.add(false, rng.gaussian(0.0, 1.0));
+    }
+    EXPECT_LT(std::fabs(test.t(1)), kTvlaThreshold);
+    EXPECT_GT(std::fabs(test.t(2)), kTvlaThreshold);
+}
+
+TEST(TTest, ThirdOrderSkewDifference) {
+    // Mirror-skewed vs symmetric data with matched mean/variance leaks at
+    // order 3.  Exponential(1) centered has skew 2.
+    UnivariateTTest test(3);
+    Xoshiro256 rng(6);
+    for (int i = 0; i < 60000; ++i) {
+        const double e = -std::log(1.0 - rng.uniform());
+        test.add(true, e - 1.0);
+        test.add(false, rng.gaussian(0.0, 1.0));
+    }
+    EXPECT_GT(std::fabs(test.t(3)), kTvlaThreshold);
+}
+
+TEST(TTest, MergeMatchesSequential) {
+    UnivariateTTest all(2);
+    UnivariateTTest a(2);
+    UnivariateTTest b(2);
+    Xoshiro256 rng(7);
+    for (int i = 0; i < 5000; ++i) {
+        const bool cls = rng.bit();
+        const double x = rng.gaussian(cls ? 0.1 : 0.0, 1.0);
+        all.add(cls, x);
+        (i % 2 == 0 ? a : b).add(cls, x);
+    }
+    a.merge(b);
+    EXPECT_NEAR(a.t(1), all.t(1), 1e-9);
+    EXPECT_NEAR(a.t(2), all.t(2), 1e-9);
+}
+
+TEST(TTest, PreprocessedVarianceOrder2Identity) {
+    // Var((x-mu)^2) must equal m4 - m2^2.
+    MomentAccumulator acc(4);
+    const std::vector<double> xs = random_data(8, 4000);
+    for (const double x : xs) acc.add(x);
+    EXPECT_NEAR(preprocessed_variance(acc, 2),
+                acc.central_moment(4) -
+                    acc.central_moment(2) * acc.central_moment(2),
+                1e-9);
+}
+
+TEST(Tvla, CurveFlagsOnlyLeakySample) {
+    constexpr std::size_t kSamples = 8;
+    constexpr std::size_t kLeaky = 3;
+    TvlaCampaign campaign(kSamples, 2);
+    Xoshiro256 rng(9);
+    std::vector<double> trace(kSamples);
+    for (int i = 0; i < 20000; ++i) {
+        const bool fixed = rng.bit();
+        for (std::size_t s = 0; s < kSamples; ++s)
+            trace[s] = rng.gaussian(s == kLeaky && fixed ? 0.4 : 0.0, 1.0);
+        campaign.add_trace(fixed, trace);
+    }
+    std::size_t argmax = 0;
+    EXPECT_GT(campaign.max_abs_t(1, &argmax), kTvlaThreshold);
+    EXPECT_EQ(argmax, kLeaky);
+    const auto exceeded = campaign.exceedances(1);
+    ASSERT_EQ(exceeded.size(), 1u);
+    EXPECT_EQ(exceeded.front(), kLeaky);
+}
+
+TEST(Tvla, ConsistencyRuleRejectsInconsistentPeaks) {
+    // Two campaigns leak at different indexes: the paper's rule says the
+    // implementation is not deemed leaky.
+    auto make = [](std::size_t leaky_index, std::uint64_t seed) {
+        TvlaCampaign campaign(6, 1);
+        Xoshiro256 rng(seed);
+        std::vector<double> trace(6);
+        for (int i = 0; i < 20000; ++i) {
+            const bool fixed = rng.bit();
+            for (std::size_t s = 0; s < 6; ++s)
+                trace[s] = rng.gaussian(s == leaky_index && fixed ? 0.5 : 0.0, 1.0);
+            campaign.add_trace(fixed, trace);
+        }
+        return campaign;
+    };
+    const TvlaCampaign campaigns_diff[] = {make(1, 10), make(4, 11)};
+    EXPECT_TRUE(consistent_exceedances(campaigns_diff, 1).empty());
+    const TvlaCampaign campaigns_same[] = {make(2, 12), make(2, 13)};
+    const auto hits = consistent_exceedances(campaigns_same, 1);
+    ASSERT_FALSE(hits.empty());
+    EXPECT_EQ(hits.front(), 2u);
+}
+
+TEST(Tvla, TraceCountsPerClass) {
+    TvlaCampaign campaign(2, 1);
+    const std::vector<double> trace{0.0, 1.0};
+    campaign.add_trace(true, trace);
+    campaign.add_trace(true, trace);
+    campaign.add_trace(false, trace);
+    EXPECT_EQ(campaign.traces(true), 2u);
+    EXPECT_EQ(campaign.traces(false), 1u);
+}
+
+TEST(Tvla, RejectsShortTraces) {
+    TvlaCampaign campaign(4, 1);
+    const std::vector<double> trace{0.0, 1.0};
+    EXPECT_THROW(campaign.add_trace(true, trace), std::invalid_argument);
+}
+
+TEST(Tvla, MergeMatchesSequential) {
+    TvlaCampaign whole(4, 2);
+    TvlaCampaign left(4, 2);
+    TvlaCampaign right(4, 2);
+    Xoshiro256 rng(21);
+    std::vector<double> trace(4);
+    for (int i = 0; i < 4000; ++i) {
+        const bool fixed = rng.bit();
+        for (double& v : trace) v = rng.gaussian(fixed ? 0.1 : 0.0, 1.0);
+        whole.add_trace(fixed, trace);
+        (i % 2 == 0 ? left : right).add_trace(fixed, trace);
+    }
+    left.merge(right);
+    for (int order = 1; order <= 2; ++order)
+        for (std::size_t s = 0; s < 4; ++s)
+            EXPECT_NEAR(left.point(s).t(order), whole.point(s).t(order), 1e-9);
+}
+
+TEST(Snr, KnownSeparation) {
+    // Two classes at means 0 and 1 with unit noise: SNR ~ 0.25 (class
+    // means +-0.5 around the grand mean -> signal variance 0.25).
+    SnrAccumulator snr(2);
+    Xoshiro256 rng(14);
+    for (int i = 0; i < 40000; ++i) {
+        const std::size_t cls = rng.bit() ? 1 : 0;
+        snr.add(cls, rng.gaussian(static_cast<double>(cls), 1.0));
+    }
+    EXPECT_NEAR(snr.snr(), 0.25, 0.02);
+}
+
+TEST(Snr, ZeroWhenClassesIdentical) {
+    SnrAccumulator snr(4);
+    Xoshiro256 rng(15);
+    for (int i = 0; i < 20000; ++i)
+        snr.add(rng.below(4), rng.gaussian(0.0, 1.0));
+    EXPECT_LT(snr.snr(), 0.01);
+}
+
+TEST(Snr, RequiresTwoClasses) {
+    EXPECT_THROW(SnrAccumulator(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace glitchmask::leakage

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "core/gadgets.hpp"
+#include "netlist/builder.hpp"
+#include "power/power_model.hpp"
+#include "sim/clocked.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace glitchmask::power {
+namespace {
+
+using netlist::NetId;
+using netlist::Netlist;
+
+TEST(PowerModel, DelayBufWeightScalesChainEnergy) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const netlist::DelayChain chain = netlist::delay_units(nl, a, 1, 10);
+    (void)chain;
+    nl.freeze();
+    const sim::DelayModel dm(nl, sim::DelayConfig::deterministic());
+
+    auto chain_energy = [&](double weight) {
+        sim::EventSimulator sim(nl, dm);
+        PowerConfig config;
+        config.fanout_weight = 0.0;
+        config.delaybuf_weight = weight;
+        config.bin_ps = 1u << 20;
+        PowerRecorder recorder(nl, config);
+        recorder.begin_trace(1);
+        sim.set_sink(&recorder);
+        sim.drive(a, true, 0);
+        sim.run_to_quiescence();
+        return recorder.trace()[0];
+    };
+    // 1 input toggle (weight 1) + 10 DelayBuf toggles (weight w each).
+    EXPECT_NEAR(chain_energy(1.0), 11.0, 1e-9);
+    EXPECT_NEAR(chain_energy(0.1), 2.0, 1e-9);
+}
+
+TEST(PowerModel, CouplingEpsilonDependsOnNeighbourState) {
+    // Two coupled delay stages; toggle one while the neighbour sits at
+    // 0 vs 1: energies must differ by 2 * epsilon.
+    auto energy_with_neighbour = [](bool neighbour_high) {
+        Netlist nl;
+        const NetId a = nl.input("a");
+        const NetId b = nl.input("b");
+        const NetId da = nl.delay_buf(a);
+        const NetId db = nl.delay_buf(b);
+        nl.couple(da, db);
+        nl.freeze();
+        const sim::DelayModel dm(nl, sim::DelayConfig::deterministic());
+        sim::EventSimulator sim(nl, dm);
+        PowerConfig config;
+        config.fanout_weight = 0.0;
+        config.delaybuf_weight = 1.0;
+        config.coupling_epsilon = 0.25;
+        config.bin_ps = 1u << 20;
+        PowerRecorder recorder(nl, config);
+        recorder.attach(&sim);
+        if (neighbour_high) {
+            sim.drive(b, true, 0);
+            sim.run_to_quiescence();
+        }
+        recorder.begin_trace(1);
+        sim.set_sink(&recorder);
+        sim.drive(a, true, 50000);
+        sim.run_to_quiescence();
+        return recorder.trace()[0];
+    };
+    const double with_low = energy_with_neighbour(false);
+    const double with_high = energy_with_neighbour(true);
+    // Toggling `a` to 1 with neighbour at 0 costs +eps (opposite level),
+    // with neighbour at 1 costs -eps.
+    EXPECT_NEAR(with_low - with_high, 2 * 0.25, 1e-9);
+}
+
+TEST(PowerModel, TimingCouplingPushesOutOppositeTransitions) {
+    // Two adjacent DelayBuf stages switching in opposite directions within
+    // the window: with timing coupling the victim's commit is later.
+    auto settle_time = [](bool coupling_on) {
+        Netlist nl;
+        const NetId a = nl.input("a");
+        const NetId b = nl.input("b");
+        const NetId da = nl.delay_buf(a);
+        const NetId db = nl.delay_buf(b);
+        nl.couple(da, db);
+        nl.freeze();
+        const sim::DelayModel dm(nl, sim::DelayConfig::deterministic());
+        sim::CouplingConfig coupling;
+        coupling.timing_enabled = coupling_on;
+        coupling.window_ps = 2000;
+        coupling.slowdown_ps = 500;
+        sim::EventSimulator sim(nl, dm, coupling);
+        // b starts high so its delay stage falls while a's rises.
+        sim.drive(b, true, 0);
+        sim.run_to_quiescence();
+        sim.drive(a, true, 100000);   // aggressor rises, commits ~100650
+        sim.drive(b, false, 100700);  // victim evaluates right after the
+                                      // aggressor's opposite transition
+        return sim.run_to_quiescence();
+    };
+    EXPECT_GT(settle_time(true), settle_time(false));
+}
+
+TEST(PowerModel, NoisyTraceIsSeedDeterministic) {
+    Netlist nl;
+    (void)nl.input("a");
+    nl.freeze();
+    PowerRecorder recorder(nl, PowerConfig{});
+    recorder.begin_trace(8);
+    Xoshiro256 rng_a(9);
+    Xoshiro256 rng_b(9);
+    EXPECT_EQ(recorder.noisy_trace(rng_a, 2.0), recorder.noisy_trace(rng_b, 2.0));
+}
+
+TEST(PowerModel, BinningSplitsByConfiguredPeriod) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    (void)nl.inv(a);
+    nl.freeze();
+    const sim::DelayModel dm(nl, sim::DelayConfig::deterministic());
+    sim::EventSimulator sim(nl, dm);
+    PowerConfig config;
+    config.bin_ps = 1000;
+    PowerRecorder recorder(nl, config);
+    recorder.begin_trace(4);
+    sim.set_sink(&recorder);
+    sim.drive(a, true, 100);    // bin 0
+    sim.drive(a, false, 2500);  // bin 2 (+ inverter toggles nearby)
+    sim.run_to_quiescence();
+    EXPECT_GT(recorder.trace()[0], 0.0);
+    EXPECT_GT(recorder.trace()[2], 0.0);
+    EXPECT_EQ(recorder.trace()[1], 0.0);
+}
+
+}  // namespace
+}  // namespace glitchmask::power

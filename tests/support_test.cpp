@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "support/bits.hpp"
+#include "support/csv.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace glitchmask {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+    Xoshiro256 a(42);
+    Xoshiro256 b(42);
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Xoshiro256 a(1);
+    Xoshiro256 b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) equal += (a() == b());
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BitIsRoughlyBalanced) {
+    Xoshiro256 rng(7);
+    int ones = 0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) ones += rng.bit();
+    EXPECT_NEAR(static_cast<double>(ones) / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, BitsStayInRange) {
+    Xoshiro256 rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.bits(4), 16u);
+        EXPECT_LT(rng.bits(1), 2u);
+    }
+    EXPECT_EQ(rng.bits(0), 0u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Xoshiro256 rng(11);
+    double sum = 0.0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsBoundedAndCoversRange) {
+    Xoshiro256 rng(13);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t v = rng.below(7);
+        ASSERT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, GaussianMomentsMatch) {
+    Xoshiro256 rng(17);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    constexpr int kDraws = 200000;
+    for (int i = 0; i < kDraws; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaling) {
+    Xoshiro256 rng(19);
+    double sum = 0.0;
+    constexpr int kDraws = 50000;
+    for (int i = 0; i < kDraws; ++i) sum += rng.gaussian(3.0, 0.5);
+    EXPECT_NEAR(sum / kDraws, 3.0, 0.02);
+}
+
+TEST(Rng, Mix64AvoidsTrivialCollisions) {
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(mix64(1, i));
+    EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Bits, BasicOps) {
+    EXPECT_TRUE(bit_of(0b100, 2));
+    EXPECT_FALSE(bit_of(0b100, 1));
+    EXPECT_EQ(with_bit(0, 3, true), 8u);
+    EXPECT_EQ(with_bit(0xF, 0, false), 0xEu);
+    EXPECT_TRUE(parity(0b111));
+    EXPECT_FALSE(parity(0b110011));
+    EXPECT_EQ(hamming_weight(0xFF), 8);
+    EXPECT_EQ(hamming_distance(0b1010, 0b0110), 2);
+}
+
+TEST(Bits, RotlBits) {
+    EXPECT_EQ(rotl_bits(0b0001, 4, 1), 0b0010u);
+    EXPECT_EQ(rotl_bits(0b1000, 4, 1), 0b0001u);
+    EXPECT_EQ(rotl_bits(0x0FFFFFFF, 28, 28), 0x0FFFFFFFu);
+    // DES key-schedule style: rotate 28-bit halves by 2.
+    EXPECT_EQ(rotl_bits(0x8000001, 28, 2), 0x6u);
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+    const std::string path = ::testing::TempDir() + "glitchmask_csv_test.csv";
+    {
+        CsvWriter csv(path, {"a", "b"});
+        csv.row({1.0, 2.5});
+        csv.raw_row({"x", "y"});
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "a,b");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,2.5");
+    std::getline(in, line);
+    EXPECT_EQ(line, "x,y");
+    std::remove(path.c_str());
+}
+
+TEST(Env, FallbacksAndParsing) {
+    EXPECT_EQ(env_int("GLITCHMASK_SURELY_UNSET_VAR", 123), 123);
+    EXPECT_DOUBLE_EQ(env_double("GLITCHMASK_SURELY_UNSET_VAR", 1.5), 1.5);
+    ::setenv("GLITCHMASK_TEST_VAR", "77", 1);
+    EXPECT_EQ(env_int("GLITCHMASK_TEST_VAR", 0), 77);
+    ::setenv("GLITCHMASK_TEST_VAR", "2.25", 1);
+    EXPECT_DOUBLE_EQ(env_double("GLITCHMASK_TEST_VAR", 0.0), 2.25);
+    ::setenv("GLITCHMASK_TEST_VAR", "notanumber", 1);
+    EXPECT_EQ(env_int("GLITCHMASK_TEST_VAR", 5), 5);
+    ::unsetenv("GLITCHMASK_TEST_VAR");
+}
+
+TEST(Table, AlignsColumns) {
+    TablePrinter table({"Name", "GE"});
+    table.add_row({"secAND2-FF", "15180"});
+    table.add_row({"x", "1"});
+    const std::string out = table.str();
+    EXPECT_NE(out.find("Name"), std::string::npos);
+    EXPECT_NE(out.find("secAND2-FF"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+    EXPECT_EQ(TablePrinter::num(1.2345, 2), "1.23");
+    EXPECT_EQ(TablePrinter::integer(15180), "15180");
+}
+
+}  // namespace
+}  // namespace glitchmask

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_16_power_traces.dir/fig13_16_power_traces.cpp.o"
+  "CMakeFiles/fig13_16_power_traces.dir/fig13_16_power_traces.cpp.o.d"
+  "fig13_16_power_traces"
+  "fig13_16_power_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_16_power_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

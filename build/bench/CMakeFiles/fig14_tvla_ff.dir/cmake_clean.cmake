@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_tvla_ff.dir/fig14_tvla_ff.cpp.o"
+  "CMakeFiles/fig14_tvla_ff.dir/fig14_tvla_ff.cpp.o.d"
+  "fig14_tvla_ff"
+  "fig14_tvla_ff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_tvla_ff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_tvla_ff.
+# This may be replaced when dependencies are built.

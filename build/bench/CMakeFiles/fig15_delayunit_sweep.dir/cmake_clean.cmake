@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_delayunit_sweep.dir/fig15_delayunit_sweep.cpp.o"
+  "CMakeFiles/fig15_delayunit_sweep.dir/fig15_delayunit_sweep.cpp.o.d"
+  "fig15_delayunit_sweep"
+  "fig15_delayunit_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_delayunit_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_tvla_pd.dir/fig17_tvla_pd.cpp.o"
+  "CMakeFiles/fig17_tvla_pd.dir/fig17_tvla_pd.cpp.o.d"
+  "fig17_tvla_pd"
+  "fig17_tvla_pd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_tvla_pd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_tvla_pd.
+# This may be replaced when dependencies are built.

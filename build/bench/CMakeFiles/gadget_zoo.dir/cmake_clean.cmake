@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadget_zoo.dir/gadget_zoo.cpp.o"
+  "CMakeFiles/gadget_zoo.dir/gadget_zoo.cpp.o.d"
+  "gadget_zoo"
+  "gadget_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadget_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_sequences.dir/table1_sequences.cpp.o"
+  "CMakeFiles/table1_sequences.dir/table1_sequences.cpp.o.d"
+  "table1_sequences"
+  "table1_sequences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_products.dir/table2_products.cpp.o"
+  "CMakeFiles/table2_products.dir/table2_products.cpp.o.d"
+  "table2_products"
+  "table2_products.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_products.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_utilization.dir/table3_utilization.cpp.o"
+  "CMakeFiles/table3_utilization.dir/table3_utilization.cpp.o.d"
+  "table3_utilization"
+  "table3_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_tuning.dir/delay_tuning.cpp.o"
+  "CMakeFiles/delay_tuning.dir/delay_tuning.cpp.o.d"
+  "delay_tuning"
+  "delay_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_gadget.dir/inspect_gadget.cpp.o"
+  "CMakeFiles/inspect_gadget.dir/inspect_gadget.cpp.o.d"
+  "inspect_gadget"
+  "inspect_gadget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_gadget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

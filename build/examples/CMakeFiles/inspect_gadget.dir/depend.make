@@ -1,0 +1,2 @@
+# Empty dependencies file for inspect_gadget.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakage_lab.dir/leakage_lab.cpp.o"
+  "CMakeFiles/leakage_lab.dir/leakage_lab.cpp.o.d"
+  "leakage_lab"
+  "leakage_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakage_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masked_des_demo.dir/masked_des_demo.cpp.o"
+  "CMakeFiles/masked_des_demo.dir/masked_des_demo.cpp.o.d"
+  "masked_des_demo"
+  "masked_des_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masked_des_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

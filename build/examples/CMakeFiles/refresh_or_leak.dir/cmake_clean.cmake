@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refresh_or_leak.dir/refresh_or_leak.cpp.o"
+  "CMakeFiles/refresh_or_leak.dir/refresh_or_leak.cpp.o.d"
+  "refresh_or_leak"
+  "refresh_or_leak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refresh_or_leak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for refresh_or_leak.
+# This may be replaced when dependencies are built.

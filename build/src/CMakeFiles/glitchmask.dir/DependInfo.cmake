@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/circuits.cpp" "src/CMakeFiles/glitchmask.dir/core/circuits.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/core/circuits.cpp.o.d"
+  "/root/repo/src/core/composition.cpp" "src/CMakeFiles/glitchmask.dir/core/composition.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/core/composition.cpp.o.d"
+  "/root/repo/src/core/gadgets.cpp" "src/CMakeFiles/glitchmask.dir/core/gadgets.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/core/gadgets.cpp.o.d"
+  "/root/repo/src/core/sharing.cpp" "src/CMakeFiles/glitchmask.dir/core/sharing.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/core/sharing.cpp.o.d"
+  "/root/repo/src/des/des_reference.cpp" "src/CMakeFiles/glitchmask.dir/des/des_reference.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/des/des_reference.cpp.o.d"
+  "/root/repo/src/des/masked_des.cpp" "src/CMakeFiles/glitchmask.dir/des/masked_des.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/des/masked_des.cpp.o.d"
+  "/root/repo/src/des/masked_sbox.cpp" "src/CMakeFiles/glitchmask.dir/des/masked_sbox.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/des/masked_sbox.cpp.o.d"
+  "/root/repo/src/des/sbox_anf.cpp" "src/CMakeFiles/glitchmask.dir/des/sbox_anf.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/des/sbox_anf.cpp.o.d"
+  "/root/repo/src/eval/campaign.cpp" "src/CMakeFiles/glitchmask.dir/eval/campaign.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/eval/campaign.cpp.o.d"
+  "/root/repo/src/eval/des_experiments.cpp" "src/CMakeFiles/glitchmask.dir/eval/des_experiments.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/eval/des_experiments.cpp.o.d"
+  "/root/repo/src/leakage/moments.cpp" "src/CMakeFiles/glitchmask.dir/leakage/moments.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/leakage/moments.cpp.o.d"
+  "/root/repo/src/leakage/probing.cpp" "src/CMakeFiles/glitchmask.dir/leakage/probing.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/leakage/probing.cpp.o.d"
+  "/root/repo/src/leakage/snr.cpp" "src/CMakeFiles/glitchmask.dir/leakage/snr.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/leakage/snr.cpp.o.d"
+  "/root/repo/src/leakage/ttest.cpp" "src/CMakeFiles/glitchmask.dir/leakage/ttest.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/leakage/ttest.cpp.o.d"
+  "/root/repo/src/leakage/tvla.cpp" "src/CMakeFiles/glitchmask.dir/leakage/tvla.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/leakage/tvla.cpp.o.d"
+  "/root/repo/src/netlist/area.cpp" "src/CMakeFiles/glitchmask.dir/netlist/area.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/netlist/area.cpp.o.d"
+  "/root/repo/src/netlist/builder.cpp" "src/CMakeFiles/glitchmask.dir/netlist/builder.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/netlist/builder.cpp.o.d"
+  "/root/repo/src/netlist/export.cpp" "src/CMakeFiles/glitchmask.dir/netlist/export.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/netlist/export.cpp.o.d"
+  "/root/repo/src/netlist/lutmap.cpp" "src/CMakeFiles/glitchmask.dir/netlist/lutmap.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/netlist/lutmap.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/glitchmask.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/netlist/netlist.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "src/CMakeFiles/glitchmask.dir/power/power_model.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/power/power_model.cpp.o.d"
+  "/root/repo/src/sim/clocked.cpp" "src/CMakeFiles/glitchmask.dir/sim/clocked.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/sim/clocked.cpp.o.d"
+  "/root/repo/src/sim/delay_model.cpp" "src/CMakeFiles/glitchmask.dir/sim/delay_model.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/sim/delay_model.cpp.o.d"
+  "/root/repo/src/sim/functional.cpp" "src/CMakeFiles/glitchmask.dir/sim/functional.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/sim/functional.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/glitchmask.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/CMakeFiles/glitchmask.dir/sim/vcd.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/sim/vcd.cpp.o.d"
+  "/root/repo/src/support/csv.cpp" "src/CMakeFiles/glitchmask.dir/support/csv.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/support/csv.cpp.o.d"
+  "/root/repo/src/support/env.cpp" "src/CMakeFiles/glitchmask.dir/support/env.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/support/env.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/glitchmask.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/glitchmask.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/glitchmask.dir/support/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_test.dir/export_test.cpp.o"
+  "CMakeFiles/export_test.dir/export_test.cpp.o.d"
+  "export_test"
+  "export_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

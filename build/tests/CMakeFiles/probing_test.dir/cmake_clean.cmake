@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probing_test.dir/probing_test.cpp.o"
+  "CMakeFiles/probing_test.dir/probing_test.cpp.o.d"
+  "probing_test"
+  "probing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,128 @@
+// Campaign throughput harness: traces/sec and toggle-activity MB/s of the
+// parallel trace-collection engine at 1, 2, 4 and 8 workers on the DES
+// TVLA workload (the paper's dominant cost: Sec. VII campaigns at up to
+// 50M traces).  Emits JSON -- one object, schema documented in
+// EXPERIMENTS.md -- to stdout and to campaign_throughput.json so future
+// PRs can track the perf trajectory.
+//
+// Every worker count replays the identical campaign (counter-based
+// per-trace seeding), so the max|t| column doubles as a live determinism
+// check: all rows must agree bit-for-bit.
+//
+// Scale with GLITCHMASK_TRACES (default 192) and GLITCHMASK_NOISE; note
+// that meaningful speedups need as many physical cores as workers.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "des/masked_des.hpp"
+#include "eval/des_experiments.hpp"
+#include "support/env.hpp"
+#include "support/table.hpp"
+
+using namespace glitchmask;
+
+namespace {
+
+/// Bytes the simulator touches per committed toggle event: the event
+/// record plus the power bin read-modify-write (documented in
+/// EXPERIMENTS.md; a fixed constant so MB/s stays comparable across PRs).
+constexpr double kBytesPerToggle = 16.0;
+
+struct Series {
+    unsigned workers = 0;
+    double seconds = 0.0;
+    double traces_per_sec = 0.0;
+    double toggle_mb_per_sec = 0.0;
+    double max_abs_t1 = 0.0;
+    double speedup = 1.0;
+    std::uint64_t toggles = 0;
+};
+
+}  // namespace
+
+int main() {
+    bench::banner("Campaign throughput: parallel DES TVLA engine");
+
+    const des::MaskedDesCore core(des::MaskedDesOptions{});
+    const std::size_t traces = static_cast<std::size_t>(
+        env_int("GLITCHMASK_TRACES", static_cast<std::int64_t>(
+                                         bench::scaled_traces(192))));
+    const double noise = env_double("GLITCHMASK_NOISE", 1.0);
+
+    TablePrinter table({"workers", "seconds", "traces/s", "toggle MB/s",
+                        "speedup", "max|t1|"});
+    std::vector<Series> series;
+
+    for (const unsigned workers : {1u, 2u, 4u, 8u}) {
+        eval::DesTvlaConfig config;
+        config.traces = traces;
+        config.noise_sigma = noise;
+        config.seed = 7;
+        config.workers = workers;
+
+        const auto start = std::chrono::steady_clock::now();
+        const eval::DesTvlaResult r = eval::run_des_tvla(core, config);
+        const auto stop = std::chrono::steady_clock::now();
+
+        Series s;
+        s.workers = workers;
+        s.seconds = std::chrono::duration<double>(stop - start).count();
+        s.traces_per_sec = static_cast<double>(r.traces) / s.seconds;
+        s.toggle_mb_per_sec =
+            static_cast<double>(r.toggles) * kBytesPerToggle / 1e6 / s.seconds;
+        s.max_abs_t1 = r.max_abs_t[1];
+        s.toggles = r.toggles;
+        s.speedup = series.empty()
+                        ? 1.0
+                        : series.front().seconds / s.seconds;
+        series.push_back(s);
+
+        table.add_row({std::to_string(workers), TablePrinter::num(s.seconds, 2),
+                       TablePrinter::num(s.traces_per_sec, 1),
+                       TablePrinter::num(s.toggle_mb_per_sec, 1),
+                       TablePrinter::num(s.speedup, 2),
+                       TablePrinter::num(s.max_abs_t1, 6)});
+    }
+    table.print();
+
+    bool deterministic = true;
+    for (const Series& s : series)
+        deterministic &= (s.max_abs_t1 == series.front().max_abs_t1) &&
+                         (s.toggles == series.front().toggles);
+    std::printf("\nDeterminism across worker counts: %s\n",
+                deterministic ? "bit-identical" : "MISMATCH (bug!)");
+
+    std::string json = "{\n  \"workload\": \"des_ff_tvla\",\n";
+    json += "  \"traces\": " + std::to_string(traces) + ",\n";
+    json += "  \"samples\": " + std::to_string(core.total_cycles()) + ",\n";
+    json += "  \"noise_sigma\": " + TablePrinter::num(noise, 3) + ",\n";
+    json += "  \"bytes_per_toggle\": " + TablePrinter::num(kBytesPerToggle, 0) +
+            ",\n";
+    json += std::string("  \"deterministic\": ") +
+            (deterministic ? "true" : "false") + ",\n";
+    json += "  \"series\": [\n";
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const Series& s = series[i];
+        json += "    {\"workers\": " + std::to_string(s.workers) +
+                ", \"seconds\": " + TablePrinter::num(s.seconds, 4) +
+                ", \"traces_per_sec\": " + TablePrinter::num(s.traces_per_sec, 2) +
+                ", \"toggle_mb_per_sec\": " +
+                TablePrinter::num(s.toggle_mb_per_sec, 2) +
+                ", \"toggles\": " + std::to_string(s.toggles) +
+                ", \"speedup\": " + TablePrinter::num(s.speedup, 3) +
+                ", \"max_abs_t1\": " + TablePrinter::num(s.max_abs_t1, 9) + "}";
+        json += (i + 1 < series.size()) ? ",\n" : "\n";
+    }
+    json += "  ]\n}\n";
+
+    std::fputs(json.c_str(), stdout);
+    if (std::FILE* f = std::fopen("campaign_throughput.json", "w")) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        std::printf("JSON: campaign_throughput.json\n");
+    }
+    return deterministic ? 0 : 1;
+}

@@ -1,8 +1,20 @@
 #include "eval/campaign.hpp"
 
+#include <memory>
+
 #include "core/sharing.hpp"
 
 namespace glitchmask::eval {
+
+namespace {
+
+sim::DelayConfig sequence_delay_config(const SequenceExperimentConfig& config) {
+    sim::DelayConfig delay_config = sim::DelayConfig::spartan6();
+    delay_config.seed = config.placement_seed;
+    return delay_config;
+}
+
+}  // namespace
 
 std::vector<double> collect_trace(
     sim::ClockedSim& sim, power::PowerRecorder& recorder, std::size_t cycles,
@@ -14,54 +26,70 @@ std::vector<double> collect_trace(
     return recorder.noisy_trace(noise_rng, sigma);
 }
 
-SequenceLeakResult run_sequence_experiment(
-    const core::InputSequence& sequence,
-    const SequenceExperimentConfig& config) {
-    core::RegisteredSecand2 circuit =
-        core::build_registered_secand2(config.replicas);
+SequenceHarness::SequenceHarness(const SequenceExperimentConfig& config)
+    : circuit_(core::build_registered_secand2(config.replicas)),
+      dm_(circuit_.nl, sequence_delay_config(config)) {
+    power_config_.bin_ps = clock_.period_ps;
+}
 
-    sim::DelayConfig delay_config = sim::DelayConfig::spartan6();
-    delay_config.seed = config.placement_seed;
-    const sim::DelayModel dm(circuit.nl, delay_config);
-    sim::ClockConfig clock;
-    power::PowerConfig power_config;
-    power_config.bin_ps = clock.period_ps;
-
-    sim::ClockedSim simulator(circuit.nl, dm, clock);
-    power::PowerRecorder recorder(circuit.nl, power_config);
-    simulator.engine().set_sink(&recorder);
-
+SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
+                                        const SequenceExperimentConfig& config,
+                                        ThreadPool& pool) const {
     constexpr std::size_t kCycles = 6;  // inputs + 4 sequence slots + settle
-    leakage::TvlaCampaign campaign(kCycles, config.max_test_order);
-    Xoshiro256 rng(config.seed);
-    Xoshiro256 noise_rng(mix64(config.seed, 0x6e6f697365ULL));
 
-    for (std::size_t n = 0; n < config.traces; ++n) {
-        const bool fixed = rng.bit();
-        const bool x = fixed ? true : rng.bit();
-        const bool y = fixed ? true : rng.bit();
-        const core::MaskedBit mx = core::mask_bit(x, rng);
-        const core::MaskedBit my = core::mask_bit(y, rng);
-        const std::array<bool, 4> share_value{mx.s0, mx.s1, my.s0, my.s1};
+    // Per-worker simulator replica over the shared netlist/delay-model.
+    // Heap-allocated so the recorder's sink registration never relocates.
+    struct Worker {
+        sim::ClockedSim sim;
+        power::PowerRecorder recorder;
+        Worker(const core::RegisteredSecand2& circuit, const sim::DelayModel& dm,
+               sim::ClockConfig clock, power::PowerConfig power_config)
+            : sim(circuit.nl, dm, clock), recorder(circuit.nl, power_config) {
+            sim.engine().set_sink(&recorder);
+        }
+    };
 
-        const std::vector<double> trace = collect_trace(
-            simulator, recorder, kCycles, config.noise_sigma, noise_rng,
-            [&](sim::ClockedSim& s) {
-                // Cycle 0: share values appear on the primary inputs; all
-                // input registers stay disabled (reset-to-0 state).
-                for (std::size_t i = 0; i < 4; ++i)
-                    s.set_input(circuit.in[i], share_value[i]);
-                s.step();
-                // Cycles 1..4: sample one share per cycle in `sequence`.
-                for (const core::ShareId slot : sequence) {
-                    s.set_enable(
-                        circuit.enable[static_cast<std::size_t>(slot)], true);
+    const ShardPlan plan{config.traces, config.block_size};
+    leakage::TvlaCampaign campaign = run_sharded(
+        pool, plan,
+        [&] {
+            return std::make_unique<Worker>(circuit_, dm_, clock_,
+                                            power_config_);
+        },
+        [&] { return leakage::TvlaCampaign(kCycles, config.max_test_order); },
+        [&](std::unique_ptr<Worker>& worker, std::size_t trace_index,
+            leakage::TvlaCampaign& acc) {
+            Xoshiro256 rng = trace_rng(config.seed, kStimulusStream, trace_index);
+            Xoshiro256 noise_rng = trace_rng(config.seed, kNoiseStream, trace_index);
+            const bool fixed = rng.bit();
+            const bool x = fixed ? true : rng.bit();
+            const bool y = fixed ? true : rng.bit();
+            const core::MaskedBit mx = core::mask_bit(x, rng);
+            const core::MaskedBit my = core::mask_bit(y, rng);
+            const std::array<bool, 4> share_value{mx.s0, mx.s1, my.s0, my.s1};
+
+            const std::vector<double> trace = collect_trace(
+                worker->sim, worker->recorder, kCycles, config.noise_sigma,
+                noise_rng, [&](sim::ClockedSim& s) {
+                    // Cycle 0: share values appear on the primary inputs;
+                    // all input registers stay disabled (reset-to-0 state).
+                    for (std::size_t i = 0; i < 4; ++i)
+                        s.set_input(circuit_.in[i], share_value[i]);
                     s.step();
-                }
-                s.step();  // settle
-            });
-        campaign.add_trace(fixed, trace);
-    }
+                    // Cycles 1..4: sample one share per cycle in `sequence`.
+                    for (const core::ShareId slot : sequence) {
+                        s.set_enable(
+                            circuit_.enable[static_cast<std::size_t>(slot)],
+                            true);
+                        s.step();
+                    }
+                    s.step();  // settle
+                });
+            acc.add_trace(fixed, trace);
+        },
+        [](leakage::TvlaCampaign& into, const leakage::TvlaCampaign& from) {
+            into.merge(from);
+        });
 
     SequenceLeakResult result;
     result.sequence = sequence;
@@ -72,11 +100,24 @@ SequenceLeakResult run_sequence_experiment(
     return result;
 }
 
+SequenceLeakResult run_sequence_experiment(
+    const core::InputSequence& sequence,
+    const SequenceExperimentConfig& config) {
+    const SequenceHarness harness(config);
+    ThreadPool pool(resolve_workers(config.workers));
+    return harness.run(sequence, config, pool);
+}
+
 std::vector<SequenceLeakResult> run_all_sequences(
     const SequenceExperimentConfig& config) {
+    // One netlist/delay-model and one worker pool serve all 24 sequences;
+    // the circuit is sequence-independent, rebuilding it per sequence was
+    // pure waste.
+    const SequenceHarness harness(config);
+    ThreadPool pool(resolve_workers(config.workers));
     std::vector<SequenceLeakResult> results;
     for (const core::InputSequence& sequence : core::all_input_sequences())
-        results.push_back(run_sequence_experiment(sequence, config));
+        results.push_back(harness.run(sequence, config, pool));
     return results;
 }
 

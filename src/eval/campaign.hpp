@@ -6,17 +6,22 @@
 //   per-cycle power trace -> add Gaussian measurement noise -> feed the
 //   TVLA accumulators; repeat with randomly interleaved classes.
 // collect_trace() implements one iteration of that loop; the experiment
-// functions wrap it with the paper's specific stimulus schedules.
+// functions wrap it with the paper's specific stimulus schedules and run
+// the campaign on the sharded parallel engine of parallel_campaign.hpp --
+// every trace derives its randomness from (seed, trace index), so results
+// are bit-identical at any worker count.
 #pragma once
 
 #include <functional>
 #include <vector>
 
 #include "core/circuits.hpp"
+#include "eval/parallel_campaign.hpp"
 #include "leakage/tvla.hpp"
 #include "power/power_model.hpp"
 #include "sim/clocked.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace glitchmask::eval {
 
@@ -36,6 +41,9 @@ struct SequenceExperimentConfig {
     std::uint64_t seed = 1;       // masks, classes, noise
     std::uint64_t placement_seed = 1;  // delay-model jitter
     int max_test_order = 2;
+    unsigned workers = 0;         // campaign threads; 0 = auto (env/cores)
+    std::size_t block_size = 64;  // shard granularity (part of the result's
+                                  // identity -- see parallel_campaign.hpp)
 };
 
 struct SequenceLeakResult {
@@ -47,13 +55,32 @@ struct SequenceLeakResult {
     bool expected_to_leak = false;
 };
 
+/// Prebuilt secAND2 harness: the circuit and its delay annotation do not
+/// depend on the input sequence, so one instance serves all 24 sequence
+/// experiments (and all worker replicas -- simulators share them read-only).
+class SequenceHarness {
+public:
+    explicit SequenceHarness(const SequenceExperimentConfig& config);
+
+    /// Runs one sequence campaign on `pool`.
+    [[nodiscard]] SequenceLeakResult run(const core::InputSequence& sequence,
+                                         const SequenceExperimentConfig& config,
+                                         ThreadPool& pool) const;
+
+private:
+    core::RegisteredSecand2 circuit_;
+    sim::DelayModel dm_;
+    sim::ClockConfig clock_;
+    power::PowerConfig power_config_;
+};
+
 /// Runs the paper's Sec. II-B experiment for one input sequence: the four
 /// shares are applied one per cycle in the given order to the registered
 /// secAND2 harness, and a fixed-vs-random TVLA is evaluated per cycle.
 [[nodiscard]] SequenceLeakResult run_sequence_experiment(
     const core::InputSequence& sequence, const SequenceExperimentConfig& config);
 
-/// Convenience: runs all 24 sequences.
+/// Convenience: runs all 24 sequences (one shared harness, one pool).
 [[nodiscard]] std::vector<SequenceLeakResult> run_all_sequences(
     const SequenceExperimentConfig& config);
 

@@ -1,7 +1,11 @@
 #include "eval/des_experiments.hpp"
 
+#include <memory>
+
 #include "core/sharing.hpp"
+#include "eval/parallel_campaign.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace glitchmask::eval {
 
@@ -13,6 +17,21 @@ power::PowerConfig des_power_config(sim::TimePs period) {
     return config;
 }
 
+/// Per-worker DES simulator replica over the shared netlist/delay-model.
+struct DesWorker {
+    sim::ClockedSim sim;
+    power::PowerRecorder recorder;
+
+    DesWorker(const des::MaskedDesCore& core, const sim::DelayModel& dm,
+              sim::ClockConfig clock, sim::CouplingConfig coupling,
+              power::PowerConfig power_config)
+        : sim(core.nl(), dm, clock, coupling),
+          recorder(core.nl(), power_config) {
+        recorder.attach(&sim.engine());
+        sim.engine().set_sink(&recorder);
+    }
+};
+
 }  // namespace
 
 DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
@@ -23,41 +42,61 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
 
     sim::ClockConfig clock;
     clock.period_ps = core.recommended_period();
-    sim::ClockedSim simulator(core.nl(), dm, clock, config.coupling);
-
     power::PowerConfig power_config = des_power_config(clock.period_ps);
     power_config.coupling_epsilon = config.coupling_epsilon;
-    power::PowerRecorder recorder(core.nl(), power_config);
-    recorder.attach(&simulator.engine());
-    simulator.engine().set_sink(&recorder);
 
     const std::size_t samples = core.total_cycles();
+
+    struct BlockAcc {
+        leakage::TvlaCampaign campaign;
+        std::uint64_t toggles = 0;
+    };
+
+    ThreadPool pool(resolve_workers(config.workers));
+    const ShardPlan plan{config.traces, config.block_size};
+    BlockAcc merged = run_sharded(
+        pool, plan,
+        [&] {
+            return std::make_unique<DesWorker>(core, dm, clock, config.coupling,
+                                               power_config);
+        },
+        [&] {
+            return BlockAcc{leakage::TvlaCampaign(samples, config.max_test_order),
+                            0};
+        },
+        [&](std::unique_ptr<DesWorker>& worker, std::size_t trace_index,
+            BlockAcc& acc) {
+            Xoshiro256 rng = trace_rng(config.seed, kStimulusStream, trace_index);
+            Xoshiro256 noise_rng = trace_rng(config.seed, kNoiseStream, trace_index);
+            const bool fixed = rng.bit();
+            const std::uint64_t pt = fixed ? config.fixed_plaintext : rng();
+
+            worker->sim.restart();
+            worker->recorder.begin_trace(samples);
+            if (config.prng_on) {
+                const core::MaskedWord mpt = core::mask_word(pt, 64, rng);
+                const core::MaskedWord mkey =
+                    core::mask_word(config.key, 64, rng);
+                (void)core.encrypt(worker->sim, mpt, mkey, &rng);
+            } else {
+                (void)core.encrypt(worker->sim, core::MaskedWord{0, pt},
+                                   core::MaskedWord{0, config.key}, nullptr);
+            }
+            const std::vector<double> trace =
+                worker->recorder.noisy_trace(noise_rng, config.noise_sigma);
+            acc.campaign.add_trace(fixed, trace);
+            acc.toggles += worker->recorder.trace_toggles();
+        },
+        [](BlockAcc& into, const BlockAcc& from) {
+            into.campaign.merge(from.campaign);
+            into.toggles += from.toggles;
+        });
+
     DesTvlaResult result(samples, config.max_test_order);
     result.samples = samples;
-
-    Xoshiro256 rng(config.seed);
-    Xoshiro256 noise_rng(mix64(config.seed, 0x646573746e6fULL));
-
-    for (std::size_t n = 0; n < config.traces; ++n) {
-        const bool fixed = rng.bit();
-        const std::uint64_t pt = fixed ? config.fixed_plaintext : rng();
-
-        simulator.restart();
-        recorder.begin_trace(samples);
-        if (config.prng_on) {
-            const core::MaskedWord mpt = core::mask_word(pt, 64, rng);
-            const core::MaskedWord mkey = core::mask_word(config.key, 64, rng);
-            (void)core.encrypt(simulator, mpt, mkey, &rng);
-        } else {
-            (void)core.encrypt(simulator, core::MaskedWord{0, pt},
-                               core::MaskedWord{0, config.key}, nullptr);
-        }
-        const std::vector<double> trace =
-            recorder.noisy_trace(noise_rng, config.noise_sigma);
-        result.campaign.add_trace(fixed, trace);
-    }
-
     result.traces = config.traces;
+    result.toggles = merged.toggles;
+    result.campaign = std::move(merged.campaign);
     for (int order = 1; order <= config.max_test_order; ++order)
         result.max_abs_t[order] =
             result.campaign.max_abs_t(order, &result.argmax[order]);
@@ -66,26 +105,40 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
 
 std::vector<double> mean_power_trace(const des::MaskedDesCore& core,
                                      std::size_t traces, std::uint64_t seed,
-                                     std::uint64_t placement_seed) {
+                                     std::uint64_t placement_seed,
+                                     unsigned workers) {
     sim::DelayConfig delay_config = sim::DelayConfig::spartan6();
     delay_config.seed = placement_seed;
     const sim::DelayModel dm(core.nl(), delay_config);
     sim::ClockConfig clock;
     clock.period_ps = core.recommended_period();
-    sim::ClockedSim simulator(core.nl(), dm, clock);
-    power::PowerRecorder recorder(core.nl(), des_power_config(clock.period_ps));
-    simulator.engine().set_sink(&recorder);
+    const power::PowerConfig power_config = des_power_config(clock.period_ps);
 
     const std::size_t samples = core.total_cycles();
-    std::vector<double> mean(samples, 0.0);
-    Xoshiro256 rng(seed);
-    for (std::size_t n = 0; n < traces; ++n) {
-        simulator.restart();
-        recorder.begin_trace(samples);
-        (void)core.encrypt_value(simulator, rng(), rng(), &rng);
-        const std::vector<double>& trace = recorder.trace();
-        for (std::size_t i = 0; i < samples; ++i) mean[i] += trace[i];
-    }
+    ThreadPool pool(resolve_workers(workers));
+    const ShardPlan plan{traces, /*block_size=*/64};
+    std::vector<double> mean = run_sharded(
+        pool, plan,
+        [&] {
+            return std::make_unique<DesWorker>(core, dm, clock,
+                                               sim::CouplingConfig{},
+                                               power_config);
+        },
+        [&] { return std::vector<double>(samples, 0.0); },
+        [&](std::unique_ptr<DesWorker>& worker, std::size_t trace_index,
+            std::vector<double>& acc) {
+            Xoshiro256 rng = trace_rng(seed, kStimulusStream, trace_index);
+            worker->sim.restart();
+            worker->recorder.begin_trace(samples);
+            const std::uint64_t pt = rng();
+            const std::uint64_t key = rng();
+            (void)core.encrypt_value(worker->sim, pt, key, &rng);
+            const std::vector<double>& trace = worker->recorder.trace();
+            for (std::size_t i = 0; i < samples; ++i) acc[i] += trace[i];
+        },
+        [](std::vector<double>& into, const std::vector<double>& from) {
+            for (std::size_t i = 0; i < into.size(); ++i) into[i] += from[i];
+        });
     for (double& v : mean) v /= static_cast<double>(traces);
     return mean;
 }

@@ -34,11 +34,19 @@ struct DesTvlaConfig {
     /// Physical-coupling models (PD core, paper Sec. VII-C).
     sim::CouplingConfig coupling = {};
     double coupling_epsilon = 0.0;
+    /// Campaign threads; 0 = auto (GLITCHMASK_WORKERS env / core count).
+    unsigned workers = 0;
+    /// Shard granularity; fixed per campaign so results are bit-identical
+    /// at any worker count (see eval/parallel_campaign.hpp).
+    std::size_t block_size = 64;
 };
 
 struct DesTvlaResult {
     std::size_t samples = 0;
     std::size_t traces = 0;
+    /// Toggle events the simulation committed across all traces (the
+    /// throughput bench's activity metric; deterministic per campaign).
+    std::uint64_t toggles = 0;
     /// max |t| per order (index 1..3; index 0 unused).
     std::array<double, 4> max_abs_t{};
     std::array<std::size_t, 4> argmax{};
@@ -54,6 +62,6 @@ struct DesTvlaResult {
 /// Mean per-cycle power over `traces` random encryptions (PRNG on).
 [[nodiscard]] std::vector<double> mean_power_trace(
     const des::MaskedDesCore& core, std::size_t traces, std::uint64_t seed,
-    std::uint64_t placement_seed = 1);
+    std::uint64_t placement_seed = 1, unsigned workers = 0);
 
 }  // namespace glitchmask::eval

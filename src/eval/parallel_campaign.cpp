@@ -1,0 +1,9 @@
+#include "eval/parallel_campaign.hpp"
+
+namespace glitchmask::eval {
+
+unsigned resolve_workers(unsigned configured) {
+    return configured > 0 ? configured : ThreadPool::default_worker_count();
+}
+
+}  // namespace glitchmask::eval

@@ -1,0 +1,130 @@
+// Deterministic sharded trace-collection engine.
+//
+// A campaign of T traces is cut into fixed-size blocks of consecutive
+// trace indices.  Blocks are claimed dynamically by the pool's workers
+// (work stealing balances the load -- simulator replicas warm up at
+// different speeds), each worker owns a private simulator replica built
+// from the shared netlist/delay-model, and every block folds its traces
+// into a private accumulator.  The block accumulators are then merged in
+// a fixed binary tree over block indices.
+//
+// Determinism is the design center, achieved by two rules:
+//   1. Counter-based RNG: trace n draws every random decision (class
+//      choice, mask shares, refresh bits, measurement noise) from streams
+//      seeded as mix64(mix64(seed, stream_tag), n) -- no generator state
+//      is ever shared between traces, so trace n's stimulus is a pure
+//      function of (seed, n) no matter which worker runs it.
+//   2. Fixed reduction shape: floating-point accumulation is not
+//      associative, so bit-identical results require the *merge structure*
+//      (block size and tree), not just the trace values, to be independent
+//      of the worker count.  Block size is a config constant, never
+//      derived from the pool size.
+// Together these make a campaign at any worker count -- including 1 --
+// produce bit-identical statistics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace glitchmask::eval {
+
+/// Resolves a config's `workers` field: 0 = GLITCHMASK_WORKERS env /
+/// hardware_concurrency (ThreadPool::default_worker_count()).
+[[nodiscard]] unsigned resolve_workers(unsigned configured);
+
+/// Stream tags feeding mix64(mix64(seed, tag), trace_index): one derived
+/// generator per purpose, so stimulus and noise draws never interleave.
+inline constexpr std::uint64_t kStimulusStream = 0x7374696d756cULL;  // "stimul"
+inline constexpr std::uint64_t kNoiseStream = 0x6e6f697365ULL;       // "noise"
+
+/// The per-trace generator for one purpose; trace_index is the global
+/// trace counter, identical in serial and parallel schedules.
+[[nodiscard]] inline Xoshiro256 trace_rng(std::uint64_t seed,
+                                          std::uint64_t stream_tag,
+                                          std::uint64_t trace_index) {
+    return Xoshiro256(mix64(mix64(seed, stream_tag), trace_index));
+}
+
+/// Fixed decomposition of a trace budget into blocks of consecutive
+/// indices.  The block size is part of the campaign's identity: changing
+/// it changes the merge tree and therefore the low bits of the result.
+struct ShardPlan {
+    std::size_t traces = 0;
+    std::size_t block_size = 64;
+
+    [[nodiscard]] std::size_t blocks() const noexcept {
+        return block_size == 0 ? 0 : (traces + block_size - 1) / block_size;
+    }
+    [[nodiscard]] std::size_t block_begin(std::size_t block) const noexcept {
+        return block * block_size;
+    }
+    [[nodiscard]] std::size_t block_end(std::size_t block) const noexcept {
+        const std::size_t end = (block + 1) * block_size;
+        return end < traces ? end : traces;
+    }
+};
+
+/// In-place pairwise reduction of block accumulators in index order:
+/// round 1 merges (0,1)(2,3)..., round 2 merges (0,2)(4,6)..., etc.  The
+/// tree depends only on the number of blocks.  Returns the root.
+template <class Acc, class Merge>
+[[nodiscard]] Acc merge_tree(std::vector<std::optional<Acc>>& blocks,
+                             Merge&& merge) {
+    for (std::size_t step = 1; step < blocks.size(); step *= 2)
+        for (std::size_t i = 0; i + step < blocks.size(); i += 2 * step)
+            merge(*blocks[i], *blocks[i + step]);
+    return std::move(*blocks.front());
+}
+
+/// Runs `plan.traces` traces on `pool` and returns the merged accumulator.
+///
+///   make_worker() -> owning handle H of one simulator replica; called
+///     lazily, at most once per pool worker, on that worker's thread.
+///     Return a std::unique_ptr (or any dereference-free movable state):
+///     the handle is stored once and never relocated afterwards, so
+///     internal pointers (e.g. a PowerRecorder registered as toggle sink)
+///     stay valid.
+///   make_acc() -> empty block accumulator Acc.
+///   run_trace(H& worker, std::size_t trace_index, Acc& acc) collects one
+///     trace into the block accumulator.
+///   merge(Acc& into, const Acc& from) folds two block accumulators.
+template <class MakeWorker, class MakeAcc, class RunTrace, class Merge>
+[[nodiscard]] auto run_sharded(ThreadPool& pool, const ShardPlan& plan,
+                               MakeWorker&& make_worker, MakeAcc&& make_acc,
+                               RunTrace&& run_trace, Merge&& merge)
+    -> decltype(make_acc()) {
+    using Acc = decltype(make_acc());
+    using Worker = decltype(make_worker());
+
+    const std::size_t n_blocks = plan.blocks();
+    if (n_blocks == 0) return make_acc();
+
+    // One lazily-built replica slot per pool worker.  Each slot is only
+    // ever touched by the pool thread with that index, so no locking.
+    std::vector<std::optional<Worker>> replicas(pool.size());
+    std::vector<std::optional<Acc>> blocks(n_blocks);
+
+    TaskGroup group(pool);
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+        group.run([&, b] {
+            const int id = pool.current_worker();
+            std::optional<Worker>& slot = replicas[static_cast<std::size_t>(id)];
+            if (!slot.has_value()) slot.emplace(make_worker());
+
+            Acc acc = make_acc();
+            const std::size_t end = plan.block_end(b);
+            for (std::size_t n = plan.block_begin(b); n < end; ++n)
+                run_trace(*slot, n, acc);
+            blocks[b].emplace(std::move(acc));
+        });
+    }
+    group.wait();
+
+    return merge_tree(blocks, merge);
+}
+
+}  // namespace glitchmask::eval

@@ -23,9 +23,12 @@ PowerRecorder::PowerRecorder(const Netlist& nl, PowerConfig config)
 
 void PowerRecorder::begin_trace(std::size_t bins) {
     trace_.assign(bins, 0.0);
+    trace_toggles_ = 0;
 }
 
 void PowerRecorder::on_toggle(NetId net, TimePs time, bool new_value) {
+    ++trace_toggles_;
+    ++total_toggles_;
     const std::size_t bin = static_cast<std::size_t>(time / config_.bin_ps);
     if (bin >= trace_.size()) return;
     double energy = weight_[net];

@@ -60,6 +60,18 @@ public:
         return trace_;
     }
 
+    /// Toggle events recorded since begin_trace() (includes out-of-window
+    /// toggles that fell past the last bin).  Feeds the throughput bench's
+    /// activity metric.
+    [[nodiscard]] std::uint64_t trace_toggles() const noexcept {
+        return trace_toggles_;
+    }
+
+    /// Toggle events recorded over the recorder's lifetime.
+    [[nodiscard]] std::uint64_t total_toggles() const noexcept {
+        return total_toggles_;
+    }
+
     /// Returns the trace with i.i.d. Gaussian measurement noise added.
     [[nodiscard]] std::vector<double> noisy_trace(Xoshiro256& rng,
                                                   double sigma) const;
@@ -72,6 +84,8 @@ private:
     std::vector<double> weight_;      // per net: base + fanout load
     std::vector<NetId> partner_;      // coupling neighbour or kNoNet
     std::vector<double> trace_;
+    std::uint64_t trace_toggles_ = 0;
+    std::uint64_t total_toggles_ = 0;
 };
 
 }  // namespace glitchmask::power

@@ -1,0 +1,104 @@
+// Work-stealing thread pool for measurement campaigns.
+//
+// Campaign workloads are thousands of equally expensive simulation blocks
+// plus the occasional heterogeneous task (building a per-worker simulator
+// replica takes much longer than running one block).  Each worker owns a
+// deque: tasks submitted from a worker push to its own queue and are
+// popped LIFO (cache-warm), while idle workers steal FIFO from the other
+// end of a victim's queue -- the classic Chase-Lev discipline, here with a
+// small per-queue mutex because campaign tasks are coarse (milliseconds,
+// not nanoseconds) and contention is negligible.
+//
+// Determinism note: the pool itself makes no ordering promises -- all
+// campaign determinism comes from eval/parallel_campaign.hpp, which gives
+// every trace a counter-derived RNG stream and merges block accumulators
+// in a fixed tree, so the *schedule* is free to be as racy as it likes.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace glitchmask {
+
+class ThreadPool {
+public:
+    using Task = std::function<void()>;
+
+    /// `workers` == 0 means default_worker_count().
+    explicit ThreadPool(unsigned workers = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] unsigned size() const noexcept {
+        return static_cast<unsigned>(queues_.size());
+    }
+
+    /// Enqueues a task.  From a pool worker the task goes to that worker's
+    /// own deque (stolen by others when it falls behind); from outside it
+    /// is dealt round-robin.
+    void submit(Task task);
+
+    /// Index of the calling pool worker in [0, size()), or -1 when the
+    /// caller is not one of this pool's threads.
+    [[nodiscard]] int current_worker() const noexcept;
+
+    /// GLITCHMASK_WORKERS when set (> 0), else hardware_concurrency().
+    [[nodiscard]] static unsigned default_worker_count();
+
+private:
+    struct WorkerQueue {
+        std::mutex mutex;
+        std::deque<Task> tasks;
+    };
+
+    void worker_loop(unsigned id);
+    bool try_pop_own(unsigned id, Task& out);
+    bool try_steal(unsigned id, Task& out);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> threads_;
+
+    std::mutex sleep_mutex_;
+    std::condition_variable wake_;
+    std::size_t queued_ = 0;  // guarded by sleep_mutex_
+    bool stop_ = false;       // guarded by sleep_mutex_
+    std::size_t next_queue_ = 0;  // round-robin cursor for external submits
+};
+
+/// Tracks a batch of tasks submitted to a pool and waits for all of them.
+/// The first exception thrown by a task is captured and rethrown from
+/// wait(); the remaining tasks still run to completion.  Must be waited on
+/// from outside the pool (a worker waiting on its own pool would deadlock).
+class TaskGroup {
+public:
+    explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+    ~TaskGroup() { wait_no_throw(); }
+
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    void run(ThreadPool::Task task);
+
+    /// Blocks until every run() task finished; rethrows the first failure.
+    void wait();
+
+private:
+    void wait_no_throw() noexcept;
+
+    ThreadPool& pool_;
+    std::mutex mutex_;
+    std::condition_variable done_;
+    std::size_t pending_ = 0;     // guarded by mutex_
+    std::exception_ptr error_;    // guarded by mutex_
+};
+
+}  // namespace glitchmask

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <vector>
 
@@ -65,6 +66,44 @@ TEST(Moments, MergeEqualsSequential) {
         EXPECT_NEAR(left.central_moment(p), whole.central_moment(p),
                     1e-6 * std::max(1.0, std::fabs(whole.central_moment(p))))
             << "order " << p;
+}
+
+TEST(Moments, MergeAssociativityUnevenShards) {
+    // The parallel campaign engine merges per-block accumulators whose
+    // sizes are rarely equal (the tail block is short).  Merge must be
+    // associative up to rounding on grossly uneven shard sizes.
+    const std::vector<double> xs = random_data(17, 7 + 64 + 13, 0.5, 1.5);
+    const std::array<std::size_t, 3> sizes{7, 64, 13};
+    std::array<MomentAccumulator, 3> shard{
+        MomentAccumulator(6), MomentAccumulator(6), MomentAccumulator(6)};
+    std::size_t index = 0;
+    for (std::size_t s = 0; s < sizes.size(); ++s)
+        for (std::size_t i = 0; i < sizes[s]; ++i) shard[s].add(xs[index++]);
+
+    // (a + b) + c
+    MomentAccumulator left_first = shard[0];
+    left_first.merge(shard[1]);
+    left_first.merge(shard[2]);
+    // a + (b + c)
+    MomentAccumulator right_first = shard[1];
+    right_first.merge(shard[2]);
+    MomentAccumulator a = shard[0];
+    a.merge(right_first);
+
+    MomentAccumulator whole(6);
+    for (const double x : xs) whole.add(x);
+
+    EXPECT_EQ(left_first.count(), whole.count());
+    EXPECT_EQ(a.count(), whole.count());
+    for (int p = 2; p <= 6; ++p) {
+        const double scale = std::max(1.0, std::fabs(whole.central_moment(p)));
+        EXPECT_NEAR(left_first.central_moment(p), a.central_moment(p),
+                    1e-9 * scale)
+            << "order " << p;
+        EXPECT_NEAR(left_first.central_moment(p), whole.central_moment(p),
+                    1e-6 * scale)
+            << "order " << p;
+    }
 }
 
 TEST(Moments, MergeWithEmptySides) {
@@ -255,6 +294,43 @@ TEST(Tvla, MergeMatchesSequential) {
     for (int order = 1; order <= 2; ++order)
         for (std::size_t s = 0; s < 4; ++s)
             EXPECT_NEAR(left.point(s).t(order), whole.point(s).t(order), 1e-9);
+}
+
+TEST(Tvla, MergeAssociativityUnevenShards) {
+    // Shards of 100, 31 and 5 traces (the parallel engine's tail blocks
+    // are short): both association orders must agree to rounding, and the
+    // class trace counts must add up exactly.
+    const std::array<std::size_t, 3> sizes{100, 31, 5};
+    std::array<TvlaCampaign, 3> shard{TvlaCampaign(3, 3), TvlaCampaign(3, 3),
+                                      TvlaCampaign(3, 3)};
+    TvlaCampaign whole(3, 3);
+    Xoshiro256 rng(33);
+    std::vector<double> trace(3);
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        for (std::size_t i = 0; i < sizes[s]; ++i) {
+            const bool fixed = rng.bit();
+            for (double& v : trace) v = rng.gaussian(fixed ? 0.3 : 0.0, 1.0);
+            shard[s].add_trace(fixed, trace);
+            whole.add_trace(fixed, trace);
+        }
+    }
+    TvlaCampaign left_first = shard[0];
+    left_first.merge(shard[1]);
+    left_first.merge(shard[2]);
+    TvlaCampaign right_first = shard[1];
+    right_first.merge(shard[2]);
+    TvlaCampaign a = shard[0];
+    a.merge(right_first);
+
+    EXPECT_EQ(left_first.traces(true) + left_first.traces(false),
+              sizes[0] + sizes[1] + sizes[2]);
+    EXPECT_EQ(left_first.traces(true), whole.traces(true));
+    for (int order = 1; order <= 3; ++order)
+        for (std::size_t s = 0; s < 3; ++s) {
+            EXPECT_NEAR(left_first.point(s).t(order), a.point(s).t(order), 1e-9);
+            EXPECT_NEAR(left_first.point(s).t(order), whole.point(s).t(order),
+                        1e-7);
+        }
 }
 
 TEST(Snr, KnownSeparation) {

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <set>
+#include <stdexcept>
 #include <string>
 
 #include "support/bits.hpp"
@@ -11,6 +13,7 @@
 #include "support/env.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace glitchmask {
 namespace {
@@ -160,6 +163,65 @@ TEST(Table, AlignsColumns) {
 TEST(Table, NumberFormatting) {
     EXPECT_EQ(TablePrinter::num(1.2345, 2), "1.23");
     EXPECT_EQ(TablePrinter::integer(15180), "15180");
+}
+
+TEST(ThreadPool, RunsEveryTask) {
+    ThreadPool pool(4);
+    TaskGroup group(pool);
+    std::atomic<int> sum{0};
+    for (int i = 1; i <= 100; ++i)
+        group.run([&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); });
+    group.wait();
+    EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, WorkerIdsAreValidAndOwn) {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.size(), 3u);
+    EXPECT_EQ(pool.current_worker(), -1);  // caller is not a pool thread
+    TaskGroup group(pool);
+    std::atomic<int> bad{0};
+    for (int i = 0; i < 64; ++i)
+        group.run([&] {
+            const int id = pool.current_worker();
+            if (id < 0 || id >= 3) bad.fetch_add(1);
+        });
+    group.wait();
+    EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(ThreadPool, NestedSubmitsFromWorkersComplete) {
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 8; ++i)
+        group.run([&] {
+            // Tasks submitted from a worker land on its own deque and may
+            // be stolen; all must still be tracked by the group.
+            group.run([&] { count.fetch_add(1); });
+        });
+    group.wait();
+    EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, TaskGroupPropagatesFirstException) {
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    std::atomic<int> completed{0};
+    for (int i = 0; i < 16; ++i)
+        group.run([&, i] {
+            if (i == 5) throw std::runtime_error("boom");
+            completed.fetch_add(1);
+        });
+    EXPECT_THROW(group.wait(), std::runtime_error);
+    EXPECT_EQ(completed.load(), 15);  // the other tasks still ran
+}
+
+TEST(ThreadPool, DefaultWorkerCountHonoursEnv) {
+    ::setenv("GLITCHMASK_WORKERS", "3", 1);
+    EXPECT_EQ(ThreadPool::default_worker_count(), 3u);
+    ::unsetenv("GLITCHMASK_WORKERS");
+    EXPECT_GE(ThreadPool::default_worker_count(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,110 @@
+// ThreadSanitizer stress test for the work-stealing pool.
+//
+// Built as a standalone binary (no gtest, no glitchmask library) directly
+// from src/support/thread_pool.cpp with -fsanitize=thread, and registered
+// in the tier-1 ctest run whenever the toolchain provides libtsan -- so
+// every `ctest` invocation race-checks the pool even in a plain Release
+// build.  The whole-library sanitizer build stays available through
+// -DGLITCHMASK_SANITIZE=thread|address.
+//
+// The scenarios mirror how eval/parallel_campaign.hpp drives the pool:
+// many more blocks than workers, per-worker lazily built state, nested
+// submits, and cross-thread result slots.
+#include <atomic>
+#include <cstdio>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace {
+
+int failures = 0;
+
+void expect(bool condition, const char* what) {
+    if (!condition) {
+        std::fprintf(stderr, "FAIL: %s\n", what);
+        ++failures;
+    }
+}
+
+void stress_block_pattern() {
+    using glitchmask::TaskGroup;
+    using glitchmask::ThreadPool;
+
+    ThreadPool pool(4);
+    constexpr std::size_t kBlocks = 512;
+
+    // Campaign-shaped usage: lazily built per-worker state, one result
+    // slot per block, each touched by exactly one task.
+    std::vector<std::optional<std::uint64_t>> worker_state(pool.size());
+    std::vector<std::optional<std::uint64_t>> results(kBlocks);
+
+    TaskGroup group(pool);
+    for (std::size_t b = 0; b < kBlocks; ++b)
+        group.run([&, b] {
+            const int id = pool.current_worker();
+            std::optional<std::uint64_t>& state =
+                worker_state[static_cast<std::size_t>(id)];
+            if (!state.has_value()) state.emplace(0);
+            *state += b;
+            results[b].emplace(b * 2);
+        });
+    group.wait();
+
+    std::uint64_t total = 0;
+    for (const std::optional<std::uint64_t>& r : results) {
+        expect(r.has_value(), "every block produced a result");
+        if (r.has_value()) total += *r;
+    }
+    expect(total == kBlocks * (kBlocks - 1), "block results sum");
+}
+
+void stress_nested_submits() {
+    using glitchmask::TaskGroup;
+    using glitchmask::ThreadPool;
+
+    ThreadPool pool(4);
+    TaskGroup group(pool);
+    std::atomic<std::size_t> count{0};
+    for (int i = 0; i < 64; ++i)
+        group.run([&] {
+            for (int j = 0; j < 8; ++j)
+                group.run([&] { count.fetch_add(1, std::memory_order_relaxed); });
+        });
+    group.wait();
+    expect(count.load() == 64 * 8, "nested submits all ran");
+}
+
+void stress_exceptions() {
+    using glitchmask::TaskGroup;
+    using glitchmask::ThreadPool;
+
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    for (int i = 0; i < 32; ++i)
+        group.run([i] {
+            if (i % 7 == 0) throw std::runtime_error("expected");
+        });
+    bool threw = false;
+    try {
+        group.wait();
+    } catch (const std::runtime_error&) {
+        threw = true;
+    }
+    expect(threw, "exception propagated to wait()");
+}
+
+}  // namespace
+
+int main() {
+    for (int round = 0; round < 5; ++round) {
+        stress_block_pattern();
+        stress_nested_submits();
+        stress_exceptions();
+    }
+    if (failures == 0) std::puts("thread_pool_tsan_test: all checks passed");
+    return failures == 0 ? 0 : 1;
+}

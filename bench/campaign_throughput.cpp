@@ -1,16 +1,20 @@
 // Campaign throughput harness: traces/sec and toggle-activity MB/s of the
-// parallel trace-collection engine at 1, 2, 4 and 8 workers on the DES
-// TVLA workload (the paper's dominant cost: Sec. VII campaigns at up to
-// 50M traces).  Emits JSON -- one object, schema documented in
-// EXPERIMENTS.md -- to stdout and to campaign_throughput.json so future
-// PRs can track the perf trajectory.
+// trace-collection engine on the DES TVLA workload (the paper's dominant
+// cost: Sec. VII campaigns at up to 50M traces), swept over both scaling
+// axes -- worker count (1, 2, 4, 8) and lanes per event-queue pass
+// (1 = scalar EventSimulator, 64 = bitsliced BatchEventSimulator).
+// Emits JSON -- one object, schema documented in EXPERIMENTS.md -- to
+// stdout and to BENCH_batch_sim.json so future PRs can track the perf
+// trajectory.
 //
-// Every worker count replays the identical campaign (counter-based
-// per-trace seeding), so the max|t| column doubles as a live determinism
-// check: all rows must agree bit-for-bit.
+// Every row replays the identical campaign (counter-based per-trace
+// seeding), so the max|t| column doubles as a live equivalence check:
+// all rows -- across worker counts AND across the scalar/bitsliced
+// engines -- must agree bit-for-bit.
 //
 // Scale with GLITCHMASK_TRACES (default 192) and GLITCHMASK_NOISE; note
-// that meaningful speedups need as many physical cores as workers.
+// that meaningful worker speedups need as many physical cores as workers,
+// while the lane speedup is per-core.
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -32,19 +36,20 @@ namespace {
 constexpr double kBytesPerToggle = 16.0;
 
 struct Series {
+    unsigned lanes = 0;
     unsigned workers = 0;
     double seconds = 0.0;
     double traces_per_sec = 0.0;
     double toggle_mb_per_sec = 0.0;
     double max_abs_t1 = 0.0;
-    double speedup = 1.0;
+    double speedup = 1.0;  // vs the scalar 1-worker baseline
     std::uint64_t toggles = 0;
 };
 
 }  // namespace
 
 int main() {
-    bench::banner("Campaign throughput: parallel DES TVLA engine");
+    bench::banner("Campaign throughput: DES TVLA, scalar vs 64-lane bitsliced");
 
     const des::MaskedDesCore core(des::MaskedDesOptions{});
     const std::size_t traces = static_cast<std::size_t>(
@@ -52,39 +57,43 @@ int main() {
                                          bench::scaled_traces(192))));
     const double noise = env_double("GLITCHMASK_NOISE", 1.0);
 
-    TablePrinter table({"workers", "seconds", "traces/s", "toggle MB/s",
-                        "speedup", "max|t1|"});
+    TablePrinter table({"lanes", "workers", "seconds", "traces/s",
+                        "toggle MB/s", "speedup", "max|t1|"});
     std::vector<Series> series;
 
-    for (const unsigned workers : {1u, 2u, 4u, 8u}) {
-        eval::DesTvlaConfig config;
-        config.traces = traces;
-        config.noise_sigma = noise;
-        config.seed = 7;
-        config.workers = workers;
+    for (const unsigned lanes : {1u, 64u}) {
+        for (const unsigned workers : {1u, 2u, 4u, 8u}) {
+            eval::DesTvlaConfig config;
+            config.traces = traces;
+            config.noise_sigma = noise;
+            config.seed = 7;
+            config.workers = workers;
+            config.lanes = lanes;
 
-        const auto start = std::chrono::steady_clock::now();
-        const eval::DesTvlaResult r = eval::run_des_tvla(core, config);
-        const auto stop = std::chrono::steady_clock::now();
+            const auto start = std::chrono::steady_clock::now();
+            const eval::DesTvlaResult r = eval::run_des_tvla(core, config);
+            const auto stop = std::chrono::steady_clock::now();
 
-        Series s;
-        s.workers = workers;
-        s.seconds = std::chrono::duration<double>(stop - start).count();
-        s.traces_per_sec = static_cast<double>(r.traces) / s.seconds;
-        s.toggle_mb_per_sec =
-            static_cast<double>(r.toggles) * kBytesPerToggle / 1e6 / s.seconds;
-        s.max_abs_t1 = r.max_abs_t[1];
-        s.toggles = r.toggles;
-        s.speedup = series.empty()
-                        ? 1.0
-                        : series.front().seconds / s.seconds;
-        series.push_back(s);
+            Series s;
+            s.lanes = lanes;
+            s.workers = workers;
+            s.seconds = std::chrono::duration<double>(stop - start).count();
+            s.traces_per_sec = static_cast<double>(r.traces) / s.seconds;
+            s.toggle_mb_per_sec = static_cast<double>(r.toggles) *
+                                  kBytesPerToggle / 1e6 / s.seconds;
+            s.max_abs_t1 = r.max_abs_t[1];
+            s.toggles = r.toggles;
+            s.speedup =
+                series.empty() ? 1.0 : series.front().seconds / s.seconds;
+            series.push_back(s);
 
-        table.add_row({std::to_string(workers), TablePrinter::num(s.seconds, 2),
-                       TablePrinter::num(s.traces_per_sec, 1),
-                       TablePrinter::num(s.toggle_mb_per_sec, 1),
-                       TablePrinter::num(s.speedup, 2),
-                       TablePrinter::num(s.max_abs_t1, 6)});
+            table.add_row({std::to_string(lanes), std::to_string(workers),
+                           TablePrinter::num(s.seconds, 2),
+                           TablePrinter::num(s.traces_per_sec, 1),
+                           TablePrinter::num(s.toggle_mb_per_sec, 1),
+                           TablePrinter::num(s.speedup, 2),
+                           TablePrinter::num(s.max_abs_t1, 6)});
+        }
     }
     table.print();
 
@@ -92,8 +101,15 @@ int main() {
     for (const Series& s : series)
         deterministic &= (s.max_abs_t1 == series.front().max_abs_t1) &&
                          (s.toggles == series.front().toggles);
-    std::printf("\nDeterminism across worker counts: %s\n",
+    std::printf("\nEquivalence across workers and engines: %s\n",
                 deterministic ? "bit-identical" : "MISMATCH (bug!)");
+
+    // The headline number: one core, 64 lanes vs 1 lane.
+    double batch_speedup_1w = 0.0;
+    for (const Series& s : series)
+        if (s.lanes == 64 && s.workers == 1)
+            batch_speedup_1w = series.front().seconds / s.seconds;
+    std::printf("Bitsliced speedup at 1 worker: %.2fx\n", batch_speedup_1w);
 
     std::string json = "{\n  \"workload\": \"des_ff_tvla\",\n";
     json += "  \"traces\": " + std::to_string(traces) + ",\n";
@@ -103,10 +119,13 @@ int main() {
             ",\n";
     json += std::string("  \"deterministic\": ") +
             (deterministic ? "true" : "false") + ",\n";
+    json += "  \"batch_speedup_1worker\": " +
+            TablePrinter::num(batch_speedup_1w, 3) + ",\n";
     json += "  \"series\": [\n";
     for (std::size_t i = 0; i < series.size(); ++i) {
         const Series& s = series[i];
-        json += "    {\"workers\": " + std::to_string(s.workers) +
+        json += "    {\"lanes\": " + std::to_string(s.lanes) +
+                ", \"workers\": " + std::to_string(s.workers) +
                 ", \"seconds\": " + TablePrinter::num(s.seconds, 4) +
                 ", \"traces_per_sec\": " + TablePrinter::num(s.traces_per_sec, 2) +
                 ", \"toggle_mb_per_sec\": " +
@@ -119,10 +138,10 @@ int main() {
     json += "  ]\n}\n";
 
     std::fputs(json.c_str(), stdout);
-    if (std::FILE* f = std::fopen("campaign_throughput.json", "w")) {
+    if (std::FILE* f = std::fopen("BENCH_batch_sim.json", "w")) {
         std::fputs(json.c_str(), f);
         std::fclose(f);
-        std::printf("JSON: campaign_throughput.json\n");
+        std::printf("JSON: BENCH_batch_sim.json\n");
     }
     return deterministic ? 0 : 1;
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Reference CI recipe: configure + build the Release preset and run the
+# full test suite.  Optional sanitizer passes ride on the asan/tsan
+# presets: `scripts/ci.sh asan` (or tsan) builds and tests that preset
+# instead.  Exits nonzero on any build or test failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+preset="${1:-release}"
+case "$preset" in
+  release|asan|tsan) ;;
+  *) echo "usage: scripts/ci.sh [release|asan|tsan]" >&2; exit 2 ;;
+esac
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$jobs"
+ctest --preset "$preset" -j "$jobs"

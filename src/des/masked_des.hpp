@@ -27,11 +27,13 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <span>
 
 #include "core/sharing.hpp"
 #include "des/des_reference.hpp"
 #include "des/masked_sbox.hpp"
 #include "netlist/builder.hpp"
+#include "sim/batch_simulator.hpp"
 #include "sim/delay_model.hpp"
 
 namespace glitchmask::des {
@@ -123,6 +125,19 @@ public:
         return ct;
     }
 
+    /// Bitsliced counterpart of encrypt(): one event-queue pass carries
+    /// `pt.size()` (<= 64) independent encryptions, lane l running the
+    /// stimulus of pt[l]/key[l].  `prngs[l]` supplies lane l's 14 refresh
+    /// bits per round in the same draw order as the scalar path (pass the
+    /// generator whose state continues from that lane's mask draws); an
+    /// empty span is "PRNG off" in every lane.  Unused lanes see all-zero
+    /// stimulus.  Each lane's waveform -- and therefore its ciphertext and
+    /// power trace -- is bit-identical to a scalar encrypt() of that
+    /// lane's inputs.
+    std::array<MaskedWord, sim::kBatchLanes> encrypt_batch(
+        sim::BatchClockedSim& sim, std::span<const MaskedWord> pt,
+        std::span<const MaskedWord> key, std::span<Xoshiro256> prngs) const;
+
     /// Convenience: masks plaintext/key with `masks` (or zero masks when
     /// nullptr, the "PRNG off" mode), encrypts, and unmasks.
     template <class Sim>
@@ -158,6 +173,16 @@ private:
         for (const netlist::NetId net : rand_)
             sim.set_input(net, prng != nullptr && prng->bit());
     }
+    /// Per-lane refresh randomness: net-outer / lane-inner, so each lane
+    /// draws its bits in exactly the scalar set_rand order.
+    void set_rand(sim::BatchClockedSim& sim, std::span<Xoshiro256> prngs) const {
+        for (const netlist::NetId net : rand_) {
+            std::uint64_t word = 0;
+            for (std::size_t lane = 0; lane < prngs.size(); ++lane)
+                if (prngs[lane].bit()) word |= std::uint64_t{1} << lane;
+            sim.set_input_word(net, word);
+        }
+    }
     template <class Sim>
     void pulse(Sim& sim, std::initializer_list<netlist::CtrlGroup> groups,
                netlist::CtrlGroup reset_group = 0) const {
@@ -169,16 +194,18 @@ private:
     }
 
     /// Queues the control/random stimulus for round `round` so it lands
-    /// one edge before that round's first sampling edge.
-    template <class Sim>
-    void prepare_round(Sim& sim, unsigned round, Xoshiro256* prng) const {
+    /// one edge before that round's first sampling edge.  `Rand` is either
+    /// Xoshiro256* (scalar) or std::span<Xoshiro256> (one generator per
+    /// lane) -- set_rand overloads on it.
+    template <class Sim, class Rand>
+    void prepare_round(Sim& sim, unsigned round, Rand prng) const {
         sim.set_input(shift_one_, key_shifts()[round] == 1);
         sim.set_input(load_sel_, round == 0);
         set_rand(sim, prng);
     }
 
-    template <class Sim>
-    void run_rounds_ff(Sim& sim, Xoshiro256* prng) const {
+    template <class Sim, class Rand>
+    void run_rounds_ff(Sim& sim, Rand prng) const {
         // Round 0's controls landed at the stimulus edge (encrypt()).
         // The y1-delay FFs reset strictly *before* fresh operands can
         // reach them (reset racing new data would let an x share arrive
@@ -199,8 +226,8 @@ private:
         }
     }
 
-    template <class Sim>
-    void run_rounds_dom(Sim& sim, Xoshiro256* prng) const {
+    template <class Sim, class Rand>
+    void run_rounds_dom(Sim& sim, Rand prng) const {
         // DOM is glitch-robust by its register stages; no resets, no
         // arrival-order choreography -- just one enable per layer.
         for (unsigned round = 0; round < kRounds; ++round) {
@@ -215,8 +242,8 @@ private:
         }
     }
 
-    template <class Sim>
-    void run_rounds_pd(Sim& sim, Xoshiro256* prng) const {
+    template <class Sim, class Rand>
+    void run_rounds_pd(Sim& sim, Rand prng) const {
         for (unsigned round = 0; round < kRounds; ++round) {
             pulse(sim, {kStateG, kKeyG, kSboxInG});  // even edge
             if (round + 1 < kRounds) prepare_round(sim, round + 1, prng);

@@ -1,8 +1,13 @@
 #include "eval/campaign.hpp"
 
+#include <algorithm>
+#include <array>
 #include <memory>
+#include <stdexcept>
 
 #include "core/sharing.hpp"
+#include "power/batch_power.hpp"
+#include "sim/batch_simulator.hpp"
 
 namespace glitchmask::eval {
 
@@ -32,64 +37,173 @@ SequenceHarness::SequenceHarness(const SequenceExperimentConfig& config)
     power_config_.bin_ps = clock_.period_ps;
 }
 
+namespace {
+
+/// Per-trace sequence-experiment stimulus, derived purely from (seed, n).
+struct SequenceStimulus {
+    bool fixed;
+    std::array<bool, 4> share_value;  // x0, x1, y0, y1
+};
+
+SequenceStimulus sequence_stimulus(std::uint64_t seed, std::size_t trace_index) {
+    Xoshiro256 rng = trace_rng(seed, kStimulusStream, trace_index);
+    const bool fixed = rng.bit();
+    const bool x = fixed ? true : rng.bit();
+    const bool y = fixed ? true : rng.bit();
+    const core::MaskedBit mx = core::mask_bit(x, rng);
+    const core::MaskedBit my = core::mask_bit(y, rng);
+    return SequenceStimulus{fixed, {mx.s0, mx.s1, my.s0, my.s1}};
+}
+
+}  // namespace
+
 SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
                                         const SequenceExperimentConfig& config,
                                         ThreadPool& pool) const {
     constexpr std::size_t kCycles = 6;  // inputs + 4 sequence slots + settle
 
-    // Per-worker simulator replica over the shared netlist/delay-model.
-    // Heap-allocated so the recorder's sink registration never relocates.
-    struct Worker {
-        sim::ClockedSim sim;
-        power::PowerRecorder recorder;
-        Worker(const core::RegisteredSecand2& circuit, const sim::DelayModel& dm,
-               sim::ClockConfig clock, power::PowerConfig power_config)
-            : sim(circuit.nl, dm, clock), recorder(circuit.nl, power_config) {
-            sim.engine().set_sink(&recorder);
-        }
-    };
-
+    // Sequence campaigns never enable coupling, so the bitsliced path is
+    // always available; `lanes` only decides whether we take it.
+    const unsigned lanes =
+        resolve_lanes(config.lanes, /*timing_coupling=*/false);
     const ShardPlan plan{config.traces, config.block_size};
-    leakage::TvlaCampaign campaign = run_sharded(
-        pool, plan,
-        [&] {
-            return std::make_unique<Worker>(circuit_, dm_, clock_,
-                                            power_config_);
-        },
-        [&] { return leakage::TvlaCampaign(kCycles, config.max_test_order); },
-        [&](std::unique_ptr<Worker>& worker, std::size_t trace_index,
-            leakage::TvlaCampaign& acc) {
-            Xoshiro256 rng = trace_rng(config.seed, kStimulusStream, trace_index);
-            Xoshiro256 noise_rng = trace_rng(config.seed, kNoiseStream, trace_index);
-            const bool fixed = rng.bit();
-            const bool x = fixed ? true : rng.bit();
-            const bool y = fixed ? true : rng.bit();
-            const core::MaskedBit mx = core::mask_bit(x, rng);
-            const core::MaskedBit my = core::mask_bit(y, rng);
-            const std::array<bool, 4> share_value{mx.s0, mx.s1, my.s0, my.s1};
 
-            const std::vector<double> trace = collect_trace(
-                worker->sim, worker->recorder, kCycles, config.noise_sigma,
-                noise_rng, [&](sim::ClockedSim& s) {
-                    // Cycle 0: share values appear on the primary inputs;
-                    // all input registers stay disabled (reset-to-0 state).
-                    for (std::size_t i = 0; i < 4; ++i)
-                        s.set_input(circuit_.in[i], share_value[i]);
-                    s.step();
-                    // Cycles 1..4: sample one share per cycle in `sequence`.
-                    for (const core::ShareId slot : sequence) {
-                        s.set_enable(
-                            circuit_.enable[static_cast<std::size_t>(slot)],
-                            true);
+    leakage::TvlaCampaign campaign = [&] {
+        if (lanes == sim::kBatchLanes) {
+            // Per-worker bitsliced replica: one event-queue pass per lane
+            // group of up to 64 consecutive trace indices.  Groups are cut
+            // within each block (a short tail uses fewer lanes), so any
+            // block size stays bit-identical to the scalar path; multiples
+            // of 64 merely amortize best.
+            struct BatchWorker {
+                sim::BatchClockedSim sim;
+                power::BatchPowerRecorder recorder;
+                std::vector<double> noisy;  // bin-major (kCycles x 64) scratch
+                BatchWorker(const core::RegisteredSecand2& circuit,
+                            const sim::DelayModel& dm, sim::ClockConfig clock,
+                            power::PowerConfig power_config)
+                    : sim(circuit.nl, dm, clock),
+                      recorder(circuit.nl, power_config) {
+                    sim.engine().set_sink(&recorder);
+                }
+            };
+
+            return run_sharded_blocks(
+                pool, plan,
+                [&] {
+                    return std::make_unique<BatchWorker>(circuit_, dm_, clock_,
+                                                         power_config_);
+                },
+                [&] {
+                    return leakage::TvlaCampaign(kCycles,
+                                                 config.max_test_order);
+                },
+                [&](std::unique_ptr<BatchWorker>& worker, std::size_t begin,
+                    std::size_t end, leakage::TvlaCampaign& acc) {
+                    for (std::size_t group = begin; group < end;
+                         group += sim::kBatchLanes) {
+                        const unsigned count = static_cast<unsigned>(
+                            std::min<std::size_t>(sim::kBatchLanes,
+                                                  end - group));
+                        std::uint64_t fixed_mask = 0;
+                        std::array<std::uint64_t, 4> share_words{};
+                        for (unsigned lane = 0; lane < count; ++lane) {
+                            const SequenceStimulus stim = sequence_stimulus(
+                                config.seed, group + lane);
+                            if (stim.fixed)
+                                fixed_mask |= std::uint64_t{1} << lane;
+                            for (std::size_t i = 0; i < 4; ++i)
+                                if (stim.share_value[i])
+                                    share_words[i] |= std::uint64_t{1} << lane;
+                        }
+
+                        auto& s = worker->sim;
+                        s.restart();
+                        worker->recorder.begin_trace(kCycles);
+                        for (std::size_t i = 0; i < 4; ++i)
+                            s.set_input_word(circuit_.in[i], share_words[i]);
                         s.step();
+                        for (const core::ShareId slot : sequence) {
+                            s.set_enable(circuit_.enable[static_cast<
+                                             std::size_t>(slot)],
+                                         true);
+                            s.step();
+                        }
+                        s.step();
+
+                        // Per-lane noise in bin order from that trace's
+                        // counter-based stream -- the same draws the
+                        // scalar path makes.
+                        auto& noisy = worker->noisy;
+                        noisy.resize(kCycles * sim::kBatchLanes);
+                        for (unsigned lane = 0; lane < count; ++lane) {
+                            Xoshiro256 noise_rng = trace_rng(
+                                config.seed, kNoiseStream, group + lane);
+                            for (std::size_t bin = 0; bin < kCycles; ++bin) {
+                                double sample =
+                                    worker->recorder.sample(bin, lane);
+                                if (config.noise_sigma > 0.0)
+                                    sample += noise_rng.gaussian(
+                                        0.0, config.noise_sigma);
+                                noisy[bin * sim::kBatchLanes + lane] = sample;
+                            }
+                        }
+                        acc.add_lane_traces(noisy, sim::kBatchLanes,
+                                            fixed_mask, count);
                     }
-                    s.step();  // settle
-                });
-            acc.add_trace(fixed, trace);
-        },
-        [](leakage::TvlaCampaign& into, const leakage::TvlaCampaign& from) {
-            into.merge(from);
-        });
+                },
+                [](leakage::TvlaCampaign& into,
+                   const leakage::TvlaCampaign& from) { into.merge(from); });
+        }
+
+        // Scalar path: one event-queue pass per trace.  Heap-allocated so
+        // the recorder's sink registration never relocates.
+        struct Worker {
+            sim::ClockedSim sim;
+            power::PowerRecorder recorder;
+            std::vector<double> noisy;  // reused per-trace noise buffer
+            Worker(const core::RegisteredSecand2& circuit,
+                   const sim::DelayModel& dm, sim::ClockConfig clock,
+                   power::PowerConfig power_config)
+                : sim(circuit.nl, dm, clock), recorder(circuit.nl, power_config) {
+                sim.engine().set_sink(&recorder);
+            }
+        };
+
+        return run_sharded(
+            pool, plan,
+            [&] {
+                return std::make_unique<Worker>(circuit_, dm_, clock_,
+                                                power_config_);
+            },
+            [&] { return leakage::TvlaCampaign(kCycles, config.max_test_order); },
+            [&](std::unique_ptr<Worker>& worker, std::size_t trace_index,
+                leakage::TvlaCampaign& acc) {
+                const SequenceStimulus stim =
+                    sequence_stimulus(config.seed, trace_index);
+                Xoshiro256 noise_rng =
+                    trace_rng(config.seed, kNoiseStream, trace_index);
+
+                auto& s = worker->sim;
+                s.restart();
+                worker->recorder.begin_trace(kCycles);
+                for (std::size_t i = 0; i < 4; ++i)
+                    s.set_input(circuit_.in[i], stim.share_value[i]);
+                s.step();
+                for (const core::ShareId slot : sequence) {
+                    s.set_enable(
+                        circuit_.enable[static_cast<std::size_t>(slot)], true);
+                    s.step();
+                }
+                s.step();
+                worker->recorder.noisy_trace_into(noise_rng, config.noise_sigma,
+                                                  worker->noisy);
+                acc.add_trace(stim.fixed, worker->noisy);
+            },
+            [](leakage::TvlaCampaign& into, const leakage::TvlaCampaign& from) {
+                into.merge(from);
+            });
+    }();
 
     SequenceLeakResult result;
     result.sequence = sequence;

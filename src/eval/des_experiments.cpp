@@ -1,9 +1,15 @@
 #include "eval/des_experiments.hpp"
 
+#include <algorithm>
 #include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
 
 #include "core/sharing.hpp"
 #include "eval/parallel_campaign.hpp"
+#include "power/batch_power.hpp"
+#include "sim/batch_simulator.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 
@@ -21,6 +27,7 @@ power::PowerConfig des_power_config(sim::TimePs period) {
 struct DesWorker {
     sim::ClockedSim sim;
     power::PowerRecorder recorder;
+    std::vector<double> noisy;  // reused per-trace noise buffer
 
     DesWorker(const des::MaskedDesCore& core, const sim::DelayModel& dm,
               sim::ClockConfig clock, sim::CouplingConfig coupling,
@@ -31,6 +38,49 @@ struct DesWorker {
         sim.engine().set_sink(&recorder);
     }
 };
+
+/// Bitsliced replica: one event-queue pass per 64 consecutive traces.
+struct BatchDesWorker {
+    sim::BatchClockedSim sim;
+    power::BatchPowerRecorder recorder;
+    std::vector<double> noisy;  // bin-major (samples x 64) scratch
+    std::vector<core::MaskedWord> pts, keys;
+    std::vector<Xoshiro256> prngs;  // per-lane refresh generators
+
+    BatchDesWorker(const des::MaskedDesCore& core, const sim::DelayModel& dm,
+                   sim::ClockConfig clock, sim::CouplingConfig coupling,
+                   power::PowerConfig power_config)
+        : sim(core.nl(), dm, clock, coupling),
+          recorder(core.nl(), power_config) {
+        recorder.attach(&sim.engine());
+        sim.engine().set_sink(&recorder);
+    }
+};
+
+/// Trace n's full stimulus, a pure function of (config, n): class choice,
+/// masked operands, and the generator whose continued state supplies the
+/// per-round refresh bits -- the exact draw order of the original scalar
+/// loop, shared by both paths.
+struct DesStimulus {
+    bool fixed = false;
+    core::MaskedWord pt, key;
+    Xoshiro256 rng;
+};
+
+DesStimulus des_stimulus(const DesTvlaConfig& config, std::size_t trace_index) {
+    DesStimulus stim;
+    stim.rng = trace_rng(config.seed, kStimulusStream, trace_index);
+    stim.fixed = stim.rng.bit();
+    const std::uint64_t pt = stim.fixed ? config.fixed_plaintext : stim.rng();
+    if (config.prng_on) {
+        stim.pt = core::mask_word(pt, 64, stim.rng);
+        stim.key = core::mask_word(config.key, 64, stim.rng);
+    } else {
+        stim.pt = core::MaskedWord{0, pt};
+        stim.key = core::MaskedWord{0, config.key};
+    }
+    return stim;
+}
 
 }  // namespace
 
@@ -52,45 +102,115 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
         std::uint64_t toggles = 0;
     };
 
+    // Timing coupling makes delays data-dependent, which the shared batch
+    // schedule cannot express -- fall back to the scalar engine then.
+    const unsigned lanes =
+        resolve_lanes(config.lanes, config.coupling.timing_enabled);
+
     ThreadPool pool(resolve_workers(config.workers));
     const ShardPlan plan{config.traces, config.block_size};
-    BlockAcc merged = run_sharded(
-        pool, plan,
-        [&] {
-            return std::make_unique<DesWorker>(core, dm, clock, config.coupling,
-                                               power_config);
-        },
-        [&] {
-            return BlockAcc{leakage::TvlaCampaign(samples, config.max_test_order),
-                            0};
-        },
-        [&](std::unique_ptr<DesWorker>& worker, std::size_t trace_index,
-            BlockAcc& acc) {
-            Xoshiro256 rng = trace_rng(config.seed, kStimulusStream, trace_index);
-            Xoshiro256 noise_rng = trace_rng(config.seed, kNoiseStream, trace_index);
-            const bool fixed = rng.bit();
-            const std::uint64_t pt = fixed ? config.fixed_plaintext : rng();
+    BlockAcc merged = [&] {
+        if (lanes == sim::kBatchLanes) {
+            // Lane groups are cut *within* each block (partial groups use
+            // fewer lanes), so any block size stays bit-identical to the
+            // scalar path; multiples of 64 merely amortize best.
+            return run_sharded_blocks(
+                pool, plan,
+                [&] {
+                    return std::make_unique<BatchDesWorker>(
+                        core, dm, clock, config.coupling, power_config);
+                },
+                [&] {
+                    return BlockAcc{
+                        leakage::TvlaCampaign(samples, config.max_test_order),
+                        0};
+                },
+                [&](std::unique_ptr<BatchDesWorker>& worker, std::size_t begin,
+                    std::size_t end, BlockAcc& acc) {
+                    for (std::size_t group = begin; group < end;
+                         group += sim::kBatchLanes) {
+                        const unsigned count = static_cast<unsigned>(
+                            std::min<std::size_t>(sim::kBatchLanes,
+                                                  end - group));
+                        std::uint64_t fixed_mask = 0;
+                        worker->pts.clear();
+                        worker->keys.clear();
+                        worker->prngs.clear();
+                        for (unsigned lane = 0; lane < count; ++lane) {
+                            DesStimulus stim =
+                                des_stimulus(config, group + lane);
+                            if (stim.fixed)
+                                fixed_mask |= std::uint64_t{1} << lane;
+                            worker->pts.push_back(stim.pt);
+                            worker->keys.push_back(stim.key);
+                            worker->prngs.push_back(stim.rng);
+                        }
 
-            worker->sim.restart();
-            worker->recorder.begin_trace(samples);
-            if (config.prng_on) {
-                const core::MaskedWord mpt = core::mask_word(pt, 64, rng);
-                const core::MaskedWord mkey =
-                    core::mask_word(config.key, 64, rng);
-                (void)core.encrypt(worker->sim, mpt, mkey, &rng);
-            } else {
-                (void)core.encrypt(worker->sim, core::MaskedWord{0, pt},
-                                   core::MaskedWord{0, config.key}, nullptr);
-            }
-            const std::vector<double> trace =
-                worker->recorder.noisy_trace(noise_rng, config.noise_sigma);
-            acc.campaign.add_trace(fixed, trace);
-            acc.toggles += worker->recorder.trace_toggles();
-        },
-        [](BlockAcc& into, const BlockAcc& from) {
-            into.campaign.merge(from.campaign);
-            into.toggles += from.toggles;
-        });
+                        worker->sim.restart();
+                        worker->recorder.begin_trace(samples);
+                        (void)core.encrypt_batch(
+                            worker->sim, worker->pts, worker->keys,
+                            config.prng_on ? std::span<Xoshiro256>(worker->prngs)
+                                           : std::span<Xoshiro256>{});
+
+                        // Per-lane noise in bin order from that trace's
+                        // counter-based stream -- the scalar draw sequence.
+                        auto& noisy = worker->noisy;
+                        noisy.resize(samples * sim::kBatchLanes);
+                        for (unsigned lane = 0; lane < count; ++lane) {
+                            Xoshiro256 noise_rng = trace_rng(
+                                config.seed, kNoiseStream, group + lane);
+                            for (std::size_t bin = 0; bin < samples; ++bin) {
+                                double sample =
+                                    worker->recorder.sample(bin, lane);
+                                if (config.noise_sigma > 0.0)
+                                    sample += noise_rng.gaussian(
+                                        0.0, config.noise_sigma);
+                                noisy[bin * sim::kBatchLanes + lane] = sample;
+                            }
+                            acc.toggles += worker->recorder.lane_toggles(lane);
+                        }
+                        acc.campaign.add_lane_traces(noisy, sim::kBatchLanes,
+                                                     fixed_mask, count);
+                    }
+                },
+                [](BlockAcc& into, const BlockAcc& from) {
+                    into.campaign.merge(from.campaign);
+                    into.toggles += from.toggles;
+                });
+        }
+
+        return run_sharded(
+            pool, plan,
+            [&] {
+                return std::make_unique<DesWorker>(core, dm, clock,
+                                                   config.coupling,
+                                                   power_config);
+            },
+            [&] {
+                return BlockAcc{
+                    leakage::TvlaCampaign(samples, config.max_test_order), 0};
+            },
+            [&](std::unique_ptr<DesWorker>& worker, std::size_t trace_index,
+                BlockAcc& acc) {
+                DesStimulus stim = des_stimulus(config, trace_index);
+                Xoshiro256 noise_rng =
+                    trace_rng(config.seed, kNoiseStream, trace_index);
+
+                worker->sim.restart();
+                worker->recorder.begin_trace(samples);
+                (void)core.encrypt(worker->sim, stim.pt, stim.key,
+                                   config.prng_on ? &stim.rng : nullptr);
+                worker->recorder.noisy_trace_into(noise_rng, config.noise_sigma,
+                                                  worker->noisy);
+                acc.campaign.add_trace(stim.fixed, worker->noisy);
+                acc.toggles += worker->recorder.trace_toggles();
+            },
+            [](BlockAcc& into, const BlockAcc& from) {
+                into.campaign.merge(from.campaign);
+                into.toggles += from.toggles;
+            });
+    }();
 
     DesTvlaResult result(samples, config.max_test_order);
     result.samples = samples;
@@ -106,7 +226,7 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
 std::vector<double> mean_power_trace(const des::MaskedDesCore& core,
                                      std::size_t traces, std::uint64_t seed,
                                      std::uint64_t placement_seed,
-                                     unsigned workers) {
+                                     unsigned workers, unsigned lanes) {
     sim::DelayConfig delay_config = sim::DelayConfig::spartan6();
     delay_config.seed = placement_seed;
     const sim::DelayModel dm(core.nl(), delay_config);
@@ -117,28 +237,77 @@ std::vector<double> mean_power_trace(const des::MaskedDesCore& core,
     const std::size_t samples = core.total_cycles();
     ThreadPool pool(resolve_workers(workers));
     const ShardPlan plan{traces, /*block_size=*/64};
-    std::vector<double> mean = run_sharded(
-        pool, plan,
-        [&] {
-            return std::make_unique<DesWorker>(core, dm, clock,
-                                               sim::CouplingConfig{},
-                                               power_config);
-        },
-        [&] { return std::vector<double>(samples, 0.0); },
-        [&](std::unique_ptr<DesWorker>& worker, std::size_t trace_index,
-            std::vector<double>& acc) {
-            Xoshiro256 rng = trace_rng(seed, kStimulusStream, trace_index);
-            worker->sim.restart();
-            worker->recorder.begin_trace(samples);
-            const std::uint64_t pt = rng();
-            const std::uint64_t key = rng();
-            (void)core.encrypt_value(worker->sim, pt, key, &rng);
-            const std::vector<double>& trace = worker->recorder.trace();
-            for (std::size_t i = 0; i < samples; ++i) acc[i] += trace[i];
-        },
-        [](std::vector<double>& into, const std::vector<double>& from) {
-            for (std::size_t i = 0; i < into.size(); ++i) into[i] += from[i];
-        });
+    const unsigned resolved = resolve_lanes(lanes, /*timing_coupling=*/false);
+    std::vector<double> mean = [&] {
+        if (resolved == sim::kBatchLanes) {
+            return run_sharded_blocks(
+                pool, plan,
+                [&] {
+                    return std::make_unique<BatchDesWorker>(
+                        core, dm, clock, sim::CouplingConfig{}, power_config);
+                },
+                [&] { return std::vector<double>(samples, 0.0); },
+                [&](std::unique_ptr<BatchDesWorker>& worker, std::size_t begin,
+                    std::size_t end, std::vector<double>& acc) {
+                    for (std::size_t group = begin; group < end;
+                         group += sim::kBatchLanes) {
+                        const unsigned count = static_cast<unsigned>(
+                            std::min<std::size_t>(sim::kBatchLanes,
+                                                  end - group));
+                        worker->pts.clear();
+                        worker->keys.clear();
+                        worker->prngs.clear();
+                        for (unsigned lane = 0; lane < count; ++lane) {
+                            Xoshiro256 rng = trace_rng(seed, kStimulusStream,
+                                                       group + lane);
+                            const std::uint64_t pt = rng();
+                            const std::uint64_t key = rng();
+                            worker->pts.push_back(core::mask_word(pt, 64, rng));
+                            worker->keys.push_back(
+                                core::mask_word(key, 64, rng));
+                            worker->prngs.push_back(rng);
+                        }
+                        worker->sim.restart();
+                        worker->recorder.begin_trace(samples);
+                        (void)core.encrypt_batch(worker->sim, worker->pts,
+                                                 worker->keys, worker->prngs);
+                        // Lane order == trace order, so each bin's partial
+                        // sum sees the same addend sequence as the scalar
+                        // per-trace loop.
+                        for (unsigned lane = 0; lane < count; ++lane)
+                            for (std::size_t i = 0; i < samples; ++i)
+                                acc[i] += worker->recorder.sample(i, lane);
+                    }
+                },
+                [](std::vector<double>& into, const std::vector<double>& from) {
+                    for (std::size_t i = 0; i < into.size(); ++i)
+                        into[i] += from[i];
+                });
+        }
+
+        return run_sharded(
+            pool, plan,
+            [&] {
+                return std::make_unique<DesWorker>(core, dm, clock,
+                                                   sim::CouplingConfig{},
+                                                   power_config);
+            },
+            [&] { return std::vector<double>(samples, 0.0); },
+            [&](std::unique_ptr<DesWorker>& worker, std::size_t trace_index,
+                std::vector<double>& acc) {
+                Xoshiro256 rng = trace_rng(seed, kStimulusStream, trace_index);
+                worker->sim.restart();
+                worker->recorder.begin_trace(samples);
+                const std::uint64_t pt = rng();
+                const std::uint64_t key = rng();
+                (void)core.encrypt_value(worker->sim, pt, key, &rng);
+                const std::vector<double>& trace = worker->recorder.trace();
+                for (std::size_t i = 0; i < samples; ++i) acc[i] += trace[i];
+            },
+            [](std::vector<double>& into, const std::vector<double>& from) {
+                for (std::size_t i = 0; i < into.size(); ++i) into[i] += from[i];
+            });
+    }();
     for (double& v : mean) v /= static_cast<double>(traces);
     return mean;
 }

@@ -39,6 +39,10 @@ struct DesTvlaConfig {
     /// Shard granularity; fixed per campaign so results are bit-identical
     /// at any worker count (see eval/parallel_campaign.hpp).
     std::size_t block_size = 64;
+    /// Traces per event-queue pass: 1 = scalar, 64 = bitsliced, 0 = auto
+    /// (GLITCHMASK_LANES env, default 64).  Both paths are bit-identical;
+    /// timing coupling forces the scalar path regardless.
+    unsigned lanes = 0;
 };
 
 struct DesTvlaResult {
@@ -60,8 +64,10 @@ struct DesTvlaResult {
                                          const DesTvlaConfig& config);
 
 /// Mean per-cycle power over `traces` random encryptions (PRNG on).
+/// `lanes` as in DesTvlaConfig (0 = auto; scalar and bitsliced paths are
+/// bit-identical).
 [[nodiscard]] std::vector<double> mean_power_trace(
     const des::MaskedDesCore& core, std::size_t traces, std::uint64_t seed,
-    std::uint64_t placement_seed = 1, unsigned workers = 0);
+    std::uint64_t placement_seed = 1, unsigned workers = 0, unsigned lanes = 0);
 
 }  // namespace glitchmask::eval

@@ -1,9 +1,25 @@
 #include "eval/parallel_campaign.hpp"
 
+#include <stdexcept>
+
+#include "support/env.hpp"
+
 namespace glitchmask::eval {
 
 unsigned resolve_workers(unsigned configured) {
     return configured > 0 ? configured : ThreadPool::default_worker_count();
+}
+
+unsigned resolve_lanes(unsigned configured, bool timing_coupling) {
+    unsigned lanes = configured;
+    if (lanes == 0)
+        lanes = static_cast<unsigned>(env_int("GLITCHMASK_LANES", 64));
+    if (lanes != 1 && lanes != 64)
+        throw std::invalid_argument(
+            "resolve_lanes: lanes must be 1 (scalar) or 64 (bitsliced)");
+    // Data-dependent delays cannot share one event schedule across lanes.
+    if (timing_coupling) return 1;
+    return lanes;
 }
 
 }  // namespace glitchmask::eval

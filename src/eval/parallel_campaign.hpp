@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "support/rng.hpp"
@@ -35,6 +36,14 @@ namespace glitchmask::eval {
 /// Resolves a config's `workers` field: 0 = GLITCHMASK_WORKERS env /
 /// hardware_concurrency (ThreadPool::default_worker_count()).
 [[nodiscard]] unsigned resolve_workers(unsigned configured);
+
+/// Resolves a config's `lanes` field (traces simulated per event-queue
+/// pass): 1 = scalar EventSimulator, 64 = bitsliced BatchEventSimulator.
+/// 0 = auto: GLITCHMASK_LANES env, default 64.  Timing coupling makes
+/// delays data-dependent, which breaks the shared-schedule premise of the
+/// batch engine, so `timing_coupling` forces the scalar path regardless
+/// of the configured value.  Throws on values outside {0, 1, 64}.
+[[nodiscard]] unsigned resolve_lanes(unsigned configured, bool timing_coupling);
 
 /// Stream tags feeding mix64(mix64(seed, tag), trace_index): one derived
 /// generator per purpose, so stimulus and noise draws never interleave.
@@ -96,7 +105,25 @@ template <class MakeWorker, class MakeAcc, class RunTrace, class Merge>
 [[nodiscard]] auto run_sharded(ThreadPool& pool, const ShardPlan& plan,
                                MakeWorker&& make_worker, MakeAcc&& make_acc,
                                RunTrace&& run_trace, Merge&& merge)
-    -> decltype(make_acc()) {
+    -> decltype(make_acc());
+
+/// Block-granular variant of run_sharded for collectors that process a
+/// whole block at once -- the bitsliced batch path simulates a block as
+/// lane groups of 64 consecutive trace indices, so it needs the [begin,
+/// end) range rather than one callback per trace:
+///
+///   run_block(H& worker, std::size_t begin, std::size_t end, Acc& acc)
+///     collects traces [begin, end) into the block accumulator.
+///
+/// Sharding, replica reuse and the merge tree are identical to
+/// run_sharded, so the per-block accumulation order -- and therefore the
+/// merged floating-point result -- only depends on what run_block feeds
+/// the accumulator.
+template <class MakeWorker, class MakeAcc, class RunBlock, class Merge>
+[[nodiscard]] auto run_sharded_blocks(ThreadPool& pool, const ShardPlan& plan,
+                                      MakeWorker&& make_worker,
+                                      MakeAcc&& make_acc, RunBlock&& run_block,
+                                      Merge&& merge) -> decltype(make_acc()) {
     using Acc = decltype(make_acc());
     using Worker = decltype(make_worker());
 
@@ -116,15 +143,30 @@ template <class MakeWorker, class MakeAcc, class RunTrace, class Merge>
             if (!slot.has_value()) slot.emplace(make_worker());
 
             Acc acc = make_acc();
-            const std::size_t end = plan.block_end(b);
-            for (std::size_t n = plan.block_begin(b); n < end; ++n)
-                run_trace(*slot, n, acc);
+            run_block(*slot, plan.block_begin(b), plan.block_end(b), acc);
             blocks[b].emplace(std::move(acc));
         });
     }
     group.wait();
 
     return merge_tree(blocks, merge);
+}
+
+template <class MakeWorker, class MakeAcc, class RunTrace, class Merge>
+[[nodiscard]] auto run_sharded(ThreadPool& pool, const ShardPlan& plan,
+                               MakeWorker&& make_worker, MakeAcc&& make_acc,
+                               RunTrace&& run_trace, Merge&& merge)
+    -> decltype(make_acc()) {
+    using Worker = decltype(make_worker());
+    using Acc = decltype(make_acc());
+    return run_sharded_blocks(
+        pool, plan, std::forward<MakeWorker>(make_worker),
+        std::forward<MakeAcc>(make_acc),
+        [&run_trace](Worker& worker, std::size_t begin, std::size_t end,
+                     Acc& acc) {
+            for (std::size_t n = begin; n < end; ++n) run_trace(worker, n, acc);
+        },
+        std::forward<Merge>(merge));
 }
 
 }  // namespace glitchmask::eval

@@ -49,6 +49,10 @@ void MomentAccumulator::add(double x) {
     }
 }
 
+void MomentAccumulator::add_batch(std::span<const double> values) {
+    for (const double x : values) add(x);
+}
+
 void MomentAccumulator::merge(const MomentAccumulator& other) {
     if (other.max_order() != max_order())
         throw std::invalid_argument("MomentAccumulator::merge: order mismatch");

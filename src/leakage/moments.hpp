@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace glitchmask::leakage {
@@ -20,6 +21,11 @@ public:
     explicit MomentAccumulator(int max_order = 6);
 
     void add(double x);
+
+    /// Folds `values` in order -- exactly equivalent to calling add() on
+    /// each element, kept as one call so the batch (bitsliced) collection
+    /// path updates an accumulator with a single virtual-free hot loop.
+    void add_batch(std::span<const double> values);
 
     /// Combines another accumulator (same max_order) into this one.
     void merge(const MomentAccumulator& other);

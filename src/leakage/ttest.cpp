@@ -45,6 +45,11 @@ void UnivariateTTest::add(bool fixed_class, double x) {
     (fixed_class ? fixed_ : random_).add(x);
 }
 
+void UnivariateTTest::add_batch(bool fixed_class,
+                                std::span<const double> values) {
+    (fixed_class ? fixed_ : random_).add_batch(values);
+}
+
 double UnivariateTTest::t(int order) const {
     if (order < 1 || order > max_test_order_)
         throw std::out_of_range("UnivariateTTest::t: order out of range");

@@ -35,6 +35,9 @@ public:
 
     void add(bool fixed_class, double x);
 
+    /// Folds a run of same-class samples in order (== repeated add()).
+    void add_batch(bool fixed_class, std::span<const double> values);
+
     /// t-statistic at order `d` (1 <= d <= max_test_order); 0 while a
     /// class is still empty or degenerate.
     [[nodiscard]] double t(int order) const;

@@ -16,6 +16,34 @@ void TvlaCampaign::add_trace(bool fixed_class, std::span<const double> trace) {
         points_[i].add(fixed_class, trace[i]);
 }
 
+void TvlaCampaign::add_lane_traces(std::span<const double> bin_major,
+                                   std::size_t stride, std::uint64_t fixed_mask,
+                                   unsigned count) {
+    if (count > 64)
+        throw std::invalid_argument("TvlaCampaign::add_lane_traces: count > 64");
+    if (bin_major.size() < points_.size() * stride)
+        throw std::invalid_argument(
+            "TvlaCampaign::add_lane_traces: matrix too short");
+    // Gathering per class keeps each accumulator's sample order identical
+    // to `count` interleaved add_trace() calls: a per-point accumulator
+    // only ever sees its own class's lanes, in lane order either way.
+    double fixed_vals[64];
+    double random_vals[64];
+    for (std::size_t p = 0; p < points_.size(); ++p) {
+        const double* row = bin_major.data() + p * stride;
+        unsigned n_fixed = 0;
+        unsigned n_random = 0;
+        for (unsigned lane = 0; lane < count; ++lane) {
+            if (((fixed_mask >> lane) & 1u) != 0)
+                fixed_vals[n_fixed++] = row[lane];
+            else
+                random_vals[n_random++] = row[lane];
+        }
+        points_[p].add_batch(true, {fixed_vals, n_fixed});
+        points_[p].add_batch(false, {random_vals, n_random});
+    }
+}
+
 std::size_t TvlaCampaign::traces(bool fixed_class) const {
     if (points_.empty()) return 0;
     return static_cast<std::size_t>(points_.front().count(fixed_class));

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -25,6 +26,16 @@ public:
     /// Adds one complete trace; `trace.size()` may exceed the campaign
     /// width (extra samples ignored) but not undercut it.
     void add_trace(bool fixed_class, std::span<const double> trace);
+
+    /// Adds up to 64 traces held bin-major (`bin_major[bin * stride +
+    /// lane]`) in one call -- the layout the bitsliced batch recorder
+    /// produces.  Lane l is one trace, bit l of `fixed_mask` labels its
+    /// class, lanes >= `count` are ignored (partial final group of a
+    /// campaign).  Every per-point accumulator receives exactly the
+    /// samples `count` add_trace() calls in lane order would feed it, in
+    /// the same order, so the result is bit-identical to the scalar path.
+    void add_lane_traces(std::span<const double> bin_major, std::size_t stride,
+                         std::uint64_t fixed_mask, unsigned count);
 
     [[nodiscard]] std::size_t samples() const noexcept { return points_.size(); }
     [[nodiscard]] std::size_t traces(bool fixed_class) const;

@@ -130,6 +130,34 @@ inline constexpr std::size_t kNumCellKinds = 16;
     return false;
 }
 
+/// Word-parallel evaluation of a cell: each of the 64 bit positions is an
+/// independent evaluation (one simulation lane).  Bit-for-bit consistent
+/// with eval_cell at every lane -- the bitsliced simulator relies on that.
+[[nodiscard]] constexpr std::uint64_t eval_cell_word(CellKind kind,
+                                                     std::uint64_t a,
+                                                     std::uint64_t b = 0,
+                                                     std::uint64_t c = 0) noexcept {
+    switch (kind) {
+        case CellKind::Input: return a;
+        case CellKind::Const0: return 0;
+        case CellKind::Const1: return ~std::uint64_t{0};
+        case CellKind::Buf:
+        case CellKind::DelayBuf: return a;
+        case CellKind::Inv: return ~a;
+        case CellKind::And2: return a & b;
+        case CellKind::Nand2: return ~(a & b);
+        case CellKind::Or2: return a | b;
+        case CellKind::Nor2: return ~(a | b);
+        case CellKind::Xor2: return a ^ b;
+        case CellKind::Xnor2: return ~(a ^ b);
+        case CellKind::Orn2: return a | ~b;
+        case CellKind::SecAnd3: return (a & b) ^ (a | ~c);
+        case CellKind::Mux2: return (c & b) | (~c & a);
+        case CellKind::Dff: return a;
+    }
+    return 0;
+}
+
 struct Cell {
     CellKind kind = CellKind::Const0;
     CtrlGroup enable = kAlwaysEnabled;   // Dff only

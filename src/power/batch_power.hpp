@@ -1,0 +1,93 @@
+// Lane-word power recording for the bitsliced batch simulator.
+//
+// The scalar PowerRecorder deposits one energy weight per committed
+// toggle; the batch engine commits up to 64 traces' toggles in one event,
+// delivered as a lane mask.  BatchPowerRecorder keeps a bin-major matrix
+// of (bins x 64) samples and deposits the identical per-toggle doubles
+// into each toggled lane's column, in the identical per-lane event order,
+// so every lane's extracted trace is bit-for-bit the scalar trace of that
+// lane's stimulus (the equivalence tests assert ==, not near).
+//
+// Per-lane Hamming activity is counted with popcount64(toggled) for the
+// batch total plus a per-lane counter array, so toggle statistics stay
+// exact even when a campaign's final block uses fewer than 64 lanes.
+//
+// Energy coupling (PowerConfig::coupling_epsilon) works in batch mode:
+// the Miller term only reads the *committed* lane word of the partner
+// net, available from the attached engine.  Timing coupling never reaches
+// this class -- the batch engine refuses to construct under it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "power/power_model.hpp"
+#include "sim/batch_simulator.hpp"
+
+namespace glitchmask::power {
+
+class BatchPowerRecorder final : public sim::BatchToggleSink {
+public:
+    BatchPowerRecorder(const Netlist& nl, PowerConfig config);
+
+    /// Neighbour lane words for the coupling term; required only when
+    /// coupling_epsilon != 0.
+    void attach(const sim::BatchEventSimulator* engine) noexcept {
+        engine_ = engine;
+    }
+
+    /// Starts a fresh batch of traces of `bins` samples each (all zero).
+    /// Reuses the sample matrix's capacity across batches.
+    void begin_trace(std::size_t bins);
+
+    void on_toggle(NetId net, sim::TimePs time, std::uint64_t values,
+                   std::uint64_t toggled) override;
+
+    [[nodiscard]] std::size_t bins() const noexcept { return bins_; }
+
+    [[nodiscard]] double sample(std::size_t bin, unsigned lane) const noexcept {
+        return trace_[bin * sim::kBatchLanes + lane];
+    }
+
+    /// Extracts lane `lane`'s noise-free trace into `out` (resized).
+    void lane_trace_into(unsigned lane, std::vector<double>& out) const;
+
+    /// Extracts lane `lane`'s trace with i.i.d. Gaussian noise drawn from
+    /// `rng` in bin order -- the same draw sequence as the scalar
+    /// noisy_trace so a lane's noisy samples match the scalar path
+    /// bit-for-bit under the same per-trace rng.
+    void noisy_lane_trace_into(unsigned lane, Xoshiro256& rng, double sigma,
+                               std::vector<double>& out) const;
+
+    /// Toggles committed in lane `lane` since begin_trace() (includes
+    /// out-of-window toggles past the last bin, like the scalar counter).
+    [[nodiscard]] std::uint64_t lane_toggles(unsigned lane) const noexcept {
+        return lane_toggles_[lane];
+    }
+
+    /// Sum over all lanes since begin_trace().
+    [[nodiscard]] std::uint64_t trace_toggles() const noexcept {
+        return trace_toggles_;
+    }
+
+    /// Sum over all lanes over the recorder's lifetime.
+    [[nodiscard]] std::uint64_t total_toggles() const noexcept {
+        return total_toggles_;
+    }
+
+    [[nodiscard]] const PowerConfig& config() const noexcept { return config_; }
+
+private:
+    PowerConfig config_;
+    const sim::BatchEventSimulator* engine_ = nullptr;
+    std::vector<double> weight_;
+    std::vector<NetId> partner_;
+    std::vector<double> trace_;  // bin-major: [bin * 64 + lane]
+    std::size_t bins_ = 0;
+    std::array<std::uint64_t, sim::kBatchLanes> lane_toggles_{};
+    std::uint64_t trace_toggles_ = 0;
+    std::uint64_t total_toggles_ = 0;
+};
+
+}  // namespace glitchmask::power

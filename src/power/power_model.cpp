@@ -4,21 +4,31 @@
 
 namespace glitchmask::power {
 
+std::vector<double> net_weights(const Netlist& nl, const PowerConfig& config) {
+    std::vector<double> weight(nl.size());
+    for (NetId id = 0; id < nl.size(); ++id) {
+        weight[id] = config.base_weight +
+                     config.fanout_weight * static_cast<double>(nl.fanout(id).size());
+        if (nl.cell(id).kind == netlist::CellKind::DelayBuf)
+            weight[id] *= config.delaybuf_weight;
+    }
+    return weight;
+}
+
+std::vector<NetId> coupling_partners(const Netlist& nl) {
+    std::vector<NetId> partner(nl.size(), netlist::kNoNet);
+    for (const netlist::CoupledPair& pair : nl.coupled_pairs()) {
+        if (partner[pair.a] == netlist::kNoNet) partner[pair.a] = pair.b;
+        if (partner[pair.b] == netlist::kNoNet) partner[pair.b] = pair.a;
+    }
+    return partner;
+}
+
 PowerRecorder::PowerRecorder(const Netlist& nl, PowerConfig config)
     : config_(config) {
     if (!nl.frozen()) throw std::runtime_error("PowerRecorder: netlist not frozen");
-    weight_.resize(nl.size());
-    for (NetId id = 0; id < nl.size(); ++id) {
-        weight_[id] = config.base_weight +
-                      config.fanout_weight * static_cast<double>(nl.fanout(id).size());
-        if (nl.cell(id).kind == netlist::CellKind::DelayBuf)
-            weight_[id] *= config.delaybuf_weight;
-    }
-    partner_.assign(nl.size(), netlist::kNoNet);
-    for (const netlist::CoupledPair& pair : nl.coupled_pairs()) {
-        if (partner_[pair.a] == netlist::kNoNet) partner_[pair.a] = pair.b;
-        if (partner_[pair.b] == netlist::kNoNet) partner_[pair.b] = pair.a;
-    }
+    weight_ = net_weights(nl, config);
+    partner_ = coupling_partners(nl);
 }
 
 void PowerRecorder::begin_trace(std::size_t bins) {
@@ -45,10 +55,16 @@ void PowerRecorder::on_toggle(NetId net, TimePs time, bool new_value) {
 
 std::vector<double> PowerRecorder::noisy_trace(Xoshiro256& rng,
                                                double sigma) const {
-    std::vector<double> noisy = trace_;
-    if (sigma > 0.0)
-        for (double& sample : noisy) sample += rng.gaussian(0.0, sigma);
+    std::vector<double> noisy;
+    noisy_trace_into(rng, sigma, noisy);
     return noisy;
+}
+
+void PowerRecorder::noisy_trace_into(Xoshiro256& rng, double sigma,
+                                     std::vector<double>& out) const {
+    out.assign(trace_.begin(), trace_.end());
+    if (sigma > 0.0)
+        for (double& sample : out) sample += rng.gaussian(0.0, sigma);
 }
 
 }  // namespace glitchmask::power

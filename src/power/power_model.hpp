@@ -42,6 +42,15 @@ struct PowerConfig {
     TimePs bin_ps = 20000;         // sample period (one clock cycle)
 };
 
+/// Per-net toggle energy table (base + fanout load, DelayBuf scaled down).
+/// Shared by the scalar and the batch recorder so both deposit the exact
+/// same doubles per toggle.
+[[nodiscard]] std::vector<double> net_weights(const Netlist& nl,
+                                              const PowerConfig& config);
+
+/// Per-net coupling neighbour (kNoNet when uncoupled), first pair wins.
+[[nodiscard]] std::vector<NetId> coupling_partners(const Netlist& nl);
+
 class PowerRecorder final : public sim::ToggleSink {
 public:
     PowerRecorder(const Netlist& nl, PowerConfig config);
@@ -75,6 +84,11 @@ public:
     /// Returns the trace with i.i.d. Gaussian measurement noise added.
     [[nodiscard]] std::vector<double> noisy_trace(Xoshiro256& rng,
                                                   double sigma) const;
+
+    /// Allocation-free variant for hot campaign loops: writes the noisy
+    /// trace into `out` (resized to the trace length, capacity reused).
+    void noisy_trace_into(Xoshiro256& rng, double sigma,
+                          std::vector<double>& out) const;
 
     [[nodiscard]] const PowerConfig& config() const noexcept { return config_; }
 

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <set>
+#include <vector>
 
 #include "core/gadgets.hpp"
 #include "core/sharing.hpp"
@@ -384,6 +385,45 @@ TEST(MaskedDes, PdCoreMatchesReferenceUnderTiming) {
     const std::uint64_t key = rng();
     sim.restart();
     EXPECT_EQ(core.encrypt_value(sim, pt, key, &rng), encrypt_block(pt, key));
+}
+
+TEST(MaskedDes, BatchEncryptMatchesScalarPerLane) {
+    const MaskedDesCore core(MaskedDesOptions{.flavor = CoreFlavor::FF});
+    const sim::DelayModel dm(core.nl(), sim::DelayConfig::spartan6());
+    sim::ClockConfig clock;
+    clock.period_ps = core.recommended_period();
+
+    constexpr unsigned kCount = 5;
+    std::vector<MaskedWord> pts, keys;
+    std::vector<Xoshiro256> prngs;
+    Xoshiro256 rng(77);
+    for (unsigned lane = 0; lane < kCount; ++lane) {
+        pts.push_back(core::mask_word(rng(), 64, rng));
+        keys.push_back(core::mask_word(rng(), 64, rng));
+        prngs.emplace_back(rng());
+    }
+
+    // Scalar references, each lane from a copy of its refresh generator.
+    sim::ClockedSim scalar(core.nl(), dm, clock);
+    std::vector<MaskedWord> want;
+    for (unsigned lane = 0; lane < kCount; ++lane) {
+        Xoshiro256 prng = prngs[lane];
+        scalar.restart();
+        want.push_back(core.encrypt(scalar, pts[lane], keys[lane], &prng));
+    }
+
+    sim::BatchClockedSim batch(core.nl(), dm, clock);
+    batch.restart();
+    const auto got = core.encrypt_batch(batch, pts, keys, prngs);
+    for (unsigned lane = 0; lane < kCount; ++lane) {
+        EXPECT_EQ(got[lane].s0, want[lane].s0) << "lane " << lane;
+        EXPECT_EQ(got[lane].s1, want[lane].s1) << "lane " << lane;
+        EXPECT_EQ(got[lane].value(),
+                  encrypt_block(pts[lane].value(), keys[lane].value()))
+            << "lane " << lane;
+    }
+    // Unused lanes ran the all-zero stimulus with refresh off.
+    EXPECT_EQ(got[kCount].value(), encrypt_block(0, 0));
 }
 
 TEST(MaskedDes, StructuralCounts) {

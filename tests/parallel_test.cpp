@@ -109,6 +109,75 @@ TEST(ParallelCampaign, MeanPowerTraceBitExactAcrossWorkerCounts) {
     }
 }
 
+TEST(BatchLanes, DesTvlaBitExactAcrossLaneConfigs) {
+    // The bitsliced engine must reproduce the scalar campaign bit for bit:
+    // full t-curves, argmaxima and the toggle count, with PRNG on and off,
+    // including a partial final lane group (80 = 64 + 16).
+    const des::MaskedDesCore core(des::MaskedDesOptions{});
+    DesTvlaConfig config;
+    config.traces = 80;
+    config.seed = 11;
+    config.workers = 2;
+    config.block_size = 64;
+
+    for (const bool prng_on : {true, false}) {
+        config.prng_on = prng_on;
+        config.lanes = 1;
+        const DesTvlaResult scalar = run_des_tvla(core, config);
+        config.lanes = 64;
+        const DesTvlaResult batch = run_des_tvla(core, config);
+        EXPECT_EQ(batch.toggles, scalar.toggles) << "prng " << prng_on;
+        for (int order = 1; order <= config.max_test_order; ++order) {
+            EXPECT_EQ(batch.max_abs_t[order], scalar.max_abs_t[order])
+                << "prng " << prng_on << " order " << order;
+            EXPECT_EQ(batch.argmax[order], scalar.argmax[order])
+                << "prng " << prng_on << " order " << order;
+            const std::vector<double> ts = scalar.campaign.t_curve(order);
+            const std::vector<double> tb = batch.campaign.t_curve(order);
+            ASSERT_EQ(ts.size(), tb.size());
+            for (std::size_t i = 0; i < ts.size(); ++i)
+                EXPECT_EQ(tb[i], ts[i])
+                    << "prng " << prng_on << " order " << order << " sample "
+                    << i;
+        }
+    }
+}
+
+TEST(BatchLanes, TimingCouplingFallsBackToScalar) {
+    // Data-dependent delays break the shared-schedule premise, so a
+    // 64-lane request under timing coupling must silently run the scalar
+    // engine -- and therefore reproduce the scalar goldens exactly.
+    const des::MaskedDesCore core(des::MaskedDesOptions{
+        .flavor = des::CoreFlavor::PD, .delayunit_luts = 10});
+    DesTvlaConfig config;
+    config.traces = 24;
+    config.seed = 3;
+    config.coupling.timing_enabled = true;
+
+    config.lanes = 1;
+    const DesTvlaResult scalar = run_des_tvla(core, config);
+    for (const unsigned lanes : {0u, 64u}) {
+        config.lanes = lanes;
+        const DesTvlaResult fallback = run_des_tvla(core, config);
+        EXPECT_EQ(fallback.toggles, scalar.toggles) << "lanes " << lanes;
+        for (int order = 1; order <= config.max_test_order; ++order)
+            EXPECT_EQ(fallback.max_abs_t[order], scalar.max_abs_t[order])
+                << "lanes " << lanes << " order " << order;
+    }
+}
+
+TEST(BatchLanes, MeanPowerTraceBitExactAcrossLaneConfigs) {
+    const des::MaskedDesCore core(des::MaskedDesOptions{});
+    const std::vector<double> scalar =
+        mean_power_trace(core, /*traces=*/48, /*seed=*/5, /*placement_seed=*/1,
+                         /*workers=*/2, /*lanes=*/1);
+    const std::vector<double> batch =
+        mean_power_trace(core, 48, 5, 1, 2, 64);
+    ASSERT_EQ(batch.size(), scalar.size());
+    for (std::size_t i = 0; i < scalar.size(); ++i)
+        EXPECT_EQ(batch[i], scalar[i]) << "sample " << i;
+}
+
 TEST(ParallelCampaign, BlockSizeIsPartOfTheResultIdentity) {
     // Changing the block size changes the merge tree, which is allowed to
     // move the low bits -- but the statistics must stay equivalent.  This

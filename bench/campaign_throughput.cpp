@@ -15,6 +15,7 @@
 // Scale with GLITCHMASK_TRACES (default 192) and GLITCHMASK_NOISE; note
 // that meaningful worker speedups need as many physical cores as workers,
 // while the lane speedup is per-core.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -38,6 +39,7 @@ constexpr double kBytesPerToggle = 16.0;
 struct Series {
     unsigned lanes = 0;
     unsigned workers = 0;
+    std::size_t checkpoint_every = 0;  // blocks between snapshots; 0 = off
     double seconds = 0.0;
     double traces_per_sec = 0.0;
     double toggle_mb_per_sec = 0.0;
@@ -57,52 +59,82 @@ int main() {
                                          bench::scaled_traces(192))));
     const double noise = env_double("GLITCHMASK_NOISE", 1.0);
 
-    TablePrinter table({"lanes", "workers", "seconds", "traces/s",
+    TablePrinter table({"lanes", "workers", "ckpt", "seconds", "traces/s",
                         "toggle MB/s", "speedup", "max|t1|"});
     std::vector<Series> series;
+    const std::string snapshot_path = "BENCH_checkpoint.gmsnap";
 
-    for (const unsigned lanes : {1u, 64u}) {
-        for (const unsigned workers : {1u, 2u, 4u, 8u}) {
-            eval::DesTvlaConfig config;
-            config.traces = traces;
-            config.noise_sigma = noise;
-            config.seed = 7;
-            config.workers = workers;
-            config.lanes = lanes;
-
-            const auto start = std::chrono::steady_clock::now();
-            const eval::DesTvlaResult r = eval::run_des_tvla(core, config);
-            const auto stop = std::chrono::steady_clock::now();
-
-            Series s;
-            s.lanes = lanes;
-            s.workers = workers;
-            s.seconds = std::chrono::duration<double>(stop - start).count();
-            s.traces_per_sec = static_cast<double>(r.traces) / s.seconds;
-            s.toggle_mb_per_sec = static_cast<double>(r.toggles) *
-                                  kBytesPerToggle / 1e6 / s.seconds;
-            s.max_abs_t1 = r.max_abs_t[1];
-            s.toggles = r.toggles;
-            s.speedup =
-                series.empty() ? 1.0 : series.front().seconds / s.seconds;
-            series.push_back(s);
-
-            table.add_row({std::to_string(lanes), std::to_string(workers),
-                           TablePrinter::num(s.seconds, 2),
-                           TablePrinter::num(s.traces_per_sec, 1),
-                           TablePrinter::num(s.toggle_mb_per_sec, 1),
-                           TablePrinter::num(s.speedup, 2),
-                           TablePrinter::num(s.max_abs_t1, 6)});
+    auto run_row = [&](unsigned lanes, unsigned workers,
+                       std::size_t checkpoint_every) {
+        eval::DesTvlaConfig config;
+        config.traces = traces;
+        config.noise_sigma = noise;
+        config.seed = 7;
+        config.workers = workers;
+        config.lanes = lanes;
+        if (checkpoint_every > 0) {
+            // Fresh file each run: a leftover snapshot would resume (and
+            // "finish" instantly), voiding the timing.
+            std::remove(snapshot_path.c_str());
+            config.run.checkpoint_path = snapshot_path;
+            config.run.checkpoint_every = checkpoint_every;
         }
+
+        const auto start = std::chrono::steady_clock::now();
+        const eval::DesTvlaResult r = eval::run_des_tvla(core, config);
+        const auto stop = std::chrono::steady_clock::now();
+
+        Series s;
+        s.lanes = lanes;
+        s.workers = workers;
+        s.checkpoint_every = checkpoint_every;
+        s.seconds = std::chrono::duration<double>(stop - start).count();
+        s.traces_per_sec = static_cast<double>(r.traces) / s.seconds;
+        s.toggle_mb_per_sec =
+            static_cast<double>(r.toggles) * kBytesPerToggle / 1e6 / s.seconds;
+        s.max_abs_t1 = r.max_abs_t[1];
+        s.toggles = r.toggles;
+        s.speedup = series.empty() ? 1.0 : series.front().seconds / s.seconds;
+        series.push_back(s);
+
+        table.add_row({std::to_string(lanes), std::to_string(workers),
+                       checkpoint_every == 0 ? std::string("off")
+                                             : std::to_string(checkpoint_every),
+                       TablePrinter::num(s.seconds, 2),
+                       TablePrinter::num(s.traces_per_sec, 1),
+                       TablePrinter::num(s.toggle_mb_per_sec, 1),
+                       TablePrinter::num(s.speedup, 2),
+                       TablePrinter::num(s.max_abs_t1, 6)});
+        return s;
+    };
+
+    for (const unsigned lanes : {1u, 64u})
+        for (const unsigned workers : {1u, 2u, 4u, 8u})
+            run_row(lanes, workers, /*checkpoint_every=*/0);
+
+    // Crash-safe runtime axis: same campaign with periodic snapshots.  The
+    // merge-frontier checkpoint is O(log blocks) accumulators, so even an
+    // aggressive cadence must stay within a few percent of the plain run
+    // (acceptance bar: <= 5%).
+    const Series plain_4w = run_row(64, 4, 0);
+    double checkpoint_overhead = 0.0;
+    for (const std::size_t every : {16u, 4u, 1u}) {
+        const Series s = run_row(64, 4, every);
+        checkpoint_overhead =
+            std::max(checkpoint_overhead, s.seconds / plain_4w.seconds - 1.0);
     }
+    std::remove(snapshot_path.c_str());
     table.print();
 
     bool deterministic = true;
     for (const Series& s : series)
         deterministic &= (s.max_abs_t1 == series.front().max_abs_t1) &&
                          (s.toggles == series.front().toggles);
-    std::printf("\nEquivalence across workers and engines: %s\n",
+    std::printf("\nEquivalence across workers, engines and checkpointing: %s\n",
                 deterministic ? "bit-identical" : "MISMATCH (bug!)");
+    std::printf("Checkpoint overhead (worst cadence, 64 lanes / 4 workers): "
+                "%.2f%%\n",
+                checkpoint_overhead * 100.0);
 
     // The headline number: one core, 64 lanes vs 1 lane.
     double batch_speedup_1w = 0.0;
@@ -121,11 +153,14 @@ int main() {
             (deterministic ? "true" : "false") + ",\n";
     json += "  \"batch_speedup_1worker\": " +
             TablePrinter::num(batch_speedup_1w, 3) + ",\n";
+    json += "  \"checkpoint_overhead\": " +
+            TablePrinter::num(checkpoint_overhead, 4) + ",\n";
     json += "  \"series\": [\n";
     for (std::size_t i = 0; i < series.size(); ++i) {
         const Series& s = series[i];
         json += "    {\"lanes\": " + std::to_string(s.lanes) +
                 ", \"workers\": " + std::to_string(s.workers) +
+                ", \"checkpoint_every\": " + std::to_string(s.checkpoint_every) +
                 ", \"seconds\": " + TablePrinter::num(s.seconds, 4) +
                 ", \"traces_per_sec\": " + TablePrinter::num(s.traces_per_sec, 2) +
                 ", \"toggle_mb_per_sec\": " +

@@ -1,19 +1,29 @@
 #!/usr/bin/env bash
-# Reference CI recipe: configure + build the Release preset and run the
-# full test suite.  Optional sanitizer passes ride on the asan/tsan
-# presets: `scripts/ci.sh asan` (or tsan) builds and tests that preset
-# instead.  Exits nonzero on any build or test failure.
+# Reference CI recipe: configure + build + test one or more presets.
+# With no arguments the default sweep runs the Release preset and then the
+# AddressSanitizer preset (heap/stack bugs in the checkpoint and snapshot
+# I/O paths would otherwise only surface as flaky corruption); pass
+# explicit preset names to run a subset, e.g. `scripts/ci.sh release` or
+# `scripts/ci.sh asan tsan`.  Exits nonzero on any build or test failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-preset="${1:-release}"
-case "$preset" in
-  release|asan|tsan) ;;
-  *) echo "usage: scripts/ci.sh [release|asan|tsan]" >&2; exit 2 ;;
-esac
+presets=("$@")
+if [ "${#presets[@]}" -eq 0 ]; then
+  presets=(release asan)
+fi
+for preset in "${presets[@]}"; do
+  case "$preset" in
+    release|asan|tsan) ;;
+    *) echo "usage: scripts/ci.sh [release|asan|tsan ...]" >&2; exit 2 ;;
+  esac
+done
 
 jobs="$(nproc 2>/dev/null || echo 2)"
 
-cmake --preset "$preset"
-cmake --build --preset "$preset" -j "$jobs"
-ctest --preset "$preset" -j "$jobs"
+for preset in "${presets[@]}"; do
+  echo "==> preset: $preset"
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$jobs"
+  ctest --preset "$preset" -j "$jobs"
+done

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <memory>
 #include <stdexcept>
+#include <string>
 
 #include "core/sharing.hpp"
 #include "power/batch_power.hpp"
@@ -55,6 +57,31 @@ SequenceStimulus sequence_stimulus(std::uint64_t seed, std::size_t trace_index) 
     return SequenceStimulus{fixed, {mx.s0, mx.s1, my.s0, my.s1}};
 }
 
+/// "seq_0123"-style tag: default checkpoint-file id for one sequence.
+std::string sequence_tag(const core::InputSequence& sequence) {
+    std::string tag = "seq_";
+    for (const core::ShareId slot : sequence)
+        tag += static_cast<char>('0' + static_cast<int>(slot));
+    return tag;
+}
+
+/// The sequence itself is part of the campaign identity: resuming one
+/// sequence's snapshot into another's campaign must be rejected.
+CampaignFingerprint sequence_fingerprint(const core::InputSequence& sequence,
+                                         const SequenceExperimentConfig& config,
+                                         std::size_t cycles) {
+    std::uint64_t payload = kFnvOffset;
+    for (const core::ShareId slot : sequence)
+        payload = fnv1a64(payload, static_cast<std::uint64_t>(slot));
+    payload = fnv1a64(payload, config.replicas);
+    payload = fnv1a64(payload, std::bit_cast<std::uint64_t>(config.noise_sigma));
+    payload = fnv1a64(payload, config.placement_seed);
+    payload = fnv1a64(payload, static_cast<std::uint64_t>(config.max_test_order));
+    payload = fnv1a64(payload, static_cast<std::uint64_t>(cycles));
+    return CampaignFingerprint{fnv1a64_tag("sequence_tvla"), config.seed,
+                               config.traces, config.block_size, payload};
+}
+
 }  // namespace
 
 SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
@@ -62,11 +89,24 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
                                         ThreadPool& pool) const {
     constexpr std::size_t kCycles = 6;  // inputs + 4 sequence slots + settle
 
+    validate_campaign_config(config.traces, config.block_size, config.lanes);
+
     // Sequence campaigns never enable coupling, so the bitsliced path is
     // always available; `lanes` only decides whether we take it.
     const unsigned lanes =
         resolve_lanes(config.lanes, /*timing_coupling=*/false);
     const ShardPlan plan{config.traces, config.block_size};
+
+    const CheckpointPolicy policy =
+        make_checkpoint_policy(config.run, sequence_tag(sequence));
+    const CampaignFingerprint fingerprint =
+        sequence_fingerprint(sequence, config, kCycles);
+    const auto encode = [](const leakage::TvlaCampaign& acc,
+                           SnapshotWriter& out) { acc.encode(out); };
+    const auto decode = [](SnapshotReader& in) {
+        return leakage::TvlaCampaign::decode(in);
+    };
+    CampaignProgress progress;
 
     leakage::TvlaCampaign campaign = [&] {
         if (lanes == sim::kBatchLanes) {
@@ -88,7 +128,7 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
                 }
             };
 
-            return run_sharded_blocks(
+            return run_sharded_blocks_checkpointed(
                 pool, plan,
                 [&] {
                     return std::make_unique<BatchWorker>(circuit_, dm_, clock_,
@@ -153,7 +193,8 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
                     }
                 },
                 [](leakage::TvlaCampaign& into,
-                   const leakage::TvlaCampaign& from) { into.merge(from); });
+                   const leakage::TvlaCampaign& from) { into.merge(from); },
+                policy, fingerprint, encode, decode, &progress);
         }
 
         // Scalar path: one event-queue pass per trace.  Heap-allocated so
@@ -170,39 +211,44 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
             }
         };
 
-        return run_sharded(
+        return run_sharded_blocks_checkpointed(
             pool, plan,
             [&] {
                 return std::make_unique<Worker>(circuit_, dm_, clock_,
                                                 power_config_);
             },
             [&] { return leakage::TvlaCampaign(kCycles, config.max_test_order); },
-            [&](std::unique_ptr<Worker>& worker, std::size_t trace_index,
-                leakage::TvlaCampaign& acc) {
-                const SequenceStimulus stim =
-                    sequence_stimulus(config.seed, trace_index);
-                Xoshiro256 noise_rng =
-                    trace_rng(config.seed, kNoiseStream, trace_index);
+            [&](std::unique_ptr<Worker>& worker, std::size_t begin,
+                std::size_t end, leakage::TvlaCampaign& acc) {
+                for (std::size_t trace_index = begin; trace_index < end;
+                     ++trace_index) {
+                    const SequenceStimulus stim =
+                        sequence_stimulus(config.seed, trace_index);
+                    Xoshiro256 noise_rng =
+                        trace_rng(config.seed, kNoiseStream, trace_index);
 
-                auto& s = worker->sim;
-                s.restart();
-                worker->recorder.begin_trace(kCycles);
-                for (std::size_t i = 0; i < 4; ++i)
-                    s.set_input(circuit_.in[i], stim.share_value[i]);
-                s.step();
-                for (const core::ShareId slot : sequence) {
-                    s.set_enable(
-                        circuit_.enable[static_cast<std::size_t>(slot)], true);
+                    auto& s = worker->sim;
+                    s.restart();
+                    worker->recorder.begin_trace(kCycles);
+                    for (std::size_t i = 0; i < 4; ++i)
+                        s.set_input(circuit_.in[i], stim.share_value[i]);
                     s.step();
+                    for (const core::ShareId slot : sequence) {
+                        s.set_enable(
+                            circuit_.enable[static_cast<std::size_t>(slot)],
+                            true);
+                        s.step();
+                    }
+                    s.step();
+                    worker->recorder.noisy_trace_into(
+                        noise_rng, config.noise_sigma, worker->noisy);
+                    acc.add_trace(stim.fixed, worker->noisy);
                 }
-                s.step();
-                worker->recorder.noisy_trace_into(noise_rng, config.noise_sigma,
-                                                  worker->noisy);
-                acc.add_trace(stim.fixed, worker->noisy);
             },
             [](leakage::TvlaCampaign& into, const leakage::TvlaCampaign& from) {
                 into.merge(from);
-            });
+            },
+            policy, fingerprint, encode, decode, &progress);
     }();
 
     SequenceLeakResult result;
@@ -211,6 +257,9 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
     result.max_abs_t2 = campaign.max_abs_t(2);
     result.leaks_first_order = result.max_abs_t1 > leakage::kTvlaThreshold;
     result.expected_to_leak = core::sequence_expected_to_leak(sequence);
+    result.completed_traces = progress.completed_traces;
+    result.cancelled = progress.cancelled;
+    result.resumed = progress.resumed;
     return result;
 }
 
@@ -230,8 +279,12 @@ std::vector<SequenceLeakResult> run_all_sequences(
     const SequenceHarness harness(config);
     ThreadPool pool(resolve_workers(config.workers));
     std::vector<SequenceLeakResult> results;
-    for (const core::InputSequence& sequence : core::all_input_sequences())
+    for (const core::InputSequence& sequence : core::all_input_sequences()) {
         results.push_back(harness.run(sequence, config, pool));
+        // A fired cancel token stops the whole sweep: later sequences
+        // would each spin up, notice the token and return empty results.
+        if (results.back().cancelled) break;
+    }
     return results;
 }
 

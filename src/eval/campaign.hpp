@@ -47,6 +47,11 @@ struct SequenceExperimentConfig {
     unsigned lanes = 0;           // traces per event-queue pass: 1 = scalar,
                                   // 64 = bitsliced; 0 = auto (env, default 64).
                                   // Both paths are bit-identical.
+    /// Crash-safe runtime knobs (checkpoint path/cadence, cancel token);
+    /// the default leaves the runtime off.  Each sequence checkpoints to
+    /// its own file (the sequence is part of the campaign id and the
+    /// snapshot fingerprint).
+    CampaignRunOptions run;
 };
 
 struct SequenceLeakResult {
@@ -56,6 +61,11 @@ struct SequenceLeakResult {
     double max_abs_t2 = 0.0;      // second-order, for reporting
     bool leaks_first_order = false;
     bool expected_to_leak = false;
+    /// Traces folded into the statistics (== config.traces unless the
+    /// campaign was cancelled mid-run).
+    std::size_t completed_traces = 0;
+    bool cancelled = false;
+    bool resumed = false;
 };
 
 /// Prebuilt secAND2 harness: the circuit and its delay annotation do not

@@ -1,0 +1,148 @@
+// Campaign checkpoint framing: identity fingerprint, policy, and the
+// versioned snapshot file layout.
+//
+// A checkpoint stores the campaign's *merge frontier*: the stack of
+// partial subtree accumulators the index-ordered pairwise reduction has
+// built so far (see parallel_campaign.hpp -- the stack reproduces the
+// fixed merge tree exactly), plus the number of contiguously completed
+// blocks.  Because PR 1's counter-based per-trace RNG makes every block a
+// pure function of (seed, block index), resuming from the frontier is
+// bit-identical to an uninterrupted run at any worker or lane count.
+//
+// File layout (all little-endian, support/snapshot.hpp primitives):
+//
+//   u32 magic   'GMSN'            u32 version  (1)
+//   u64 kind    u64 seed  u64 traces  u64 block_size  u64 payload_hash
+//   u64 completed_blocks
+//   u64 stack_entries
+//   per entry: u64 blocks_spanned, then the accumulator payload
+//   u32 CRC-32 over everything above (appended by SnapshotWriter::finish)
+//
+// The five fingerprint words identify the campaign; workers and lanes are
+// deliberately absent (results are bit-identical across both), while
+// anything that changes the stimulus, the noise, or the statistics --
+// seed, trace budget, block plan, and the driver-specific payload hash --
+// is load-bearing.  A mismatch on resume throws
+// CampaignError{ConfigMismatch} naming the offending field.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "support/cancel.hpp"
+#include "support/snapshot.hpp"
+
+namespace glitchmask::eval {
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x4E534D47u;  // "GMSN"
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// FNV-1a accumulation over 64-bit words; drivers fold every
+/// campaign-defining config field into the fingerprint's payload hash.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::uint64_t hash,
+                                              std::uint64_t word) noexcept {
+    for (int i = 0; i < 8; ++i) {
+        hash ^= (word >> (8 * i)) & 0xFFu;
+        hash *= 0x100000001B3ULL;
+    }
+    return hash;
+}
+
+inline constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+
+/// Hash of a short tag string (campaign kind names).
+[[nodiscard]] constexpr std::uint64_t fnv1a64_tag(const char* tag) noexcept {
+    std::uint64_t hash = kFnvOffset;
+    for (; *tag != '\0'; ++tag) {
+        hash ^= static_cast<std::uint8_t>(*tag);
+        hash *= 0x100000001B3ULL;
+    }
+    return hash;
+}
+
+/// The workers/lanes-independent identity of a campaign.  Two campaigns
+/// with equal fingerprints produce bit-identical statistics, so a
+/// snapshot written by one may seed the other.
+struct CampaignFingerprint {
+    std::uint64_t kind = 0;        // driver tag (fnv1a64_tag of its name)
+    std::uint64_t seed = 0;
+    std::uint64_t traces = 0;
+    std::uint64_t block_size = 0;
+    std::uint64_t payload = 0;     // hash of the remaining config fields
+};
+
+/// Throws CampaignError{ConfigMismatch} naming the first differing field.
+void require_fingerprint_match(const CampaignFingerprint& expected,
+                               const CampaignFingerprint& stored);
+
+/// User-facing knobs for the crash-safe runtime, embedded in every
+/// driver config.
+struct CampaignRunOptions {
+    /// Explicit snapshot file.  Empty: derived as
+    /// $GLITCHMASK_CHECKPOINT_DIR/<campaign_id>.gmsnap when the env var
+    /// is set, otherwise checkpointing is off.
+    std::string checkpoint_path;
+    /// Filename stem under GLITCHMASK_CHECKPOINT_DIR; empty = the
+    /// driver's default id ("des_tvla", "mean_power", "seq_<n>").
+    std::string campaign_id;
+    /// Blocks between checkpoints; 0 = default (16).  Durability
+    /// granularity only -- the merge frontier makes results independent
+    /// of the checkpoint cadence.
+    std::size_t checkpoint_every = 0;
+    /// Cooperative cancellation; in-flight blocks finish, a final
+    /// checkpoint is written, and a partial result is returned.
+    CancelToken* cancel = nullptr;
+    /// Test hook: called with the completed-block count after every
+    /// checkpoint write (fault-injection tests kill the process here).
+    std::function<void(std::size_t)> on_checkpoint;
+};
+
+/// Resolved per-run policy handed to the sharded runner.
+struct CheckpointPolicy {
+    std::string path;              // empty = no snapshots
+    std::size_t every_blocks = 16;
+    CancelToken* cancel = nullptr;
+    std::function<void(std::size_t)> on_checkpoint;
+
+    /// Anything here that forces the wave-structured (checkpointable)
+    /// execution path instead of the one-shot submit-all path?
+    [[nodiscard]] bool active() const noexcept {
+        return !path.empty() || cancel != nullptr ||
+               static_cast<bool>(on_checkpoint);
+    }
+};
+
+/// Builds the policy for one driver run: resolves the snapshot path from
+/// the options / GLITCHMASK_CHECKPOINT_DIR and fills the defaults.
+[[nodiscard]] CheckpointPolicy make_checkpoint_policy(
+    const CampaignRunOptions& run, const std::string& default_id);
+
+/// Progress report of a (possibly cancelled or resumed) campaign run.
+struct CampaignProgress {
+    std::size_t completed_blocks = 0;
+    std::size_t completed_traces = 0;
+    bool cancelled = false;   // token fired; result covers a prefix only
+    bool resumed = false;     // a snapshot seeded this run
+};
+
+// --- snapshot file framing (used by the templated runner) ---------------
+
+/// Starts a checkpoint buffer: magic, version, fingerprint, completed
+/// block count and stack entry count.  The caller appends each entry's
+/// blocks-spanned word + payload, then seals with finish().
+[[nodiscard]] SnapshotWriter begin_checkpoint(const CampaignFingerprint& fp,
+                                              std::uint64_t completed_blocks,
+                                              std::uint64_t stack_entries);
+
+struct CheckpointHeader {
+    CampaignFingerprint fingerprint;
+    std::uint64_t completed_blocks = 0;
+    std::uint64_t stack_entries = 0;
+};
+
+/// Reads and validates the header written by begin_checkpoint; throws
+/// CampaignError{CorruptSnapshot} on bad magic/version.
+[[nodiscard]] CheckpointHeader read_checkpoint_header(SnapshotReader& in);
+
+}  // namespace glitchmask::eval

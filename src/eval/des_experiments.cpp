@@ -1,6 +1,7 @@
 #include "eval/des_experiments.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <memory>
 #include <span>
 #include <stdexcept>
@@ -82,10 +83,52 @@ DesStimulus des_stimulus(const DesTvlaConfig& config, std::size_t trace_index) {
     return stim;
 }
 
+/// Per-block accumulator of the DES TVLA campaign (and its snapshot
+/// payload: the campaign's accumulators plus the toggle counter).
+struct DesBlockAcc {
+    leakage::TvlaCampaign campaign;
+    std::uint64_t toggles = 0;
+};
+
+void encode_des_acc(const DesBlockAcc& acc, SnapshotWriter& out) {
+    acc.campaign.encode(out);
+    out.u64(acc.toggles);
+}
+
+DesBlockAcc decode_des_acc(SnapshotReader& in) {
+    DesBlockAcc acc{leakage::TvlaCampaign::decode(in), 0};
+    acc.toggles = in.u64();
+    return acc;
+}
+
+/// Everything that defines the campaign's statistics except workers and
+/// lanes (both proven bit-identical) goes into the fingerprint.
+CampaignFingerprint des_tvla_fingerprint(const DesTvlaConfig& config,
+                                         std::size_t samples) {
+    std::uint64_t payload = kFnvOffset;
+    payload = fnv1a64(payload, config.placement_seed);
+    payload = fnv1a64(payload, std::bit_cast<std::uint64_t>(config.noise_sigma));
+    payload = fnv1a64(payload, config.prng_on ? 1 : 0);
+    payload = fnv1a64(payload, config.fixed_plaintext);
+    payload = fnv1a64(payload, config.key);
+    payload = fnv1a64(payload, static_cast<std::uint64_t>(config.max_test_order));
+    payload = fnv1a64(payload, static_cast<std::uint64_t>(samples));
+    payload = fnv1a64(payload, config.coupling.timing_enabled ? 1 : 0);
+    payload = fnv1a64(payload, config.coupling.window_ps);
+    payload = fnv1a64(payload, config.coupling.slowdown_ps);
+    payload = fnv1a64(payload, config.coupling.speedup_ps);
+    payload =
+        fnv1a64(payload, std::bit_cast<std::uint64_t>(config.coupling_epsilon));
+    return CampaignFingerprint{fnv1a64_tag("des_tvla"), config.seed,
+                               config.traces, config.block_size, payload};
+}
+
 }  // namespace
 
 DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
                            const DesTvlaConfig& config) {
+    validate_campaign_config(config.traces, config.block_size, config.lanes);
+
     sim::DelayConfig delay_config = sim::DelayConfig::spartan6();
     delay_config.seed = config.placement_seed;
     const sim::DelayModel dm(core.nl(), delay_config);
@@ -97,15 +140,21 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
 
     const std::size_t samples = core.total_cycles();
 
-    struct BlockAcc {
-        leakage::TvlaCampaign campaign;
-        std::uint64_t toggles = 0;
-    };
+    using BlockAcc = DesBlockAcc;
 
     // Timing coupling makes delays data-dependent, which the shared batch
     // schedule cannot express -- fall back to the scalar engine then.
     const unsigned lanes =
         resolve_lanes(config.lanes, config.coupling.timing_enabled);
+
+    const CheckpointPolicy policy =
+        make_checkpoint_policy(config.run, "des_tvla");
+    const CampaignFingerprint fingerprint = des_tvla_fingerprint(config, samples);
+    const auto encode = [](const BlockAcc& acc, SnapshotWriter& out) {
+        encode_des_acc(acc, out);
+    };
+    const auto decode = [](SnapshotReader& in) { return decode_des_acc(in); };
+    CampaignProgress progress;
 
     ThreadPool pool(resolve_workers(config.workers));
     const ShardPlan plan{config.traces, config.block_size};
@@ -114,7 +163,7 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
             // Lane groups are cut *within* each block (partial groups use
             // fewer lanes), so any block size stays bit-identical to the
             // scalar path; multiples of 64 merely amortize best.
-            return run_sharded_blocks(
+            return run_sharded_blocks_checkpointed(
                 pool, plan,
                 [&] {
                     return std::make_unique<BatchDesWorker>(
@@ -177,10 +226,11 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
                 [](BlockAcc& into, const BlockAcc& from) {
                     into.campaign.merge(from.campaign);
                     into.toggles += from.toggles;
-                });
+                },
+                policy, fingerprint, encode, decode, &progress);
         }
 
-        return run_sharded(
+        return run_sharded_blocks_checkpointed(
             pool, plan,
             [&] {
                 return std::make_unique<DesWorker>(core, dm, clock,
@@ -191,30 +241,37 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
                 return BlockAcc{
                     leakage::TvlaCampaign(samples, config.max_test_order), 0};
             },
-            [&](std::unique_ptr<DesWorker>& worker, std::size_t trace_index,
-                BlockAcc& acc) {
-                DesStimulus stim = des_stimulus(config, trace_index);
-                Xoshiro256 noise_rng =
-                    trace_rng(config.seed, kNoiseStream, trace_index);
+            [&](std::unique_ptr<DesWorker>& worker, std::size_t begin,
+                std::size_t end, BlockAcc& acc) {
+                for (std::size_t trace_index = begin; trace_index < end;
+                     ++trace_index) {
+                    DesStimulus stim = des_stimulus(config, trace_index);
+                    Xoshiro256 noise_rng =
+                        trace_rng(config.seed, kNoiseStream, trace_index);
 
-                worker->sim.restart();
-                worker->recorder.begin_trace(samples);
-                (void)core.encrypt(worker->sim, stim.pt, stim.key,
-                                   config.prng_on ? &stim.rng : nullptr);
-                worker->recorder.noisy_trace_into(noise_rng, config.noise_sigma,
-                                                  worker->noisy);
-                acc.campaign.add_trace(stim.fixed, worker->noisy);
-                acc.toggles += worker->recorder.trace_toggles();
+                    worker->sim.restart();
+                    worker->recorder.begin_trace(samples);
+                    (void)core.encrypt(worker->sim, stim.pt, stim.key,
+                                       config.prng_on ? &stim.rng : nullptr);
+                    worker->recorder.noisy_trace_into(
+                        noise_rng, config.noise_sigma, worker->noisy);
+                    acc.campaign.add_trace(stim.fixed, worker->noisy);
+                    acc.toggles += worker->recorder.trace_toggles();
+                }
             },
             [](BlockAcc& into, const BlockAcc& from) {
                 into.campaign.merge(from.campaign);
                 into.toggles += from.toggles;
-            });
+            },
+            policy, fingerprint, encode, decode, &progress);
     }();
 
     DesTvlaResult result(samples, config.max_test_order);
     result.samples = samples;
     result.traces = config.traces;
+    result.completed_traces = progress.completed_traces;
+    result.cancelled = progress.cancelled;
+    result.resumed = progress.resumed;
     result.toggles = merged.toggles;
     result.campaign = std::move(merged.campaign);
     for (int order = 1; order <= config.max_test_order; ++order)
@@ -226,7 +283,11 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
 std::vector<double> mean_power_trace(const des::MaskedDesCore& core,
                                      std::size_t traces, std::uint64_t seed,
                                      std::uint64_t placement_seed,
-                                     unsigned workers, unsigned lanes) {
+                                     unsigned workers, unsigned lanes,
+                                     const CampaignRunOptions& run,
+                                     CampaignProgress* progress) {
+    validate_campaign_config(traces, /*block_size=*/64, lanes);
+
     sim::DelayConfig delay_config = sim::DelayConfig::spartan6();
     delay_config.seed = placement_seed;
     const sim::DelayModel dm(core.nl(), delay_config);
@@ -238,9 +299,32 @@ std::vector<double> mean_power_trace(const des::MaskedDesCore& core,
     ThreadPool pool(resolve_workers(workers));
     const ShardPlan plan{traces, /*block_size=*/64};
     const unsigned resolved = resolve_lanes(lanes, /*timing_coupling=*/false);
+
+    const CheckpointPolicy policy = make_checkpoint_policy(run, "mean_power");
+    std::uint64_t payload = kFnvOffset;
+    payload = fnv1a64(payload, placement_seed);
+    payload = fnv1a64(payload, static_cast<std::uint64_t>(samples));
+    const CampaignFingerprint fingerprint{fnv1a64_tag("mean_power"), seed,
+                                          traces, plan.block_size, payload};
+    const auto encode = [](const std::vector<double>& acc, SnapshotWriter& out) {
+        out.u64(acc.size());
+        for (double v : acc) out.f64(v);
+    };
+    const auto decode = [samples](SnapshotReader& in) {
+        const std::uint64_t size = in.u64();
+        if (size != samples)
+            throw CampaignError(CampaignErrorKind::CorruptSnapshot,
+                                "snapshot: mean-power sample count mismatch");
+        std::vector<double> acc(samples);
+        for (double& v : acc) v = in.f64();
+        return acc;
+    };
+    CampaignProgress local_progress;
+    CampaignProgress& prog = progress != nullptr ? *progress : local_progress;
+
     std::vector<double> mean = [&] {
         if (resolved == sim::kBatchLanes) {
-            return run_sharded_blocks(
+            return run_sharded_blocks_checkpointed(
                 pool, plan,
                 [&] {
                     return std::make_unique<BatchDesWorker>(
@@ -282,10 +366,11 @@ std::vector<double> mean_power_trace(const des::MaskedDesCore& core,
                 [](std::vector<double>& into, const std::vector<double>& from) {
                     for (std::size_t i = 0; i < into.size(); ++i)
                         into[i] += from[i];
-                });
+                },
+                policy, fingerprint, encode, decode, &prog);
         }
 
-        return run_sharded(
+        return run_sharded_blocks_checkpointed(
             pool, plan,
             [&] {
                 return std::make_unique<DesWorker>(core, dm, clock,
@@ -293,22 +378,32 @@ std::vector<double> mean_power_trace(const des::MaskedDesCore& core,
                                                    power_config);
             },
             [&] { return std::vector<double>(samples, 0.0); },
-            [&](std::unique_ptr<DesWorker>& worker, std::size_t trace_index,
-                std::vector<double>& acc) {
-                Xoshiro256 rng = trace_rng(seed, kStimulusStream, trace_index);
-                worker->sim.restart();
-                worker->recorder.begin_trace(samples);
-                const std::uint64_t pt = rng();
-                const std::uint64_t key = rng();
-                (void)core.encrypt_value(worker->sim, pt, key, &rng);
-                const std::vector<double>& trace = worker->recorder.trace();
-                for (std::size_t i = 0; i < samples; ++i) acc[i] += trace[i];
+            [&](std::unique_ptr<DesWorker>& worker, std::size_t begin,
+                std::size_t end, std::vector<double>& acc) {
+                for (std::size_t trace_index = begin; trace_index < end;
+                     ++trace_index) {
+                    Xoshiro256 rng =
+                        trace_rng(seed, kStimulusStream, trace_index);
+                    worker->sim.restart();
+                    worker->recorder.begin_trace(samples);
+                    const std::uint64_t pt = rng();
+                    const std::uint64_t key = rng();
+                    (void)core.encrypt_value(worker->sim, pt, key, &rng);
+                    const std::vector<double>& trace = worker->recorder.trace();
+                    for (std::size_t i = 0; i < samples; ++i)
+                        acc[i] += trace[i];
+                }
             },
             [](std::vector<double>& into, const std::vector<double>& from) {
                 for (std::size_t i = 0; i < into.size(); ++i) into[i] += from[i];
-            });
+            },
+            policy, fingerprint, encode, decode, &prog);
     }();
-    for (double& v : mean) v /= static_cast<double>(traces);
+    // A cancelled run averages over the traces it actually folded in.
+    const std::size_t denom = prog.completed_traces > 0
+                                  ? prog.completed_traces
+                                  : traces;
+    for (double& v : mean) v /= static_cast<double>(denom);
     return mean;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "des/masked_des.hpp"
+#include "eval/checkpoint.hpp"
 #include "leakage/tvla.hpp"
 #include "power/power_model.hpp"
 #include "sim/clocked.hpp"
@@ -43,11 +44,21 @@ struct DesTvlaConfig {
     /// (GLITCHMASK_LANES env, default 64).  Both paths are bit-identical;
     /// timing coupling forces the scalar path regardless.
     unsigned lanes = 0;
+    /// Crash-safe runtime knobs: checkpoint path/cadence, cancellation
+    /// token (see eval/checkpoint.hpp).  Defaults leave the runtime off.
+    CampaignRunOptions run;
 };
 
 struct DesTvlaResult {
     std::size_t samples = 0;
     std::size_t traces = 0;
+    /// Traces actually folded into the statistics: == `traces` for a full
+    /// run, the contiguous completed prefix for a cancelled one.
+    std::size_t completed_traces = 0;
+    /// The cancel token fired; the result covers completed_traces only.
+    bool cancelled = false;
+    /// A checkpoint seeded this run (resume path).
+    bool resumed = false;
     /// Toggle events the simulation committed across all traces (the
     /// throughput bench's activity metric; deterministic per campaign).
     std::uint64_t toggles = 0;
@@ -65,9 +76,11 @@ struct DesTvlaResult {
 
 /// Mean per-cycle power over `traces` random encryptions (PRNG on).
 /// `lanes` as in DesTvlaConfig (0 = auto; scalar and bitsliced paths are
-/// bit-identical).
+/// bit-identical).  `run` enables the crash-safe runtime; on cancellation
+/// the mean covers `progress->completed_traces` traces.
 [[nodiscard]] std::vector<double> mean_power_trace(
     const des::MaskedDesCore& core, std::size_t traces, std::uint64_t seed,
-    std::uint64_t placement_seed = 1, unsigned workers = 0, unsigned lanes = 0);
+    std::uint64_t placement_seed = 1, unsigned workers = 0, unsigned lanes = 0,
+    const CampaignRunOptions& run = {}, CampaignProgress* progress = nullptr);
 
 }  // namespace glitchmask::eval

@@ -1,6 +1,7 @@
 #include "eval/parallel_campaign.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "support/env.hpp"
 
@@ -16,10 +17,28 @@ unsigned resolve_lanes(unsigned configured, bool timing_coupling) {
         lanes = static_cast<unsigned>(env_int("GLITCHMASK_LANES", 64));
     if (lanes != 1 && lanes != 64)
         throw std::invalid_argument(
-            "resolve_lanes: lanes must be 1 (scalar) or 64 (bitsliced)");
+            "campaign config: lanes must be 1 (scalar) or 64 (bitsliced), got " +
+            std::to_string(lanes));
     // Data-dependent delays cannot share one event schedule across lanes.
     if (timing_coupling) return 1;
     return lanes;
+}
+
+void validate_campaign_config(std::size_t traces, std::size_t block_size,
+                              unsigned lanes) {
+    if (traces == 0)
+        throw std::invalid_argument(
+            "campaign config: traces must be > 0 (a zero budget would "
+            "silently produce a zero-block plan)");
+    if (block_size == 0)
+        throw std::invalid_argument(
+            "campaign config: block_size must be > 0 (a zero block size "
+            "would silently produce a zero-block plan)");
+    if (lanes != 0 && lanes != 1 && lanes != 64)
+        throw std::invalid_argument(
+            "campaign config: lanes must be 0 (auto), 1 (scalar) or 64 "
+            "(bitsliced), got " +
+            std::to_string(lanes));
 }
 
 }  // namespace glitchmask::eval

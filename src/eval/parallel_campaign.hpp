@@ -23,15 +23,26 @@
 // produce bit-identical statistics.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "eval/checkpoint.hpp"
+#include "support/atomic_file.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 
 namespace glitchmask::eval {
+
+/// Up-front campaign config validation, shared by every driver: rejects
+/// the degenerate values that would otherwise produce a silent zero-block
+/// plan or an unusable lane setting.  Throws std::invalid_argument with a
+/// message naming the field.  `lanes` follows the config convention
+/// (0 = auto, 1 = scalar, 64 = bitsliced).
+void validate_campaign_config(std::size_t traces, std::size_t block_size,
+                              unsigned lanes);
 
 /// Resolves a config's `workers` field: 0 = GLITCHMASK_WORKERS env /
 /// hardware_concurrency (ThreadPool::default_worker_count()).
@@ -167,6 +178,174 @@ template <class MakeWorker, class MakeAcc, class RunTrace, class Merge>
             for (std::size_t n = begin; n < end; ++n) run_trace(worker, n, acc);
         },
         std::forward<Merge>(merge));
+}
+
+// ----- crash-safe variant ----------------------------------------------
+//
+// run_sharded_blocks_checkpointed adds three behaviours on top of
+// run_sharded_blocks without changing a single result bit:
+//
+//   * periodic snapshots: every `every_blocks` completed blocks the
+//     campaign's merge frontier is written atomically to `policy.path`;
+//   * resume: an existing snapshot (fingerprint-checked) seeds the run,
+//     which then continues at the first missing block;
+//   * graceful shutdown: when `policy.cancel` fires, blocks already
+//     running finish, queued blocks are dropped, a final checkpoint is
+//     written and the partial merge is returned (progress->cancelled).
+//
+// Bit-identity with the plain path rests on a classic equivalence: the
+// fixed pairwise merge tree of merge_tree() is exactly reproduced by
+// folding blocks *in index order* through a binary-counter stack -- push
+// each block as a 1-block entry, then merge the top two entries while
+// they span equally many blocks.  The surviving entries are the roots of
+// the aligned power-of-two subtrees of the tree; the final result folds
+// them right-to-left, which is the order merge_tree's increasing-step
+// rounds combine them in.  That stack (O(log blocks) accumulators) is the
+// entire checkpoint state, so the checkpoint cadence, the worker count
+// and the interruption point all drop out of the final float result.
+//
+// When the policy is inactive (no path, no token, no hook) this delegates
+// to run_sharded_blocks -- the hot path is untouched.
+
+template <class MakeWorker, class MakeAcc, class RunBlock, class Merge,
+          class EncodeAcc, class DecodeAcc>
+[[nodiscard]] auto run_sharded_blocks_checkpointed(
+    ThreadPool& pool, const ShardPlan& plan, MakeWorker&& make_worker,
+    MakeAcc&& make_acc, RunBlock&& run_block, Merge&& merge,
+    const CheckpointPolicy& policy, const CampaignFingerprint& fingerprint,
+    EncodeAcc&& encode_acc, DecodeAcc&& decode_acc,
+    CampaignProgress* progress = nullptr) -> decltype(make_acc()) {
+    using Acc = decltype(make_acc());
+    using Worker = decltype(make_worker());
+
+    const std::size_t n_blocks = plan.blocks();
+    CampaignProgress local_progress;
+    CampaignProgress& prog = progress != nullptr ? *progress : local_progress;
+    prog = {};
+
+    if (!policy.active()) {
+        Acc result = run_sharded_blocks(
+            pool, plan, std::forward<MakeWorker>(make_worker),
+            std::forward<MakeAcc>(make_acc), std::forward<RunBlock>(run_block),
+            std::forward<Merge>(merge));
+        prog.completed_blocks = n_blocks;
+        prog.completed_traces = plan.traces;
+        return result;
+    }
+
+    // The merge frontier: (blocks spanned, partial subtree accumulator),
+    // spans strictly decreasing powers of two summing to the completed
+    // block count.
+    std::vector<std::pair<std::uint64_t, Acc>> stack;
+    std::size_t next_block = 0;
+
+    if (!policy.path.empty()) {
+        if (const auto bytes = read_file_if_exists(policy.path)) {
+            SnapshotReader in(*bytes);  // verifies the CRC trailer
+            const CheckpointHeader header = read_checkpoint_header(in);
+            require_fingerprint_match(fingerprint, header.fingerprint);
+            if (header.completed_blocks > n_blocks ||
+                header.stack_entries > 64)
+                throw CampaignError(
+                    CampaignErrorKind::CorruptSnapshot,
+                    "snapshot: completed-block count exceeds the block plan");
+            std::uint64_t spanned = 0;
+            for (std::uint64_t e = 0; e < header.stack_entries; ++e) {
+                const std::uint64_t span = in.u64();
+                const bool pow2 = span != 0 && (span & (span - 1)) == 0;
+                if (!pow2 || (!stack.empty() && stack.back().first <= span))
+                    throw CampaignError(
+                        CampaignErrorKind::CorruptSnapshot,
+                        "snapshot: merge frontier is not a strictly "
+                        "decreasing power-of-two sequence");
+                stack.emplace_back(span, decode_acc(in));
+                spanned += span;
+            }
+            if (spanned != header.completed_blocks)
+                throw CampaignError(CampaignErrorKind::CorruptSnapshot,
+                                    "snapshot: merge frontier does not cover "
+                                    "the completed blocks");
+            next_block = static_cast<std::size_t>(header.completed_blocks);
+            prog.resumed = true;
+        }
+    }
+
+    auto push_block = [&](Acc&& acc) {
+        stack.emplace_back(1, std::move(acc));
+        while (stack.size() >= 2 &&
+               stack[stack.size() - 2].first == stack.back().first) {
+            merge(stack[stack.size() - 2].second, stack.back().second);
+            stack[stack.size() - 2].first *= 2;
+            stack.pop_back();
+        }
+    };
+
+    auto write_checkpoint = [&](std::size_t completed) {
+        if (policy.path.empty()) return;
+        SnapshotWriter out =
+            begin_checkpoint(fingerprint, completed, stack.size());
+        for (const auto& [span, acc] : stack) {
+            out.u64(span);
+            encode_acc(acc, out);
+        }
+        atomic_write_file(policy.path, std::move(out).finish());
+    };
+
+    std::vector<std::optional<Worker>> replicas(pool.size());
+    const std::size_t every =
+        policy.every_blocks > 0 ? policy.every_blocks : 16;
+    // Waves below 2 blocks/worker would starve the pool; the checkpoint
+    // cadence is rounded up accordingly (durability only, never results).
+    const std::size_t wave_size =
+        std::max<std::size_t>(every, std::size_t{2} * pool.size());
+
+    while (next_block < n_blocks) {
+        if (policy.cancel != nullptr && policy.cancel->requested()) {
+            prog.cancelled = true;
+            break;
+        }
+        const std::size_t wave_end =
+            std::min(n_blocks, next_block + wave_size);
+        std::vector<std::optional<Acc>> done(wave_end - next_block);
+        {
+            TaskGroup group(pool, policy.cancel);
+            for (std::size_t b = next_block; b < wave_end; ++b) {
+                group.run([&, b] {
+                    const int id = pool.current_worker();
+                    std::optional<Worker>& slot =
+                        replicas[static_cast<std::size_t>(id)];
+                    if (!slot.has_value()) slot.emplace(make_worker());
+                    Acc acc = make_acc();
+                    run_block(*slot, plan.block_begin(b), plan.block_end(b),
+                              acc);
+                    done[b - next_block].emplace(std::move(acc));
+                });
+            }
+            group.wait();
+        }
+        // Fold the contiguous completed prefix; a hole means cancellation
+        // skipped a block, and out-of-order completions past it cannot be
+        // kept (the frontier is strictly index-ordered).
+        std::size_t folded = 0;
+        while (folded < done.size() && done[folded].has_value())
+            push_block(std::move(*done[folded++]));
+        next_block += folded;
+        if (folded < done.size()) prog.cancelled = true;
+        write_checkpoint(next_block);
+        if (policy.on_checkpoint) policy.on_checkpoint(next_block);
+        if (prog.cancelled) break;
+    }
+
+    prog.completed_blocks = next_block;
+    prog.completed_traces =
+        next_block == 0 ? 0 : plan.block_end(next_block - 1);
+
+    if (stack.empty()) return make_acc();
+    while (stack.size() >= 2) {
+        merge(stack[stack.size() - 2].second, stack.back().second);
+        stack.pop_back();
+    }
+    return std::move(stack.front().second);
 }
 
 }  // namespace glitchmask::eval

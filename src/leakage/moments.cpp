@@ -88,6 +88,25 @@ void MomentAccumulator::reset() {
     sums_.assign(sums_.size(), 0.0);
 }
 
+void MomentAccumulator::encode(SnapshotWriter& out) const {
+    out.u32(static_cast<std::uint32_t>(max_order()));
+    out.f64(n_);
+    out.f64(mean_);
+    for (const double sum : sums_) out.f64(sum);
+}
+
+MomentAccumulator MomentAccumulator::decode(SnapshotReader& in) {
+    const std::uint32_t order = in.u32();
+    if (order < 2 || order > 64)
+        throw CampaignError(CampaignErrorKind::CorruptSnapshot,
+                            "MomentAccumulator: implausible order in snapshot");
+    MomentAccumulator acc(static_cast<int>(order));
+    acc.n_ = in.f64();
+    acc.mean_ = in.f64();
+    for (double& sum : acc.sums_) sum = in.f64();
+    return acc;
+}
+
 double MomentAccumulator::central_moment(int p) const {
     if (p < 2 || p > max_order())
         throw std::out_of_range("MomentAccumulator::central_moment");

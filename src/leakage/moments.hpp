@@ -13,6 +13,8 @@
 #include <span>
 #include <vector>
 
+#include "support/snapshot.hpp"
+
 namespace glitchmask::leakage {
 
 class MomentAccumulator {
@@ -44,6 +46,18 @@ public:
     [[nodiscard]] int max_order() const noexcept {
         return static_cast<int>(sums_.size()) - 1;
     }
+
+    /// Raw central power sums (index p >= 2; 0 and 1 unused).  Exposed so
+    /// snapshot round-trips can be asserted with exact `==` -- the resume
+    /// contract is bit-identity, not closeness.
+    [[nodiscard]] const std::vector<double>& raw_sums() const noexcept {
+        return sums_;
+    }
+
+    /// Exact binary serialization (count, mean and raw sums as IEEE-754
+    /// bit patterns): decode(encode(acc)) == acc on every raw field.
+    void encode(SnapshotWriter& out) const;
+    [[nodiscard]] static MomentAccumulator decode(SnapshotReader& in);
 
 private:
     double n_ = 0.0;

@@ -1,5 +1,6 @@
 #include "leakage/snr.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace glitchmask::leakage {
@@ -40,8 +41,11 @@ double SnrAccumulator::snr() const {
     }
     signal /= total_n;
     noise /= total_n;
-    if (!(noise > 0.0)) return 0.0;
-    return signal / noise;
+    if (!(noise > 0.0)) return 0.0;  // zero variance in every class, or NaN
+    const double snr = signal / noise;
+    // Degenerate inputs (single-sample classes, constant data) must yield
+    // the defined sentinel 0.0, never a quiet NaN/Inf.
+    return std::isfinite(snr) ? snr : 0.0;
 }
 
 double SnrAccumulator::class_mean(std::size_t cls) const { return mean_.at(cls); }

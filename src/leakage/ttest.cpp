@@ -8,9 +8,17 @@ namespace glitchmask::leakage {
 double welch_t(double mean_a, double var_a, double n_a, double mean_b,
                double var_b, double n_b) {
     if (n_a <= 1.0 || n_b <= 1.0) return 0.0;
+    if (!std::isfinite(mean_a) || !std::isfinite(mean_b) ||
+        !std::isfinite(var_a) || !std::isfinite(var_b))
+        return 0.0;
+    // A negative variance is numerical poison from a cancelled moment
+    // sum, not a statistic -- reject it even when the other class would
+    // carry the denominator.
+    if (var_a < 0.0 || var_b < 0.0) return 0.0;
     const double denom = std::sqrt(var_a / n_a + var_b / n_b);
-    if (!(denom > 0.0)) return 0.0;
-    return (mean_a - mean_b) / denom;
+    if (!(denom > 0.0)) return 0.0;  // zero/negative variance, or NaN
+    const double t = (mean_a - mean_b) / denom;
+    return std::isfinite(t) ? t : 0.0;
 }
 
 double preprocessed_mean(const MomentAccumulator& acc, int order) {
@@ -30,7 +38,8 @@ double preprocessed_variance(const MomentAccumulator& acc, int order) {
     if (order == 2) return m2d - md * md;
     const double m2 = acc.central_moment(2);
     if (!(m2 > 0.0)) return 0.0;
-    return (m2d - md * md) / std::pow(m2, static_cast<double>(order));
+    const double var = (m2d - md * md) / std::pow(m2, static_cast<double>(order));
+    return std::isfinite(var) ? var : 0.0;
 }
 
 UnivariateTTest::UnivariateTTest(int max_test_order)
@@ -72,6 +81,28 @@ void UnivariateTTest::merge(const UnivariateTTest& other) {
 void UnivariateTTest::reset() {
     fixed_.reset();
     random_.reset();
+}
+
+void UnivariateTTest::encode(SnapshotWriter& out) const {
+    out.u32(static_cast<std::uint32_t>(max_test_order_));
+    fixed_.encode(out);
+    random_.encode(out);
+}
+
+UnivariateTTest UnivariateTTest::decode(SnapshotReader& in) {
+    const std::uint32_t order = in.u32();
+    if (order < 1 || order > 3)
+        throw CampaignError(CampaignErrorKind::CorruptSnapshot,
+                            "UnivariateTTest: implausible order in snapshot");
+    UnivariateTTest test(static_cast<int>(order));
+    test.fixed_ = MomentAccumulator::decode(in);
+    test.random_ = MomentAccumulator::decode(in);
+    if (test.fixed_.max_order() < 2 * test.max_test_order_ ||
+        test.random_.max_order() < 2 * test.max_test_order_)
+        throw CampaignError(
+            CampaignErrorKind::CorruptSnapshot,
+            "UnivariateTTest: accumulator order below 2x test order");
+    return test;
 }
 
 }  // namespace glitchmask::leakage

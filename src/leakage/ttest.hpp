@@ -16,7 +16,11 @@ namespace glitchmask::leakage {
 /// The commonly applied TVLA decision threshold (paper: red lines at 4.5).
 inline constexpr double kTvlaThreshold = 4.5;
 
-/// Welch's t-statistic from summary statistics.
+/// Welch's t-statistic from summary statistics.  Degenerate inputs --
+/// either class with n < 2, zero/negative/non-finite variances, or
+/// non-finite means -- return the defined sentinel 0.0 instead of quiet
+/// NaN/Inf, so downstream max/threshold logic never sees a poisoned
+/// value.
 [[nodiscard]] double welch_t(double mean_a, double var_a, double n_a,
                              double mean_b, double var_b, double n_b);
 
@@ -38,8 +42,9 @@ public:
     /// Folds a run of same-class samples in order (== repeated add()).
     void add_batch(bool fixed_class, std::span<const double> values);
 
-    /// t-statistic at order `d` (1 <= d <= max_test_order); 0 while a
-    /// class is still empty or degenerate.
+    /// t-statistic at order `d` (1 <= d <= max_test_order); the sentinel
+    /// 0.0 while a class is still empty or degenerate (n < 2, zero
+    /// variance) -- never NaN/Inf.
     [[nodiscard]] double t(int order) const;
 
     [[nodiscard]] double count(bool fixed_class) const;
@@ -49,6 +54,11 @@ public:
 
     void merge(const UnivariateTTest& other);
     void reset();
+
+    /// Exact binary serialization of both class accumulators (see
+    /// MomentAccumulator::encode).
+    void encode(SnapshotWriter& out) const;
+    [[nodiscard]] static UnivariateTTest decode(SnapshotReader& in);
 
     [[nodiscard]] int max_test_order() const noexcept { return max_test_order_; }
 

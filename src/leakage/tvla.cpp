@@ -77,6 +77,23 @@ std::vector<std::size_t> TvlaCampaign::exceedances(int order,
     return indices;
 }
 
+void TvlaCampaign::encode(SnapshotWriter& out) const {
+    out.u64(points_.size());
+    for (const UnivariateTTest& point : points_) point.encode(out);
+}
+
+TvlaCampaign TvlaCampaign::decode(SnapshotReader& in) {
+    const std::uint64_t samples = in.u64();
+    if (samples > (std::uint64_t{1} << 32))
+        throw CampaignError(CampaignErrorKind::CorruptSnapshot,
+                            "TvlaCampaign: implausible sample count");
+    TvlaCampaign campaign(0, 1);
+    campaign.points_.reserve(static_cast<std::size_t>(samples));
+    for (std::uint64_t i = 0; i < samples; ++i)
+        campaign.points_.push_back(UnivariateTTest::decode(in));
+    return campaign;
+}
+
 void TvlaCampaign::merge(const TvlaCampaign& other) {
     if (other.points_.size() != points_.size())
         throw std::invalid_argument("TvlaCampaign::merge: size mismatch");

@@ -53,6 +53,12 @@ public:
 
     void merge(const TvlaCampaign& other);
 
+    /// Exact binary serialization of every per-sample accumulator: a
+    /// decoded campaign merges and queries bit-identically to the
+    /// original (the crash-safe runtime's resume contract).
+    void encode(SnapshotWriter& out) const;
+    [[nodiscard]] static TvlaCampaign decode(SnapshotReader& in);
+
     [[nodiscard]] const UnivariateTTest& point(std::size_t i) const {
         return points_[i];
     }

@@ -66,9 +66,23 @@ void VcdWriter::on_toggle(netlist::NetId net, TimePs time, bool value) {
 }
 
 void VcdWriter::close() {
-    if (out_.is_open()) out_.close();
+    if (!out_.is_open()) return;
+    out_.flush();
+    if (!out_)
+        throw std::runtime_error(
+            "VcdWriter: write failed (disk full or stream error)");
+    out_.close();
+    if (!out_)
+        throw std::runtime_error("VcdWriter: closing the dump file failed");
 }
 
-VcdWriter::~VcdWriter() { close(); }
+VcdWriter::~VcdWriter() {
+    // Destructors must not throw during unwinding; call close() directly
+    // to observe I/O failures.
+    try {
+        close();
+    } catch (const std::runtime_error&) {
+    }
+}
 
 }  // namespace glitchmask::sim

@@ -35,7 +35,10 @@ public:
     /// assumed when never called).
     void dump_initial(const EventSimulator& sim);
 
-    /// Flushes and closes the file (also done by the destructor).
+    /// Flushes and closes the file, throwing std::runtime_error if any
+    /// write (including the flush) failed -- a silently truncated dump
+    /// looks like a clean simulation end in the viewer.  The destructor
+    /// closes too but swallows the error.
     void close();
 
     ~VcdWriter() override;

@@ -1,0 +1,92 @@
+#include "support/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "support/campaign_error.hpp"
+
+namespace glitchmask {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+    throw CampaignError(CampaignErrorKind::IoFailure,
+                        what + " " + path + ": " + std::strerror(errno));
+}
+
+/// Best-effort fsync of the directory containing `path`, so the rename
+/// itself is durable.  Some filesystems refuse to fsync directories; that
+/// is not a correctness problem (the rename is still atomic), so errors
+/// other than open failure are ignored.
+void fsync_parent_dir(const std::string& path) {
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return;
+    (void)::fsync(fd);
+    ::close(fd);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path,
+                       std::span<const std::uint8_t> bytes) {
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) fail("atomic_write_file: cannot create", tmp);
+
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + written, bytes.size() - written);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            fail("atomic_write_file: write to", tmp);
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        fail("atomic_write_file: fsync of", tmp);
+    }
+    if (::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        fail("atomic_write_file: close of", tmp);
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        fail("atomic_write_file: rename to", path);
+    }
+    fsync_parent_dir(path);
+}
+
+std::optional<std::vector<std::uint8_t>> read_file_if_exists(
+    const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        if (errno == ENOENT) return std::nullopt;
+        fail("read_file_if_exists: cannot open", path);
+    }
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buffer[1 << 16];
+    for (;;) {
+        const ssize_t n = ::read(fd, buffer, sizeof buffer);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            ::close(fd);
+            fail("read_file_if_exists: read of", path);
+        }
+        if (n == 0) break;
+        bytes.insert(bytes.end(), buffer, buffer + n);
+    }
+    ::close(fd);
+    return bytes;
+}
+
+}  // namespace glitchmask

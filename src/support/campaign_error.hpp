@@ -1,0 +1,41 @@
+// Structured error taxonomy for long-running campaigns.
+//
+// A 50M-trace campaign that dies with a bare runtime_error is
+// indistinguishable from a bug; recovery tooling needs to know *why* a
+// resume failed.  Every failure of the crash-safe campaign runtime is
+// reported as a CampaignError with a machine-readable kind:
+//
+//   ConfigMismatch  - a snapshot was written by a campaign with a
+//                     different identity (seed, trace budget, block plan,
+//                     ...); resuming from it would silently mix two
+//                     different experiments.  The message names the field.
+//   CorruptSnapshot - the snapshot file failed structural validation
+//                     (magic, version, CRC, truncation, impossible merge
+//                     frontier).  It is never partially trusted.
+//   IoFailure       - the snapshot could not be read or durably written
+//                     (open/write/fsync/rename failure).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace glitchmask {
+
+enum class CampaignErrorKind {
+    ConfigMismatch,
+    CorruptSnapshot,
+    IoFailure,
+};
+
+class CampaignError : public std::runtime_error {
+public:
+    CampaignError(CampaignErrorKind kind, const std::string& message)
+        : std::runtime_error(message), kind_(kind) {}
+
+    [[nodiscard]] CampaignErrorKind kind() const noexcept { return kind_; }
+
+private:
+    CampaignErrorKind kind_;
+};
+
+}  // namespace glitchmask

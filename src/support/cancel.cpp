@@ -1,0 +1,47 @@
+#include "support/cancel.hpp"
+
+#include <csignal>
+#include <stdexcept>
+
+namespace glitchmask {
+
+namespace {
+
+// One global slot: signal handlers cannot carry state, so the installed
+// handler reads the token through this pointer.  Writes happen only from
+// ScopedSignalCancel's constructor/destructor (normal context); the
+// handler only loads.
+std::atomic<CancelToken*> g_signal_token{nullptr};
+
+struct sigaction g_old_int;
+struct sigaction g_old_term;
+
+void on_signal(int) {
+    if (CancelToken* token = g_signal_token.load(std::memory_order_relaxed))
+        token->request();
+}
+
+}  // namespace
+
+ScopedSignalCancel::ScopedSignalCancel(CancelToken& token) {
+    CancelToken* expected = nullptr;
+    if (!g_signal_token.compare_exchange_strong(expected, &token))
+        throw std::logic_error(
+            "ScopedSignalCancel: another instance is already installed");
+    struct sigaction action = {};
+    action.sa_handler = on_signal;
+    sigemptyset(&action.sa_mask);
+    // SA_RESTART: checkpoint writes in progress are not interrupted; the
+    // campaign notices the token at its next block boundary instead.
+    action.sa_flags = SA_RESTART;
+    sigaction(SIGINT, &action, &g_old_int);
+    sigaction(SIGTERM, &action, &g_old_term);
+}
+
+ScopedSignalCancel::~ScopedSignalCancel() {
+    sigaction(SIGINT, &g_old_int, nullptr);
+    sigaction(SIGTERM, &g_old_term, nullptr);
+    g_signal_token.store(nullptr, std::memory_order_relaxed);
+}
+
+}  // namespace glitchmask

@@ -1,0 +1,45 @@
+// Cooperative cancellation for long-running campaigns.
+//
+// A CancelToken is a single atomic flag shared between a requester (a
+// signal handler, a watchdog thread, a test) and the campaign runtime,
+// which polls it at block granularity: in-flight simulation blocks run to
+// completion, a final checkpoint is written, and the partial result is
+// returned tagged with the completed-trace count.  request() is
+// async-signal-safe, so ScopedSignalCancel can bind SIGINT/SIGTERM
+// directly to a token: Ctrl-C turns a multi-hour TVLA run into a clean
+// partial result instead of a dead process.
+#pragma once
+
+#include <atomic>
+
+namespace glitchmask {
+
+class CancelToken {
+public:
+    /// Requests cancellation.  Async-signal-safe; idempotent.
+    void request() noexcept { flag_.store(true, std::memory_order_relaxed); }
+
+    [[nodiscard]] bool requested() const noexcept {
+        return flag_.load(std::memory_order_relaxed);
+    }
+
+    void reset() noexcept { flag_.store(false, std::memory_order_relaxed); }
+
+private:
+    std::atomic<bool> flag_{false};
+};
+
+/// RAII binding of SIGINT and SIGTERM to a CancelToken: while alive, both
+/// signals request() the token instead of killing the process; the
+/// previous handlers are restored on destruction.  At most one instance
+/// may be alive at a time (the handler routes through one global slot).
+class ScopedSignalCancel {
+public:
+    explicit ScopedSignalCancel(CancelToken& token);
+    ~ScopedSignalCancel();
+
+    ScopedSignalCancel(const ScopedSignalCancel&) = delete;
+    ScopedSignalCancel& operator=(const ScopedSignalCancel&) = delete;
+};
+
+}  // namespace glitchmask

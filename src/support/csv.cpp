@@ -17,6 +17,13 @@ CsvWriter::CsvWriter(const std::string& path,
     }
     out_ << '\n';
     out_ << std::setprecision(10);
+    check();
+}
+
+void CsvWriter::check() const {
+    if (!out_)
+        throw std::runtime_error("CsvWriter: write to " + path_ +
+                                 " failed (disk full or stream error)");
 }
 
 void CsvWriter::row(std::initializer_list<double> values) {
@@ -27,6 +34,7 @@ void CsvWriter::row(std::initializer_list<double> values) {
         first = false;
     }
     out_ << '\n';
+    check();
 }
 
 void CsvWriter::row(const std::vector<double>& values) {
@@ -37,6 +45,7 @@ void CsvWriter::row(const std::vector<double>& values) {
         first = false;
     }
     out_ << '\n';
+    check();
 }
 
 void CsvWriter::raw_row(std::initializer_list<std::string_view> fields) {
@@ -47,6 +56,24 @@ void CsvWriter::raw_row(std::initializer_list<std::string_view> fields) {
         first = false;
     }
     out_ << '\n';
+    check();
+}
+
+void CsvWriter::close() {
+    if (!out_.is_open()) return;
+    out_.flush();
+    check();
+    out_.close();
+    check();
+}
+
+CsvWriter::~CsvWriter() {
+    // A throwing destructor would terminate during unwinding; errors on
+    // the implicit close are reported by calling close() explicitly.
+    try {
+        close();
+    } catch (const std::runtime_error&) {
+    }
 }
 
 }  // namespace glitchmask

@@ -18,15 +18,27 @@ public:
     CsvWriter(const std::string& path, std::initializer_list<std::string_view> header);
 
     /// Appends one row; the number of fields should match the header.
+    /// Throws std::runtime_error if the stream has gone bad (disk full,
+    /// closed descriptor, ...) -- a silent short CSV would be mistaken
+    /// for real data.
     void row(std::initializer_list<double> values);
     void row(const std::vector<double>& values);
 
     /// Appends one row of preformatted fields (e.g. labels + numbers).
     void raw_row(std::initializer_list<std::string_view> fields);
 
+    /// Flushes and closes the file, throwing if any write (including the
+    /// flush) failed.  The destructor closes too but swallows the error;
+    /// call close() explicitly when the file matters.
+    void close();
+
+    ~CsvWriter();
+
     [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
 private:
+    void check() const;
+
     std::ofstream out_;
     std::string path_;
 };

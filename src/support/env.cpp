@@ -20,6 +20,11 @@ double env_double(const std::string& name, double fallback) {
     return (end == raw) ? fallback : value;
 }
 
+std::string env_string(const std::string& name, const std::string& fallback) {
+    const char* raw = std::getenv(name.c_str());
+    return (raw == nullptr || *raw == '\0') ? fallback : std::string(raw);
+}
+
 double trace_scale() { return env_double("GLITCHMASK_TRACE_SCALE", 1.0); }
 
 }  // namespace glitchmask

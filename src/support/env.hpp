@@ -16,6 +16,10 @@ namespace glitchmask {
 /// Floating-point env var with default.
 [[nodiscard]] double env_double(const std::string& name, double fallback);
 
+/// String env var with default (unset or empty falls back).
+[[nodiscard]] std::string env_string(const std::string& name,
+                                     const std::string& fallback);
+
 /// Scale factor applied to every bench's trace counts:
 /// value of GLITCHMASK_TRACE_SCALE, default 1.0.
 [[nodiscard]] double trace_scale();

@@ -1,0 +1,88 @@
+#include "support/snapshot.hpp"
+
+#include <array>
+
+namespace glitchmask {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (const std::uint8_t byte : bytes)
+        crc = kCrcTable[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+void SnapshotWriter::u32(std::uint32_t value) {
+    for (int i = 0; i < 4; ++i)
+        bytes_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void SnapshotWriter::u64(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i)
+        bytes_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void SnapshotWriter::bytes(std::span<const std::uint8_t> data) {
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+}
+
+std::vector<std::uint8_t> SnapshotWriter::finish() && {
+    const std::uint32_t crc = crc32(bytes_);
+    u32(crc);
+    return std::move(bytes_);
+}
+
+SnapshotReader::SnapshotReader(std::span<const std::uint8_t> sealed) {
+    if (sealed.size() < 4)
+        throw CampaignError(CampaignErrorKind::CorruptSnapshot,
+                            "snapshot: shorter than its CRC trailer");
+    data_ = sealed.first(sealed.size() - 4);
+    std::uint32_t stored = 0;
+    for (int i = 0; i < 4; ++i)
+        stored |= static_cast<std::uint32_t>(sealed[data_.size() + i]) << (8 * i);
+    if (crc32(data_) != stored)
+        throw CampaignError(CampaignErrorKind::CorruptSnapshot,
+                            "snapshot: CRC mismatch (torn or bit-flipped file)");
+}
+
+void SnapshotReader::require(std::size_t n) const {
+    if (data_.size() - pos_ < n)
+        throw CampaignError(CampaignErrorKind::CorruptSnapshot,
+                            "snapshot: truncated payload");
+}
+
+std::uint32_t SnapshotReader::u32() {
+    require(4);
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+        value |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return value;
+}
+
+std::uint64_t SnapshotReader::u64() {
+    require(8);
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return value;
+}
+
+}  // namespace glitchmask

@@ -1,0 +1,65 @@
+// Byte-level snapshot encoding for campaign checkpoints.
+//
+// The checkpoint format must round-trip floating-point accumulator state
+// *exactly* (resume is promised to be bit-identical to an uninterrupted
+// run), survive torn writes, and refuse corrupt input instead of reading
+// garbage as data.  SnapshotWriter/SnapshotReader implement the byte
+// layer: little-endian fixed-width integers, doubles as IEEE-754 bit
+// patterns, and a trailing CRC-32 over the whole payload.  Readers throw
+// CampaignError{CorruptSnapshot} on any truncated or checksum-failing
+// input -- there is no partial decode.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/campaign_error.hpp"
+
+namespace glitchmask {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `bytes`.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+/// Append-only encoder.  finish() seals the buffer with a trailing CRC-32;
+/// nothing may be appended afterwards.
+class SnapshotWriter {
+public:
+    void u32(std::uint32_t value);
+    void u64(std::uint64_t value);
+    void f64(double value) { u64(std::bit_cast<std::uint64_t>(value)); }
+    void bytes(std::span<const std::uint8_t> data);
+
+    /// Seals the buffer with a CRC-32 of everything written so far and
+    /// returns it; the buffer must not be written to afterwards.
+    [[nodiscard]] std::vector<std::uint8_t> finish() &&;
+
+    [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+
+private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+/// Decoder over a sealed buffer.  The constructor verifies the trailing
+/// CRC-32 and throws CampaignError{CorruptSnapshot} when it does not
+/// match; every read throws the same on truncation.
+class SnapshotReader {
+public:
+    explicit SnapshotReader(std::span<const std::uint8_t> sealed);
+
+    [[nodiscard]] std::uint32_t u32();
+    [[nodiscard]] std::uint64_t u64();
+    [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+
+    /// True when every payload byte has been consumed.
+    [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+private:
+    void require(std::size_t n) const;
+
+    std::span<const std::uint8_t> data_;  // payload without the CRC trailer
+    std::size_t pos_ = 0;
+};
+
+}  // namespace glitchmask

@@ -110,13 +110,17 @@ void TaskGroup::run(ThreadPool::Task task) {
         ++pending_;
     }
     pool_.submit([this, task = std::move(task)] {
+        const bool skip = cancel_ != nullptr && cancel_->requested();
         std::exception_ptr error;
-        try {
-            task();
-        } catch (...) {
-            error = std::current_exception();
+        if (!skip) {
+            try {
+                task();
+            } catch (...) {
+                error = std::current_exception();
+            }
         }
         const std::lock_guard<std::mutex> lock(mutex_);
+        if (skip) ++skipped_;
         if (error != nullptr && error_ == nullptr) error_ = error;
         if (--pending_ == 0) done_.notify_all();
     });

@@ -25,6 +25,8 @@
 #include <thread>
 #include <vector>
 
+#include "support/cancel.hpp"
+
 namespace glitchmask {
 
 class ThreadPool {
@@ -78,9 +80,17 @@ private:
 /// The first exception thrown by a task is captured and rethrown from
 /// wait(); the remaining tasks still run to completion.  Must be waited on
 /// from outside the pool (a worker waiting on its own pool would deadlock).
+///
+/// An optional CancelToken makes the group cooperative: tasks that have
+/// not started when the token fires are skipped (they still count towards
+/// wait()), while tasks already running finish normally -- the "finish
+/// in-flight work, drop queued work" discipline the campaign runtime's
+/// graceful shutdown is built on.  skipped() reports how many were
+/// dropped.
 class TaskGroup {
 public:
-    explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+    explicit TaskGroup(ThreadPool& pool, const CancelToken* cancel = nullptr)
+        : pool_(pool), cancel_(cancel) {}
     ~TaskGroup() { wait_no_throw(); }
 
     TaskGroup(const TaskGroup&) = delete;
@@ -91,13 +101,19 @@ public:
     /// Blocks until every run() task finished; rethrows the first failure.
     void wait();
 
+    /// Tasks skipped because the cancel token fired before they started.
+    /// Only meaningful after wait() returned.
+    [[nodiscard]] std::size_t skipped() const noexcept { return skipped_; }
+
 private:
     void wait_no_throw() noexcept;
 
     ThreadPool& pool_;
+    const CancelToken* cancel_ = nullptr;
     std::mutex mutex_;
     std::condition_variable done_;
     std::size_t pending_ = 0;     // guarded by mutex_
+    std::size_t skipped_ = 0;     // guarded by mutex_
     std::exception_ptr error_;    // guarded by mutex_
 };
 

@@ -2,6 +2,9 @@
 
 #include <array>
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "leakage/moments.hpp"
@@ -355,6 +358,167 @@ TEST(Snr, ZeroWhenClassesIdentical) {
 
 TEST(Snr, RequiresTwoClasses) {
     EXPECT_THROW(SnrAccumulator(1), std::invalid_argument);
+}
+
+// ----- degenerate statistics: defined sentinel, never NaN/Inf -----------
+
+TEST(Welch, DegenerateInputsReturnSentinelNotNan) {
+    // Either class with n < 2.
+    EXPECT_EQ(welch_t(1.0, 1.0, 1.0, 0.0, 1.0, 50.0), 0.0);
+    EXPECT_EQ(welch_t(1.0, 1.0, 50.0, 0.0, 1.0, 0.0), 0.0);
+    // Both variances zero: the denominator would be 0/0 or x/0.
+    EXPECT_EQ(welch_t(1.0, 0.0, 50.0, 0.0, 0.0, 50.0), 0.0);
+    EXPECT_EQ(welch_t(1.0, 0.0, 50.0, 1.0, 0.0, 50.0), 0.0);
+    // Negative (numerically-poisoned) and non-finite inputs.
+    EXPECT_EQ(welch_t(1.0, -1e-18, 50.0, 0.0, 1.0, 50.0), 0.0);
+    const double nan = std::nan("");
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(welch_t(nan, 1.0, 50.0, 0.0, 1.0, 50.0), 0.0);
+    EXPECT_EQ(welch_t(1.0, inf, 50.0, 0.0, 1.0, 50.0), 0.0);
+    EXPECT_TRUE(std::isfinite(welch_t(1.0, 0.0, 50.0, 0.0, 1.0, 50.0)));
+}
+
+TEST(TTest, DegenerateClassesGiveFiniteZero) {
+    UnivariateTTest test(3);
+    // Completely empty.
+    for (int d = 1; d <= 3; ++d) EXPECT_EQ(test.t(d), 0.0);
+    // One sample per class (n < 2).
+    test.add(true, 1.0);
+    test.add(false, 0.0);
+    for (int d = 1; d <= 3; ++d) {
+        EXPECT_TRUE(std::isfinite(test.t(d))) << "order " << d;
+        EXPECT_EQ(test.t(d), 0.0) << "order " << d;
+    }
+}
+
+TEST(TTest, ConstantTracesGiveFiniteZero) {
+    // Zero variance in both classes: every order's preprocessed variance
+    // is zero, which must yield the sentinel rather than Inf.
+    UnivariateTTest test(3);
+    for (int i = 0; i < 100; ++i) {
+        test.add(true, 2.5);
+        test.add(false, 2.5);
+    }
+    for (int d = 1; d <= 3; ++d) {
+        EXPECT_TRUE(std::isfinite(test.t(d))) << "order " << d;
+        EXPECT_EQ(test.t(d), 0.0) << "order " << d;
+    }
+}
+
+TEST(Tvla, DegenerateCampaignCurvesAreFinite) {
+    TvlaCampaign campaign(3, 3);
+    campaign.add_trace(true, std::vector<double>{1.0, 1.0, 1.0});
+    for (int order = 1; order <= 3; ++order) {
+        for (const double t : campaign.t_curve(order))
+            EXPECT_TRUE(std::isfinite(t));
+        EXPECT_EQ(campaign.max_abs_t(order), 0.0);
+        EXPECT_TRUE(campaign.exceedances(order).empty());
+    }
+}
+
+TEST(Snr, DegenerateInputsGiveFiniteZero) {
+    SnrAccumulator empty(2);
+    EXPECT_EQ(empty.snr(), 0.0);
+
+    // Constant samples: zero noise variance must not divide to Inf.
+    SnrAccumulator constant(2);
+    for (int i = 0; i < 50; ++i) {
+        constant.add(0, 1.0);
+        constant.add(1, 1.0);
+    }
+    EXPECT_TRUE(std::isfinite(constant.snr()));
+    EXPECT_EQ(constant.snr(), 0.0);
+
+    // Only one class populated: no between-class signal to speak of.
+    SnrAccumulator one_class(2);
+    for (int i = 0; i < 50; ++i) one_class.add(0, static_cast<double>(i % 3));
+    EXPECT_TRUE(std::isfinite(one_class.snr()));
+}
+
+// ----- snapshot round-trips: exact bit-identity -------------------------
+
+TEST(Moments, EncodeDecodeRoundTripIsExact) {
+    MomentAccumulator acc(6);
+    Xoshiro256 rng(40);
+    for (int i = 0; i < 1234; ++i) acc.add(rng.gaussian(0.7, 1.3));
+
+    SnapshotWriter out;
+    acc.encode(out);
+    const std::vector<std::uint8_t> bytes = std::move(out).finish();
+    SnapshotReader in(bytes);
+    const MomentAccumulator back = MomentAccumulator::decode(in);
+
+    EXPECT_EQ(back.count(), acc.count());
+    EXPECT_EQ(back.mean(), acc.mean());
+    EXPECT_EQ(back.max_order(), acc.max_order());
+    EXPECT_EQ(back.raw_sums(), acc.raw_sums());
+}
+
+TEST(Moments, MergeIntoEmptyAccumulator) {
+    MomentAccumulator filled(6);
+    Xoshiro256 rng(41);
+    for (int i = 0; i < 500; ++i) filled.add(rng.gaussian(0.0, 1.0));
+
+    MomentAccumulator empty(6);
+    empty.merge(filled);
+    EXPECT_EQ(empty.count(), filled.count());
+    EXPECT_EQ(empty.mean(), filled.mean());
+    EXPECT_EQ(empty.raw_sums(), filled.raw_sums());
+
+    // And the other direction: merging an empty rhs is the identity.
+    MomentAccumulator copy = filled;
+    copy.merge(MomentAccumulator(6));
+    EXPECT_EQ(copy.count(), filled.count());
+    EXPECT_EQ(copy.mean(), filled.mean());
+    EXPECT_EQ(copy.raw_sums(), filled.raw_sums());
+}
+
+TEST(Moments, MergeAfterDeserializeEqualsInMemoryMerge) {
+    // The resume path deserializes one side of every merge; the result
+    // must be bit-for-bit what the uninterrupted in-memory merge gives.
+    MomentAccumulator a(6);
+    MomentAccumulator b(6);
+    Xoshiro256 rng(42);
+    for (int i = 0; i < 800; ++i) a.add(rng.gaussian(1.0, 2.0));
+    for (int i = 0; i < 300; ++i) b.add(rng.gaussian(-1.0, 0.5));
+
+    MomentAccumulator in_memory = a;
+    in_memory.merge(b);
+
+    SnapshotWriter out;
+    a.encode(out);
+    const std::vector<std::uint8_t> bytes = std::move(out).finish();
+    SnapshotReader in(bytes);
+    MomentAccumulator reloaded = MomentAccumulator::decode(in);
+    reloaded.merge(b);
+
+    EXPECT_EQ(reloaded.count(), in_memory.count());
+    EXPECT_EQ(reloaded.mean(), in_memory.mean());
+    EXPECT_EQ(reloaded.raw_sums(), in_memory.raw_sums());
+}
+
+TEST(Tvla, EncodeDecodeRoundTripPreservesTCurves) {
+    TvlaCampaign campaign(5, 3);
+    Xoshiro256 rng(43);
+    std::vector<double> trace(5);
+    for (int i = 0; i < 2000; ++i) {
+        const bool fixed = rng.bit();
+        for (double& v : trace) v = rng.gaussian(fixed ? 0.2 : 0.0, 1.0);
+        campaign.add_trace(fixed, trace);
+    }
+
+    SnapshotWriter out;
+    campaign.encode(out);
+    const std::vector<std::uint8_t> bytes = std::move(out).finish();
+    SnapshotReader in(bytes);
+    const TvlaCampaign back = TvlaCampaign::decode(in);
+
+    ASSERT_EQ(back.samples(), campaign.samples());
+    EXPECT_EQ(back.traces(true), campaign.traces(true));
+    EXPECT_EQ(back.traces(false), campaign.traces(false));
+    for (int order = 1; order <= 3; ++order)
+        EXPECT_EQ(back.t_curve(order), campaign.t_curve(order))
+            << "order " << order;
 }
 
 }  // namespace

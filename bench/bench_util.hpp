@@ -11,9 +11,13 @@
 #include <cstdio>
 #include <string>
 
+#include "support/cli.hpp"
 #include "support/env.hpp"
 
 namespace glitchmask::bench {
+
+using glitchmask::CliOptions;
+using glitchmask::parse_cli;
 
 /// Applies GLITCHMASK_TRACE_SCALE to a default trace count.
 [[nodiscard]] inline std::size_t scaled_traces(std::size_t base) {

@@ -15,9 +15,16 @@
 // Scale with GLITCHMASK_TRACES (default 192) and GLITCHMASK_NOISE; note
 // that meaningful worker speedups need as many physical cores as workers,
 // while the lane speedup is per-core.
+//
+// Flags: --progress[=seconds] (stderr heartbeat) and --report <path>
+// (run report of each row; the file is rewritten per row, so it ends up
+// describing the last row of the sweep).  Before the sweep the harness
+// times telemetry off-vs-on pairs and emits the relative cost as the
+// top-level "telemetry_overhead" key -- the CI gate reads it.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -26,6 +33,7 @@
 #include "eval/des_experiments.hpp"
 #include "support/env.hpp"
 #include "support/table.hpp"
+#include "support/telemetry.hpp"
 
 using namespace glitchmask;
 
@@ -46,11 +54,16 @@ struct Series {
     double max_abs_t1 = 0.0;
     double speedup = 1.0;  // vs the scalar 1-worker baseline
     std::uint64_t toggles = 0;
+    std::uint64_t sim_events = 0;
+    std::uint64_t sim_glitches = 0;
+    std::uint64_t sim_inertial_cancels = 0;
+    std::uint64_t sim_queue_peak = 0;
 };
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const bench::CliOptions cli = bench::parse_cli(argc, argv);
     bench::banner("Campaign throughput: DES TVLA, scalar vs 64-lane bitsliced");
 
     const des::MaskedDesCore core(des::MaskedDesOptions{});
@@ -58,6 +71,33 @@ int main() {
         env_int("GLITCHMASK_TRACES", static_cast<std::int64_t>(
                                          bench::scaled_traces(192))));
     const double noise = env_double("GLITCHMASK_NOISE", 1.0);
+
+    // Telemetry cost check: identical 64-lane 1-worker campaigns with the
+    // registry off vs on, best of three each (no report path here -- a
+    // report would force telemetry on and void the "off" timings).
+    auto time_once = [&](bool telemetry_on) {
+        telemetry::set_enabled(telemetry_on);
+        eval::DesTvlaConfig config;
+        config.traces = traces;
+        config.noise_sigma = noise;
+        config.seed = 7;
+        config.workers = 1;
+        config.lanes = 64;
+        const auto start = std::chrono::steady_clock::now();
+        (void)eval::run_des_tvla(core, config);
+        const auto stop = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(stop - start).count();
+    };
+    double best_off = std::numeric_limits<double>::infinity();
+    double best_on = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; ++rep) {
+        best_off = std::min(best_off, time_once(false));
+        best_on = std::min(best_on, time_once(true));
+    }
+    const double telemetry_overhead = best_on / best_off - 1.0;
+
+    // Counters for every sweep row below.
+    telemetry::set_enabled(true);
 
     TablePrinter table({"lanes", "workers", "ckpt", "seconds", "traces/s",
                         "toggle MB/s", "speedup", "max|t1|"});
@@ -72,6 +112,7 @@ int main() {
         config.seed = 7;
         config.workers = workers;
         config.lanes = lanes;
+        config.run.report_path = cli.report_path;
         if (checkpoint_every > 0) {
             // Fresh file each run: a leftover snapshot would resume (and
             // "finish" instantly), voiding the timing.
@@ -80,9 +121,12 @@ int main() {
             config.run.checkpoint_every = checkpoint_every;
         }
 
+        // Fresh registry per row so Max counters (queue peak) are row-local.
+        telemetry::reset();
         const auto start = std::chrono::steady_clock::now();
         const eval::DesTvlaResult r = eval::run_des_tvla(core, config);
         const auto stop = std::chrono::steady_clock::now();
+        const telemetry::Snapshot counters = telemetry::snapshot();
 
         Series s;
         s.lanes = lanes;
@@ -94,6 +138,11 @@ int main() {
             static_cast<double>(r.toggles) * kBytesPerToggle / 1e6 / s.seconds;
         s.max_abs_t1 = r.max_abs_t[1];
         s.toggles = r.toggles;
+        s.sim_events = counters.value(telemetry::Counter::kSimEvents);
+        s.sim_glitches = counters.value(telemetry::Counter::kSimGlitches);
+        s.sim_inertial_cancels =
+            counters.value(telemetry::Counter::kSimInertialCancels);
+        s.sim_queue_peak = counters.value(telemetry::Counter::kSimQueuePeak);
         s.speedup = series.empty() ? 1.0 : series.front().seconds / s.seconds;
         series.push_back(s);
 
@@ -135,6 +184,9 @@ int main() {
     std::printf("Checkpoint overhead (worst cadence, 64 lanes / 4 workers): "
                 "%.2f%%\n",
                 checkpoint_overhead * 100.0);
+    std::printf("Telemetry overhead (64 lanes / 1 worker, best of 3): "
+                "%.2f%%\n",
+                telemetry_overhead * 100.0);
 
     // The headline number: one core, 64 lanes vs 1 lane.
     double batch_speedup_1w = 0.0;
@@ -155,6 +207,8 @@ int main() {
             TablePrinter::num(batch_speedup_1w, 3) + ",\n";
     json += "  \"checkpoint_overhead\": " +
             TablePrinter::num(checkpoint_overhead, 4) + ",\n";
+    json += "  \"telemetry_overhead\": " +
+            TablePrinter::num(telemetry_overhead, 4) + ",\n";
     json += "  \"series\": [\n";
     for (std::size_t i = 0; i < series.size(); ++i) {
         const Series& s = series[i];
@@ -166,6 +220,11 @@ int main() {
                 ", \"toggle_mb_per_sec\": " +
                 TablePrinter::num(s.toggle_mb_per_sec, 2) +
                 ", \"toggles\": " + std::to_string(s.toggles) +
+                ", \"sim_events\": " + std::to_string(s.sim_events) +
+                ", \"sim_glitches\": " + std::to_string(s.sim_glitches) +
+                ", \"sim_inertial_cancels\": " +
+                std::to_string(s.sim_inertial_cancels) +
+                ", \"sim_queue_peak\": " + std::to_string(s.sim_queue_peak) +
                 ", \"speedup\": " + TablePrinter::num(s.speedup, 3) +
                 ", \"max_abs_t1\": " + TablePrinter::num(s.max_abs_t1, 9) + "}";
         json += (i + 1 < series.size()) ? ",\n" : "\n";

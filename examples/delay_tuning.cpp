@@ -6,16 +6,24 @@
 // designed for).  Sweeping the DelayUnit size shows how larger delays
 // separate the arrival times: first-order leakage fades as the unit grows
 // past the routing-jitter spread, and the utilization cost rises.
+//
+// Flags: --progress[=seconds] for a stderr heartbeat across the sweep,
+// --report <path> for a JSON run report with per-size |t| peaks and LUT
+// counts.
 #include <cstdio>
+#include <string>
 
 #include "core/gadgets.hpp"
 #include "core/sharing.hpp"
+#include "eval/run_report.hpp"
 #include "leakage/tvla.hpp"
 #include "netlist/area.hpp"
 #include "netlist/lutmap.hpp"
 #include "power/power_model.hpp"
 #include "sim/clocked.hpp"
+#include "support/cli.hpp"
 #include "support/table.hpp"
+#include "support/telemetry.hpp"
 
 using namespace glitchmask;
 
@@ -27,7 +35,8 @@ struct SweepPoint {
     std::size_t luts = 0;
 };
 
-SweepPoint run_size(unsigned unit_luts, std::size_t traces) {
+SweepPoint run_size(unsigned unit_luts, std::size_t traces,
+                    telemetry::ProgressMeter* meter) {
     core::Netlist nl;
     const core::SharedNet x_in = core::shared_input(nl, "x");
     const core::SharedNet y_in = core::shared_input(nl, "y");
@@ -67,6 +76,11 @@ SweepPoint run_size(unsigned unit_luts, std::size_t traces) {
             sim.step(2);
         }
         campaign.add_trace(fixed, recorder.noisy_trace(noise, 0.5));
+        if (meter != nullptr) meter->advance(1);
+    }
+    if (telemetry::enabled()) {
+        telemetry::SimStats last;
+        telemetry::record_sim_block(sim.engine().stats(), last);
     }
     SweepPoint point;
     point.t1 = campaign.max_abs_t(1);
@@ -77,26 +91,53 @@ SweepPoint run_size(unsigned unit_luts, std::size_t traces) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const CliOptions cli = parse_cli(argc, argv);
     std::printf("DelayUnit tuning: security vs cost for secAND2-PD\n");
     std::printf("(24 parallel gadgets, continuous operation, 12000 traces)\n\n");
     TablePrinter table({"DelayUnit [LUTs]", "max|t1|", "max|t2|",
                         "1st order", "total LUTs"});
+    constexpr unsigned kUnits[] = {1u, 2u, 4u, 7u, 10u};
+    constexpr std::size_t kTraces = 12000;
+    constexpr std::size_t kSweepSize = sizeof kUnits / sizeof kUnits[0];
+
+    eval::CampaignRunOptions run_options;
+    run_options.report_path = cli.report_path;
+    std::uint64_t payload = eval::kFnvOffset;
+    payload = eval::fnv1a64(payload, /*gadgets=*/24);
+    for (const unsigned unit : kUnits) payload = eval::fnv1a64(payload, unit);
+    const eval::CampaignFingerprint fingerprint{
+        eval::fnv1a64_tag("delay_tuning"), /*seed=*/31, kSweepSize * kTraces,
+        kTraces, payload};
+    eval::RunTelemetrySession session("delay_tuning", run_options, fingerprint,
+                                      kSweepSize * kTraces, /*workers=*/1,
+                                      /*lanes=*/1);
+
     double first = 0.0;
     double last = 0.0;
-    for (const unsigned unit : {1u, 2u, 4u, 7u, 10u}) {
-        const SweepPoint p = run_size(unit, 12000);
+    for (const unsigned unit : kUnits) {
+        const SweepPoint p = run_size(unit, kTraces, session.meter());
         if (unit == 1) first = p.t1;
         last = p.t1;
         table.add_row({std::to_string(unit), TablePrinter::num(p.t1),
                        TablePrinter::num(p.t2),
                        p.t1 > 4.5 ? "LEAKS" : "no leak",
                        std::to_string(p.luts)});
+        const std::string tag = "unit" + std::to_string(unit);
+        session.add_metric(tag + "_max_abs_t1", p.t1);
+        session.add_metric(tag + "_max_abs_t2", p.t2);
+        session.add_metric(tag + "_luts", static_cast<double>(p.luts));
     }
     table.print();
     std::printf(
         "\nThe trade-off of paper Sec. V: leakage falls as the DelayUnit\n"
         "grows past the routing jitter, while the LUT cost rises; 10 LUTs\n"
         "is the paper's sweet spot.\n");
+    eval::CampaignProgress progress;
+    progress.completed_blocks = kSweepSize;
+    progress.completed_traces = kSweepSize * kTraces;
+    session.finish(progress);
+    if (session.writes_report())
+        std::printf("Run report: %s\n", session.report_path().c_str());
     return (first > last) ? 0 : 1;
 }

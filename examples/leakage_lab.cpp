@@ -11,15 +11,22 @@
 //   3. secAND2-PD   -- 10-LUT DelayUnits enforce the arrival order inside
 //                      a single cycle: no first-order leakage.
 // All three show second-order leakage -- unavoidable for 2 shares.
+//
+// Flags: --progress[=seconds] for a stderr heartbeat across the three
+// campaigns, --report <path> for a JSON run report with the simulator
+// counters and the per-style |t| peaks.
 #include <cstdio>
 #include <string>
 
 #include "core/gadgets.hpp"
 #include "core/sharing.hpp"
+#include "eval/run_report.hpp"
 #include "leakage/tvla.hpp"
 #include "power/power_model.hpp"
 #include "sim/clocked.hpp"
+#include "support/cli.hpp"
 #include "support/table.hpp"
+#include "support/telemetry.hpp"
 
 using namespace glitchmask;
 
@@ -65,7 +72,8 @@ struct LabResult {
     double t2 = 0.0;
 };
 
-LabResult run(Style style, std::size_t traces) {
+LabResult run(Style style, std::size_t traces,
+              telemetry::ProgressMeter* meter) {
     Lab lab = build(style, 16);
     const sim::DelayModel dm(lab.nl, sim::DelayConfig::spartan6());
     sim::ClockConfig clock;
@@ -101,21 +109,39 @@ LabResult run(Style style, std::size_t traces) {
             sim.step();
         }
         campaign.add_trace(fixed, recorder.noisy_trace(noise, 0.5));
+        if (meter != nullptr) meter->advance(1);
+    }
+    if (telemetry::enabled()) {
+        telemetry::SimStats last;
+        telemetry::record_sim_block(sim.engine().stats(), last);
     }
     return LabResult{campaign.max_abs_t(1), campaign.max_abs_t(2)};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const CliOptions cli = parse_cli(argc, argv);
     std::printf("Leakage lab: one masked AND, three hardware disciplines\n");
     std::printf("(16 parallel instances, 12000 traces each)\n\n");
     TablePrinter table(
         {"gadget", "arrival discipline", "max|t1|", "max|t2|", "1st order"});
     const std::size_t traces = 12000;
-    const LabResult naive = run(Style::Naive, traces);
-    const LabResult ff = run(Style::Ff, traces);
-    const LabResult pd = run(Style::Pd, traces);
+
+    eval::CampaignRunOptions run_options;
+    run_options.report_path = cli.report_path;
+    std::uint64_t payload = eval::kFnvOffset;
+    payload = eval::fnv1a64(payload, /*replicas=*/16);
+    payload = eval::fnv1a64(payload, /*styles=*/3);
+    const eval::CampaignFingerprint fingerprint{
+        eval::fnv1a64_tag("leakage_lab"), /*seed=*/77, 3 * traces, traces,
+        payload};
+    eval::RunTelemetrySession session("leakage_lab", run_options, fingerprint,
+                                      3 * traces, /*workers=*/1, /*lanes=*/1);
+
+    const LabResult naive = run(Style::Naive, traces, session.meter());
+    const LabResult ff = run(Style::Ff, traces, session.meter());
+    const LabResult pd = run(Style::Pd, traces, session.meter());
     table.add_row({"secAND2 (naive)", "all shares same edge",
                    TablePrinter::num(naive.t1), TablePrinter::num(naive.t2),
                    naive.t1 > 4.5 ? "LEAKS" : "no leak"});
@@ -131,5 +157,18 @@ int main() {
         "paper's gadgets do not; all three leak at second order (2 shares\n"
         "processed in parallel).\n");
     const bool ok = naive.t1 > 4.5 && ff.t1 < 4.5 && pd.t1 < 4.5;
+
+    session.add_metric("naive_max_abs_t1", naive.t1);
+    session.add_metric("naive_max_abs_t2", naive.t2);
+    session.add_metric("ff_max_abs_t1", ff.t1);
+    session.add_metric("ff_max_abs_t2", ff.t2);
+    session.add_metric("pd_max_abs_t1", pd.t1);
+    session.add_metric("pd_max_abs_t2", pd.t2);
+    eval::CampaignProgress progress;
+    progress.completed_blocks = 3;
+    progress.completed_traces = 3 * traces;
+    session.finish(progress);
+    if (session.writes_report())
+        std::printf("Run report: %s\n", session.report_path().c_str());
     return ok ? 0 : 1;
 }

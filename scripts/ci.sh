@@ -5,6 +5,11 @@
 # I/O paths would otherwise only surface as flaky corruption); pass
 # explicit preset names to run a subset, e.g. `scripts/ci.sh release` or
 # `scripts/ci.sh asan tsan`.  Exits nonzero on any build or test failure.
+#
+# The release leg additionally gates observability:
+#   * one extra ctest pass under GLITCHMASK_LOG=debug (log call sites in
+#     the hot paths must never change a result or crash);
+#   * bench/campaign_throughput's telemetry_overhead must stay <= 3%.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,4 +31,23 @@ for preset in "${presets[@]}"; do
   cmake --preset "$preset"
   cmake --build --preset "$preset" -j "$jobs"
   ctest --preset "$preset" -j "$jobs"
+
+  if [ "$preset" = "release" ]; then
+    echo "==> release extras: suite under GLITCHMASK_LOG=debug"
+    GLITCHMASK_LOG=debug ctest --preset "$preset" -j "$jobs"
+
+    echo "==> release extras: telemetry overhead gate (bar: 3%)"
+    (cd build/bench && GLITCHMASK_TRACES=96 ./campaign_throughput > /dev/null)
+    overhead="$(sed -n 's/.*"telemetry_overhead": \(-\{0,1\}[0-9.]*\).*/\1/p' \
+      build/bench/BENCH_batch_sim.json)"
+    if [ -z "$overhead" ]; then
+      echo "FAIL: telemetry_overhead missing from BENCH_batch_sim.json" >&2
+      exit 1
+    fi
+    if ! awk -v x="$overhead" 'BEGIN { exit !(x <= 0.03) }'; then
+      echo "FAIL: telemetry overhead ${overhead} exceeds the 0.03 bar" >&2
+      exit 1
+    fi
+    echo "telemetry overhead: ${overhead} (<= 0.03)"
+  fi
 done

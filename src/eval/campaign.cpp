@@ -8,8 +8,10 @@
 #include <string>
 
 #include "core/sharing.hpp"
+#include "eval/run_report.hpp"
 #include "power/batch_power.hpp"
 #include "sim/batch_simulator.hpp"
+#include "support/telemetry.hpp"
 
 namespace glitchmask::eval {
 
@@ -97,10 +99,13 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
         resolve_lanes(config.lanes, /*timing_coupling=*/false);
     const ShardPlan plan{config.traces, config.block_size};
 
-    const CheckpointPolicy policy =
-        make_checkpoint_policy(config.run, sequence_tag(sequence));
+    const std::string tag = sequence_tag(sequence);
     const CampaignFingerprint fingerprint =
         sequence_fingerprint(sequence, config, kCycles);
+    RunTelemetrySession session(tag, config.run, fingerprint, plan.traces,
+                                pool.size(), lanes);
+    CheckpointPolicy policy = make_checkpoint_policy(config.run, tag);
+    session.attach(policy);
     const auto encode = [](const leakage::TvlaCampaign& acc,
                            SnapshotWriter& out) { acc.encode(out); };
     const auto decode = [](SnapshotReader& in) {
@@ -119,6 +124,7 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
                 sim::BatchClockedSim sim;
                 power::BatchPowerRecorder recorder;
                 std::vector<double> noisy;  // bin-major (kCycles x 64) scratch
+                telemetry::SimStats last_stats;  // delta base for telemetry
                 BatchWorker(const core::RegisteredSecand2& circuit,
                             const sim::DelayModel& dm, sim::ClockConfig clock,
                             power::PowerConfig power_config)
@@ -191,10 +197,14 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
                         acc.add_lane_traces(noisy, sim::kBatchLanes,
                                             fixed_mask, count);
                     }
+                    if (telemetry::enabled())
+                        telemetry::record_sim_block(
+                            worker->sim.engine().stats(), worker->last_stats);
                 },
                 [](leakage::TvlaCampaign& into,
                    const leakage::TvlaCampaign& from) { into.merge(from); },
-                policy, fingerprint, encode, decode, &progress);
+                policy, fingerprint, encode, decode, &progress,
+                session.meter());
         }
 
         // Scalar path: one event-queue pass per trace.  Heap-allocated so
@@ -203,6 +213,7 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
             sim::ClockedSim sim;
             power::PowerRecorder recorder;
             std::vector<double> noisy;  // reused per-trace noise buffer
+            telemetry::SimStats last_stats;  // delta base for telemetry
             Worker(const core::RegisteredSecand2& circuit,
                    const sim::DelayModel& dm, sim::ClockConfig clock,
                    power::PowerConfig power_config)
@@ -244,11 +255,14 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
                         noise_rng, config.noise_sigma, worker->noisy);
                     acc.add_trace(stim.fixed, worker->noisy);
                 }
+                if (telemetry::enabled())
+                    telemetry::record_sim_block(worker->sim.engine().stats(),
+                                                worker->last_stats);
             },
             [](leakage::TvlaCampaign& into, const leakage::TvlaCampaign& from) {
                 into.merge(from);
             },
-            policy, fingerprint, encode, decode, &progress);
+            policy, fingerprint, encode, decode, &progress, session.meter());
     }();
 
     SequenceLeakResult result;
@@ -260,6 +274,9 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
     result.completed_traces = progress.completed_traces;
     result.cancelled = progress.cancelled;
     result.resumed = progress.resumed;
+    session.add_metric("max_abs_t_order1", result.max_abs_t1);
+    session.add_metric("max_abs_t_order2", result.max_abs_t2);
+    session.finish(progress);
     return result;
 }
 

@@ -32,6 +32,7 @@
 
 #include "support/cancel.hpp"
 #include "support/snapshot.hpp"
+#include "support/telemetry.hpp"
 
 namespace glitchmask::eval {
 
@@ -96,6 +97,15 @@ struct CampaignRunOptions {
     /// Test hook: called with the completed-block count after every
     /// checkpoint write (fault-injection tests kill the process here).
     std::function<void(std::size_t)> on_checkpoint;
+    /// Explicit run-report file (JSON).  Empty: derived as
+    /// $GLITCHMASK_REPORT_DIR/<campaign_id>.report.json when the env var
+    /// is set, otherwise no report is written.  Pure observability --
+    /// never read back by the runtime.
+    std::string report_path;
+    /// Rate-limited progress observer (see telemetry::ProgressMeter);
+    /// also enabled campaign-wide by GLITCHMASK_PROGRESS=<seconds>,
+    /// which prints a stderr heartbeat instead.
+    telemetry::ProgressFn on_progress;
 };
 
 /// Resolved per-run policy handed to the sharded runner.

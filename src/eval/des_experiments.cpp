@@ -9,9 +9,11 @@
 
 #include "core/sharing.hpp"
 #include "eval/parallel_campaign.hpp"
+#include "eval/run_report.hpp"
 #include "power/batch_power.hpp"
 #include "sim/batch_simulator.hpp"
 #include "support/rng.hpp"
+#include "support/telemetry.hpp"
 #include "support/thread_pool.hpp"
 
 namespace glitchmask::eval {
@@ -29,6 +31,7 @@ struct DesWorker {
     sim::ClockedSim sim;
     power::PowerRecorder recorder;
     std::vector<double> noisy;  // reused per-trace noise buffer
+    telemetry::SimStats last_stats;  // delta base for telemetry
 
     DesWorker(const des::MaskedDesCore& core, const sim::DelayModel& dm,
               sim::ClockConfig clock, sim::CouplingConfig coupling,
@@ -47,6 +50,7 @@ struct BatchDesWorker {
     std::vector<double> noisy;  // bin-major (samples x 64) scratch
     std::vector<core::MaskedWord> pts, keys;
     std::vector<Xoshiro256> prngs;  // per-lane refresh generators
+    telemetry::SimStats last_stats;  // delta base for telemetry
 
     BatchDesWorker(const des::MaskedDesCore& core, const sim::DelayModel& dm,
                    sim::ClockConfig clock, sim::CouplingConfig coupling,
@@ -147,16 +151,18 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
     const unsigned lanes =
         resolve_lanes(config.lanes, config.coupling.timing_enabled);
 
-    const CheckpointPolicy policy =
-        make_checkpoint_policy(config.run, "des_tvla");
     const CampaignFingerprint fingerprint = des_tvla_fingerprint(config, samples);
+    ThreadPool pool(resolve_workers(config.workers));
+    RunTelemetrySession session("des_tvla", config.run, fingerprint,
+                                config.traces, pool.size(), lanes);
+    CheckpointPolicy policy = make_checkpoint_policy(config.run, "des_tvla");
+    session.attach(policy);
     const auto encode = [](const BlockAcc& acc, SnapshotWriter& out) {
         encode_des_acc(acc, out);
     };
     const auto decode = [](SnapshotReader& in) { return decode_des_acc(in); };
     CampaignProgress progress;
 
-    ThreadPool pool(resolve_workers(config.workers));
     const ShardPlan plan{config.traces, config.block_size};
     BlockAcc merged = [&] {
         if (lanes == sim::kBatchLanes) {
@@ -222,12 +228,16 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
                         acc.campaign.add_lane_traces(noisy, sim::kBatchLanes,
                                                      fixed_mask, count);
                     }
+                    if (telemetry::enabled())
+                        telemetry::record_sim_block(
+                            worker->sim.engine().stats(), worker->last_stats);
                 },
                 [](BlockAcc& into, const BlockAcc& from) {
                     into.campaign.merge(from.campaign);
                     into.toggles += from.toggles;
                 },
-                policy, fingerprint, encode, decode, &progress);
+                policy, fingerprint, encode, decode, &progress,
+                session.meter());
         }
 
         return run_sharded_blocks_checkpointed(
@@ -258,12 +268,15 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
                     acc.campaign.add_trace(stim.fixed, worker->noisy);
                     acc.toggles += worker->recorder.trace_toggles();
                 }
+                if (telemetry::enabled())
+                    telemetry::record_sim_block(worker->sim.engine().stats(),
+                                                worker->last_stats);
             },
             [](BlockAcc& into, const BlockAcc& from) {
                 into.campaign.merge(from.campaign);
                 into.toggles += from.toggles;
             },
-            policy, fingerprint, encode, decode, &progress);
+            policy, fingerprint, encode, decode, &progress, session.meter());
     }();
 
     DesTvlaResult result(samples, config.max_test_order);
@@ -274,9 +287,14 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
     result.resumed = progress.resumed;
     result.toggles = merged.toggles;
     result.campaign = std::move(merged.campaign);
-    for (int order = 1; order <= config.max_test_order; ++order)
+    for (int order = 1; order <= config.max_test_order; ++order) {
         result.max_abs_t[order] =
             result.campaign.max_abs_t(order, &result.argmax[order]);
+        session.add_metric(
+            "max_abs_t_order" + std::to_string(order), result.max_abs_t[order]);
+    }
+    session.add_metric("toggles", static_cast<double>(result.toggles));
+    session.finish(progress);
     return result;
 }
 
@@ -300,12 +318,15 @@ std::vector<double> mean_power_trace(const des::MaskedDesCore& core,
     const ShardPlan plan{traces, /*block_size=*/64};
     const unsigned resolved = resolve_lanes(lanes, /*timing_coupling=*/false);
 
-    const CheckpointPolicy policy = make_checkpoint_policy(run, "mean_power");
     std::uint64_t payload = kFnvOffset;
     payload = fnv1a64(payload, placement_seed);
     payload = fnv1a64(payload, static_cast<std::uint64_t>(samples));
     const CampaignFingerprint fingerprint{fnv1a64_tag("mean_power"), seed,
                                           traces, plan.block_size, payload};
+    RunTelemetrySession session("mean_power", run, fingerprint, traces,
+                                pool.size(), resolved);
+    CheckpointPolicy policy = make_checkpoint_policy(run, "mean_power");
+    session.attach(policy);
     const auto encode = [](const std::vector<double>& acc, SnapshotWriter& out) {
         out.u64(acc.size());
         for (double v : acc) out.f64(v);
@@ -362,12 +383,15 @@ std::vector<double> mean_power_trace(const des::MaskedDesCore& core,
                             for (std::size_t i = 0; i < samples; ++i)
                                 acc[i] += worker->recorder.sample(i, lane);
                     }
+                    if (telemetry::enabled())
+                        telemetry::record_sim_block(
+                            worker->sim.engine().stats(), worker->last_stats);
                 },
                 [](std::vector<double>& into, const std::vector<double>& from) {
                     for (std::size_t i = 0; i < into.size(); ++i)
                         into[i] += from[i];
                 },
-                policy, fingerprint, encode, decode, &prog);
+                policy, fingerprint, encode, decode, &prog, session.meter());
         }
 
         return run_sharded_blocks_checkpointed(
@@ -393,17 +417,21 @@ std::vector<double> mean_power_trace(const des::MaskedDesCore& core,
                     for (std::size_t i = 0; i < samples; ++i)
                         acc[i] += trace[i];
                 }
+                if (telemetry::enabled())
+                    telemetry::record_sim_block(worker->sim.engine().stats(),
+                                                worker->last_stats);
             },
             [](std::vector<double>& into, const std::vector<double>& from) {
                 for (std::size_t i = 0; i < into.size(); ++i) into[i] += from[i];
             },
-            policy, fingerprint, encode, decode, &prog);
+            policy, fingerprint, encode, decode, &prog, session.meter());
     }();
     // A cancelled run averages over the traces it actually folded in.
     const std::size_t denom = prog.completed_traces > 0
                                   ? prog.completed_traces
                                   : traces;
     for (double& v : mean) v /= static_cast<double>(denom);
+    session.finish(prog);
     return mean;
 }
 

@@ -20,7 +20,13 @@ unsigned resolve_lanes(unsigned configured, bool timing_coupling) {
             "campaign config: lanes must be 1 (scalar) or 64 (bitsliced), got " +
             std::to_string(lanes));
     // Data-dependent delays cannot share one event schedule across lanes.
-    if (timing_coupling) return 1;
+    if (timing_coupling) {
+        if (lanes == 64)
+            log::info(
+                "timing coupling forces the scalar simulator; ignoring "
+                "lanes=64");
+        return 1;
+    }
     return lanes;
 }
 

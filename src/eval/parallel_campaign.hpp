@@ -24,17 +24,55 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "eval/checkpoint.hpp"
 #include "support/atomic_file.hpp"
+#include "support/log.hpp"
 #include "support/rng.hpp"
+#include "support/telemetry.hpp"
 #include "support/thread_pool.hpp"
 
 namespace glitchmask::eval {
+
+namespace detail {
+
+/// Per-block telemetry bracket shared by both sharded runners: times the
+/// block when collection is on and feeds the progress meter.  Constructed
+/// on the worker thread right before run_block.
+class BlockScope {
+public:
+    BlockScope()
+        : on_(telemetry::enabled()),
+          start_(on_ ? std::chrono::steady_clock::now()
+                     : std::chrono::steady_clock::time_point{}) {}
+
+    void done(std::size_t traces, telemetry::ProgressMeter* meter) const {
+        if (on_) {
+            const auto nanos =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+            telemetry::Shard& shard = telemetry::shard();
+            shard.add(telemetry::Counter::kCampaignBlocks, 1);
+            shard.add(telemetry::Counter::kCampaignTraces, traces);
+            shard.add(telemetry::Counter::kCampaignBlockNanos,
+                      static_cast<std::uint64_t>(nanos));
+        }
+        if (meter != nullptr) meter->advance(traces);
+    }
+
+private:
+    bool on_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace detail
 
 /// Up-front campaign config validation, shared by every driver: rejects
 /// the degenerate values that would otherwise produce a silent zero-block
@@ -134,7 +172,9 @@ template <class MakeWorker, class MakeAcc, class RunBlock, class Merge>
 [[nodiscard]] auto run_sharded_blocks(ThreadPool& pool, const ShardPlan& plan,
                                       MakeWorker&& make_worker,
                                       MakeAcc&& make_acc, RunBlock&& run_block,
-                                      Merge&& merge) -> decltype(make_acc()) {
+                                      Merge&& merge,
+                                      telemetry::ProgressMeter* meter = nullptr)
+    -> decltype(make_acc()) {
     using Acc = decltype(make_acc());
     using Worker = decltype(make_worker());
 
@@ -153,9 +193,13 @@ template <class MakeWorker, class MakeAcc, class RunBlock, class Merge>
             std::optional<Worker>& slot = replicas[static_cast<std::size_t>(id)];
             if (!slot.has_value()) slot.emplace(make_worker());
 
+            const detail::BlockScope scope;
             Acc acc = make_acc();
-            run_block(*slot, plan.block_begin(b), plan.block_end(b), acc);
+            const std::size_t begin = plan.block_begin(b);
+            const std::size_t end = plan.block_end(b);
+            run_block(*slot, begin, end, acc);
             blocks[b].emplace(std::move(acc));
+            scope.done(end - begin, meter);
         });
     }
     group.wait();
@@ -214,7 +258,8 @@ template <class MakeWorker, class MakeAcc, class RunBlock, class Merge,
     MakeAcc&& make_acc, RunBlock&& run_block, Merge&& merge,
     const CheckpointPolicy& policy, const CampaignFingerprint& fingerprint,
     EncodeAcc&& encode_acc, DecodeAcc&& decode_acc,
-    CampaignProgress* progress = nullptr) -> decltype(make_acc()) {
+    CampaignProgress* progress = nullptr,
+    telemetry::ProgressMeter* meter = nullptr) -> decltype(make_acc()) {
     using Acc = decltype(make_acc());
     using Worker = decltype(make_worker());
 
@@ -227,7 +272,7 @@ template <class MakeWorker, class MakeAcc, class RunBlock, class Merge,
         Acc result = run_sharded_blocks(
             pool, plan, std::forward<MakeWorker>(make_worker),
             std::forward<MakeAcc>(make_acc), std::forward<RunBlock>(run_block),
-            std::forward<Merge>(merge));
+            std::forward<Merge>(merge), meter);
         prog.completed_blocks = n_blocks;
         prog.completed_traces = plan.traces;
         return result;
@@ -267,6 +312,11 @@ template <class MakeWorker, class MakeAcc, class RunBlock, class Merge,
                                     "the completed blocks");
             next_block = static_cast<std::size_t>(header.completed_blocks);
             prog.resumed = true;
+            if (meter != nullptr && next_block > 0)
+                meter->note_resumed(plan.block_end(next_block - 1));
+            log::info("resumed campaign from " + policy.path + " at block " +
+                      std::to_string(next_block) + "/" +
+                      std::to_string(n_blocks));
         }
     }
 
@@ -282,6 +332,9 @@ template <class MakeWorker, class MakeAcc, class RunBlock, class Merge,
 
     auto write_checkpoint = [&](std::size_t completed) {
         if (policy.path.empty()) return;
+        const bool telem = telemetry::enabled();
+        const auto start = telem ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
         SnapshotWriter out =
             begin_checkpoint(fingerprint, completed, stack.size());
         for (const auto& [span, acc] : stack) {
@@ -289,6 +342,16 @@ template <class MakeWorker, class MakeAcc, class RunBlock, class Merge,
             encode_acc(acc, out);
         }
         atomic_write_file(policy.path, std::move(out).finish());
+        if (telem) {
+            const auto nanos =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            telemetry::Shard& shard = telemetry::shard();
+            shard.add(telemetry::Counter::kCheckpointWrites, 1);
+            shard.add(telemetry::Counter::kCheckpointNanos,
+                      static_cast<std::uint64_t>(nanos));
+        }
     };
 
     std::vector<std::optional<Worker>> replicas(pool.size());
@@ -315,10 +378,13 @@ template <class MakeWorker, class MakeAcc, class RunBlock, class Merge,
                     std::optional<Worker>& slot =
                         replicas[static_cast<std::size_t>(id)];
                     if (!slot.has_value()) slot.emplace(make_worker());
+                    const detail::BlockScope scope;
                     Acc acc = make_acc();
-                    run_block(*slot, plan.block_begin(b), plan.block_end(b),
-                              acc);
+                    const std::size_t begin = plan.block_begin(b);
+                    const std::size_t end = plan.block_end(b);
+                    run_block(*slot, begin, end, acc);
                     done[b - next_block].emplace(std::move(acc));
+                    scope.done(end - begin, meter);
                 });
             }
             group.wait();
@@ -339,6 +405,11 @@ template <class MakeWorker, class MakeAcc, class RunBlock, class Merge,
     prog.completed_blocks = next_block;
     prog.completed_traces =
         next_block == 0 ? 0 : plan.block_end(next_block - 1);
+    if (prog.cancelled)
+        log::info("campaign cancelled after " + std::to_string(next_block) +
+                  "/" + std::to_string(n_blocks) + " blocks" +
+                  (policy.path.empty() ? std::string{}
+                                       : "; checkpoint at " + policy.path));
 
     if (stack.empty()) return make_acc();
     while (stack.size() >= 2) {

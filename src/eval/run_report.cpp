@@ -1,0 +1,493 @@
+#include "eval/run_report.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <span>
+#include <stdexcept>
+
+#include "support/atomic_file.hpp"
+#include "support/campaign_error.hpp"
+#include "support/env.hpp"
+
+namespace glitchmask::eval {
+
+namespace {
+
+std::int64_t steady_ns() noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void append_escaped(std::string& out, std::string_view text) {
+    out += '"';
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buffer[8];
+                    std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                                  static_cast<unsigned>(c));
+                    out += buffer;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+void append_double(std::string& out, double value) {
+    if (!std::isfinite(value)) value = 0.0;  // JSON has no NaN/Inf
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    out += buffer;
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+    out += std::to_string(value);
+}
+
+// ----- parser ------------------------------------------------------------
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    JsonValue document() {
+        JsonValue value = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters");
+        return value;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) const {
+        throw std::runtime_error("parse_json: " + what + " at byte " +
+                                 std::to_string(pos_));
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume_literal(std::string_view literal) {
+        if (text_.substr(pos_, literal.size()) != literal) return false;
+        pos_ += literal.size();
+        return true;
+    }
+
+    JsonValue parse_value() {
+        skip_ws();
+        switch (peek()) {
+            case '{': return parse_object();
+            case '[': return parse_array();
+            case '"': {
+                JsonValue value;
+                value.kind = JsonValue::Kind::kString;
+                value.string = parse_string();
+                return value;
+            }
+            case 't': {
+                if (!consume_literal("true")) fail("bad literal");
+                JsonValue value;
+                value.kind = JsonValue::Kind::kBool;
+                value.boolean = true;
+                return value;
+            }
+            case 'f': {
+                if (!consume_literal("false")) fail("bad literal");
+                JsonValue value;
+                value.kind = JsonValue::Kind::kBool;
+                value.boolean = false;
+                return value;
+            }
+            case 'n':
+                if (!consume_literal("null")) fail("bad literal");
+                return JsonValue{};
+            default: return parse_number();
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') code |= h - '0';
+                        else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+                        else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+                        else fail("bad \\u escape");
+                    }
+                    // Reports only emit \u for control chars; keep other
+                    // BMP points as UTF-8.
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                }
+                default: fail("bad escape");
+            }
+        }
+    }
+
+    JsonValue parse_number() {
+        const std::size_t start = pos_;
+        bool negative = false;
+        bool integral = true;
+        if (peek() == '-') {
+            negative = true;
+            ++pos_;
+        }
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start + (negative ? 1u : 0u)) fail("bad number");
+        const std::string token(text_.substr(start, pos_ - start));
+        JsonValue value;
+        if (integral && !negative) {
+            // Exact u64 path: fingerprint words must round-trip.
+            value.kind = JsonValue::Kind::kUnsigned;
+            value.unsigned_value = std::stoull(token);
+        } else {
+            value.kind = JsonValue::Kind::kNumber;
+            value.number = std::stod(token);
+        }
+        return value;
+    }
+
+    JsonValue parse_array() {
+        expect('[');
+        JsonValue value;
+        value.kind = JsonValue::Kind::kArray;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return value;
+        }
+        for (;;) {
+            value.array.push_back(parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return value;
+        }
+    }
+
+    JsonValue parse_object() {
+        expect('{');
+        JsonValue value;
+        value.kind = JsonValue::Kind::kObject;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return value;
+        }
+        for (;;) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            value.object.emplace_back(std::move(key), parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return value;
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+const JsonValue& require(const JsonValue& object, std::string_view key) {
+    const JsonValue* member = object.find(key);
+    if (member == nullptr)
+        throw std::runtime_error("run report: missing field '" +
+                                 std::string(key) + "'");
+    return *member;
+}
+
+std::uint64_t require_u64(const JsonValue& object, std::string_view key) {
+    const JsonValue& member = require(object, key);
+    if (member.kind != JsonValue::Kind::kUnsigned)
+        throw std::runtime_error("run report: field '" + std::string(key) +
+                                 "' is not an unsigned integer");
+    return member.unsigned_value;
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [name, value] : object)
+        if (name == key) return &value;
+    return nullptr;
+}
+
+JsonValue parse_json(std::string_view text) {
+    return Parser(text).document();
+}
+
+std::string resolve_report_path(const CampaignRunOptions& run,
+                                const std::string& default_id) {
+    if (!run.report_path.empty()) return run.report_path;
+    const std::string dir = env_string("GLITCHMASK_REPORT_DIR", "");
+    if (dir.empty()) return {};
+    const std::string id =
+        run.campaign_id.empty() ? default_id : run.campaign_id;
+    return dir + "/" + id + ".report.json";
+}
+
+std::string render_run_report(const RunReport& report) {
+    std::string out;
+    out.reserve(2048);
+    out += "{\n  \"schema\": ";
+    append_escaped(out, kRunReportSchema);
+    out += ",\n  \"version\": ";
+    append_u64(out, kRunReportVersion);
+    out += ",\n  \"campaign\": ";
+    append_escaped(out, report.campaign);
+    out += ",\n  \"fingerprint\": {";
+    out += "\"kind\": ";
+    append_u64(out, report.fingerprint.kind);
+    out += ", \"seed\": ";
+    append_u64(out, report.fingerprint.seed);
+    out += ", \"traces\": ";
+    append_u64(out, report.fingerprint.traces);
+    out += ", \"block_size\": ";
+    append_u64(out, report.fingerprint.block_size);
+    out += ", \"payload\": ";
+    append_u64(out, report.fingerprint.payload);
+    out += "},\n  \"workers\": ";
+    append_u64(out, report.workers);
+    out += ",\n  \"lanes\": ";
+    append_u64(out, report.lanes);
+    out += ",\n  \"wall_seconds\": ";
+    append_double(out, report.wall_seconds);
+    out += ",\n  \"cpu_seconds\": ";
+    append_double(out, report.cpu_seconds);
+    out += ",\n  \"telemetry_enabled\": ";
+    out += report.telemetry_enabled ? "true" : "false";
+    out += ",\n  \"counters\": {";
+    for (std::size_t i = 0; i < telemetry::kCounterCount; ++i) {
+        if (i != 0) out += ",";
+        out += "\n    ";
+        append_escaped(out,
+                       telemetry::counter_name(static_cast<telemetry::Counter>(i)));
+        out += ": ";
+        append_u64(out, report.counters.values[i]);
+    }
+    out += "\n  },\n  \"progress\": {";
+    out += "\"completed_blocks\": ";
+    append_u64(out, report.progress.completed_blocks);
+    out += ", \"completed_traces\": ";
+    append_u64(out, report.progress.completed_traces);
+    out += ", \"resumed\": ";
+    out += report.progress.resumed ? "true" : "false";
+    out += ", \"cancelled\": ";
+    out += report.progress.cancelled ? "true" : "false";
+    out += "},\n  \"checkpoint_blocks\": [";
+    for (std::size_t i = 0; i < report.checkpoint_blocks.size(); ++i) {
+        if (i != 0) out += ", ";
+        append_u64(out, report.checkpoint_blocks[i]);
+    }
+    out += "],\n  \"metrics\": {";
+    for (std::size_t i = 0; i < report.metrics.size(); ++i) {
+        if (i != 0) out += ",";
+        out += "\n    ";
+        append_escaped(out, report.metrics[i].first);
+        out += ": ";
+        append_double(out, report.metrics[i].second);
+    }
+    out += report.metrics.empty() ? "}\n}\n" : "\n  }\n}\n";
+    return out;
+}
+
+void write_run_report(const std::string& path, const RunReport& report) {
+    const std::string text = render_run_report(report);
+    atomic_write_file(path,
+                      std::span<const std::uint8_t>(
+                          reinterpret_cast<const std::uint8_t*>(text.data()),
+                          text.size()));
+}
+
+std::optional<RunReport> read_run_report(const std::string& path) {
+    const auto bytes = read_file_if_exists(path);
+    if (!bytes.has_value()) return std::nullopt;
+    const JsonValue root = parse_json(std::string_view(
+        reinterpret_cast<const char*>(bytes->data()), bytes->size()));
+    if (root.kind != JsonValue::Kind::kObject)
+        throw std::runtime_error("run report: not a JSON object");
+    const JsonValue& schema = require(root, "schema");
+    if (schema.string != kRunReportSchema)
+        throw std::runtime_error("run report: unexpected schema '" +
+                                 schema.string + "'");
+    if (require_u64(root, "version") != kRunReportVersion)
+        throw std::runtime_error("run report: unsupported version");
+
+    RunReport report;
+    report.campaign = require(root, "campaign").string;
+    const JsonValue& fp = require(root, "fingerprint");
+    report.fingerprint.kind = require_u64(fp, "kind");
+    report.fingerprint.seed = require_u64(fp, "seed");
+    report.fingerprint.traces = require_u64(fp, "traces");
+    report.fingerprint.block_size = require_u64(fp, "block_size");
+    report.fingerprint.payload = require_u64(fp, "payload");
+    report.workers = static_cast<unsigned>(require_u64(root, "workers"));
+    report.lanes = static_cast<unsigned>(require_u64(root, "lanes"));
+    report.wall_seconds = require(root, "wall_seconds").as_number();
+    report.cpu_seconds = require(root, "cpu_seconds").as_number();
+    report.telemetry_enabled = require(root, "telemetry_enabled").boolean;
+    const JsonValue& counters = require(root, "counters");
+    for (std::size_t i = 0; i < telemetry::kCounterCount; ++i) {
+        const char* name =
+            telemetry::counter_name(static_cast<telemetry::Counter>(i));
+        if (const JsonValue* value = counters.find(name))
+            report.counters.values[i] = value->unsigned_value;
+    }
+    const JsonValue& progress = require(root, "progress");
+    report.progress.completed_blocks =
+        static_cast<std::size_t>(require_u64(progress, "completed_blocks"));
+    report.progress.completed_traces =
+        static_cast<std::size_t>(require_u64(progress, "completed_traces"));
+    report.progress.resumed = require(progress, "resumed").boolean;
+    report.progress.cancelled = require(progress, "cancelled").boolean;
+    for (const JsonValue& mark : require(root, "checkpoint_blocks").array)
+        report.checkpoint_blocks.push_back(mark.unsigned_value);
+    for (const auto& [name, value] : require(root, "metrics").object)
+        report.metrics.emplace_back(name, value.as_number());
+    return report;
+}
+
+// ----- RunTelemetrySession -----------------------------------------------
+
+RunTelemetrySession::RunTelemetrySession(std::string campaign_id,
+                                         const CampaignRunOptions& run,
+                                         const CampaignFingerprint& fingerprint,
+                                         std::size_t total_traces,
+                                         unsigned workers, unsigned lanes)
+    : campaign_(std::move(campaign_id)),
+      report_path_(resolve_report_path(run, campaign_)),
+      fingerprint_(fingerprint),
+      workers_(workers),
+      lanes_(lanes),
+      restore_enabled_(telemetry::enabled()),
+      meter_(campaign_, total_traces, run.on_progress) {
+    // A requested report implies collection for this run; drivers without
+    // a report keep whatever GLITCHMASK_TELEMETRY selected.
+    if (!report_path_.empty()) telemetry::set_enabled(true);
+    start_ = telemetry::snapshot();
+    cpu_start_ = telemetry::process_cpu_seconds();
+    wall_start_ns_ = steady_ns();
+}
+
+RunTelemetrySession::~RunTelemetrySession() {
+    telemetry::set_enabled(restore_enabled_);
+}
+
+void RunTelemetrySession::attach(CheckpointPolicy& policy) {
+    // The runner invokes on_checkpoint from the wave loop on the calling
+    // thread, so the history vector needs no lock.
+    policy.on_checkpoint = [this, chained = std::move(policy.on_checkpoint)](
+                               std::size_t completed_blocks) {
+        checkpoint_blocks_.push_back(completed_blocks);
+        if (chained) chained(completed_blocks);
+    };
+}
+
+telemetry::ProgressMeter* RunTelemetrySession::meter() noexcept {
+    return meter_.active() ? &meter_ : nullptr;
+}
+
+void RunTelemetrySession::add_metric(std::string name, double value) {
+    metrics_.emplace_back(std::move(name), value);
+}
+
+void RunTelemetrySession::finish(const CampaignProgress& progress) {
+    if (finished_) return;
+    finished_ = true;
+    meter_.finish();
+    if (report_path_.empty()) return;
+
+    RunReport report;
+    report.campaign = campaign_;
+    report.fingerprint = fingerprint_;
+    report.workers = workers_;
+    report.lanes = lanes_;
+    report.wall_seconds =
+        static_cast<double>(steady_ns() - wall_start_ns_) * 1e-9;
+    report.cpu_seconds = telemetry::process_cpu_seconds() - cpu_start_;
+    report.telemetry_enabled = true;
+    report.counters = telemetry::snapshot().delta_since(start_);
+    report.progress = progress;
+    report.checkpoint_blocks = checkpoint_blocks_;
+    report.metrics = metrics_;
+    write_run_report(report_path_, report);
+}
+
+}  // namespace glitchmask::eval

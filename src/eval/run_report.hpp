@@ -1,0 +1,166 @@
+// Machine-readable run reports + the per-run telemetry session drivers
+// wrap around a campaign.
+//
+// Every driver (DES TVLA, sequence experiments, mean power) can emit a
+// versioned JSON report describing what ran and what it cost: campaign
+// identity (the same fingerprint the checkpoint format uses), seed,
+// wall/CPU time, the telemetry counter dump, checkpoint/resume history
+// and the driver's headline metrics (peak |t| per order).  Reports are
+// written with atomic_write_file so a crash never leaves a torn file,
+// and they are pure observability -- the runtime never reads one back.
+//
+// Path resolution mirrors checkpoints: an explicit run.report_path wins,
+// otherwise $GLITCHMASK_REPORT_DIR/<campaign_id>.report.json when the
+// env var is set, otherwise no report.  Note an explicit path is
+// overwritten on every run (same contract as checkpoint_path).
+//
+// The JSON subset used is deliberately tiny; parse_json() reads it back
+// keeping unsigned integer literals exact at 64 bits (fingerprint words
+// do not survive a double round-trip), which the schema round-trip test
+// relies on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "eval/checkpoint.hpp"
+#include "support/telemetry.hpp"
+
+namespace glitchmask::eval {
+
+inline constexpr const char* kRunReportSchema = "glitchmask.run_report";
+inline constexpr std::uint32_t kRunReportVersion = 1;
+
+/// Everything a report records.  `counters` is the per-run registry
+/// delta (all zero when telemetry collection was off for the run).
+struct RunReport {
+    std::string campaign;                 // driver id ("des_tvla", ...)
+    CampaignFingerprint fingerprint;
+    unsigned workers = 0;
+    unsigned lanes = 0;
+    double wall_seconds = 0.0;
+    double cpu_seconds = 0.0;             // user+sys, all threads
+    bool telemetry_enabled = false;
+    telemetry::Snapshot counters;
+    CampaignProgress progress;
+    /// Completed-block marks at each checkpoint write, in order.  A
+    /// resumed run records only this process's writes.
+    std::vector<std::uint64_t> checkpoint_blocks;
+    /// Driver headline numbers, e.g. {"max_abs_t_order1", 4.2}.
+    std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Report path for one driver run: explicit run.report_path, else
+/// $GLITCHMASK_REPORT_DIR/<id>.report.json, else "" (no report).
+[[nodiscard]] std::string resolve_report_path(const CampaignRunOptions& run,
+                                              const std::string& default_id);
+
+/// Serializes the report as pretty-printed JSON (trailing newline).
+[[nodiscard]] std::string render_run_report(const RunReport& report);
+
+/// render + atomic_write_file; throws CampaignError{IoFailure} on I/O
+/// errors.
+void write_run_report(const std::string& path, const RunReport& report);
+
+// ----- minimal JSON reader ----------------------------------------------
+
+/// Parsed JSON value.  Non-negative integer literals stay exact u64s
+/// (kind Unsigned); anything with a sign, fraction or exponent becomes a
+/// double (kind Number).
+struct JsonValue {
+    enum class Kind { kNull, kBool, kUnsigned, kNumber, kString, kArray, kObject };
+
+    Kind kind = Kind::kNull;
+    bool boolean = false;
+    std::uint64_t unsigned_value = 0;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    /// Object member lookup; nullptr when absent or not an object.
+    [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+    /// Numeric view: exact for Unsigned, lossy for large doubles.
+    [[nodiscard]] double as_number() const noexcept {
+        return kind == Kind::kUnsigned ? static_cast<double>(unsigned_value)
+                                       : number;
+    }
+};
+
+/// Parses one JSON document (object/array/scalar); throws
+/// std::runtime_error with a byte offset on malformed input.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+/// Reads back a report written by write_run_report; nullopt when the
+/// file does not exist.  Throws on unreadable files, malformed JSON or a
+/// schema/version mismatch.
+[[nodiscard]] std::optional<RunReport> read_run_report(const std::string& path);
+
+// ----- driver session ----------------------------------------------------
+
+/// Brackets one driver run: resolves the report path, turns telemetry
+/// collection on for the run's duration when a report was requested,
+/// snapshots the counter registry and both clocks, owns the progress
+/// meter, and records checkpoint history.  Usage:
+///
+///   RunTelemetrySession session(id, config.run, fingerprint,
+///                               plan.traces, workers, lanes);
+///   CheckpointPolicy policy = make_checkpoint_policy(config.run, id);
+///   session.attach(policy);            // wraps policy.on_checkpoint
+///   ... run_sharded_blocks_checkpointed(..., &progress, session.meter());
+///   session.add_metric("max_abs_t_order1", t1);
+///   session.finish(progress);          // final progress emit + report
+class RunTelemetrySession {
+public:
+    RunTelemetrySession(std::string campaign_id, const CampaignRunOptions& run,
+                        const CampaignFingerprint& fingerprint,
+                        std::size_t total_traces, unsigned workers,
+                        unsigned lanes);
+    ~RunTelemetrySession();
+
+    RunTelemetrySession(const RunTelemetrySession&) = delete;
+    RunTelemetrySession& operator=(const RunTelemetrySession&) = delete;
+
+    /// Chains a history-recording hook in front of policy.on_checkpoint.
+    void attach(CheckpointPolicy& policy);
+
+    /// Meter pointer for the sharded runners; nullptr when neither a
+    /// callback nor a heartbeat is configured (meter overhead skipped).
+    [[nodiscard]] telemetry::ProgressMeter* meter() noexcept;
+
+    void add_metric(std::string name, double value);
+
+    /// True when finish() will write a report file.
+    [[nodiscard]] bool writes_report() const noexcept {
+        return !report_path_.empty();
+    }
+    [[nodiscard]] const std::string& report_path() const noexcept {
+        return report_path_;
+    }
+
+    /// Emits the final progress update and writes the report (when one
+    /// was requested).  Idempotent; safe to skip on exception paths (the
+    /// destructor restores telemetry state but writes nothing).
+    void finish(const CampaignProgress& progress);
+
+private:
+    std::string campaign_;
+    std::string report_path_;
+    CampaignFingerprint fingerprint_;
+    unsigned workers_ = 0;
+    unsigned lanes_ = 0;
+    bool restore_enabled_ = false;   // telemetry state to restore
+    bool finished_ = false;
+    telemetry::Snapshot start_;
+    double cpu_start_ = 0.0;
+    std::int64_t wall_start_ns_ = 0;
+    telemetry::ProgressMeter meter_;
+    std::vector<std::uint64_t> checkpoint_blocks_;
+    std::vector<std::pair<std::string, double>> metrics_;
+};
+
+}  // namespace glitchmask::eval

@@ -1,5 +1,6 @@
 #include "sim/batch_simulator.hpp"
 
+#include <bit>
 #include <stdexcept>
 
 namespace glitchmask::sim {
@@ -44,6 +45,9 @@ void BatchEventSimulator::initialize() {
     queue_ = {};
     now_ = 0;
     seq_ = 0;
+    window_epoch_ = 1;
+    window_stamp_.assign(nl_.size(), 0);
+    window_toggled_.assign(nl_.size(), 0);
     std::fill(out_val_.begin(), out_val_.end(), 0);
     std::fill(pin_val_.begin(), pin_val_.end(), 0);
     for (auto& pending : pending_) pending.clear();
@@ -115,6 +119,8 @@ void BatchEventSimulator::schedule_group(CellId cell, std::uint64_t value,
             }
             to_check &= ~m;
         }
+        inertial_cancels_ +=
+            static_cast<std::uint64_t>(std::popcount(cancelled));
     }
 
     // The scalar simulator records the scheduled value/time even when the
@@ -212,6 +218,20 @@ void BatchEventSimulator::commit_output(const Event& ev) {
     }
     const std::uint64_t toggled = lanes & (out_val_[ev.cell] ^ ev.value);
     if (toggled == 0) return;
+    // Telemetry, per lane: a lane's 2nd+ toggle of this net within the
+    // current activity window is a transient (glitch).  Toggle totals
+    // match the scalar engine exactly (same committed transitions); the
+    // glitch/cancel split reflects this engine's shared evaluation
+    // schedule and is compared across runs of the same engine only.
+    toggles_ += static_cast<std::uint64_t>(std::popcount(toggled));
+    if (window_stamp_[ev.cell] == window_epoch_) {
+        glitches_ += static_cast<std::uint64_t>(
+            std::popcount(toggled & window_toggled_[ev.cell]));
+        window_toggled_[ev.cell] |= toggled;
+    } else {
+        window_stamp_[ev.cell] = window_epoch_;
+        window_toggled_[ev.cell] = toggled;
+    }
     out_val_[ev.cell] = (out_val_[ev.cell] & ~toggled) | (ev.value & toggled);
     if (sink_ != nullptr)
         sink_->on_toggle(ev.cell, ev.time, out_val_[ev.cell], toggled);
@@ -240,6 +260,7 @@ void BatchEventSimulator::update_pin(const Event& ev) {
 
 void BatchEventSimulator::run_until(TimePs t_end) {
     while (!queue_.empty() && queue_.top().time < t_end) {
+        if (queue_.size() > queue_peak_) queue_peak_ = queue_.size();
         const Event ev = queue_.top();
         queue_.pop();
         now_ = ev.time;
@@ -254,6 +275,7 @@ void BatchEventSimulator::run_until(TimePs t_end) {
 
 TimePs BatchEventSimulator::run_to_quiescence() {
     while (!queue_.empty()) {
+        if (queue_.size() > queue_peak_) queue_peak_ = queue_.size();
         const Event ev = queue_.top();
         queue_.pop();
         now_ = ev.time;
@@ -299,6 +321,7 @@ void BatchClockedSim::set_input_word(NetId input, std::uint64_t values) {
 void BatchClockedSim::step(std::size_t cycles) {
     for (std::size_t n = 0; n < cycles; ++n) {
         const TimePs edge = static_cast<TimePs>(cycle_) * clock_.period_ps;
+        engine_.begin_activity_window();
 
         // 1. Sample the flops with the pin view at the edge.  The drive
         // mask carries exactly the lanes whose Q changes, so each lane

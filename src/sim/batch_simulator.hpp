@@ -102,6 +102,19 @@ public:
     }
     [[nodiscard]] const Netlist& nl() const noexcept { return nl_; }
 
+    /// Cumulative activity counters (per-lane accounting: toggles,
+    /// glitches and cancels count each lane individually, so their sums
+    /// across a campaign equal the scalar engine's -- events and queue
+    /// peak measure the amortized shared schedule instead).
+    [[nodiscard]] telemetry::SimStats stats() const noexcept {
+        return telemetry::SimStats{processed_, toggles_, glitches_,
+                                   inertial_cancels_, queue_peak_};
+    }
+
+    /// Starts a new glitch-accounting window (BatchClockedSim calls this
+    /// at every clock edge).  Pure bookkeeping.
+    void begin_activity_window() noexcept { ++window_epoch_; }
+
 private:
     struct Event {
         TimePs time;
@@ -156,6 +169,17 @@ private:
     std::uint64_t seq_ = 0;
     TimePs now_ = 0;
     std::size_t processed_ = 0;
+
+    // Telemetry counters (see stats()).  Glitch windows use epoch
+    // stamping -- no per-cycle O(nets) clearing: a net's toggled-lanes
+    // mask is valid only while its stamp matches window_epoch_.
+    std::uint64_t toggles_ = 0;
+    std::uint64_t glitches_ = 0;
+    std::uint64_t inertial_cancels_ = 0;
+    std::uint64_t queue_peak_ = 0;
+    std::uint32_t window_epoch_ = 1;
+    std::vector<std::uint32_t> window_stamp_;   // per net
+    std::vector<std::uint64_t> window_toggled_; // lanes toggled this window
 };
 
 /// Cycle-level testbench driver around the batch engine -- the lane-word

@@ -46,6 +46,7 @@ std::uint64_t ClockedSim::read_bus(const Bus& bus) const {
 void ClockedSim::step(std::size_t cycles) {
     for (std::size_t n = 0; n < cycles; ++n) {
         const TimePs edge = static_cast<TimePs>(cycle_) * clock_.period_ps;
+        engine_.begin_activity_window();
 
         // 1. Sample the flops with the pin view at the edge.
         struct Update {

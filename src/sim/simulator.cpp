@@ -34,6 +34,7 @@ void EventSimulator::initialize() {
     queue_ = {};
     now_ = 0;
     seq_ = 0;
+    window_start_ = 0;
     std::fill(out_val_.begin(), out_val_.end(), 0);
     std::fill(pin_val_.begin(), pin_val_.end(), 0);
     std::fill(last_sched_time_.begin(), last_sched_time_.end(), 0);
@@ -123,6 +124,7 @@ void EventSimulator::schedule_output(CellId cell, bool value, TimePs at) {
             pending_[cell].pop_back();
             last_sched_out_[cell] = value ? 1 : 0;
             last_sched_time_[cell] = when;
+            ++inertial_cancels_;
             return;
         }
     }
@@ -143,6 +145,13 @@ void EventSimulator::commit_output(const Event& ev) {
         pending.erase(pending.begin());
     }
     if (out_val_[ev.cell] == ev.value) return;
+    // Telemetry: a 2nd+ toggle of a net within the current activity
+    // window is a transient (glitch); last_toggle_ still holds the
+    // previous commit time here.
+    ++toggles_;
+    if (last_toggle_[ev.cell] != kNever &&
+        last_toggle_[ev.cell] >= window_start_)
+        ++glitches_;
     out_val_[ev.cell] = ev.value;
     last_toggle_[ev.cell] = ev.time;
     last_toggle_dir_[ev.cell] = ev.value;
@@ -169,6 +178,7 @@ void EventSimulator::update_pin(const Event& ev) {
 
 void EventSimulator::run_until(TimePs t_end) {
     while (!queue_.empty() && queue_.top().time < t_end) {
+        if (queue_.size() > queue_peak_) queue_peak_ = queue_.size();
         const Event ev = queue_.top();
         queue_.pop();
         now_ = ev.time;
@@ -183,6 +193,7 @@ void EventSimulator::run_until(TimePs t_end) {
 
 TimePs EventSimulator::run_to_quiescence() {
     while (!queue_.empty()) {
+        if (queue_.size() > queue_peak_) queue_peak_ = queue_.size();
         const Event ev = queue_.top();
         queue_.pop();
         now_ = ev.time;

@@ -31,6 +31,7 @@
 
 #include "netlist/netlist.hpp"
 #include "sim/delay_model.hpp"
+#include "support/telemetry.hpp"
 
 namespace glitchmask::sim {
 
@@ -101,6 +102,20 @@ public:
     }
     [[nodiscard]] const Netlist& nl() const noexcept { return nl_; }
 
+    /// Cumulative activity counters over the simulator's lifetime (like
+    /// processed_events, they survive initialize()); the campaign runtime
+    /// folds per-block deltas into the telemetry registry.  A *glitch* is
+    /// a transient toggle: the 2nd+ commit of a net within the current
+    /// activity window (one clock cycle under ClockedSim).
+    [[nodiscard]] telemetry::SimStats stats() const noexcept {
+        return telemetry::SimStats{processed_, toggles_, glitches_,
+                                   inertial_cancels_, queue_peak_};
+    }
+
+    /// Starts a new glitch-accounting window (ClockedSim calls this at
+    /// every clock edge).  Pure bookkeeping -- never affects simulation.
+    void begin_activity_window() noexcept { window_start_ = now_; }
+
     /// Most recent committed transition on `net` (time, direction);
     /// exposed for the power model's coupling term.
     [[nodiscard]] TimePs last_toggle_time(NetId net) const noexcept {
@@ -154,6 +169,13 @@ private:
     std::uint64_t seq_ = 0;
     TimePs now_ = 0;
     std::size_t processed_ = 0;
+
+    // Telemetry counters (see stats()); plain members, negligible cost.
+    std::uint64_t toggles_ = 0;
+    std::uint64_t glitches_ = 0;
+    std::uint64_t inertial_cancels_ = 0;
+    std::uint64_t queue_peak_ = 0;
+    TimePs window_start_ = 0;  // glitch-accounting window (one clock cycle)
 };
 
 }  // namespace glitchmask::sim

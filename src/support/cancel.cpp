@@ -1,7 +1,11 @@
 #include "support/cancel.hpp"
 
+#include <unistd.h>
+
 #include <csignal>
 #include <stdexcept>
+
+#include "support/log.hpp"
 
 namespace glitchmask {
 
@@ -19,6 +23,18 @@ struct sigaction g_old_term;
 void on_signal(int) {
     if (CancelToken* token = g_signal_token.load(std::memory_order_relaxed))
         token->request();
+    // Cancellation notice via the logger's level gate: log_enabled is a
+    // relaxed atomic load (async-signal-safe), and write(2) is on the
+    // signal-safe list -- log_message (mutex, stdio) is not, so the line
+    // is emitted directly.  Quiet runs (GLITCHMASK_LOG=warn and below)
+    // print nothing.
+    if (log_enabled(LogLevel::kInfo)) {
+        static constexpr char kNotice[] =
+            "[glitchmask] info: cancellation requested; finishing in-flight "
+            "blocks and writing a final checkpoint\n";
+        const ssize_t ignored = ::write(2, kNotice, sizeof kNotice - 1);
+        (void)ignored;
+    }
 }
 
 }  // namespace

@@ -1,0 +1,54 @@
+// Shared command-line flags for the bench and example binaries.
+//
+// Every driver-style binary accepts the same two observability flags:
+//   --progress[=seconds]  stderr heartbeat with rate + ETA (default 2 s;
+//                         equivalent to GLITCHMASK_PROGRESS=seconds)
+//   --report <path>       machine-readable JSON run report
+// Parsing exits with usage on anything unrecognised, so binaries that take
+// no other arguments stay strict about typos.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "support/telemetry.hpp"
+
+namespace glitchmask {
+
+struct CliOptions {
+    bool progress = false;
+    double progress_interval = 2.0;
+    std::string report_path;
+};
+
+/// Parses the shared flags (exits with usage on anything unknown) and
+/// activates the heartbeat when --progress was given.
+[[nodiscard]] inline CliOptions parse_cli(int argc, char** argv) {
+    CliOptions cli;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--progress") {
+            cli.progress = true;
+        } else if (arg.rfind("--progress=", 0) == 0) {
+            cli.progress = true;
+            cli.progress_interval = std::atof(arg.c_str() + 11);
+        } else if (arg == "--report" && i + 1 < argc) {
+            cli.report_path = argv[++i];
+        } else if (arg.rfind("--report=", 0) == 0) {
+            cli.report_path = arg.substr(9);
+        } else {
+            std::fprintf(stderr,
+                         "unknown option '%s'\n"
+                         "usage: %s [--progress[=seconds]] [--report <path>]\n",
+                         arg.c_str(), argv[0]);
+            std::exit(2);
+        }
+    }
+    if (cli.progress)
+        telemetry::set_heartbeat_interval(
+            cli.progress_interval > 0.0 ? cli.progress_interval : 2.0);
+    return cli;
+}
+
+}  // namespace glitchmask

@@ -1,0 +1,78 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "support/env.hpp"
+
+namespace glitchmask {
+
+namespace {
+
+// -1 = "not yet resolved from the environment".  The level itself is a
+// relaxed atomic so log_enabled() stays async-signal-safe (the SIGINT
+// handler gates its cancellation notice on it).
+std::atomic<int> g_level{-1};
+std::mutex g_stderr_mutex;
+
+const char* level_tag(LogLevel level) noexcept {
+    switch (level) {
+        case LogLevel::kError: return "error";
+        case LogLevel::kWarn: return "warn";
+        case LogLevel::kInfo: return "info";
+        case LogLevel::kDebug: return "debug";
+        case LogLevel::kOff: break;
+    }
+    return "off";
+}
+
+int resolve_level() noexcept {
+    int level = g_level.load(std::memory_order_relaxed);
+    if (level >= 0) return level;
+    LogLevel parsed = LogLevel::kWarn;
+    // getenv-based; called once outside any signal context.
+    const std::string text = env_string("GLITCHMASK_LOG", "");
+    if (!text.empty()) parsed = parse_log_level(text, LogLevel::kWarn);
+    level = static_cast<int>(parsed);
+    int expected = -1;
+    g_level.compare_exchange_strong(expected, level,
+                                    std::memory_order_relaxed);
+    return g_level.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+LogLevel parse_log_level(const std::string& text, LogLevel fallback) noexcept {
+    if (text == "off" || text == "none" || text == "silent")
+        return LogLevel::kOff;
+    if (text == "error") return LogLevel::kError;
+    if (text == "warn" || text == "warning") return LogLevel::kWarn;
+    if (text == "info") return LogLevel::kInfo;
+    if (text == "debug") return LogLevel::kDebug;
+    return fallback;
+}
+
+LogLevel log_level() noexcept {
+    return static_cast<LogLevel>(resolve_level());
+}
+
+void set_log_level(LogLevel level) noexcept {
+    g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) noexcept {
+    const int current = g_level.load(std::memory_order_relaxed);
+    if (current < 0) return static_cast<int>(level) <= resolve_level();
+    return static_cast<int>(level) <= current;
+}
+
+void log_message(LogLevel level, const std::string& message) {
+    if (level == LogLevel::kOff || !log_enabled(level)) return;
+    const std::lock_guard<std::mutex> lock(g_stderr_mutex);
+    std::fprintf(stderr, "[glitchmask] %s: %s\n", level_tag(level),
+                 message.c_str());
+    std::fflush(stderr);
+}
+
+}  // namespace glitchmask

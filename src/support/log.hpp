@@ -1,0 +1,62 @@
+// Leveled diagnostic logging for the campaign runtime.
+//
+// Library code must never print unconditionally: a 50M-trace batch run
+// wants silence, an interactive debugging session wants the runtime to
+// narrate resume/cancel/fallback decisions.  This logger is the single
+// funnel for both -- every diagnostic in src/ goes through it, gated by a
+// process-wide level read once from GLITCHMASK_LOG
+// (off|error|warn|info|debug, default warn) and overridable at runtime.
+//
+// Two properties the campaign runtime depends on:
+//   * level checks are a single relaxed atomic load, safe to call from a
+//     signal handler (the SIGINT cancellation notice) and cheap enough
+//     for per-block call sites;
+//   * a whole line is written to stderr under one mutex, so messages from
+//     concurrent pool workers never interleave mid-line.
+#pragma once
+
+#include <string>
+
+namespace glitchmask {
+
+enum class LogLevel : int {
+    kOff = 0,    // nothing, not even errors
+    kError = 1,
+    kWarn = 2,   // default
+    kInfo = 3,
+    kDebug = 4,
+};
+
+/// Current process-wide level (first call resolves GLITCHMASK_LOG).
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Runtime override; later GLITCHMASK_LOG reads are ignored.
+void set_log_level(LogLevel level) noexcept;
+
+/// True when a message at `level` would be emitted.  Async-signal-safe.
+[[nodiscard]] bool log_enabled(LogLevel level) noexcept;
+
+/// Parses "off|error|warn|info|debug" (anything else -> fallback).
+[[nodiscard]] LogLevel parse_log_level(const std::string& text,
+                                       LogLevel fallback) noexcept;
+
+/// Emits "[glitchmask] <level>: <message>\n" to stderr when the level is
+/// enabled; whole-line atomic with respect to other log calls.
+void log_message(LogLevel level, const std::string& message);
+
+namespace log {
+inline void error(const std::string& message) {
+    log_message(LogLevel::kError, message);
+}
+inline void warn(const std::string& message) {
+    log_message(LogLevel::kWarn, message);
+}
+inline void info(const std::string& message) {
+    log_message(LogLevel::kInfo, message);
+}
+inline void debug(const std::string& message) {
+    log_message(LogLevel::kDebug, message);
+}
+}  // namespace log
+
+}  // namespace glitchmask

@@ -1,0 +1,293 @@
+#include "support/telemetry.hpp"
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "support/env.hpp"
+
+namespace glitchmask::telemetry {
+
+namespace {
+
+std::int64_t steady_ns() noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+struct CounterInfo {
+    const char* name;
+    MergeKind merge;
+    bool deterministic;
+};
+
+constexpr CounterInfo kCounterInfo[kCounterCount] = {
+    {"sim.events", MergeKind::kSum, true},
+    {"sim.toggles", MergeKind::kSum, true},
+    {"sim.glitches", MergeKind::kSum, true},
+    {"sim.inertial_cancels", MergeKind::kSum, true},
+    {"sim.queue_peak", MergeKind::kMax, true},
+    {"pool.tasks_executed", MergeKind::kSum, false},
+    {"pool.tasks_stolen", MergeKind::kSum, false},
+    {"pool.idle_nanos", MergeKind::kSum, false},
+    {"campaign.blocks", MergeKind::kSum, true},
+    {"campaign.traces", MergeKind::kSum, true},
+    {"campaign.block_nanos", MergeKind::kSum, false},
+    {"checkpoint.writes", MergeKind::kSum, false},
+    {"checkpoint.write_nanos", MergeKind::kSum, false},
+};
+
+std::atomic<int> g_enabled{-1};  // -1 = resolve GLITCHMASK_TELEMETRY
+
+/// Registry of live shards + totals of shards whose threads exited.
+/// Shards are heap-owned by their thread-local handle; registration and
+/// snapshotting share one mutex (shard *writes* never take it).
+struct Registry {
+    std::mutex mutex;
+    std::vector<Shard*> live;
+    std::array<std::uint64_t, kCounterCount> retired{};
+};
+
+Registry& registry() {
+    static Registry instance;
+    return instance;
+}
+
+void fold_into(std::array<std::uint64_t, kCounterCount>& into,
+               const std::array<std::uint64_t, kCounterCount>& from) noexcept {
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+        if (kCounterInfo[i].merge == MergeKind::kMax) {
+            if (from[i] > into[i]) into[i] = from[i];
+        } else {
+            into[i] += from[i];
+        }
+    }
+}
+
+/// Thread-local shard owner: registers at first use, folds the totals
+/// into the retired accumulator and deregisters when the thread exits.
+struct ShardHandle {
+    Shard shard;
+
+    ShardHandle() {
+        Registry& reg = registry();
+        const std::lock_guard<std::mutex> lock(reg.mutex);
+        reg.live.push_back(&shard);
+    }
+
+    ~ShardHandle() {
+        Registry& reg = registry();
+        const std::lock_guard<std::mutex> lock(reg.mutex);
+        std::array<std::uint64_t, kCounterCount> totals{};
+        for (std::size_t i = 0; i < kCounterCount; ++i)
+            totals[i] = shard.load(i);
+        fold_into(reg.retired, totals);
+        std::erase(reg.live, &shard);
+    }
+};
+
+std::atomic<double> g_heartbeat_override{0.0};
+
+std::string format_duration(double seconds) {
+    char buffer[64];
+    if (seconds < 90.0) {
+        std::snprintf(buffer, sizeof buffer, "%.0fs", seconds);
+    } else if (seconds < 5400.0) {
+        std::snprintf(buffer, sizeof buffer, "%dm%02ds",
+                      static_cast<int>(seconds) / 60,
+                      static_cast<int>(seconds) % 60);
+    } else {
+        const int hours = static_cast<int>(seconds / 3600.0);
+        const int minutes = static_cast<int>((seconds - hours * 3600.0) / 60.0);
+        std::snprintf(buffer, sizeof buffer, "%dh%02dm", hours, minutes);
+    }
+    return buffer;
+}
+
+}  // namespace
+
+const char* counter_name(Counter counter) noexcept {
+    return kCounterInfo[static_cast<std::size_t>(counter)].name;
+}
+
+MergeKind counter_merge(Counter counter) noexcept {
+    return kCounterInfo[static_cast<std::size_t>(counter)].merge;
+}
+
+bool counter_deterministic(Counter counter) noexcept {
+    return kCounterInfo[static_cast<std::size_t>(counter)].deterministic;
+}
+
+bool enabled() noexcept {
+    int state = g_enabled.load(std::memory_order_relaxed);
+    if (state < 0) {
+        state = env_int("GLITCHMASK_TELEMETRY", 0) != 0 ? 1 : 0;
+        int expected = -1;
+        g_enabled.compare_exchange_strong(expected, state,
+                                          std::memory_order_relaxed);
+        state = g_enabled.load(std::memory_order_relaxed);
+    }
+    return state != 0;
+}
+
+void set_enabled(bool on) noexcept {
+    g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+Snapshot Snapshot::delta_since(const Snapshot& start) const noexcept {
+    Snapshot delta;
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+        if (kCounterInfo[i].merge == MergeKind::kMax)
+            delta.values[i] = values[i];  // high-water marks don't subtract
+        else
+            delta.values[i] =
+                values[i] >= start.values[i] ? values[i] - start.values[i] : 0;
+    }
+    return delta;
+}
+
+Shard& shard() {
+    thread_local ShardHandle handle;
+    return handle.shard;
+}
+
+Snapshot snapshot() {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    Snapshot merged;
+    merged.values = reg.retired;
+    for (const Shard* live : reg.live) {
+        std::array<std::uint64_t, kCounterCount> totals{};
+        for (std::size_t i = 0; i < kCounterCount; ++i)
+            totals[i] = live->load(i);
+        fold_into(merged.values, totals);
+    }
+    return merged;
+}
+
+void reset() {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.retired.fill(0);
+    for (Shard* live : reg.live) live->clear();
+}
+
+double process_cpu_seconds() noexcept {
+    struct rusage usage = {};
+    if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+    const auto seconds = [](const timeval& tv) {
+        return static_cast<double>(tv.tv_sec) +
+               static_cast<double>(tv.tv_usec) * 1e-6;
+    };
+    return seconds(usage.ru_utime) + seconds(usage.ru_stime);
+}
+
+void record_sim_block(const SimStats& now, SimStats& last) {
+    Shard& s = shard();
+    s.add(Counter::kSimEvents, now.events - last.events);
+    s.add(Counter::kSimToggles, now.toggles - last.toggles);
+    s.add(Counter::kSimGlitches, now.glitches - last.glitches);
+    s.add(Counter::kSimInertialCancels,
+          now.inertial_cancels - last.inertial_cancels);
+    s.peak(Counter::kSimQueuePeak, now.queue_peak);
+    last = now;
+}
+
+// ----- progress / ETA ----------------------------------------------------
+
+void set_heartbeat_interval(double seconds) noexcept {
+    g_heartbeat_override.store(seconds, std::memory_order_relaxed);
+}
+
+double heartbeat_interval() noexcept {
+    const double override = g_heartbeat_override.load(std::memory_order_relaxed);
+    if (override > 0.0) return override;
+    return env_double("GLITCHMASK_PROGRESS", 0.0);
+}
+
+ProgressMeter::ProgressMeter(std::string campaign, std::size_t total_traces,
+                             ProgressFn callback)
+    : campaign_(std::move(campaign)),
+      total_(total_traces),
+      callback_(std::move(callback)),
+      start_ns_(steady_ns()) {
+    const double env_interval = heartbeat_interval();
+    heartbeat_ = env_interval > 0.0;
+    // Callback-only meters still rate-limit (default 0.5 s) so a cheap
+    // campaign with thousands of blocks doesn't drown its observer.
+    interval_sec_ = env_interval > 0.0 ? env_interval : 0.5;
+}
+
+bool ProgressMeter::active() const noexcept {
+    return heartbeat_ || static_cast<bool>(callback_);
+}
+
+void ProgressMeter::note_resumed(std::size_t traces) {
+    completed_.fetch_add(traces, std::memory_order_relaxed);
+    resumed_.fetch_add(traces, std::memory_order_relaxed);
+}
+
+void ProgressMeter::advance(std::size_t traces) {
+    completed_.fetch_add(traces, std::memory_order_relaxed);
+    if (!active()) return;
+    const std::int64_t now = steady_ns();
+    std::int64_t deadline = next_emit_ns_.load(std::memory_order_relaxed);
+    if (now < deadline) return;
+    const auto interval_ns =
+        static_cast<std::int64_t>(interval_sec_ * 1e9);
+    // One thread wins the slot; the rest skip -- an update is never worth
+    // blocking a worker for.
+    if (next_emit_ns_.compare_exchange_strong(deadline, now + interval_ns,
+                                              std::memory_order_relaxed))
+        emit(/*final=*/false);
+}
+
+void ProgressMeter::finish() {
+    if (!active()) return;
+    emit(/*final=*/true);
+}
+
+void ProgressMeter::emit(bool final) {
+    ProgressUpdate update;
+    update.campaign = campaign_;
+    update.completed_traces = completed_.load(std::memory_order_relaxed);
+    update.total_traces = total_;
+    update.final = final;
+    update.elapsed_sec =
+        static_cast<double>(steady_ns() - start_ns_) * 1e-9;
+    const std::size_t fresh =
+        update.completed_traces - resumed_.load(std::memory_order_relaxed);
+    if (update.elapsed_sec > 0.0 && fresh > 0) {
+        update.traces_per_sec =
+            static_cast<double>(fresh) / update.elapsed_sec;
+        if (update.total_traces > update.completed_traces)
+            update.eta_sec = static_cast<double>(update.total_traces -
+                                                 update.completed_traces) /
+                             update.traces_per_sec;
+    }
+    if (callback_) callback_(update);
+    if (heartbeat_) {
+        const double pct =
+            update.total_traces > 0
+                ? 100.0 * static_cast<double>(update.completed_traces) /
+                      static_cast<double>(update.total_traces)
+                : 0.0;
+        char line[256];
+        std::snprintf(line, sizeof line,
+                      "[glitchmask] %s: %zu/%zu traces (%.1f%%), %.0f "
+                      "traces/s, %s %s\n",
+                      campaign_.c_str(), update.completed_traces,
+                      update.total_traces, pct, update.traces_per_sec,
+                      final ? "done in" : "ETA",
+                      format_duration(final ? update.elapsed_sec
+                                            : update.eta_sec)
+                          .c_str());
+        std::fputs(line, stderr);
+    }
+}
+
+}  // namespace glitchmask::telemetry

@@ -1,0 +1,235 @@
+// Campaign telemetry: a zero-cost-when-off counter registry with
+// per-thread shards, plus the progress/ETA meter built on it.
+//
+// Design centre (mirrors the determinism story of the campaign engine):
+//
+//   * The hot paths (event simulators) never touch the registry at all --
+//     they keep plain member counters (the price of `++processed_`) and
+//     the campaign runner folds the *per-block deltas* into the calling
+//     worker's shard at block boundaries.  Enabling telemetry therefore
+//     neither serializes workers nor perturbs a single result bit.
+//   * A shard is thread-local and written lock-free (relaxed atomics, one
+//     writer); snapshot() folds all live shards plus the totals retired
+//     by exited threads.  Every counter merges by an associative,
+//     commutative operation (u64 sum or max), so the merged totals are
+//     independent of thread scheduling: for a fixed campaign the
+//     deterministic counters (events, toggles, glitches, ...) are exact
+//     at any worker count, which the test suite asserts.  Committed
+//     toggles are also exact across the scalar/bitsliced engines; the
+//     schedule-shape counters (events, queue peak, glitch/cancel split)
+//     are engine-specific.
+//   * Wall-clock counters (block/checkpoint/idle nanos) are measurements,
+//     not results -- counter_deterministic() separates the two classes so
+//     tests and the determinism bench compare only the former.
+//
+// The registry is process-global and accumulates across campaigns; a
+// driver brackets its run with two snapshot() calls and reports the delta
+// (Snapshot::delta_since).  GLITCHMASK_TELEMETRY=1 enables collection
+// globally; drivers also enable it for the duration of a run that asked
+// for a report (ScopedTelemetryEnable).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace glitchmask::telemetry {
+
+// ----- counter registry --------------------------------------------------
+
+enum class Counter : unsigned {
+    kSimEvents = 0,        // events popped from a simulator queue
+    kSimToggles,           // committed net transitions (per lane)
+    kSimGlitches,          // transient toggles: 2nd+ toggle of a net within
+                           // one activity window (clock cycle)
+    kSimInertialCancels,   // pulse pairs annihilated by inertial filtering
+    kSimQueuePeak,         // event-queue high-water mark (merged by max)
+    kPoolTasksExecuted,    // tasks a pool worker ran
+    kPoolTasksStolen,      // tasks taken from another worker's deque
+    kPoolIdleNanos,        // time workers spent parked waiting for work
+    kCampaignBlocks,       // shard blocks completed
+    kCampaignTraces,       // traces folded into block accumulators
+    kCampaignBlockNanos,   // wall time inside run_block
+    kCheckpointWrites,     // snapshots written
+    kCheckpointNanos,      // wall time inside atomic checkpoint writes
+    kCount
+};
+
+inline constexpr std::size_t kCounterCount =
+    static_cast<std::size_t>(Counter::kCount);
+
+enum class MergeKind { kSum, kMax };
+
+/// Stable dotted name used in run reports and bench JSON.
+[[nodiscard]] const char* counter_name(Counter counter) noexcept;
+
+[[nodiscard]] MergeKind counter_merge(Counter counter) noexcept;
+
+/// True for counters that are a pure function of the campaign (schedule-
+/// independent); false for wall-clock measurements.
+[[nodiscard]] bool counter_deterministic(Counter counter) noexcept;
+
+/// Global collection switch: GLITCHMASK_TELEMETRY (0/1, default off) on
+/// first call, overridable via set_enabled.  When off, instrumented call
+/// sites skip shard access entirely.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Enables collection for a scope (a driver run that writes a report) and
+/// restores the previous state on destruction.
+class ScopedTelemetryEnable {
+public:
+    explicit ScopedTelemetryEnable(bool on = true)
+        : previous_(enabled()) {
+        if (on) set_enabled(true);
+    }
+    ~ScopedTelemetryEnable() { set_enabled(previous_); }
+    ScopedTelemetryEnable(const ScopedTelemetryEnable&) = delete;
+    ScopedTelemetryEnable& operator=(const ScopedTelemetryEnable&) = delete;
+
+private:
+    bool previous_;
+};
+
+/// Merged registry state.  Values are u64; `value()` indexes by counter.
+struct Snapshot {
+    std::array<std::uint64_t, kCounterCount> values{};
+
+    [[nodiscard]] std::uint64_t value(Counter counter) const noexcept {
+        return values[static_cast<std::size_t>(counter)];
+    }
+
+    /// Per-run view: sum counters diff against `start`, max counters keep
+    /// the end value (a high-water mark has no meaningful difference).
+    [[nodiscard]] Snapshot delta_since(const Snapshot& start) const noexcept;
+};
+
+/// One thread's counter shard.  Written only by its owner (lock-free,
+/// relaxed); read concurrently by snapshot().
+class Shard {
+public:
+    void add(Counter counter, std::uint64_t n = 1) noexcept {
+        values_[static_cast<std::size_t>(counter)].fetch_add(
+            n, std::memory_order_relaxed);
+    }
+    /// Merge-by-max update for high-water counters.
+    void peak(Counter counter, std::uint64_t v) noexcept {
+        std::atomic<std::uint64_t>& slot =
+            values_[static_cast<std::size_t>(counter)];
+        std::uint64_t current = slot.load(std::memory_order_relaxed);
+        while (v > current &&
+               !slot.compare_exchange_weak(current, v,
+                                           std::memory_order_relaxed)) {
+        }
+    }
+
+    /// Concurrent read for snapshotting (relaxed; counters are
+    /// independent, cross-counter consistency is not promised).
+    [[nodiscard]] std::uint64_t load(std::size_t index) const noexcept {
+        return values_[index].load(std::memory_order_relaxed);
+    }
+    void clear() noexcept {
+        for (auto& slot : values_) slot.store(0, std::memory_order_relaxed);
+    }
+
+private:
+    std::array<std::atomic<std::uint64_t>, kCounterCount> values_{};
+};
+
+/// The calling thread's shard; registers it on first use.  The shard
+/// outlives the thread logically: its totals fold into a retired
+/// accumulator when the thread exits.
+[[nodiscard]] Shard& shard();
+
+/// Folds every live shard and the retired totals into one snapshot.
+[[nodiscard]] Snapshot snapshot();
+
+/// Zeroes all shards and retired totals (test isolation).
+void reset();
+
+/// Process CPU time (user + system, all threads) in seconds.
+[[nodiscard]] double process_cpu_seconds() noexcept;
+
+// ----- simulator statistics ----------------------------------------------
+
+/// Cumulative activity counters both event engines expose via stats().
+/// Plain members in the engines; deltas are folded into the registry at
+/// block boundaries by record_sim_block().
+struct SimStats {
+    std::uint64_t events = 0;
+    std::uint64_t toggles = 0;
+    std::uint64_t glitches = 0;
+    std::uint64_t inertial_cancels = 0;
+    std::uint64_t queue_peak = 0;  // high-water; merged by max
+};
+
+/// Adds (now - last) to the calling thread's shard and advances `last`.
+/// Call once per completed block with the replica's cumulative stats.
+void record_sim_block(const SimStats& now, SimStats& last);
+
+// ----- progress / ETA ----------------------------------------------------
+
+struct ProgressUpdate {
+    std::string campaign;            // driver id ("des_tvla", "seq_0123")
+    std::size_t completed_traces = 0;
+    std::size_t total_traces = 0;
+    double elapsed_sec = 0.0;
+    double traces_per_sec = 0.0;     // rate since start (resume-corrected)
+    double eta_sec = 0.0;            // 0 when the rate is still unknown
+    bool final = false;              // last update of the run
+};
+
+using ProgressFn = std::function<void(const ProgressUpdate&)>;
+
+/// Heartbeat interval override for --progress flags: > 0 activates the
+/// stderr heartbeat regardless of GLITCHMASK_PROGRESS; 0 defers to the
+/// env var (its numeric value, seconds; unset/0 = off).
+void set_heartbeat_interval(double seconds) noexcept;
+[[nodiscard]] double heartbeat_interval() noexcept;
+
+/// Thread-safe, rate-limited progress reporter.  Workers call advance()
+/// after each completed block; at most one update per interval reaches
+/// the callback and/or the stderr heartbeat line.  Inactive (and
+/// near-free) when neither a callback nor a heartbeat is configured.
+class ProgressMeter {
+public:
+    ProgressMeter(std::string campaign, std::size_t total_traces,
+                  ProgressFn callback);
+
+    /// Neither callback nor heartbeat configured -- callers may skip the
+    /// meter entirely.
+    [[nodiscard]] bool active() const noexcept;
+
+    /// Credits traces completed by a *previous* process (checkpoint
+    /// resume): counts toward completion but not toward the rate.
+    void note_resumed(std::size_t traces);
+
+    /// Credits `traces` freshly completed; emits when the rate limit
+    /// allows.  Safe from any thread.
+    void advance(std::size_t traces);
+
+    /// Emits one final (non-rate-limited) update.
+    void finish();
+
+    [[nodiscard]] std::size_t completed() const noexcept {
+        return completed_.load(std::memory_order_relaxed);
+    }
+
+private:
+    void emit(bool final);
+
+    std::string campaign_;
+    std::size_t total_ = 0;
+    ProgressFn callback_;
+    double interval_sec_ = 0.0;      // resolved once at construction
+    bool heartbeat_ = false;
+    std::atomic<std::size_t> completed_{0};
+    std::atomic<std::size_t> resumed_{0};
+    std::atomic<std::int64_t> next_emit_ns_{0};  // steady-clock deadline
+    std::int64_t start_ns_ = 0;
+};
+
+}  // namespace glitchmask::telemetry

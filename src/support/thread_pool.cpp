@@ -1,9 +1,11 @@
 #include "support/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "support/env.hpp"
+#include "support/telemetry.hpp"
 
 namespace glitchmask {
 
@@ -90,16 +92,36 @@ void ThreadPool::worker_loop(unsigned id) {
     tls_worker = static_cast<int>(id);
     for (;;) {
         Task task;
-        if (try_pop_own(id, task) || try_steal(id, task)) {
+        bool stolen = false;
+        bool got = try_pop_own(id, task);
+        if (!got) got = stolen = try_steal(id, task);
+        if (got) {
             {
                 const std::lock_guard<std::mutex> lock(sleep_mutex_);
                 --queued_;
+            }
+            if (telemetry::enabled()) {
+                telemetry::Shard& shard = telemetry::shard();
+                shard.add(telemetry::Counter::kPoolTasksExecuted, 1);
+                if (stolen)
+                    shard.add(telemetry::Counter::kPoolTasksStolen, 1);
             }
             task();
             continue;
         }
         std::unique_lock<std::mutex> lock(sleep_mutex_);
-        wake_.wait(lock, [this] { return stop_ || queued_ > 0; });
+        if (telemetry::enabled()) {
+            const auto idle_start = std::chrono::steady_clock::now();
+            wake_.wait(lock, [this] { return stop_ || queued_ > 0; });
+            const auto idle_ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - idle_start)
+                    .count();
+            telemetry::shard().add(telemetry::Counter::kPoolIdleNanos,
+                                   static_cast<std::uint64_t>(idle_ns));
+        } else {
+            wake_.wait(lock, [this] { return stop_ || queued_ > 0; });
+        }
         if (stop_ && queued_ == 0) return;
     }
 }

@@ -20,7 +20,10 @@
 // (run report of each row; the file is rewritten per row, so it ends up
 // describing the last row of the sweep).  Before the sweep the harness
 // times telemetry off-vs-on pairs and emits the relative cost as the
-// top-level "telemetry_overhead" key -- the CI gate reads it.
+// top-level "telemetry_overhead" key, and does the same for per-net
+// leakage attribution ("attribution_off_overhead" -- the CI gate holds
+// the disabled feature to <= 1% -- and the informational
+// "attribution_overhead" for the S-box-scoped probe taps).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -48,6 +51,7 @@ struct Series {
     unsigned lanes = 0;
     unsigned workers = 0;
     std::size_t checkpoint_every = 0;  // blocks between snapshots; 0 = off
+    bool attribution = false;          // per-net probe taps (scope "sbox")
     double seconds = 0.0;
     double traces_per_sec = 0.0;
     double toggle_mb_per_sec = 0.0;
@@ -96,16 +100,47 @@ int main(int argc, char** argv) {
     }
     const double telemetry_overhead = best_on / best_off - 1.0;
 
+    // Attribution cost check.  With attribution off no probe is even
+    // constructed -- the sink chain is exactly the pre-feature one -- so
+    // timing off-vs-off pairs bounds the residual cost of the plumbing
+    // (a never-taken branch per trace) plus measurement noise; the CI
+    // gate holds that to <= 1%.  The on-cost is informational: it scales
+    // with the watched point count (here the S-box scope).
+    auto time_attribution = [&](bool attribute) {
+        eval::DesTvlaConfig config;
+        config.traces = traces;
+        config.noise_sigma = noise;
+        config.seed = 7;
+        config.workers = 1;
+        config.lanes = 64;
+        config.run.attribution = attribute;
+        config.run.attribution_scope = "sbox";
+        const auto start = std::chrono::steady_clock::now();
+        (void)eval::run_des_tvla(core, config);
+        const auto stop = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(stop - start).count();
+    };
+    double best_plain = std::numeric_limits<double>::infinity();
+    double best_attr_off = std::numeric_limits<double>::infinity();
+    double best_attr_on = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; ++rep) {
+        best_plain = std::min(best_plain, time_attribution(false));
+        best_attr_off = std::min(best_attr_off, time_attribution(false));
+        best_attr_on = std::min(best_attr_on, time_attribution(true));
+    }
+    const double attribution_off_overhead = best_attr_off / best_plain - 1.0;
+    const double attribution_overhead = best_attr_on / best_plain - 1.0;
+
     // Counters for every sweep row below.
     telemetry::set_enabled(true);
 
-    TablePrinter table({"lanes", "workers", "ckpt", "seconds", "traces/s",
-                        "toggle MB/s", "speedup", "max|t1|"});
+    TablePrinter table({"lanes", "workers", "ckpt", "attr", "seconds",
+                        "traces/s", "toggle MB/s", "speedup", "max|t1|"});
     std::vector<Series> series;
     const std::string snapshot_path = "BENCH_checkpoint.gmsnap";
 
     auto run_row = [&](unsigned lanes, unsigned workers,
-                       std::size_t checkpoint_every) {
+                       std::size_t checkpoint_every, bool attribute = false) {
         eval::DesTvlaConfig config;
         config.traces = traces;
         config.noise_sigma = noise;
@@ -113,6 +148,8 @@ int main(int argc, char** argv) {
         config.workers = workers;
         config.lanes = lanes;
         config.run.report_path = cli.report_path;
+        config.run.attribution = attribute;
+        config.run.attribution_scope = "sbox";
         if (checkpoint_every > 0) {
             // Fresh file each run: a leftover snapshot would resume (and
             // "finish" instantly), voiding the timing.
@@ -132,6 +169,7 @@ int main(int argc, char** argv) {
         s.lanes = lanes;
         s.workers = workers;
         s.checkpoint_every = checkpoint_every;
+        s.attribution = attribute;
         s.seconds = std::chrono::duration<double>(stop - start).count();
         s.traces_per_sec = static_cast<double>(r.traces) / s.seconds;
         s.toggle_mb_per_sec =
@@ -149,6 +187,7 @@ int main(int argc, char** argv) {
         table.add_row({std::to_string(lanes), std::to_string(workers),
                        checkpoint_every == 0 ? std::string("off")
                                              : std::to_string(checkpoint_every),
+                       attribute ? "on" : "off",
                        TablePrinter::num(s.seconds, 2),
                        TablePrinter::num(s.traces_per_sec, 1),
                        TablePrinter::num(s.toggle_mb_per_sec, 1),
@@ -172,6 +211,11 @@ int main(int argc, char** argv) {
         checkpoint_overhead =
             std::max(checkpoint_overhead, s.seconds / plain_4w.seconds - 1.0);
     }
+    // Attribution axis: same campaign with S-box probe taps, both
+    // engines.  Rides the determinism check below -- the probe must not
+    // perturb the power statistics by a single bit.
+    run_row(64, 4, /*checkpoint_every=*/0, /*attribute=*/true);
+    run_row(1, 4, /*checkpoint_every=*/0, /*attribute=*/true);
     std::remove(snapshot_path.c_str());
     table.print();
 
@@ -187,6 +231,9 @@ int main(int argc, char** argv) {
     std::printf("Telemetry overhead (64 lanes / 1 worker, best of 3): "
                 "%.2f%%\n",
                 telemetry_overhead * 100.0);
+    std::printf("Attribution-off overhead (must be noise): %.2f%%   "
+                "attribution-on cost (sbox scope): %.2f%%\n",
+                attribution_off_overhead * 100.0, attribution_overhead * 100.0);
 
     // The headline number: one core, 64 lanes vs 1 lane.
     double batch_speedup_1w = 0.0;
@@ -209,12 +256,18 @@ int main(int argc, char** argv) {
             TablePrinter::num(checkpoint_overhead, 4) + ",\n";
     json += "  \"telemetry_overhead\": " +
             TablePrinter::num(telemetry_overhead, 4) + ",\n";
+    json += "  \"attribution_off_overhead\": " +
+            TablePrinter::num(attribution_off_overhead, 4) + ",\n";
+    json += "  \"attribution_overhead\": " +
+            TablePrinter::num(attribution_overhead, 4) + ",\n";
     json += "  \"series\": [\n";
     for (std::size_t i = 0; i < series.size(); ++i) {
         const Series& s = series[i];
         json += "    {\"lanes\": " + std::to_string(s.lanes) +
                 ", \"workers\": " + std::to_string(s.workers) +
                 ", \"checkpoint_every\": " + std::to_string(s.checkpoint_every) +
+                std::string(", \"attribution\": ") +
+                (s.attribution ? "true" : "false") +
                 ", \"seconds\": " + TablePrinter::num(s.seconds, 4) +
                 ", \"traces_per_sec\": " + TablePrinter::num(s.traces_per_sec, 2) +
                 ", \"toggle_mb_per_sec\": " +

@@ -6,10 +6,14 @@
 # explicit preset names to run a subset, e.g. `scripts/ci.sh release` or
 # `scripts/ci.sh asan tsan`.  Exits nonzero on any build or test failure.
 #
-# The release leg additionally gates observability:
+# The release and asan legs smoke per-net leakage attribution end to end
+# (examples/inspect_gadget trichina --attribute).  The release leg
+# additionally gates observability:
 #   * one extra ctest pass under GLITCHMASK_LOG=debug (log call sites in
 #     the hot paths must never change a result or crash);
-#   * bench/campaign_throughput's telemetry_overhead must stay <= 3%.
+#   * bench/campaign_throughput's telemetry_overhead must stay <= 3%,
+#     and its attribution_off_overhead <= 1% (the disabled probe tap
+#     must be free).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,6 +36,14 @@ for preset in "${presets[@]}"; do
   cmake --build --preset "$preset" -j "$jobs"
   ctest --preset "$preset" -j "$jobs"
 
+  if [ "$preset" = "release" ] || [ "$preset" = "asan" ]; then
+    builddir="build"
+    [ "$preset" = "asan" ] && builddir="build-asan"
+    echo "==> $preset extras: attribution smoke (inspect_gadget trichina)"
+    (cd "$builddir/examples" &&
+      ./inspect_gadget trichina --attribute --top-k 5 > /dev/null)
+  fi
+
   if [ "$preset" = "release" ]; then
     echo "==> release extras: suite under GLITCHMASK_LOG=debug"
     GLITCHMASK_LOG=debug ctest --preset "$preset" -j "$jobs"
@@ -49,5 +61,18 @@ for preset in "${presets[@]}"; do
       exit 1
     fi
     echo "telemetry overhead: ${overhead} (<= 0.03)"
+
+    echo "==> release extras: attribution-off overhead gate (bar: 1%)"
+    attr_off="$(sed -n 's/.*"attribution_off_overhead": \(-\{0,1\}[0-9.]*\).*/\1/p' \
+      build/bench/BENCH_batch_sim.json)"
+    if [ -z "$attr_off" ]; then
+      echo "FAIL: attribution_off_overhead missing from BENCH_batch_sim.json" >&2
+      exit 1
+    fi
+    if ! awk -v x="$attr_off" 'BEGIN { exit !(x <= 0.01) }'; then
+      echo "FAIL: attribution-off overhead ${attr_off} exceeds the 0.01 bar" >&2
+      exit 1
+    fi
+    echo "attribution-off overhead: ${attr_off} (<= 0.01)"
   fi
 done

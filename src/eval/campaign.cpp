@@ -4,6 +4,7 @@
 #include <array>
 #include <bit>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -84,6 +85,14 @@ CampaignFingerprint sequence_fingerprint(const core::InputSequence& sequence,
                                config.traces, config.block_size, payload};
 }
 
+/// Block accumulator: TVLA statistics plus the optional attribution
+/// state, merged and snapshotted together so both ride the same merge
+/// tree (attr has zero points when attribution is off).
+struct SeqBlockAcc {
+    leakage::TvlaCampaign campaign;
+    leakage::AttributionAccumulator attr;
+};
+
 }  // namespace
 
 SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
@@ -100,20 +109,41 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
     const ShardPlan plan{config.traces, config.block_size};
 
     const std::string tag = sequence_tag(sequence);
-    const CampaignFingerprint fingerprint =
+    const bool attribute = attribution_enabled(config.run);
+    const leakage::AttributionPlan attr_plan =
+        attribute ? leakage::AttributionPlan(circuit_.nl, kCycles,
+                                             clock_.period_ps,
+                                             config.run.attribution_scope)
+                  : leakage::AttributionPlan();
+    CampaignFingerprint fingerprint =
         sequence_fingerprint(sequence, config, kCycles);
+    if (attribute) fold_attribution_fingerprint(fingerprint, config.run);
     RunTelemetrySession session(tag, config.run, fingerprint, plan.traces,
                                 pool.size(), lanes);
     CheckpointPolicy policy = make_checkpoint_policy(config.run, tag);
     session.attach(policy);
-    const auto encode = [](const leakage::TvlaCampaign& acc,
-                           SnapshotWriter& out) { acc.encode(out); };
-    const auto decode = [](SnapshotReader& in) {
-        return leakage::TvlaCampaign::decode(in);
+    const auto encode = [attribute](const SeqBlockAcc& acc,
+                                    SnapshotWriter& out) {
+        acc.campaign.encode(out);
+        if (attribute) acc.attr.encode(out);
     };
+    const auto decode = [attribute](SnapshotReader& in) {
+        SeqBlockAcc acc{leakage::TvlaCampaign::decode(in), {}};
+        if (attribute) acc.attr = leakage::AttributionAccumulator::decode(in);
+        return acc;
+    };
+    const auto make_acc = [&] {
+        return SeqBlockAcc{leakage::TvlaCampaign(kCycles, config.max_test_order),
+                           leakage::AttributionAccumulator(attr_plan.points())};
+    };
+    const auto merge = [](SeqBlockAcc& into, const SeqBlockAcc& from) {
+        into.campaign.merge(from.campaign);
+        into.attr.merge(from.attr);
+    };
+    const leakage::AttributionPlan* probe_plan = attribute ? &attr_plan : nullptr;
     CampaignProgress progress;
 
-    leakage::TvlaCampaign campaign = [&] {
+    SeqBlockAcc merged = [&] {
         if (lanes == sim::kBatchLanes) {
             // Per-worker bitsliced replica: one event-queue pass per lane
             // group of up to 64 consecutive trace indices.  Groups are cut
@@ -123,14 +153,21 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
             struct BatchWorker {
                 sim::BatchClockedSim sim;
                 power::BatchPowerRecorder recorder;
+                std::optional<leakage::BatchAttributionProbe> probe;
                 std::vector<double> noisy;  // bin-major (kCycles x 64) scratch
                 telemetry::SimStats last_stats;  // delta base for telemetry
                 BatchWorker(const core::RegisteredSecand2& circuit,
                             const sim::DelayModel& dm, sim::ClockConfig clock,
-                            power::PowerConfig power_config)
+                            power::PowerConfig power_config,
+                            const leakage::AttributionPlan* attr)
                     : sim(circuit.nl, dm, clock),
                       recorder(circuit.nl, power_config) {
-                    sim.engine().set_sink(&recorder);
+                    if (attr != nullptr) {
+                        probe.emplace(*attr, &recorder);
+                        sim.engine().set_sink(&*probe);
+                    } else {
+                        sim.engine().set_sink(&recorder);
+                    }
                 }
             };
 
@@ -138,14 +175,12 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
                 pool, plan,
                 [&] {
                     return std::make_unique<BatchWorker>(circuit_, dm_, clock_,
-                                                         power_config_);
+                                                         power_config_,
+                                                         probe_plan);
                 },
-                [&] {
-                    return leakage::TvlaCampaign(kCycles,
-                                                 config.max_test_order);
-                },
+                make_acc,
                 [&](std::unique_ptr<BatchWorker>& worker, std::size_t begin,
-                    std::size_t end, leakage::TvlaCampaign& acc) {
+                    std::size_t end, SeqBlockAcc& acc) {
                     for (std::size_t group = begin; group < end;
                          group += sim::kBatchLanes) {
                         const unsigned count = static_cast<unsigned>(
@@ -166,6 +201,7 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
                         auto& s = worker->sim;
                         s.restart();
                         worker->recorder.begin_trace(kCycles);
+                        if (worker->probe) worker->probe->begin_group();
                         for (std::size_t i = 0; i < 4; ++i)
                             s.set_input_word(circuit_.in[i], share_words[i]);
                         s.step();
@@ -194,16 +230,17 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
                                 noisy[bin * sim::kBatchLanes + lane] = sample;
                             }
                         }
-                        acc.add_lane_traces(noisy, sim::kBatchLanes,
-                                            fixed_mask, count);
+                        acc.campaign.add_lane_traces(noisy, sim::kBatchLanes,
+                                                     fixed_mask, count);
+                        if (worker->probe)
+                            worker->probe->fold_group(fixed_mask, count,
+                                                      acc.attr);
                     }
                     if (telemetry::enabled())
                         telemetry::record_sim_block(
                             worker->sim.engine().stats(), worker->last_stats);
                 },
-                [](leakage::TvlaCampaign& into,
-                   const leakage::TvlaCampaign& from) { into.merge(from); },
-                policy, fingerprint, encode, decode, &progress,
+                merge, policy, fingerprint, encode, decode, &progress,
                 session.meter());
         }
 
@@ -212,13 +249,20 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
         struct Worker {
             sim::ClockedSim sim;
             power::PowerRecorder recorder;
+            std::optional<leakage::AttributionProbe> probe;
             std::vector<double> noisy;  // reused per-trace noise buffer
             telemetry::SimStats last_stats;  // delta base for telemetry
             Worker(const core::RegisteredSecand2& circuit,
                    const sim::DelayModel& dm, sim::ClockConfig clock,
-                   power::PowerConfig power_config)
+                   power::PowerConfig power_config,
+                   const leakage::AttributionPlan* attr)
                 : sim(circuit.nl, dm, clock), recorder(circuit.nl, power_config) {
-                sim.engine().set_sink(&recorder);
+                if (attr != nullptr) {
+                    probe.emplace(*attr, &recorder);
+                    sim.engine().set_sink(&*probe);
+                } else {
+                    sim.engine().set_sink(&recorder);
+                }
             }
         };
 
@@ -226,11 +270,11 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
             pool, plan,
             [&] {
                 return std::make_unique<Worker>(circuit_, dm_, clock_,
-                                                power_config_);
+                                                power_config_, probe_plan);
             },
-            [&] { return leakage::TvlaCampaign(kCycles, config.max_test_order); },
+            make_acc,
             [&](std::unique_ptr<Worker>& worker, std::size_t begin,
-                std::size_t end, leakage::TvlaCampaign& acc) {
+                std::size_t end, SeqBlockAcc& acc) {
                 for (std::size_t trace_index = begin; trace_index < end;
                      ++trace_index) {
                     const SequenceStimulus stim =
@@ -241,6 +285,7 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
                     auto& s = worker->sim;
                     s.restart();
                     worker->recorder.begin_trace(kCycles);
+                    if (worker->probe) worker->probe->begin_trace();
                     for (std::size_t i = 0; i < 4; ++i)
                         s.set_input(circuit_.in[i], stim.share_value[i]);
                     s.step();
@@ -253,17 +298,18 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
                     s.step();
                     worker->recorder.noisy_trace_into(
                         noise_rng, config.noise_sigma, worker->noisy);
-                    acc.add_trace(stim.fixed, worker->noisy);
+                    acc.campaign.add_trace(stim.fixed, worker->noisy);
+                    if (worker->probe)
+                        worker->probe->fold_trace(stim.fixed, acc.attr);
                 }
                 if (telemetry::enabled())
                     telemetry::record_sim_block(worker->sim.engine().stats(),
                                                 worker->last_stats);
             },
-            [](leakage::TvlaCampaign& into, const leakage::TvlaCampaign& from) {
-                into.merge(from);
-            },
-            policy, fingerprint, encode, decode, &progress, session.meter());
+            merge, policy, fingerprint, encode, decode, &progress,
+            session.meter());
     }();
+    const leakage::TvlaCampaign& campaign = merged.campaign;
 
     SequenceLeakResult result;
     result.sequence = sequence;
@@ -276,6 +322,13 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
     result.resumed = progress.resumed;
     session.add_metric("max_abs_t_order1", result.max_abs_t1);
     session.add_metric("max_abs_t_order2", result.max_abs_t2);
+    if (attribute) {
+        result.attribution =
+            leakage::analyze_attribution(circuit_.nl, attr_plan, merged.attr);
+        session.set_attribution(result.attribution,
+                                config.run.attribution_top_k,
+                                config.run.attribution_scope);
+    }
     session.finish(progress);
     return result;
 }

@@ -17,6 +17,7 @@
 
 #include "core/circuits.hpp"
 #include "eval/parallel_campaign.hpp"
+#include "leakage/attribution.hpp"
 #include "leakage/tvla.hpp"
 #include "power/power_model.hpp"
 #include "sim/clocked.hpp"
@@ -66,6 +67,9 @@ struct SequenceLeakResult {
     std::size_t completed_traces = 0;
     bool cancelled = false;
     bool resumed = false;
+    /// Per-net culprit ranking; disabled (empty) unless
+    /// config.run.attribution / GLITCHMASK_ATTRIBUTION was set.
+    leakage::AttributionResult attribution;
 };
 
 /// Prebuilt secAND2 harness: the circuit and its delay annotation do not

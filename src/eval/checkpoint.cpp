@@ -33,6 +33,18 @@ void require_fingerprint_match(const CampaignFingerprint& expected,
         mismatch("config payload hash", expected.payload, stored.payload);
 }
 
+bool attribution_enabled(const CampaignRunOptions& run) {
+    return run.attribution || env_int("GLITCHMASK_ATTRIBUTION", 0) != 0;
+}
+
+void fold_attribution_fingerprint(CampaignFingerprint& fingerprint,
+                                  const CampaignRunOptions& run) {
+    fingerprint.payload =
+        fnv1a64(fingerprint.payload, fnv1a64_tag("attribution"));
+    fingerprint.payload = fnv1a64(
+        fingerprint.payload, fnv1a64_tag(run.attribution_scope.c_str()));
+}
+
 CheckpointPolicy make_checkpoint_policy(const CampaignRunOptions& run,
                                         const std::string& default_id) {
     CheckpointPolicy policy;

@@ -106,7 +106,33 @@ struct CampaignRunOptions {
     /// also enabled campaign-wide by GLITCHMASK_PROGRESS=<seconds>,
     /// which prints a stderr heartbeat instead.
     telemetry::ProgressFn on_progress;
+    /// Per-net leakage attribution (leakage/attribution.hpp): probe taps
+    /// stream per-(net, clock-window) toggle counts into per-class
+    /// accumulators alongside the power trace, producing a ranked culprit
+    /// table in the result and the run report.  Also enabled campaign-wide
+    /// by GLITCHMASK_ATTRIBUTION=1.  Changes the snapshot payload -- a
+    /// checkpoint written with attribution on cannot resume a run with it
+    /// off (and vice versa).
+    bool attribution = false;
+    /// Culprit-table depth for reports (result ranking is always full).
+    std::size_t attribution_top_k = 10;
+    /// Restrict attribution to nets whose module path contains this
+    /// substring (empty = every net).  Bounds probe memory on large
+    /// designs: the accumulator holds 48 B per (net, window) point.
+    std::string attribution_scope;
 };
+
+/// True when this run should attribute: the explicit flag or
+/// GLITCHMASK_ATTRIBUTION=1.
+[[nodiscard]] bool attribution_enabled(const CampaignRunOptions& run);
+
+/// Folds the attribution identity (tag + scope) into a fingerprint's
+/// payload.  Drivers call this only when attribution is on: off-runs keep
+/// their pre-attribution fingerprints and snapshot layout, and resuming
+/// an attributed snapshot into an unattributed run (or vice versa) fails
+/// with ConfigMismatch instead of misparsing the payload.
+void fold_attribution_fingerprint(CampaignFingerprint& fingerprint,
+                                  const CampaignRunOptions& run);
 
 /// Resolved per-run policy handed to the sharded runner.
 struct CheckpointPolicy {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <memory>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -30,16 +31,23 @@ power::PowerConfig des_power_config(sim::TimePs period) {
 struct DesWorker {
     sim::ClockedSim sim;
     power::PowerRecorder recorder;
+    std::optional<leakage::AttributionProbe> probe;
     std::vector<double> noisy;  // reused per-trace noise buffer
     telemetry::SimStats last_stats;  // delta base for telemetry
 
     DesWorker(const des::MaskedDesCore& core, const sim::DelayModel& dm,
               sim::ClockConfig clock, sim::CouplingConfig coupling,
-              power::PowerConfig power_config)
+              power::PowerConfig power_config,
+              const leakage::AttributionPlan* attr = nullptr)
         : sim(core.nl(), dm, clock, coupling),
           recorder(core.nl(), power_config) {
         recorder.attach(&sim.engine());
-        sim.engine().set_sink(&recorder);
+        if (attr != nullptr) {
+            probe.emplace(*attr, &recorder);
+            sim.engine().set_sink(&*probe);
+        } else {
+            sim.engine().set_sink(&recorder);
+        }
     }
 };
 
@@ -47,6 +55,7 @@ struct DesWorker {
 struct BatchDesWorker {
     sim::BatchClockedSim sim;
     power::BatchPowerRecorder recorder;
+    std::optional<leakage::BatchAttributionProbe> probe;
     std::vector<double> noisy;  // bin-major (samples x 64) scratch
     std::vector<core::MaskedWord> pts, keys;
     std::vector<Xoshiro256> prngs;  // per-lane refresh generators
@@ -54,11 +63,17 @@ struct BatchDesWorker {
 
     BatchDesWorker(const des::MaskedDesCore& core, const sim::DelayModel& dm,
                    sim::ClockConfig clock, sim::CouplingConfig coupling,
-                   power::PowerConfig power_config)
+                   power::PowerConfig power_config,
+                   const leakage::AttributionPlan* attr = nullptr)
         : sim(core.nl(), dm, clock, coupling),
           recorder(core.nl(), power_config) {
         recorder.attach(&sim.engine());
-        sim.engine().set_sink(&recorder);
+        if (attr != nullptr) {
+            probe.emplace(*attr, &recorder);
+            sim.engine().set_sink(&*probe);
+        } else {
+            sim.engine().set_sink(&recorder);
+        }
     }
 };
 
@@ -92,16 +107,20 @@ DesStimulus des_stimulus(const DesTvlaConfig& config, std::size_t trace_index) {
 struct DesBlockAcc {
     leakage::TvlaCampaign campaign;
     std::uint64_t toggles = 0;
+    leakage::AttributionAccumulator attr;  // zero points when off
 };
 
-void encode_des_acc(const DesBlockAcc& acc, SnapshotWriter& out) {
+void encode_des_acc(const DesBlockAcc& acc, SnapshotWriter& out,
+                    bool attribute) {
     acc.campaign.encode(out);
     out.u64(acc.toggles);
+    if (attribute) acc.attr.encode(out);
 }
 
-DesBlockAcc decode_des_acc(SnapshotReader& in) {
-    DesBlockAcc acc{leakage::TvlaCampaign::decode(in), 0};
+DesBlockAcc decode_des_acc(SnapshotReader& in, bool attribute) {
+    DesBlockAcc acc{leakage::TvlaCampaign::decode(in), 0, {}};
     acc.toggles = in.u64();
+    if (attribute) acc.attr = leakage::AttributionAccumulator::decode(in);
     return acc;
 }
 
@@ -151,16 +170,27 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
     const unsigned lanes =
         resolve_lanes(config.lanes, config.coupling.timing_enabled);
 
-    const CampaignFingerprint fingerprint = des_tvla_fingerprint(config, samples);
+    const bool attribute = attribution_enabled(config.run);
+    const leakage::AttributionPlan attr_plan =
+        attribute ? leakage::AttributionPlan(core.nl(), samples,
+                                             clock.period_ps,
+                                             config.run.attribution_scope)
+                  : leakage::AttributionPlan();
+    const leakage::AttributionPlan* probe_plan = attribute ? &attr_plan : nullptr;
+
+    CampaignFingerprint fingerprint = des_tvla_fingerprint(config, samples);
+    if (attribute) fold_attribution_fingerprint(fingerprint, config.run);
     ThreadPool pool(resolve_workers(config.workers));
     RunTelemetrySession session("des_tvla", config.run, fingerprint,
                                 config.traces, pool.size(), lanes);
     CheckpointPolicy policy = make_checkpoint_policy(config.run, "des_tvla");
     session.attach(policy);
-    const auto encode = [](const BlockAcc& acc, SnapshotWriter& out) {
-        encode_des_acc(acc, out);
+    const auto encode = [attribute](const BlockAcc& acc, SnapshotWriter& out) {
+        encode_des_acc(acc, out, attribute);
     };
-    const auto decode = [](SnapshotReader& in) { return decode_des_acc(in); };
+    const auto decode = [attribute](SnapshotReader& in) {
+        return decode_des_acc(in, attribute);
+    };
     CampaignProgress progress;
 
     const ShardPlan plan{config.traces, config.block_size};
@@ -173,12 +203,14 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
                 pool, plan,
                 [&] {
                     return std::make_unique<BatchDesWorker>(
-                        core, dm, clock, config.coupling, power_config);
+                        core, dm, clock, config.coupling, power_config,
+                        probe_plan);
                 },
                 [&] {
                     return BlockAcc{
                         leakage::TvlaCampaign(samples, config.max_test_order),
-                        0};
+                        0,
+                        leakage::AttributionAccumulator(attr_plan.points())};
                 },
                 [&](std::unique_ptr<BatchDesWorker>& worker, std::size_t begin,
                     std::size_t end, BlockAcc& acc) {
@@ -203,6 +235,7 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
 
                         worker->sim.restart();
                         worker->recorder.begin_trace(samples);
+                        if (worker->probe) worker->probe->begin_group();
                         (void)core.encrypt_batch(
                             worker->sim, worker->pts, worker->keys,
                             config.prng_on ? std::span<Xoshiro256>(worker->prngs)
@@ -227,6 +260,9 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
                         }
                         acc.campaign.add_lane_traces(noisy, sim::kBatchLanes,
                                                      fixed_mask, count);
+                        if (worker->probe)
+                            worker->probe->fold_group(fixed_mask, count,
+                                                      acc.attr);
                     }
                     if (telemetry::enabled())
                         telemetry::record_sim_block(
@@ -235,6 +271,7 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
                 [](BlockAcc& into, const BlockAcc& from) {
                     into.campaign.merge(from.campaign);
                     into.toggles += from.toggles;
+                    into.attr.merge(from.attr);
                 },
                 policy, fingerprint, encode, decode, &progress,
                 session.meter());
@@ -245,11 +282,12 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
             [&] {
                 return std::make_unique<DesWorker>(core, dm, clock,
                                                    config.coupling,
-                                                   power_config);
+                                                   power_config, probe_plan);
             },
             [&] {
                 return BlockAcc{
-                    leakage::TvlaCampaign(samples, config.max_test_order), 0};
+                    leakage::TvlaCampaign(samples, config.max_test_order), 0,
+                    leakage::AttributionAccumulator(attr_plan.points())};
             },
             [&](std::unique_ptr<DesWorker>& worker, std::size_t begin,
                 std::size_t end, BlockAcc& acc) {
@@ -261,12 +299,15 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
 
                     worker->sim.restart();
                     worker->recorder.begin_trace(samples);
+                    if (worker->probe) worker->probe->begin_trace();
                     (void)core.encrypt(worker->sim, stim.pt, stim.key,
                                        config.prng_on ? &stim.rng : nullptr);
                     worker->recorder.noisy_trace_into(
                         noise_rng, config.noise_sigma, worker->noisy);
                     acc.campaign.add_trace(stim.fixed, worker->noisy);
                     acc.toggles += worker->recorder.trace_toggles();
+                    if (worker->probe)
+                        worker->probe->fold_trace(stim.fixed, acc.attr);
                 }
                 if (telemetry::enabled())
                     telemetry::record_sim_block(worker->sim.engine().stats(),
@@ -275,6 +316,7 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
             [](BlockAcc& into, const BlockAcc& from) {
                 into.campaign.merge(from.campaign);
                 into.toggles += from.toggles;
+                into.attr.merge(from.attr);
             },
             policy, fingerprint, encode, decode, &progress, session.meter());
     }();
@@ -293,17 +335,36 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
         session.add_metric(
             "max_abs_t_order" + std::to_string(order), result.max_abs_t[order]);
     }
+    if (attribute) {
+        result.attribution =
+            leakage::analyze_attribution(core.nl(), attr_plan, merged.attr);
+        session.set_attribution(result.attribution,
+                                config.run.attribution_top_k,
+                                config.run.attribution_scope);
+    }
     session.add_metric("toggles", static_cast<double>(result.toggles));
     session.finish(progress);
     return result;
 }
+
+namespace {
+
+/// mean_power_trace's block accumulator: per-bin power sums plus the
+/// optional attribution state.
+struct MeanPowerAcc {
+    std::vector<double> sum;
+    leakage::AttributionAccumulator attr;  // zero points when off
+};
+
+}  // namespace
 
 std::vector<double> mean_power_trace(const des::MaskedDesCore& core,
                                      std::size_t traces, std::uint64_t seed,
                                      std::uint64_t placement_seed,
                                      unsigned workers, unsigned lanes,
                                      const CampaignRunOptions& run,
-                                     CampaignProgress* progress) {
+                                     CampaignProgress* progress,
+                                     leakage::AttributionResult* attribution) {
     validate_campaign_config(traces, /*block_size=*/64, lanes);
 
     sim::DelayConfig delay_config = sim::DelayConfig::spartan6();
@@ -318,42 +379,65 @@ std::vector<double> mean_power_trace(const des::MaskedDesCore& core,
     const ShardPlan plan{traces, /*block_size=*/64};
     const unsigned resolved = resolve_lanes(lanes, /*timing_coupling=*/false);
 
+    const bool attribute = attribution_enabled(run);
+    const leakage::AttributionPlan attr_plan =
+        attribute ? leakage::AttributionPlan(core.nl(), samples,
+                                             clock.period_ps,
+                                             run.attribution_scope)
+                  : leakage::AttributionPlan();
+    const leakage::AttributionPlan* probe_plan = attribute ? &attr_plan : nullptr;
+
     std::uint64_t payload = kFnvOffset;
     payload = fnv1a64(payload, placement_seed);
     payload = fnv1a64(payload, static_cast<std::uint64_t>(samples));
-    const CampaignFingerprint fingerprint{fnv1a64_tag("mean_power"), seed,
-                                          traces, plan.block_size, payload};
+    CampaignFingerprint fingerprint{fnv1a64_tag("mean_power"), seed,
+                                    traces, plan.block_size, payload};
+    if (attribute) fold_attribution_fingerprint(fingerprint, run);
     RunTelemetrySession session("mean_power", run, fingerprint, traces,
                                 pool.size(), resolved);
     CheckpointPolicy policy = make_checkpoint_policy(run, "mean_power");
     session.attach(policy);
-    const auto encode = [](const std::vector<double>& acc, SnapshotWriter& out) {
-        out.u64(acc.size());
-        for (double v : acc) out.f64(v);
+    const auto encode = [attribute](const MeanPowerAcc& acc,
+                                    SnapshotWriter& out) {
+        out.u64(acc.sum.size());
+        for (double v : acc.sum) out.f64(v);
+        if (attribute) acc.attr.encode(out);
     };
-    const auto decode = [samples](SnapshotReader& in) {
+    const auto decode = [samples, attribute](SnapshotReader& in) {
         const std::uint64_t size = in.u64();
         if (size != samples)
             throw CampaignError(CampaignErrorKind::CorruptSnapshot,
                                 "snapshot: mean-power sample count mismatch");
-        std::vector<double> acc(samples);
-        for (double& v : acc) v = in.f64();
+        MeanPowerAcc acc;
+        acc.sum.resize(samples);
+        for (double& v : acc.sum) v = in.f64();
+        if (attribute) acc.attr = leakage::AttributionAccumulator::decode(in);
         return acc;
+    };
+    const auto make_acc = [&] {
+        return MeanPowerAcc{std::vector<double>(samples, 0.0),
+                            leakage::AttributionAccumulator(attr_plan.points())};
+    };
+    const auto merge = [](MeanPowerAcc& into, const MeanPowerAcc& from) {
+        for (std::size_t i = 0; i < into.sum.size(); ++i)
+            into.sum[i] += from.sum[i];
+        into.attr.merge(from.attr);
     };
     CampaignProgress local_progress;
     CampaignProgress& prog = progress != nullptr ? *progress : local_progress;
 
-    std::vector<double> mean = [&] {
+    MeanPowerAcc merged = [&] {
         if (resolved == sim::kBatchLanes) {
             return run_sharded_blocks_checkpointed(
                 pool, plan,
                 [&] {
                     return std::make_unique<BatchDesWorker>(
-                        core, dm, clock, sim::CouplingConfig{}, power_config);
+                        core, dm, clock, sim::CouplingConfig{}, power_config,
+                        probe_plan);
                 },
-                [&] { return std::vector<double>(samples, 0.0); },
+                make_acc,
                 [&](std::unique_ptr<BatchDesWorker>& worker, std::size_t begin,
-                    std::size_t end, std::vector<double>& acc) {
+                    std::size_t end, MeanPowerAcc& acc) {
                     for (std::size_t group = begin; group < end;
                          group += sim::kBatchLanes) {
                         const unsigned count = static_cast<unsigned>(
@@ -374,6 +458,7 @@ std::vector<double> mean_power_trace(const des::MaskedDesCore& core,
                         }
                         worker->sim.restart();
                         worker->recorder.begin_trace(samples);
+                        if (worker->probe) worker->probe->begin_group();
                         (void)core.encrypt_batch(worker->sim, worker->pts,
                                                  worker->keys, worker->prngs);
                         // Lane order == trace order, so each bin's partial
@@ -381,17 +466,19 @@ std::vector<double> mean_power_trace(const des::MaskedDesCore& core,
                         // per-trace loop.
                         for (unsigned lane = 0; lane < count; ++lane)
                             for (std::size_t i = 0; i < samples; ++i)
-                                acc[i] += worker->recorder.sample(i, lane);
+                                acc.sum[i] += worker->recorder.sample(i, lane);
+                        // Mean power has no fixed class: every lane is
+                        // "random", matching the scalar fold below.
+                        if (worker->probe)
+                            worker->probe->fold_group(/*fixed_mask=*/0, count,
+                                                      acc.attr);
                     }
                     if (telemetry::enabled())
                         telemetry::record_sim_block(
                             worker->sim.engine().stats(), worker->last_stats);
                 },
-                [](std::vector<double>& into, const std::vector<double>& from) {
-                    for (std::size_t i = 0; i < into.size(); ++i)
-                        into[i] += from[i];
-                },
-                policy, fingerprint, encode, decode, &prog, session.meter());
+                merge, policy, fingerprint, encode, decode, &prog,
+                session.meter());
         }
 
         return run_sharded_blocks_checkpointed(
@@ -399,38 +486,47 @@ std::vector<double> mean_power_trace(const des::MaskedDesCore& core,
             [&] {
                 return std::make_unique<DesWorker>(core, dm, clock,
                                                    sim::CouplingConfig{},
-                                                   power_config);
+                                                   power_config, probe_plan);
             },
-            [&] { return std::vector<double>(samples, 0.0); },
+            make_acc,
             [&](std::unique_ptr<DesWorker>& worker, std::size_t begin,
-                std::size_t end, std::vector<double>& acc) {
+                std::size_t end, MeanPowerAcc& acc) {
                 for (std::size_t trace_index = begin; trace_index < end;
                      ++trace_index) {
                     Xoshiro256 rng =
                         trace_rng(seed, kStimulusStream, trace_index);
                     worker->sim.restart();
                     worker->recorder.begin_trace(samples);
+                    if (worker->probe) worker->probe->begin_trace();
                     const std::uint64_t pt = rng();
                     const std::uint64_t key = rng();
                     (void)core.encrypt_value(worker->sim, pt, key, &rng);
                     const std::vector<double>& trace = worker->recorder.trace();
                     for (std::size_t i = 0; i < samples; ++i)
-                        acc[i] += trace[i];
+                        acc.sum[i] += trace[i];
+                    if (worker->probe)
+                        worker->probe->fold_trace(/*fixed=*/false, acc.attr);
                 }
                 if (telemetry::enabled())
                     telemetry::record_sim_block(worker->sim.engine().stats(),
                                                 worker->last_stats);
             },
-            [](std::vector<double>& into, const std::vector<double>& from) {
-                for (std::size_t i = 0; i < into.size(); ++i) into[i] += from[i];
-            },
-            policy, fingerprint, encode, decode, &prog, session.meter());
+            merge, policy, fingerprint, encode, decode, &prog,
+            session.meter());
     }();
+    std::vector<double> mean = std::move(merged.sum);
     // A cancelled run averages over the traces it actually folded in.
     const std::size_t denom = prog.completed_traces > 0
                                   ? prog.completed_traces
                                   : traces;
     for (double& v : mean) v /= static_cast<double>(denom);
+    if (attribute) {
+        leakage::AttributionResult result =
+            leakage::analyze_attribution(core.nl(), attr_plan, merged.attr);
+        session.set_attribution(result, run.attribution_top_k,
+                                run.attribution_scope);
+        if (attribution != nullptr) *attribution = std::move(result);
+    }
     session.finish(prog);
     return mean;
 }

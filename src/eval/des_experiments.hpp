@@ -16,6 +16,7 @@
 
 #include "des/masked_des.hpp"
 #include "eval/checkpoint.hpp"
+#include "leakage/attribution.hpp"
 #include "leakage/tvla.hpp"
 #include "power/power_model.hpp"
 #include "sim/clocked.hpp"
@@ -65,6 +66,11 @@ struct DesTvlaResult {
     /// max |t| per order (index 1..3; index 0 unused).
     std::array<double, 4> max_abs_t{};
     std::array<std::size_t, 4> argmax{};
+    /// Per-net culprit ranking; disabled unless config.run.attribution /
+    /// GLITCHMASK_ATTRIBUTION was set.  Use run.attribution_scope (e.g.
+    /// "sbox") on the full core: unscoped DES attribution costs ~48 B per
+    /// (net, cycle) point per in-flight block.
+    leakage::AttributionResult attribution;
     leakage::TvlaCampaign campaign;
 
     explicit DesTvlaResult(std::size_t n_samples, int max_order)
@@ -77,10 +83,15 @@ struct DesTvlaResult {
 /// Mean per-cycle power over `traces` random encryptions (PRNG on).
 /// `lanes` as in DesTvlaConfig (0 = auto; scalar and bitsliced paths are
 /// bit-identical).  `run` enables the crash-safe runtime; on cancellation
-/// the mean covers `progress->completed_traces` traces.
+/// the mean covers `progress->completed_traces` traces.  When
+/// run.attribution is on and `attribution` non-null, the per-net activity
+/// view is returned there (all traces are one class, so every |t| is the
+/// 0.0 sentinel -- the value of attributing a mean-power run is the
+/// glitch-density heatmap).
 [[nodiscard]] std::vector<double> mean_power_trace(
     const des::MaskedDesCore& core, std::size_t traces, std::uint64_t seed,
     std::uint64_t placement_seed = 1, unsigned workers = 0, unsigned lanes = 0,
-    const CampaignRunOptions& run = {}, CampaignProgress* progress = nullptr);
+    const CampaignRunOptions& run = {}, CampaignProgress* progress = nullptr,
+    leakage::AttributionResult* attribution = nullptr);
 
 }  // namespace glitchmask::eval

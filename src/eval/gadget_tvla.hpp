@@ -1,0 +1,148 @@
+// Sharded TVLA driver over the masked-AND gadget zoo -- the attribution
+// engine's primary workload.
+//
+// bench/gadget_zoo runs the same experiment single-threaded for its
+// ablation table; this driver puts the identical harness (16 replicated
+// gadgets behind shared input registers, the zoo's 5-window drive
+// schedule) on the deterministic sharded campaign engine, with the full
+// crash-safe runtime and optional per-net leakage attribution.  That is
+// what makes the paper's spatial argument checkable: attribute the
+// Trichina campaign and the top-ranked net is the cross-domain product
+// chain; attribute secAND2-FF/PD and no net crosses the threshold.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/gadgets.hpp"
+#include "eval/checkpoint.hpp"
+#include "leakage/attribution.hpp"
+#include "sim/clocked.hpp"
+#include "support/thread_pool.hpp"
+
+namespace glitchmask::eval {
+
+/// The zoo's gadget selection (bench/gadget_zoo kZoo order).
+enum class GadgetKind { Naive, Ff, Pd, Trichina, DomIndep, DomDep };
+
+inline constexpr GadgetKind kAllGadgets[] = {
+    GadgetKind::Naive, GadgetKind::Ff,       GadgetKind::Pd,
+    GadgetKind::Trichina, GadgetKind::DomIndep, GadgetKind::DomDep,
+};
+
+/// Canonical CLI name ("naive", "ff", "pd", "trichina", "dom-indep",
+/// "dom-dep").
+[[nodiscard]] const char* gadget_name(GadgetKind kind) noexcept;
+
+/// Parses a gadget selector; accepts the canonical names plus common
+/// aliases ("secand2", "secand2-ff", "secand2_pd", ...).  nullopt on an
+/// unknown name.
+[[nodiscard]] std::optional<GadgetKind> parse_gadget(std::string_view name);
+
+/// Fresh random input bits the gadget consumes per evaluation.
+[[nodiscard]] unsigned gadget_fresh_bits(GadgetKind kind) noexcept;
+
+struct GadgetTvlaConfig {
+    GadgetKind gadget = GadgetKind::Naive;
+    unsigned replicas = 16;       // parallel instances (SNR, like the zoo)
+    std::size_t traces = 12000;   // the zoo's campaign size
+    double noise_sigma = 0.5;     // measurement noise on the power trace
+    std::uint64_t seed = 1;       // classes, masks, fresh bits, noise
+    std::uint64_t placement_seed = 1;  // delay-model jitter
+    int max_test_order = 2;
+    unsigned workers = 0;         // 0 = auto (env / cores)
+    std::size_t block_size = 64;
+    unsigned lanes = 0;           // 1 scalar / 64 bitsliced / 0 auto
+    CampaignRunOptions run;       // checkpointing, reports, attribution
+};
+
+struct GadgetTvlaResult {
+    GadgetKind gadget = GadgetKind::Naive;
+    double max_abs_t1 = 0.0;
+    std::size_t argmax_cycle = 0;
+    double max_abs_t2 = 0.0;
+    bool leaks_first_order = false;
+    std::size_t completed_traces = 0;
+    bool cancelled = false;
+    bool resumed = false;
+    /// Per-net culprit ranking; disabled unless config.run.attribution /
+    /// GLITCHMASK_ATTRIBUTION was set.
+    leakage::AttributionResult attribution;
+};
+
+/// Per-trace stimulus, a pure function of (seed, trace index): class
+/// choice, the four input share values, and the gadget's fresh bits.
+struct GadgetStimulus {
+    bool fixed = false;
+    std::array<bool, 4> shares{};  // x0, x1, y0, y1
+    std::vector<bool> fresh;
+};
+
+[[nodiscard]] GadgetStimulus gadget_stimulus(unsigned fresh_bits,
+                                             std::uint64_t seed,
+                                             std::size_t trace_index);
+
+/// The zoo circuit: `replicas` gadget instances behind shared input
+/// registers (enable group 1), frozen.
+struct GadgetCircuit {
+    GadgetKind kind = GadgetKind::Naive;
+    unsigned replicas = 0;
+    core::Netlist nl;
+    core::SharedNet x_in{}, y_in{};
+    std::vector<netlist::NetId> rand_in;
+    /// Some gadgets use a second enable stage (secAND2-FF, DOM).
+    bool has_stage2 = false;
+};
+
+[[nodiscard]] GadgetCircuit build_gadget_circuit(GadgetKind kind,
+                                                 unsigned replicas);
+
+/// The zoo harness as a reusable object; workers share the netlist and
+/// delay model read-only.  inspect_gadget uses nl() for netlist exports
+/// and single-trace VCD replays.
+class GadgetHarness {
+public:
+    /// Power bins per trace: input load + enable(1) + enable(2) + settle,
+    /// one spare (the zoo's schedule).
+    static constexpr std::size_t kCycles = 5;
+
+    GadgetHarness(GadgetKind kind, unsigned replicas,
+                  std::uint64_t placement_seed);
+
+    [[nodiscard]] const netlist::Netlist& nl() const noexcept {
+        return circuit_.nl;
+    }
+    [[nodiscard]] const GadgetCircuit& circuit() const noexcept {
+        return circuit_;
+    }
+    [[nodiscard]] GadgetKind kind() const noexcept { return circuit_.kind; }
+    [[nodiscard]] unsigned fresh_bits() const noexcept {
+        return static_cast<unsigned>(circuit_.rand_in.size());
+    }
+    [[nodiscard]] const sim::DelayModel& delay_model() const noexcept {
+        return dm_;
+    }
+    [[nodiscard]] sim::ClockConfig clock() const noexcept { return clock_; }
+
+    /// Applies one trace's stimulus and runs the 5-window drive schedule
+    /// (the caller restarts the simulator and arms the recorder first).
+    void drive(sim::ClockedSim& sim, const GadgetStimulus& stim) const;
+
+    /// Runs one campaign on `pool` (scalar or bitsliced per config.lanes).
+    [[nodiscard]] GadgetTvlaResult run(const GadgetTvlaConfig& config,
+                                       ThreadPool& pool) const;
+
+private:
+    GadgetCircuit circuit_;
+    sim::DelayModel dm_;
+    sim::ClockConfig clock_;
+};
+
+/// One-shot convenience: builds the harness and pool and runs the
+/// campaign.
+[[nodiscard]] GadgetTvlaResult run_gadget_tvla(const GadgetTvlaConfig& config);
+
+}  // namespace glitchmask::eval

@@ -6,6 +6,7 @@
 #include <span>
 #include <stdexcept>
 
+#include "leakage/attribution.hpp"
 #include "support/atomic_file.hpp"
 #include "support/campaign_error.hpp"
 #include "support/env.hpp"
@@ -364,7 +365,46 @@ std::string render_run_report(const RunReport& report) {
         out += ": ";
         append_double(out, report.metrics[i].second);
     }
-    out += report.metrics.empty() ? "}\n}\n" : "\n  }\n}\n";
+    out += report.metrics.empty() ? "}" : "\n  }";
+    if (report.attribution.enabled) {
+        const AttributionReport& attr = report.attribution;
+        out += ",\n  \"attribution\": {\n    \"top_k\": ";
+        append_u64(out, attr.top_k);
+        out += ",\n    \"scope\": ";
+        append_escaped(out, attr.scope);
+        out += ",\n    \"traces_fixed\": ";
+        append_u64(out, attr.traces_fixed);
+        out += ",\n    \"traces_random\": ";
+        append_u64(out, attr.traces_random);
+        out += ",\n    \"nets\": [";
+        for (std::size_t i = 0; i < attr.nets.size(); ++i) {
+            const AttributionNetReport& net = attr.nets[i];
+            out += i != 0 ? "," : "";
+            out += "\n      {\"net\": ";
+            append_u64(out, net.net);
+            out += ", \"name\": ";
+            append_escaped(out, net.name);
+            out += ", \"kind\": ";
+            append_escaped(out, net.kind);
+            out += ", \"module\": ";
+            append_escaped(out, net.module);
+            out += ", \"max_abs_t\": ";
+            append_double(out, net.max_abs_t);
+            out += ", \"argmax_window\": ";
+            append_u64(out, net.argmax_window);
+            out += ", \"snr\": ";
+            append_double(out, net.snr);
+            out += ", \"toggles\": ";
+            append_u64(out, net.toggles);
+            out += ", \"glitches\": ";
+            append_u64(out, net.glitches);
+            out += ", \"glitch_density\": ";
+            append_double(out, net.glitch_density);
+            out += "}";
+        }
+        out += attr.nets.empty() ? "]\n  }" : "\n    ]\n  }";
+    }
+    out += "\n}\n";
     return out;
 }
 
@@ -387,8 +427,10 @@ std::optional<RunReport> read_run_report(const std::string& path) {
     if (schema.string != kRunReportSchema)
         throw std::runtime_error("run report: unexpected schema '" +
                                  schema.string + "'");
-    if (require_u64(root, "version") != kRunReportVersion)
-        throw std::runtime_error("run report: unsupported version");
+    const std::uint64_t version = require_u64(root, "version");
+    if (version < 1 || version > kRunReportVersion)
+        throw std::runtime_error("run report: unsupported version " +
+                                 std::to_string(version));
 
     RunReport report;
     report.campaign = require(root, "campaign").string;
@@ -421,6 +463,28 @@ std::optional<RunReport> read_run_report(const std::string& path) {
         report.checkpoint_blocks.push_back(mark.unsigned_value);
     for (const auto& [name, value] : require(root, "metrics").object)
         report.metrics.emplace_back(name, value.as_number());
+    // v2 section; absent in v1 files and in unattributed v2 runs.
+    if (const JsonValue* attr = root.find("attribution")) {
+        report.attribution.enabled = true;
+        report.attribution.top_k = require_u64(*attr, "top_k");
+        report.attribution.scope = require(*attr, "scope").string;
+        report.attribution.traces_fixed = require_u64(*attr, "traces_fixed");
+        report.attribution.traces_random = require_u64(*attr, "traces_random");
+        for (const JsonValue& entry : require(*attr, "nets").array) {
+            AttributionNetReport net;
+            net.net = require_u64(entry, "net");
+            net.name = require(entry, "name").string;
+            net.kind = require(entry, "kind").string;
+            net.module = require(entry, "module").string;
+            net.max_abs_t = require(entry, "max_abs_t").as_number();
+            net.argmax_window = require_u64(entry, "argmax_window");
+            net.snr = require(entry, "snr").as_number();
+            net.toggles = require_u64(entry, "toggles");
+            net.glitches = require_u64(entry, "glitches");
+            net.glitch_density = require(entry, "glitch_density").as_number();
+            report.attribution.nets.push_back(std::move(net));
+        }
+    }
     return report;
 }
 
@@ -468,6 +532,34 @@ void RunTelemetrySession::add_metric(std::string name, double value) {
     metrics_.emplace_back(std::move(name), value);
 }
 
+void RunTelemetrySession::set_attribution(
+    const leakage::AttributionResult& result, std::size_t top_k,
+    std::string scope) {
+    if (!result.enabled) return;
+    attribution_.enabled = true;
+    attribution_.top_k = top_k;
+    attribution_.scope = std::move(scope);
+    attribution_.traces_fixed = result.traces_fixed;
+    attribution_.traces_random = result.traces_random;
+    attribution_.nets.clear();
+    const std::size_t rows = std::min(top_k, result.ranked.size());
+    for (std::size_t rank = 0; rank < rows; ++rank) {
+        const leakage::NetAttribution& from = result.ranked[rank];
+        AttributionNetReport net;
+        net.net = from.net;
+        net.name = from.name;
+        net.kind = from.kind;
+        net.module = from.module;
+        net.max_abs_t = from.max_abs_t;
+        net.argmax_window = from.argmax_window;
+        net.snr = from.snr;
+        net.toggles = from.toggles;
+        net.glitches = from.glitches;
+        net.glitch_density = from.glitch_density;
+        attribution_.nets.push_back(std::move(net));
+    }
+}
+
 void RunTelemetrySession::finish(const CampaignProgress& progress) {
     if (finished_) return;
     finished_ = true;
@@ -487,6 +579,7 @@ void RunTelemetrySession::finish(const CampaignProgress& progress) {
     report.progress = progress;
     report.checkpoint_blocks = checkpoint_blocks_;
     report.metrics = metrics_;
+    report.attribution = attribution_;
     write_run_report(report_path_, report);
 }
 

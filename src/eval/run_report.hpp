@@ -30,10 +30,48 @@
 #include "eval/checkpoint.hpp"
 #include "support/telemetry.hpp"
 
+namespace glitchmask::leakage {
+struct AttributionResult;
+}
+
 namespace glitchmask::eval {
 
 inline constexpr const char* kRunReportSchema = "glitchmask.run_report";
-inline constexpr std::uint32_t kRunReportVersion = 1;
+/// v2 adds the optional "attribution" section (per-net culprit summary);
+/// the reader accepts v1 files (section absent -> disabled).
+inline constexpr std::uint32_t kRunReportVersion = 2;
+
+/// One culprit row of the report's attribution section (a flat copy of
+/// leakage::NetAttribution, kept here so the report schema does not pull
+/// in the simulator headers).
+struct AttributionNetReport {
+    std::uint64_t net = 0;
+    std::string name;
+    std::string kind;
+    std::string module;
+    double max_abs_t = 0.0;
+    std::uint64_t argmax_window = 0;
+    double snr = 0.0;
+    std::uint64_t toggles = 0;
+    std::uint64_t glitches = 0;
+    double glitch_density = 0.0;
+
+    friend bool operator==(const AttributionNetReport&,
+                           const AttributionNetReport&) = default;
+};
+
+/// v2 attribution section: top-k culprits of an attributed campaign.
+struct AttributionReport {
+    bool enabled = false;
+    std::uint64_t top_k = 0;
+    std::string scope;
+    std::uint64_t traces_fixed = 0;
+    std::uint64_t traces_random = 0;
+    std::vector<AttributionNetReport> nets;  // ranked, at most top_k
+
+    friend bool operator==(const AttributionReport&,
+                           const AttributionReport&) = default;
+};
 
 /// Everything a report records.  `counters` is the per-run registry
 /// delta (all zero when telemetry collection was off for the run).
@@ -52,6 +90,9 @@ struct RunReport {
     std::vector<std::uint64_t> checkpoint_blocks;
     /// Driver headline numbers, e.g. {"max_abs_t_order1", 4.2}.
     std::vector<std::pair<std::string, double>> metrics;
+    /// v2: per-net leakage attribution summary; the JSON section is
+    /// emitted only when enabled.
+    AttributionReport attribution;
 };
 
 /// Report path for one driver run: explicit run.report_path, else
@@ -134,6 +175,11 @@ public:
 
     void add_metric(std::string name, double value);
 
+    /// Folds an attribution result's top-k ranking into the report's v2
+    /// attribution section (no-op when the result is disabled).
+    void set_attribution(const leakage::AttributionResult& result,
+                         std::size_t top_k, std::string scope);
+
     /// True when finish() will write a report file.
     [[nodiscard]] bool writes_report() const noexcept {
         return !report_path_.empty();
@@ -161,6 +207,7 @@ private:
     telemetry::ProgressMeter meter_;
     std::vector<std::uint64_t> checkpoint_blocks_;
     std::vector<std::pair<std::string, double>> metrics_;
+    AttributionReport attribution_;
 };
 
 }  // namespace glitchmask::eval

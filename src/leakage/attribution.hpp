@@ -1,0 +1,273 @@
+// Per-net leakage attribution: localize a failing t-test to the nets
+// that cause it.
+//
+// The trace-level TVLA engine observes only the summed power trace, so a
+// verdict says "the design leaks" but never *which gate*.  Attribution
+// answers that question by tapping the committed toggle stream of both
+// event simulators (a probe chained in front of the power recorder, so
+// the power path is untouched) and accumulating, per watched net and per
+// clock window, the per-trace toggle count into per-class sums.  From
+// those sums each (net, window) point yields a Welch t-statistic and an
+// SNR over raw switching activity, and each net a glitch-density heatmap
+// row -- exactly the spatial view the paper argues in prose: Trichina's
+// leak lives on specific reconvergent product nets, and secAND2's
+// DelayUnits neutralize those sites.
+//
+// Samples are *toggle counts*, not noisy power values: a net that toggles
+// a class-dependent number of times is leaking through glitches no matter
+// how the energy model weighs it, and the noise knob of the trace-level
+// campaign intentionally does not apply (localization wants the cleanest
+// possible signal; the trace-level test remains the methodology-faithful
+// verdict).
+//
+// Determinism contract (the same one the trace campaign makes):
+//  * per-trace updates touch only the points that toggled (epoch-stamped
+//    sparse scratch, no O(nets x windows) clear per trace);
+//  * the per-block accumulator merges by componentwise addition of sums
+//    and integer counters, so the fixed merge tree of the sharded runner
+//    makes results bit-identical at any worker count;
+//  * the batch probe folds lanes in trace order, making the 64-lane path
+//    bit-identical to the scalar one (asserted with == in tests);
+//  * encode/decode round-trips every field exactly (f64 bit patterns),
+//    so checkpoint resume is bit-identical too.
+//
+// Toggle counts saturate at 255 per (net, window, trace) in both engines
+// -- identical saturation is part of the scalar/batch equivalence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/export.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/batch_simulator.hpp"
+#include "sim/simulator.hpp"
+#include "support/snapshot.hpp"
+
+namespace glitchmask::leakage {
+
+/// Which nets are watched and how toggle times map to clock windows.
+/// Built once per campaign from the frozen netlist; shared read-only by
+/// every worker's probe.
+class AttributionPlan {
+public:
+    static constexpr std::uint32_t kUnwatched = 0xFFFFFFFFu;
+
+    AttributionPlan() = default;
+
+    /// Watches every net whose hierarchical module path contains `scope`
+    /// as a substring (empty scope = all nets).  `windows` at `window_ps`
+    /// each mirror the power recorder's bins (one per clock cycle);
+    /// toggles past the last window are dropped, like power samples.
+    AttributionPlan(const netlist::Netlist& nl, std::size_t windows,
+                    sim::TimePs window_ps, std::string_view scope = {});
+
+    [[nodiscard]] bool enabled() const noexcept { return !nets_.empty(); }
+    [[nodiscard]] std::size_t net_count() const noexcept { return nets_.size(); }
+    [[nodiscard]] std::size_t windows() const noexcept { return windows_; }
+    [[nodiscard]] sim::TimePs window_ps() const noexcept { return window_ps_; }
+    [[nodiscard]] std::size_t points() const noexcept {
+        return nets_.size() * windows_;
+    }
+    [[nodiscard]] const std::string& scope() const noexcept { return scope_; }
+
+    /// Net id of watched-net index `probe`.
+    [[nodiscard]] netlist::NetId net(std::size_t probe) const {
+        return nets_[probe];
+    }
+    /// Watched-net index of `net`, or kUnwatched.
+    [[nodiscard]] std::uint32_t probe_of(netlist::NetId net) const noexcept {
+        return probe_of_[net];
+    }
+
+private:
+    std::vector<netlist::NetId> nets_;       // probe index -> net
+    std::vector<std::uint32_t> probe_of_;    // net -> probe index
+    std::size_t windows_ = 0;
+    sim::TimePs window_ps_ = 0;
+    std::string scope_;
+};
+
+/// Per-(net, window) class statistics.  sum/sumsq representation instead
+/// of Welford: traces in which the point never toggled contribute zeros,
+/// which leave sums unchanged -- the sparse per-trace update only visits
+/// points that toggled, yet the statistics cover every trace (the class
+/// counts live once per accumulator).
+struct PointStats {
+    double sum_fixed = 0.0;
+    double sumsq_fixed = 0.0;
+    double sum_random = 0.0;
+    double sumsq_random = 0.0;
+    std::uint64_t toggles = 0;   // committed toggles, both classes
+    std::uint64_t glitches = 0;  // 2nd+ toggle within one window per trace
+
+    friend bool operator==(const PointStats&, const PointStats&) = default;
+};
+
+/// Per-block attribution state; rides the campaign's fixed merge tree.
+class AttributionAccumulator {
+public:
+    AttributionAccumulator() = default;  // disabled: zero points
+    explicit AttributionAccumulator(std::size_t points) : points_(points) {}
+
+    [[nodiscard]] bool enabled() const noexcept { return !points_.empty(); }
+    [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+    [[nodiscard]] const PointStats& point(std::size_t i) const {
+        return points_[i];
+    }
+    [[nodiscard]] PointStats& point(std::size_t i) { return points_[i]; }
+
+    std::uint64_t traces_fixed = 0;
+    std::uint64_t traces_random = 0;
+
+    /// Componentwise addition (associative and exact for the integer
+    /// counters; FP sums follow the fixed merge-tree order).
+    void merge(const AttributionAccumulator& other);
+
+    /// Exact binary round-trip (doubles as bit patterns).
+    void encode(SnapshotWriter& out) const;
+    [[nodiscard]] static AttributionAccumulator decode(SnapshotReader& in);
+
+    friend bool operator==(const AttributionAccumulator&,
+                           const AttributionAccumulator&) = default;
+
+private:
+    std::vector<PointStats> points_;
+};
+
+// ----- probe taps ---------------------------------------------------------
+
+/// Scalar probe: a ToggleSink chained in front of the power recorder
+/// (every call is forwarded, so enabling attribution cannot perturb the
+/// power trace).  Per trace it keeps a saturating 8-bit toggle count per
+/// touched (net, window) point; fold_trace() flushes the touched list
+/// into a block accumulator and re-arms via an epoch bump -- no per-trace
+/// clearing of the point arrays.
+class AttributionProbe final : public sim::ToggleSink {
+public:
+    AttributionProbe(const AttributionPlan& plan, sim::ToggleSink* next);
+
+    /// Arms the probe for the next trace; call alongside the recorder's
+    /// begin_trace() (after the simulator restart).
+    void begin_trace();
+
+    void on_toggle(netlist::NetId net, sim::TimePs time, bool value) override;
+
+    /// Folds the finished trace's counts into `acc` under class `fixed`
+    /// and re-arms.  `acc` must span plan.points().
+    void fold_trace(bool fixed, AttributionAccumulator& acc);
+
+private:
+    const AttributionPlan& plan_;
+    sim::ToggleSink* next_;
+    std::vector<std::uint32_t> stamp_;   // per point: epoch of last touch
+    std::vector<std::uint8_t> count_;    // valid when stamp matches epoch
+    std::vector<std::uint32_t> touched_; // point indices, commit order
+    std::uint32_t epoch_ = 1;
+};
+
+/// Bitsliced probe: same contract for up to 64 traces per event-queue
+/// pass.  Counts live in a slot arena indexed by touch order (64 bytes
+/// per touched point, allocated once and reused); fold_group() walks
+/// lanes in trace order so the accumulated sums are bit-identical to 64
+/// scalar fold_trace() calls.
+class BatchAttributionProbe final : public sim::BatchToggleSink {
+public:
+    BatchAttributionProbe(const AttributionPlan& plan,
+                          sim::BatchToggleSink* next);
+
+    /// Arms the probe for the next lane group; call alongside the batch
+    /// recorder's begin_trace().
+    void begin_group();
+
+    void on_toggle(netlist::NetId net, sim::TimePs time, std::uint64_t values,
+                   std::uint64_t toggled) override;
+
+    /// Folds lanes [0, count) in lane order: bit l of `fixed_mask` labels
+    /// lane l's class.  Lanes >= count (partial final group) are ignored.
+    void fold_group(std::uint64_t fixed_mask, unsigned count,
+                    AttributionAccumulator& acc);
+
+private:
+    const AttributionPlan& plan_;
+    sim::BatchToggleSink* next_;
+    std::vector<std::uint32_t> stamp_;   // per point: epoch of last touch
+    std::vector<std::uint32_t> slot_;    // per point: arena slot
+    std::vector<std::uint8_t> arena_;    // 64 lane counts per slot
+    std::vector<std::uint32_t> touched_; // point indices, commit order
+    std::uint32_t epoch_ = 1;
+};
+
+// ----- analysis and reports ----------------------------------------------
+
+/// One ranked culprit: net -> driving gate instance -> gadget role.
+struct NetAttribution {
+    netlist::NetId net = netlist::kNoNet;
+    std::string name;        // hierarchical instance name (n<id> fallback)
+    std::string kind;        // driving gate kind ("and2", "dff", ...)
+    std::string module;      // gadget role: module scope path ("" = top)
+    double max_abs_t = 0.0;  // max over windows (order 1, toggle counts)
+    std::size_t argmax_window = 0;
+    double snr = 0.0;        // at the argmax window
+    std::uint64_t toggles = 0;
+    std::uint64_t glitches = 0;
+    double glitch_density = 0.0;  // glitches per trace
+
+    friend bool operator==(const NetAttribution&,
+                           const NetAttribution&) = default;
+};
+
+/// Full attribution view of one campaign: every watched net ranked by
+/// max |t| (descending; ties by glitch count, then net id), plus the
+/// per-window |t| and glitch matrices behind the heatmap, stored in
+/// ranked-row order (row i belongs to ranked[i]).
+struct AttributionResult {
+    bool enabled = false;
+    std::uint64_t traces_fixed = 0;
+    std::uint64_t traces_random = 0;
+    std::size_t windows = 0;
+    std::vector<NetAttribution> ranked;
+    std::vector<double> abs_t;                   // ranked.size() x windows
+    std::vector<std::uint64_t> window_glitches;  // ranked.size() x windows
+
+    [[nodiscard]] double t_at(std::size_t rank, std::size_t window) const {
+        return abs_t[rank * windows + window];
+    }
+    [[nodiscard]] std::uint64_t glitches_at(std::size_t rank,
+                                            std::size_t window) const {
+        return window_glitches[rank * windows + window];
+    }
+
+    friend bool operator==(const AttributionResult&,
+                           const AttributionResult&) = default;
+};
+
+/// Computes per-point Welch t and SNR from the merged accumulator and
+/// ranks every watched net.  Deterministic: a pure function of the
+/// accumulator (which is itself bit-identical across workers/lanes).
+[[nodiscard]] AttributionResult analyze_attribution(
+    const netlist::Netlist& nl, const AttributionPlan& plan,
+    const AttributionAccumulator& acc);
+
+/// Prints the top-k culprit table (net, gate, role, |t|, SNR, glitch
+/// density) to stdout.
+void print_culprit_table(const AttributionResult& result, std::size_t top_k);
+
+/// Per-net CSV: summary columns plus one |t| and one glitch-count column
+/// per window (the heatmap, one row per net in ranked order).
+[[nodiscard]] std::string attribution_csv(const AttributionResult& result);
+
+/// attribution_csv() to a file; throws std::runtime_error on I/O error.
+void write_attribution_csv(const std::string& path,
+                           const AttributionResult& result);
+
+/// Graphviz DOT of the netlist with the top-k culprit cells annotated:
+/// |t| + glitch count in the label, heat-colored fill (red = rank 0).
+[[nodiscard]] std::string attribution_dot(const netlist::Netlist& nl,
+                                          const AttributionResult& result,
+                                          std::size_t top_k,
+                                          netlist::DotOptions options = {});
+
+}  // namespace glitchmask::leakage

@@ -16,6 +16,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "netlist/netlist.hpp"
 
@@ -34,6 +35,13 @@ struct DotOptions {
     bool collapse_delay_chains = true;
     /// Refuse to draw more than this many cells (0 = unlimited).
     std::size_t max_cells = 2000;
+    /// Optional per-cell extra label line, indexed by CellId (empty
+    /// string or short vector = no annotation).  Used by the leakage
+    /// attribution export to stamp |t| / glitch counts onto cells.
+    std::vector<std::string> cell_annotations;
+    /// Optional per-cell fill color (any Graphviz color, e.g. an HSV
+    /// triple "0.0 0.85 1.0"); non-empty entries render filled.
+    std::vector<std::string> cell_colors;
 };
 
 /// Graphviz "digraph" of the gate graph.

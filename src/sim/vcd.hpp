@@ -8,6 +8,13 @@
 //
 // Either dump everything or pass an explicit watch list (recommended for
 // the DES cores -- 10k nets make heavy files).
+//
+// A GlitchMarkerConfig adds a synthetic companion signal for one chosen
+// net (typically the top culprit from leakage attribution): the marker
+// `<name>_glitchmark` is high exactly while that net is glitching --
+// i.e. from its second transition inside a clock window until the window
+// ends -- so the flagged transitions stand out in the viewer without
+// counting edges by hand.
 #pragma once
 
 #include <fstream>
@@ -19,14 +26,23 @@
 
 namespace glitchmask::sim {
 
+/// Companion marker for one culprit net (see file comment).  Disabled
+/// when `net` is kNoNet or `window_ps` is 0.
+struct GlitchMarkerConfig {
+    netlist::NetId net = netlist::kNoNet;
+    TimePs window_ps = 0;
+};
+
 class VcdWriter final : public ToggleSink {
 public:
     /// Dumps all nets of `nl` to `path`.  Throws on I/O error.
     VcdWriter(const netlist::Netlist& nl, const std::string& path);
 
-    /// Dumps only `watch` (ids into `nl`).
+    /// Dumps only `watch` (ids into `nl`).  `marker` optionally adds the
+    /// glitch-marker companion signal (its net need not be in `watch`).
     VcdWriter(const netlist::Netlist& nl, const std::string& path,
-              const std::vector<netlist::NetId>& watch);
+              const std::vector<netlist::NetId>& watch,
+              GlitchMarkerConfig marker = {});
 
     void on_toggle(netlist::NetId net, TimePs time, bool value) override;
 
@@ -49,10 +65,17 @@ private:
         return codes_[net];
     }
 
+    void emit(TimePs time, bool value, const std::string& code);
+
     std::ofstream out_;
     std::vector<std::string> codes_;   // empty string = not watched
     std::vector<netlist::NetId> watch_;
     TimePs last_time_ = ~TimePs{0};
+    GlitchMarkerConfig marker_;
+    std::string marker_code_;          // empty = no marker
+    TimePs marker_window_ = ~TimePs{0};
+    unsigned marker_toggles_ = 0;      // culprit transitions this window
+    bool marker_high_ = false;
 };
 
 }  // namespace glitchmask::sim

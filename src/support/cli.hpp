@@ -1,16 +1,23 @@
 // Shared command-line flags for the bench and example binaries.
 //
-// Every driver-style binary accepts the same two observability flags:
+// Every driver-style binary accepts the same observability flags:
 //   --progress[=seconds]  stderr heartbeat with rate + ETA (default 2 s;
 //                         equivalent to GLITCHMASK_PROGRESS=seconds)
 //   --report <path>       machine-readable JSON run report
+//   --attribute           per-net leakage attribution (culprit ranking;
+//                         equivalent to GLITCHMASK_ATTRIBUTION=1)
+//   --top-k <n>           culprit-table depth (implies nothing by itself;
+//                         only read when attribution is on)
 // Parsing exits with usage on anything unrecognised, so binaries that take
-// no other arguments stay strict about typos.
+// no other arguments stay strict about typos.  Binaries with positional
+// operands (e.g. examples/inspect_gadget's gadget selector) pass
+// allow_positional = true and read CliOptions::positional.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "support/telemetry.hpp"
 
@@ -20,11 +27,16 @@ struct CliOptions {
     bool progress = false;
     double progress_interval = 2.0;
     std::string report_path;
+    bool attribute = false;
+    std::size_t top_k = 10;
+    /// Non-flag operands, in order (empty unless allow_positional).
+    std::vector<std::string> positional;
 };
 
 /// Parses the shared flags (exits with usage on anything unknown) and
 /// activates the heartbeat when --progress was given.
-[[nodiscard]] inline CliOptions parse_cli(int argc, char** argv) {
+[[nodiscard]] inline CliOptions parse_cli(int argc, char** argv,
+                                          bool allow_positional = false) {
     CliOptions cli;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -37,11 +49,21 @@ struct CliOptions {
             cli.report_path = argv[++i];
         } else if (arg.rfind("--report=", 0) == 0) {
             cli.report_path = arg.substr(9);
+        } else if (arg == "--attribute") {
+            cli.attribute = true;
+        } else if (arg == "--top-k" && i + 1 < argc) {
+            cli.top_k = static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (arg.rfind("--top-k=", 0) == 0) {
+            cli.top_k = static_cast<std::size_t>(std::atoll(arg.c_str() + 8));
+        } else if (allow_positional && (arg.empty() || arg[0] != '-')) {
+            cli.positional.push_back(arg);
         } else {
-            std::fprintf(stderr,
-                         "unknown option '%s'\n"
-                         "usage: %s [--progress[=seconds]] [--report <path>]\n",
-                         arg.c_str(), argv[0]);
+            std::fprintf(
+                stderr,
+                "unknown option '%s'\n"
+                "usage: %s%s [--progress[=seconds]] [--report <path>]"
+                " [--attribute] [--top-k <n>]\n",
+                arg.c_str(), argv[0], allow_positional ? " [operand...]" : "");
             std::exit(2);
         }
     }

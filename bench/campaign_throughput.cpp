@@ -1,20 +1,24 @@
 // Campaign throughput harness: traces/sec and toggle-activity MB/s of the
 // trace-collection engine on the DES TVLA workload (the paper's dominant
-// cost: Sec. VII campaigns at up to 50M traces), swept over both scaling
-// axes -- worker count (1, 2, 4, 8) and lanes per event-queue pass
-// (1 = scalar EventSimulator, 64 = bitsliced BatchEventSimulator).
+// cost: Sec. VII campaigns at up to 50M traces), swept over the scaling
+// axes -- worker count, lanes per pass, and simulation backend
+// (event = the PR-2 priority-queue engines, scalar at 1 lane and
+// bitsliced at 64; compiled = the levelized straight-line replay of
+// sim/compiled_simulator.hpp at 64/128/256/512 lanes).
 // Emits JSON -- one object, schema documented in EXPERIMENTS.md -- to
 // stdout and to BENCH_batch_sim.json so future PRs can track the perf
 // trajectory.
 //
 // Every row replays the identical campaign (counter-based per-trace
-// seeding), so the max|t| column doubles as a live equivalence check:
-// all rows -- across worker counts AND across the scalar/bitsliced
-// engines -- must agree bit-for-bit.
+// seeding, one shared block size of 512 so wide compiled passes fill
+// their lanes), so the max|t| column doubles as a live equivalence
+// check: all rows -- across worker counts, lane widths AND backends --
+// must agree bit-for-bit.
 //
-// Scale with GLITCHMASK_TRACES (default 192) and GLITCHMASK_NOISE; note
-// that meaningful worker speedups need as many physical cores as workers,
-// while the lane speedup is per-core.
+// Scale with GLITCHMASK_TRACES (default 1024) and GLITCHMASK_NOISE; note
+// that meaningful worker speedups need as many physical cores as workers
+// (and traces >= workers x 512 blocks), while the lane speedup is
+// per-core.
 //
 // Flags: --progress[=seconds] (stderr heartbeat) and --report <path>
 // (run report of each row; the file is rewritten per row, so it ends up
@@ -22,8 +26,9 @@
 // times telemetry off-vs-on pairs and emits the relative cost as the
 // top-level "telemetry_overhead" key, and does the same for per-net
 // leakage attribution ("attribution_off_overhead" -- the CI gate holds
-// the disabled feature to <= 1% -- and the informational
-// "attribution_overhead" for the S-box-scoped probe taps).
+// the disabled feature to <= 1% -- and "attribution_overhead" for the
+// S-box-scoped probe taps, gated <= 30% since the batched probe
+// deposit).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -47,7 +52,13 @@ namespace {
 /// EXPERIMENTS.md; a fixed constant so MB/s stays comparable across PRs).
 constexpr double kBytesPerToggle = 16.0;
 
+/// One shared block size: blocks are cut at 512-trace boundaries in every
+/// row, so the widest compiled pass (512 lanes) fills all its lanes and
+/// every row folds the accumulators at the same 64-trace granularity.
+constexpr std::size_t kBlockSize = 512;
+
 struct Series {
+    std::string backend = "event";
     unsigned lanes = 0;
     unsigned workers = 0;
     std::size_t checkpoint_every = 0;  // blocks between snapshots; 0 = off
@@ -68,12 +79,13 @@ struct Series {
 
 int main(int argc, char** argv) {
     const bench::CliOptions cli = bench::parse_cli(argc, argv);
-    bench::banner("Campaign throughput: DES TVLA, scalar vs 64-lane bitsliced");
+    bench::banner(
+        "Campaign throughput: DES TVLA, event (scalar/bitsliced) vs compiled");
 
     const des::MaskedDesCore core(des::MaskedDesOptions{});
     const std::size_t traces = static_cast<std::size_t>(
         env_int("GLITCHMASK_TRACES", static_cast<std::int64_t>(
-                                         bench::scaled_traces(192))));
+                                         bench::scaled_traces(1024))));
     const double noise = env_double("GLITCHMASK_NOISE", 1.0);
 
     // Telemetry cost check: identical 64-lane 1-worker campaigns with the
@@ -83,10 +95,12 @@ int main(int argc, char** argv) {
         telemetry::set_enabled(telemetry_on);
         eval::DesTvlaConfig config;
         config.traces = traces;
+        config.block_size = kBlockSize;
         config.noise_sigma = noise;
         config.seed = 7;
         config.workers = 1;
         config.lanes = 64;
+        config.run.backend = "event";
         const auto start = std::chrono::steady_clock::now();
         (void)eval::run_des_tvla(core, config);
         const auto stop = std::chrono::steady_clock::now();
@@ -104,15 +118,19 @@ int main(int argc, char** argv) {
     // constructed -- the sink chain is exactly the pre-feature one -- so
     // timing off-vs-off pairs bounds the residual cost of the plumbing
     // (a never-taken branch per trace) plus measurement noise; the CI
-    // gate holds that to <= 1%.  The on-cost is informational: it scales
-    // with the watched point count (here the S-box scope).
+    // gate holds that to <= 1%.  The on-cost scales with the watched
+    // point count (here the S-box scope); since the probe batches its
+    // per-toggle deposit (one SWAR add per 8 lanes instead of a
+    // per-lane loop), CI holds it to <= 30% on the 64-lane engine.
     auto time_attribution = [&](bool attribute) {
         eval::DesTvlaConfig config;
         config.traces = traces;
+        config.block_size = kBlockSize;
         config.noise_sigma = noise;
         config.seed = 7;
         config.workers = 1;
         config.lanes = 64;
+        config.run.backend = "event";
         config.run.attribution = attribute;
         config.run.attribution_scope = "sbox";
         const auto start = std::chrono::steady_clock::now();
@@ -134,19 +152,23 @@ int main(int argc, char** argv) {
     // Counters for every sweep row below.
     telemetry::set_enabled(true);
 
-    TablePrinter table({"lanes", "workers", "ckpt", "attr", "seconds",
-                        "traces/s", "toggle MB/s", "speedup", "max|t1|"});
+    TablePrinter table({"backend", "lanes", "workers", "ckpt", "attr",
+                        "seconds", "traces/s", "toggle MB/s", "speedup",
+                        "max|t1|"});
     std::vector<Series> series;
     const std::string snapshot_path = "BENCH_checkpoint.gmsnap";
 
-    auto run_row = [&](unsigned lanes, unsigned workers,
-                       std::size_t checkpoint_every, bool attribute = false) {
+    auto run_row = [&](const std::string& backend, unsigned lanes,
+                       unsigned workers, std::size_t checkpoint_every,
+                       bool attribute = false) {
         eval::DesTvlaConfig config;
         config.traces = traces;
+        config.block_size = kBlockSize;
         config.noise_sigma = noise;
         config.seed = 7;
         config.workers = workers;
         config.lanes = lanes;
+        config.run.backend = backend;
         config.run.report_path = cli.report_path;
         config.run.attribution = attribute;
         config.run.attribution_scope = "sbox";
@@ -166,6 +188,7 @@ int main(int argc, char** argv) {
         const telemetry::Snapshot counters = telemetry::snapshot();
 
         Series s;
+        s.backend = backend;
         s.lanes = lanes;
         s.workers = workers;
         s.checkpoint_every = checkpoint_every;
@@ -184,7 +207,8 @@ int main(int argc, char** argv) {
         s.speedup = series.empty() ? 1.0 : series.front().seconds / s.seconds;
         series.push_back(s);
 
-        table.add_row({std::to_string(lanes), std::to_string(workers),
+        table.add_row({backend, std::to_string(lanes),
+                       std::to_string(workers),
                        checkpoint_every == 0 ? std::string("off")
                                              : std::to_string(checkpoint_every),
                        attribute ? "on" : "off",
@@ -196,26 +220,39 @@ int main(int argc, char** argv) {
         return s;
     };
 
-    for (const unsigned lanes : {1u, 64u})
-        for (const unsigned workers : {1u, 2u, 4u, 8u})
-            run_row(lanes, workers, /*checkpoint_every=*/0);
+    // Event axis: the scalar baseline, then the bitsliced engine across
+    // workers.
+    run_row("event", 1, 1, /*checkpoint_every=*/0);
+    const Series event64_1w = run_row("event", 64, 1, 0);
+    const Series event64_2w = run_row("event", 64, 2, 0);
+
+    // Compiled axis: lane-width sweep at one worker, then workers on the
+    // widest pass.  The fastest width carries the headline: wider is not
+    // always faster once the lane-word state outgrows L2, so the sweep
+    // itself picks the per-machine sweet spot.
+    Series compiled_best_1w;
+    compiled_best_1w.seconds = std::numeric_limits<double>::infinity();
+    for (const unsigned lanes : {64u, 128u, 256u, 512u}) {
+        const Series s = run_row("compiled", lanes, 1, 0);
+        if (s.seconds < compiled_best_1w.seconds) compiled_best_1w = s;
+    }
+    run_row("compiled", 512, 2, 0);
 
     // Crash-safe runtime axis: same campaign with periodic snapshots.  The
-    // merge-frontier checkpoint is O(log blocks) accumulators, so even an
-    // aggressive cadence must stay within a few percent of the plain run
-    // (acceptance bar: <= 5%).
-    const Series plain_4w = run_row(64, 4, 0);
+    // merge-frontier checkpoint is O(log blocks) accumulators, so even the
+    // most aggressive cadence (a snapshot after every block) must stay
+    // within a few percent of the plain run (acceptance bar: <= 5%).
     double checkpoint_overhead = 0.0;
-    for (const std::size_t every : {16u, 4u, 1u}) {
-        const Series s = run_row(64, 4, every);
+    for (const std::size_t every : {4u, 1u}) {
+        const Series s = run_row("event", 64, 2, every);
         checkpoint_overhead =
-            std::max(checkpoint_overhead, s.seconds / plain_4w.seconds - 1.0);
+            std::max(checkpoint_overhead, s.seconds / event64_2w.seconds - 1.0);
     }
     // Attribution axis: same campaign with S-box probe taps, both
-    // engines.  Rides the determinism check below -- the probe must not
+    // backends.  Rides the determinism check below -- the probe must not
     // perturb the power statistics by a single bit.
-    run_row(64, 4, /*checkpoint_every=*/0, /*attribute=*/true);
-    run_row(1, 4, /*checkpoint_every=*/0, /*attribute=*/true);
+    run_row("event", 64, 1, /*checkpoint_every=*/0, /*attribute=*/true);
+    run_row("compiled", 512, 1, /*checkpoint_every=*/0, /*attribute=*/true);
     std::remove(snapshot_path.c_str());
     table.print();
 
@@ -223,27 +260,33 @@ int main(int argc, char** argv) {
     for (const Series& s : series)
         deterministic &= (s.max_abs_t1 == series.front().max_abs_t1) &&
                          (s.toggles == series.front().toggles);
-    std::printf("\nEquivalence across workers, engines and checkpointing: %s\n",
+    std::printf("\nEquivalence across workers, backends, lane widths and "
+                "checkpointing: %s\n",
                 deterministic ? "bit-identical" : "MISMATCH (bug!)");
-    std::printf("Checkpoint overhead (worst cadence, 64 lanes / 4 workers): "
+    std::printf("Checkpoint overhead (worst cadence, event-64 / 2 workers): "
                 "%.2f%%\n",
                 checkpoint_overhead * 100.0);
-    std::printf("Telemetry overhead (64 lanes / 1 worker, best of 3): "
+    std::printf("Telemetry overhead (event-64 / 1 worker, best of 3): "
                 "%.2f%%\n",
                 telemetry_overhead * 100.0);
     std::printf("Attribution-off overhead (must be noise): %.2f%%   "
                 "attribution-on cost (sbox scope): %.2f%%\n",
                 attribution_off_overhead * 100.0, attribution_overhead * 100.0);
 
-    // The headline number: one core, 64 lanes vs 1 lane.
-    double batch_speedup_1w = 0.0;
-    for (const Series& s : series)
-        if (s.lanes == 64 && s.workers == 1)
-            batch_speedup_1w = series.front().seconds / s.seconds;
+    // The headline numbers, both per-core: the PR-2 bitslicing gain
+    // (scalar -> 64-lane event) and this PR's compiled-replay gain on top
+    // (64-lane event -> the best compiled lane width at 1 worker).
+    const double batch_speedup_1w =
+        series.front().seconds / event64_1w.seconds;
+    const double compiled_speedup_1w =
+        event64_1w.seconds / compiled_best_1w.seconds;
     std::printf("Bitsliced speedup at 1 worker: %.2fx\n", batch_speedup_1w);
+    std::printf("Compiled-%u speedup over event-64 at 1 worker: %.2fx\n",
+                compiled_best_1w.lanes, compiled_speedup_1w);
 
     std::string json = "{\n  \"workload\": \"des_ff_tvla\",\n";
     json += "  \"traces\": " + std::to_string(traces) + ",\n";
+    json += "  \"block_size\": " + std::to_string(kBlockSize) + ",\n";
     json += "  \"samples\": " + std::to_string(core.total_cycles()) + ",\n";
     json += "  \"noise_sigma\": " + TablePrinter::num(noise, 3) + ",\n";
     json += "  \"bytes_per_toggle\": " + TablePrinter::num(kBytesPerToggle, 0) +
@@ -252,6 +295,10 @@ int main(int argc, char** argv) {
             (deterministic ? "true" : "false") + ",\n";
     json += "  \"batch_speedup_1worker\": " +
             TablePrinter::num(batch_speedup_1w, 3) + ",\n";
+    json += "  \"compiled_best_lanes\": " +
+            std::to_string(compiled_best_1w.lanes) + ",\n";
+    json += "  \"compiled_speedup_1worker\": " +
+            TablePrinter::num(compiled_speedup_1w, 3) + ",\n";
     json += "  \"checkpoint_overhead\": " +
             TablePrinter::num(checkpoint_overhead, 4) + ",\n";
     json += "  \"telemetry_overhead\": " +
@@ -263,7 +310,8 @@ int main(int argc, char** argv) {
     json += "  \"series\": [\n";
     for (std::size_t i = 0; i < series.size(); ++i) {
         const Series& s = series[i];
-        json += "    {\"lanes\": " + std::to_string(s.lanes) +
+        json += "    {\"backend\": \"" + s.backend + "\"" +
+                ", \"lanes\": " + std::to_string(s.lanes) +
                 ", \"workers\": " + std::to_string(s.workers) +
                 ", \"checkpoint_every\": " + std::to_string(s.checkpoint_every) +
                 std::string(", \"attribution\": ") +

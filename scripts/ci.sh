@@ -7,13 +7,19 @@
 # `scripts/ci.sh asan tsan`.  Exits nonzero on any build or test failure.
 #
 # The release and asan legs smoke per-net leakage attribution end to end
-# (examples/inspect_gadget trichina --attribute).  The release leg
-# additionally gates observability:
+# (examples/inspect_gadget trichina --attribute) and rerun the suite with
+# GLITCHMASK_BACKEND=compiled, so every campaign-level test also covers
+# the compiled replay engine (memory bugs in its wide-lane state would
+# otherwise only surface in benches).  The release leg additionally gates
+# observability and performance:
 #   * one extra ctest pass under GLITCHMASK_LOG=debug (log call sites in
 #     the hot paths must never change a result or crash);
 #   * bench/campaign_throughput's telemetry_overhead must stay <= 3%,
 #     and its attribution_off_overhead <= 1% (the disabled probe tap
-#     must be free).
+#     must be free);
+#   * attribution_overhead <= 30% (the sbox-scoped probe taps), and
+#     compiled_speedup_1worker >= 2x (best compiled width vs event-64;
+#     the committed single-core reference run shows ~2.8x).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,14 +48,21 @@ for preset in "${presets[@]}"; do
     echo "==> $preset extras: attribution smoke (inspect_gadget trichina)"
     (cd "$builddir/examples" &&
       ./inspect_gadget trichina --attribute --top-k 5 > /dev/null)
+
+    echo "==> $preset extras: suite under GLITCHMASK_BACKEND=compiled"
+    GLITCHMASK_BACKEND=compiled ctest --preset "$preset" -j "$jobs"
   fi
 
   if [ "$preset" = "release" ]; then
     echo "==> release extras: suite under GLITCHMASK_LOG=debug"
     GLITCHMASK_LOG=debug ctest --preset "$preset" -j "$jobs"
 
+    echo "==> release extras: bench overhead + speedup gates"
+    # 256 traces: large enough that the per-block amortizations (spill
+    # staging, checkpoint cadence) are representative and the off-vs-off
+    # noise floor sits well under the 1% bar.
+    (cd build/bench && GLITCHMASK_TRACES=256 ./campaign_throughput > /dev/null)
     echo "==> release extras: telemetry overhead gate (bar: 3%)"
-    (cd build/bench && GLITCHMASK_TRACES=96 ./campaign_throughput > /dev/null)
     overhead="$(sed -n 's/.*"telemetry_overhead": \(-\{0,1\}[0-9.]*\).*/\1/p' \
       build/bench/BENCH_batch_sim.json)"
     if [ -z "$overhead" ]; then
@@ -74,5 +87,31 @@ for preset in "${presets[@]}"; do
       exit 1
     fi
     echo "attribution-off overhead: ${attr_off} (<= 0.01)"
+
+    echo "==> release extras: attribution-on overhead gate (bar: 30%)"
+    attr_on="$(sed -n 's/.*"attribution_overhead": \(-\{0,1\}[0-9.]*\).*/\1/p' \
+      build/bench/BENCH_batch_sim.json)"
+    if [ -z "$attr_on" ]; then
+      echo "FAIL: attribution_overhead missing from BENCH_batch_sim.json" >&2
+      exit 1
+    fi
+    if ! awk -v x="$attr_on" 'BEGIN { exit !(x <= 0.30) }'; then
+      echo "FAIL: attribution overhead ${attr_on} exceeds the 0.30 bar" >&2
+      exit 1
+    fi
+    echo "attribution overhead: ${attr_on} (<= 0.30)"
+
+    echo "==> release extras: compiled-backend speedup gate (bar: 2x)"
+    compiled="$(sed -n 's/.*"compiled_speedup_1worker": \(-\{0,1\}[0-9.]*\).*/\1/p' \
+      build/bench/BENCH_batch_sim.json)"
+    if [ -z "$compiled" ]; then
+      echo "FAIL: compiled_speedup_1worker missing from BENCH_batch_sim.json" >&2
+      exit 1
+    fi
+    if ! awk -v x="$compiled" 'BEGIN { exit !(x >= 2.0) }'; then
+      echo "FAIL: compiled speedup ${compiled} below the 2.0 bar" >&2
+      exit 1
+    fi
+    echo "compiled speedup: ${compiled} (>= 2.0)"
   fi
 done

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "core/sharing.hpp"
 #include "des/des_reference.hpp"
@@ -138,6 +139,41 @@ public:
         sim::BatchClockedSim& sim, std::span<const MaskedWord> pt,
         std::span<const MaskedWord> key, std::span<Xoshiro256> prngs) const;
 
+    /// Wide-lane counterpart of encrypt_batch() for any chunked sim
+    /// (eval::EventLaneSim, sim::CompiledClockedSim): one pass carries up
+    /// to sim.chunks()*64 encryptions, trace t in lane t%64 of chunk
+    /// t/64.  The stimulus lands in the identical per-net order as
+    /// encrypt_batch() -- for a one-chunk sim the event path's call
+    /// sequence (and results) are unchanged -- and the per-lane refresh
+    /// draws stay net-outer / lane-inner across all chunks, so every
+    /// trace is bit-identical to a scalar encrypt() of its inputs.
+    template <class ChunkedSim>
+    std::vector<MaskedWord> encrypt_batch_chunks(
+        ChunkedSim& sim, std::span<const MaskedWord> pt,
+        std::span<const MaskedWord> key, std::span<Xoshiro256> prngs) const {
+        set_share_chunks(sim, pt_s0_, pt, false);
+        set_share_chunks(sim, pt_s1_, pt, true);
+        set_share_chunks(sim, key_s0_, key, false);
+        set_share_chunks(sim, key_s1_, key, true);
+        set_rand(sim, prngs);
+        sim.set_input(load_sel_, true);
+        sim.set_input(shift_one_, true);  // round 1 shifts by 1
+        sim.step();                       // stimulus lands
+
+        switch (options_.flavor) {
+            case CoreFlavor::FF: run_rounds_ff(sim, prngs); break;
+            case CoreFlavor::PD: run_rounds_pd(sim, prngs); break;
+            case CoreFlavor::DOM: run_rounds_dom(sim, prngs); break;
+        }
+
+        std::vector<MaskedWord> ct(pt.size());
+        for (std::size_t t = 0; t < pt.size(); ++t) {
+            ct[t].s0 = read_word_chunk(sim, ct_s0_, t);
+            ct[t].s1 = read_word_chunk(sim, ct_s1_, t);
+        }
+        return ct;
+    }
+
     /// Convenience: masks plaintext/key with `masks` (or zero masks when
     /// nullptr, the "PRNG off" mode), encrypts, and unmasks.
     template <class Sim>
@@ -182,6 +218,55 @@ private:
                 if (prngs[lane].bit()) word |= std::uint64_t{1} << lane;
             sim.set_input_word(net, word);
         }
+    }
+    /// Chunked-sim refresh randomness; same net-outer / lane-inner draw
+    /// order across all chunks.  (BatchClockedSim takes the non-template
+    /// overload above by exact match.)
+    template <class Sim>
+    void set_rand(Sim& sim, std::span<Xoshiro256> prngs) const {
+        for (const netlist::NetId net : rand_) {
+            for (unsigned c = 0; c < sim.chunks(); ++c) {
+                std::uint64_t word = 0;
+                const std::size_t base = std::size_t{c} * 64u;
+                for (std::size_t lane = base;
+                     lane < base + 64u && lane < prngs.size(); ++lane)
+                    if (prngs[lane].bit())
+                        word |= std::uint64_t{1} << (lane - base);
+                sim.set_input_word(net, c, word);
+            }
+        }
+    }
+    /// Packs `words`' share (s1 when share1) bit bus.size()-1-i into
+    /// bus[i], trace t in lane t%64 of chunk t/64; unused lanes get zero.
+    template <class Sim>
+    void set_share_chunks(Sim& sim, const Bus& bus,
+                          std::span<const MaskedWord> words,
+                          bool share1) const {
+        for (std::size_t i = 0; i < bus.size(); ++i) {
+            const unsigned shift = static_cast<unsigned>(bus.size() - 1 - i);
+            for (unsigned c = 0; c < sim.chunks(); ++c) {
+                std::uint64_t word = 0;
+                for (std::size_t lane = 0; lane < 64; ++lane) {
+                    const std::size_t t = std::size_t{c} * 64u + lane;
+                    if (t >= words.size()) break;
+                    const std::uint64_t v =
+                        share1 ? words[t].s1 : words[t].s0;
+                    word |= ((v >> shift) & 1u) << lane;
+                }
+                sim.set_input_word(bus[i], c, word);
+            }
+        }
+    }
+    template <class Sim>
+    static std::uint64_t read_word_chunk(const Sim& sim, const Bus& bus,
+                                         std::size_t trace) {
+        std::uint64_t value = 0;
+        for (std::size_t i = 0; i < bus.size(); ++i)
+            if ((sim.word(bus[i], static_cast<unsigned>(trace / 64u)) >>
+                 (trace % 64u)) &
+                1u)
+                value |= std::uint64_t{1} << (bus.size() - 1 - i);
+        return value;
     }
     template <class Sim>
     void pulse(Sim& sim, std::initializer_list<netlist::CtrlGroup> groups,

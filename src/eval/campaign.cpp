@@ -9,9 +9,11 @@
 #include <string>
 
 #include "core/sharing.hpp"
+#include "eval/lane_backend.hpp"
 #include "eval/run_report.hpp"
 #include "power/batch_power.hpp"
 #include "sim/batch_simulator.hpp"
+#include "sim/compiled_simulator.hpp"
 #include "support/telemetry.hpp"
 
 namespace glitchmask::eval {
@@ -102,10 +104,10 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
 
     validate_campaign_config(config.traces, config.block_size, config.lanes);
 
-    // Sequence campaigns never enable coupling, so the bitsliced path is
-    // always available; `lanes` only decides whether we take it.
-    const unsigned lanes =
-        resolve_lanes(config.lanes, /*timing_coupling=*/false);
+    // Sequence campaigns never enable coupling, so the lane-parallel paths
+    // are always available; the plan only decides which one we take.
+    const BackendPlan bplan =
+        resolve_backend_plan(config.run, config.lanes, /*timing_coupling=*/false);
     const ShardPlan plan{config.traces, config.block_size};
 
     const std::string tag = sequence_tag(sequence);
@@ -118,8 +120,9 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
     CampaignFingerprint fingerprint =
         sequence_fingerprint(sequence, config, kCycles);
     if (attribute) fold_attribution_fingerprint(fingerprint, config.run);
+    fold_backend_fingerprint(fingerprint, bplan);
     RunTelemetrySession session(tag, config.run, fingerprint, plan.traces,
-                                pool.size(), lanes);
+                                pool.size(), bplan.lanes);
     CheckpointPolicy policy = make_checkpoint_policy(config.run, tag);
     session.attach(policy);
     const auto encode = [attribute](const SeqBlockAcc& acc,
@@ -144,104 +147,117 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
     CampaignProgress progress;
 
     SeqBlockAcc merged = [&] {
-        if (lanes == sim::kBatchLanes) {
-            // Per-worker bitsliced replica: one event-queue pass per lane
-            // group of up to 64 consecutive trace indices.  Groups are cut
+        if (!bplan.scalar()) {
+            // Per-worker lane-parallel replica behind the chunked-sim seam
+            // (eval/lane_backend.hpp): one pass per group of up to
+            // group_lanes() consecutive trace indices.  Groups are cut
             // within each block (a short tail uses fewer lanes), so any
-            // block size stays bit-identical to the scalar path; multiples
-            // of 64 merely amortize best.
-            struct BatchWorker {
-                sim::BatchClockedSim sim;
-                power::BatchPowerRecorder recorder;
-                std::optional<leakage::BatchAttributionProbe> probe;
-                std::vector<double> noisy;  // bin-major (kCycles x 64) scratch
-                telemetry::SimStats last_stats;  // delta base for telemetry
-                BatchWorker(const core::RegisteredSecand2& circuit,
-                            const sim::DelayModel& dm, sim::ClockConfig clock,
-                            power::PowerConfig power_config,
-                            const leakage::AttributionPlan* attr)
-                    : sim(circuit.nl, dm, clock),
-                      recorder(circuit.nl, power_config) {
-                    if (attr != nullptr) {
-                        probe.emplace(*attr, &recorder);
-                        sim.engine().set_sink(&*probe);
-                    } else {
-                        sim.engine().set_sink(&recorder);
-                    }
-                }
-            };
+            // block size stays bit-identical to the scalar path; block
+            // sizes >= the lane width merely amortize best.
+            const auto run_lanes = [&](auto make_worker) {
+                return run_sharded_blocks_checkpointed(
+                    pool, plan,
+                    [&] {
+                        auto worker = make_worker();
+                        worker->attach_sinks(circuit_.nl, power_config_,
+                                             probe_plan);
+                        return worker;
+                    },
+                    make_acc,
+                    [&](auto& worker, std::size_t begin, std::size_t end,
+                        SeqBlockAcc& acc) {
+                        const unsigned group_lanes = worker->group_lanes();
+                        for (std::size_t group = begin; group < end;
+                             group += group_lanes) {
+                            const unsigned count = static_cast<unsigned>(
+                                std::min<std::size_t>(group_lanes,
+                                                      end - group));
+                            std::array<std::uint64_t, sim::kMaxLaneChunks>
+                                fixed{};
+                            std::array<
+                                std::array<std::uint64_t, sim::kMaxLaneChunks>,
+                                4>
+                                share_words{};
+                            for (unsigned lane = 0; lane < count; ++lane) {
+                                const SequenceStimulus stim = sequence_stimulus(
+                                    config.seed, group + lane);
+                                const unsigned c = lane / 64u;
+                                const std::uint64_t bit = std::uint64_t{1}
+                                                          << (lane % 64u);
+                                if (stim.fixed) fixed[c] |= bit;
+                                for (std::size_t i = 0; i < 4; ++i)
+                                    if (stim.share_value[i])
+                                        share_words[i][c] |= bit;
+                            }
 
-            return run_sharded_blocks_checkpointed(
-                pool, plan,
-                [&] {
-                    return std::make_unique<BatchWorker>(circuit_, dm_, clock_,
-                                                         power_config_,
-                                                         probe_plan);
-                },
-                make_acc,
-                [&](std::unique_ptr<BatchWorker>& worker, std::size_t begin,
-                    std::size_t end, SeqBlockAcc& acc) {
-                    for (std::size_t group = begin; group < end;
-                         group += sim::kBatchLanes) {
-                        const unsigned count = static_cast<unsigned>(
-                            std::min<std::size_t>(sim::kBatchLanes,
-                                                  end - group));
-                        std::uint64_t fixed_mask = 0;
-                        std::array<std::uint64_t, 4> share_words{};
-                        for (unsigned lane = 0; lane < count; ++lane) {
-                            const SequenceStimulus stim = sequence_stimulus(
-                                config.seed, group + lane);
-                            if (stim.fixed)
-                                fixed_mask |= std::uint64_t{1} << lane;
+                            auto& s = worker->sim;
+                            s.restart();
+                            worker->begin_group(kCycles, fixed.data(), count,
+                                                &acc.attr);
                             for (std::size_t i = 0; i < 4; ++i)
-                                if (stim.share_value[i])
-                                    share_words[i] |= std::uint64_t{1} << lane;
-                        }
-
-                        auto& s = worker->sim;
-                        s.restart();
-                        worker->recorder.begin_trace(kCycles);
-                        if (worker->probe) worker->probe->begin_group();
-                        for (std::size_t i = 0; i < 4; ++i)
-                            s.set_input_word(circuit_.in[i], share_words[i]);
-                        s.step();
-                        for (const core::ShareId slot : sequence) {
-                            s.set_enable(circuit_.enable[static_cast<
-                                             std::size_t>(slot)],
-                                         true);
+                                for (unsigned c = 0; c < s.chunks(); ++c)
+                                    s.set_input_word(circuit_.in[i], c,
+                                                     share_words[i][c]);
                             s.step();
-                        }
-                        s.step();
+                            for (const core::ShareId slot : sequence) {
+                                s.set_enable(circuit_.enable[static_cast<
+                                                 std::size_t>(slot)],
+                                             true);
+                                s.step();
+                            }
+                            s.step();
 
-                        // Per-lane noise in bin order from that trace's
-                        // counter-based stream -- the same draws the
-                        // scalar path makes.
-                        auto& noisy = worker->noisy;
-                        noisy.resize(kCycles * sim::kBatchLanes);
-                        for (unsigned lane = 0; lane < count; ++lane) {
-                            Xoshiro256 noise_rng = trace_rng(
-                                config.seed, kNoiseStream, group + lane);
-                            for (std::size_t bin = 0; bin < kCycles; ++bin) {
-                                double sample =
-                                    worker->recorder.sample(bin, lane);
-                                if (config.noise_sigma > 0.0)
-                                    sample += noise_rng.gaussian(
-                                        0.0, config.noise_sigma);
-                                noisy[bin * sim::kBatchLanes + lane] = sample;
+                            // Fold chunk by chunk (chunk c == traces
+                            // group+64c .. group+64c+63), per-lane noise in
+                            // bin order from that trace's counter-based
+                            // stream -- the same draws the scalar path makes.
+                            auto& noisy = worker->noisy;
+                            noisy.resize(kCycles * sim::kBatchLanes);
+                            const unsigned chunks_used = (count + 63u) / 64u;
+                            for (unsigned c = 0; c < chunks_used; ++c) {
+                                const unsigned cnt =
+                                    std::min(64u, count - c * 64u);
+                                for (unsigned lane = 0; lane < cnt; ++lane) {
+                                    Xoshiro256 noise_rng =
+                                        trace_rng(config.seed, kNoiseStream,
+                                                  group + c * 64u + lane);
+                                    for (std::size_t bin = 0; bin < kCycles;
+                                         ++bin) {
+                                        double sample = worker->sample(
+                                            bin, c * 64u + lane);
+                                        if (config.noise_sigma > 0.0)
+                                            sample += noise_rng.gaussian(
+                                                0.0, config.noise_sigma);
+                                        noisy[bin * sim::kBatchLanes + lane] =
+                                            sample;
+                                    }
+                                }
+                                acc.campaign.add_lane_traces(
+                                    noisy, sim::kBatchLanes, fixed[c], cnt);
+                                if (!worker->probes.empty())
+                                    worker->probes[c].fold_group();
                             }
                         }
-                        acc.campaign.add_lane_traces(noisy, sim::kBatchLanes,
-                                                     fixed_mask, count);
-                        if (worker->probe)
-                            worker->probe->fold_group(fixed_mask, count,
-                                                      acc.attr);
-                    }
-                    if (telemetry::enabled())
-                        telemetry::record_sim_block(
-                            worker->sim.engine().stats(), worker->last_stats);
-                },
-                merge, policy, fingerprint, encode, decode, &progress,
-                session.meter());
+                        worker->finish_block();
+                        if (telemetry::enabled())
+                            telemetry::record_sim_block(worker->sim.stats(),
+                                                        worker->last_stats);
+                    },
+                    merge, policy, fingerprint, encode, decode, &progress,
+                    session.meter());
+            };
+
+            if (bplan.backend == SimBackend::Compiled)
+                return run_lanes([&] {
+                    return std::make_unique<
+                        LaneWorker<sim::CompiledClockedSim>>(
+                        circuit_.nl, dm_, bplan.lanes, clock_,
+                        sim::CouplingConfig{}, sim::SimOptions{});
+                });
+            return run_lanes([&] {
+                return std::make_unique<LaneWorker<EventLaneSim>>(circuit_.nl,
+                                                                  dm_, clock_);
+            });
         }
 
         // Scalar path: one event-queue pass per trace.  Heap-allocated so

@@ -120,6 +120,12 @@ struct CampaignRunOptions {
     /// substring (empty = every net).  Bounds probe memory on large
     /// designs: the accumulator holds 48 B per (net, window) point.
     std::string attribution_scope;
+    /// Simulation backend: "event" (default), "compiled", or "" to defer
+    /// to GLITCHMASK_BACKEND (see eval/lane_backend.hpp).  The compiled
+    /// backend changes the snapshot payload, so a checkpoint written
+    /// under one backend cannot silently resume under the other; lane
+    /// *width* is not part of the identity (results are width-invariant).
+    std::string backend;
 };
 
 /// True when this run should attribute: the explicit flag or

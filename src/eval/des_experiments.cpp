@@ -1,6 +1,7 @@
 #include "eval/des_experiments.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <memory>
 #include <optional>
@@ -9,10 +10,12 @@
 #include <vector>
 
 #include "core/sharing.hpp"
+#include "eval/lane_backend.hpp"
 #include "eval/parallel_campaign.hpp"
 #include "eval/run_report.hpp"
 #include "power/batch_power.hpp"
 #include "sim/batch_simulator.hpp"
+#include "sim/compiled_simulator.hpp"
 #include "support/rng.hpp"
 #include "support/telemetry.hpp"
 #include "support/thread_pool.hpp"
@@ -51,30 +54,13 @@ struct DesWorker {
     }
 };
 
-/// Bitsliced replica: one event-queue pass per 64 consecutive traces.
-struct BatchDesWorker {
-    sim::BatchClockedSim sim;
-    power::BatchPowerRecorder recorder;
-    std::optional<leakage::BatchAttributionProbe> probe;
-    std::vector<double> noisy;  // bin-major (samples x 64) scratch
+/// Lane-parallel replica behind the chunked-sim seam (eval/lane_backend.hpp):
+/// one pass per group_lanes() consecutive traces on either backend.
+template <class SimT>
+struct DesLaneWorker : LaneWorker<SimT> {
+    using LaneWorker<SimT>::LaneWorker;
     std::vector<core::MaskedWord> pts, keys;
     std::vector<Xoshiro256> prngs;  // per-lane refresh generators
-    telemetry::SimStats last_stats;  // delta base for telemetry
-
-    BatchDesWorker(const des::MaskedDesCore& core, const sim::DelayModel& dm,
-                   sim::ClockConfig clock, sim::CouplingConfig coupling,
-                   power::PowerConfig power_config,
-                   const leakage::AttributionPlan* attr = nullptr)
-        : sim(core.nl(), dm, clock, coupling),
-          recorder(core.nl(), power_config) {
-        recorder.attach(&sim.engine());
-        if (attr != nullptr) {
-            probe.emplace(*attr, &recorder);
-            sim.engine().set_sink(&*probe);
-        } else {
-            sim.engine().set_sink(&recorder);
-        }
-    }
 };
 
 /// Trace n's full stimulus, a pure function of (config, n): class choice,
@@ -167,8 +153,8 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
 
     // Timing coupling makes delays data-dependent, which the shared batch
     // schedule cannot express -- fall back to the scalar engine then.
-    const unsigned lanes =
-        resolve_lanes(config.lanes, config.coupling.timing_enabled);
+    const BackendPlan bplan = resolve_backend_plan(
+        config.run, config.lanes, config.coupling.timing_enabled);
 
     const bool attribute = attribution_enabled(config.run);
     const leakage::AttributionPlan attr_plan =
@@ -180,9 +166,10 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
 
     CampaignFingerprint fingerprint = des_tvla_fingerprint(config, samples);
     if (attribute) fold_attribution_fingerprint(fingerprint, config.run);
+    fold_backend_fingerprint(fingerprint, bplan);
     ThreadPool pool(resolve_workers(config.workers));
     RunTelemetrySession session("des_tvla", config.run, fingerprint,
-                                config.traces, pool.size(), lanes);
+                                config.traces, pool.size(), bplan.lanes);
     CheckpointPolicy policy = make_checkpoint_policy(config.run, "des_tvla");
     session.attach(policy);
     const auto encode = [attribute](const BlockAcc& acc, SnapshotWriter& out) {
@@ -194,87 +181,111 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
     CampaignProgress progress;
 
     const ShardPlan plan{config.traces, config.block_size};
-    BlockAcc merged = [&] {
-        if (lanes == sim::kBatchLanes) {
-            // Lane groups are cut *within* each block (partial groups use
-            // fewer lanes), so any block size stays bit-identical to the
-            // scalar path; multiples of 64 merely amortize best.
-            return run_sharded_blocks_checkpointed(
-                pool, plan,
-                [&] {
-                    return std::make_unique<BatchDesWorker>(
-                        core, dm, clock, config.coupling, power_config,
-                        probe_plan);
-                },
-                [&] {
-                    return BlockAcc{
-                        leakage::TvlaCampaign(samples, config.max_test_order),
+    const auto make_acc = [&] {
+        return BlockAcc{leakage::TvlaCampaign(samples, config.max_test_order),
                         0,
                         leakage::AttributionAccumulator(attr_plan.points())};
-                },
-                [&](std::unique_ptr<BatchDesWorker>& worker, std::size_t begin,
-                    std::size_t end, BlockAcc& acc) {
-                    for (std::size_t group = begin; group < end;
-                         group += sim::kBatchLanes) {
-                        const unsigned count = static_cast<unsigned>(
-                            std::min<std::size_t>(sim::kBatchLanes,
-                                                  end - group));
-                        std::uint64_t fixed_mask = 0;
-                        worker->pts.clear();
-                        worker->keys.clear();
-                        worker->prngs.clear();
-                        for (unsigned lane = 0; lane < count; ++lane) {
-                            DesStimulus stim =
-                                des_stimulus(config, group + lane);
-                            if (stim.fixed)
-                                fixed_mask |= std::uint64_t{1} << lane;
-                            worker->pts.push_back(stim.pt);
-                            worker->keys.push_back(stim.key);
-                            worker->prngs.push_back(stim.rng);
-                        }
+    };
+    const auto merge_acc = [](BlockAcc& into, const BlockAcc& from) {
+        into.campaign.merge(from.campaign);
+        into.toggles += from.toggles;
+        into.attr.merge(from.attr);
+    };
+    // Lane groups are cut *within* each block (partial groups use fewer
+    // lanes), so any block size stays bit-identical to the scalar path;
+    // wide compiled passes only fill up when block_size >= lanes.
+    const auto run_lanes = [&](auto make_worker) {
+        return run_sharded_blocks_checkpointed(
+            pool, plan,
+            [&] {
+                auto worker = make_worker();
+                worker->attach_sinks(core.nl(), power_config, probe_plan);
+                return worker;
+            },
+            make_acc,
+            [&](auto& worker, std::size_t begin, std::size_t end,
+                BlockAcc& acc) {
+                const unsigned group_lanes = worker->group_lanes();
+                for (std::size_t group = begin; group < end;
+                     group += group_lanes) {
+                    const unsigned count = static_cast<unsigned>(
+                        std::min<std::size_t>(group_lanes, end - group));
+                    std::array<std::uint64_t, sim::kMaxLaneChunks> fixed{};
+                    worker->pts.clear();
+                    worker->keys.clear();
+                    worker->prngs.clear();
+                    for (unsigned lane = 0; lane < count; ++lane) {
+                        DesStimulus stim = des_stimulus(config, group + lane);
+                        if (stim.fixed)
+                            fixed[lane / 64u] |= std::uint64_t{1}
+                                                 << (lane % 64u);
+                        worker->pts.push_back(stim.pt);
+                        worker->keys.push_back(stim.key);
+                        worker->prngs.push_back(stim.rng);
+                    }
 
-                        worker->sim.restart();
-                        worker->recorder.begin_trace(samples);
-                        if (worker->probe) worker->probe->begin_group();
-                        (void)core.encrypt_batch(
-                            worker->sim, worker->pts, worker->keys,
-                            config.prng_on ? std::span<Xoshiro256>(worker->prngs)
-                                           : std::span<Xoshiro256>{});
+                    worker->sim.restart();
+                    worker->begin_group(samples, fixed.data(), count,
+                                        &acc.attr);
+                    (void)core.encrypt_batch_chunks(
+                        worker->sim, worker->pts, worker->keys,
+                        config.prng_on ? std::span<Xoshiro256>(worker->prngs)
+                                       : std::span<Xoshiro256>{});
 
+                    // Fold chunk by chunk: chunk c covers traces
+                    // group+64c .. group+64c+63, so the accumulators see
+                    // the same 64-trace call sequence as the event path.
+                    auto& noisy = worker->noisy;
+                    noisy.resize(samples * sim::kBatchLanes);
+                    const unsigned chunks_used = (count + 63u) / 64u;
+                    for (unsigned c = 0; c < chunks_used; ++c) {
+                        const unsigned cnt =
+                            std::min(64u, count - c * 64u);
                         // Per-lane noise in bin order from that trace's
                         // counter-based stream -- the scalar draw sequence.
-                        auto& noisy = worker->noisy;
-                        noisy.resize(samples * sim::kBatchLanes);
-                        for (unsigned lane = 0; lane < count; ++lane) {
-                            Xoshiro256 noise_rng = trace_rng(
-                                config.seed, kNoiseStream, group + lane);
+                        for (unsigned lane = 0; lane < cnt; ++lane) {
+                            Xoshiro256 noise_rng =
+                                trace_rng(config.seed, kNoiseStream,
+                                          group + c * 64u + lane);
                             for (std::size_t bin = 0; bin < samples; ++bin) {
                                 double sample =
-                                    worker->recorder.sample(bin, lane);
+                                    worker->sample(bin, c * 64u + lane);
                                 if (config.noise_sigma > 0.0)
                                     sample += noise_rng.gaussian(
                                         0.0, config.noise_sigma);
                                 noisy[bin * sim::kBatchLanes + lane] = sample;
                             }
-                            acc.toggles += worker->recorder.lane_toggles(lane);
+                            acc.toggles +=
+                                worker->lane_toggles(c * 64u + lane);
                         }
                         acc.campaign.add_lane_traces(noisy, sim::kBatchLanes,
-                                                     fixed_mask, count);
-                        if (worker->probe)
-                            worker->probe->fold_group(fixed_mask, count,
-                                                      acc.attr);
+                                                     fixed[c], cnt);
+                        if (!worker->probes.empty())
+                            worker->probes[c].fold_group();
                     }
-                    if (telemetry::enabled())
-                        telemetry::record_sim_block(
-                            worker->sim.engine().stats(), worker->last_stats);
-                },
-                [](BlockAcc& into, const BlockAcc& from) {
-                    into.campaign.merge(from.campaign);
-                    into.toggles += from.toggles;
-                    into.attr.merge(from.attr);
-                },
-                policy, fingerprint, encode, decode, &progress,
-                session.meter());
+                }
+                worker->finish_block();
+                if (telemetry::enabled())
+                    telemetry::record_sim_block(worker->sim.stats(),
+                                                worker->last_stats);
+            },
+            merge_acc, policy, fingerprint, encode, decode, &progress,
+            session.meter());
+    };
+
+    BlockAcc merged = [&] {
+        if (!bplan.scalar()) {
+            if (bplan.backend == SimBackend::Compiled)
+                return run_lanes([&] {
+                    return std::make_unique<
+                        DesLaneWorker<sim::CompiledClockedSim>>(
+                        core.nl(), dm, bplan.lanes, clock, config.coupling,
+                        sim::SimOptions{});
+                });
+            return run_lanes([&] {
+                return std::make_unique<DesLaneWorker<EventLaneSim>>(
+                    core.nl(), dm, clock, config.coupling);
+            });
         }
 
         return run_sharded_blocks_checkpointed(
@@ -377,7 +388,8 @@ std::vector<double> mean_power_trace(const des::MaskedDesCore& core,
     const std::size_t samples = core.total_cycles();
     ThreadPool pool(resolve_workers(workers));
     const ShardPlan plan{traces, /*block_size=*/64};
-    const unsigned resolved = resolve_lanes(lanes, /*timing_coupling=*/false);
+    const BackendPlan bplan =
+        resolve_backend_plan(run, lanes, /*timing_coupling=*/false);
 
     const bool attribute = attribution_enabled(run);
     const leakage::AttributionPlan attr_plan =
@@ -393,8 +405,9 @@ std::vector<double> mean_power_trace(const des::MaskedDesCore& core,
     CampaignFingerprint fingerprint{fnv1a64_tag("mean_power"), seed,
                                     traces, plan.block_size, payload};
     if (attribute) fold_attribution_fingerprint(fingerprint, run);
+    fold_backend_fingerprint(fingerprint, bplan);
     RunTelemetrySession session("mean_power", run, fingerprint, traces,
-                                pool.size(), resolved);
+                                pool.size(), bplan.lanes);
     CheckpointPolicy policy = make_checkpoint_policy(run, "mean_power");
     session.attach(policy);
     const auto encode = [attribute](const MeanPowerAcc& acc,
@@ -426,59 +439,75 @@ std::vector<double> mean_power_trace(const des::MaskedDesCore& core,
     CampaignProgress local_progress;
     CampaignProgress& prog = progress != nullptr ? *progress : local_progress;
 
-    MeanPowerAcc merged = [&] {
-        if (resolved == sim::kBatchLanes) {
-            return run_sharded_blocks_checkpointed(
-                pool, plan,
-                [&] {
-                    return std::make_unique<BatchDesWorker>(
-                        core, dm, clock, sim::CouplingConfig{}, power_config,
-                        probe_plan);
-                },
-                make_acc,
-                [&](std::unique_ptr<BatchDesWorker>& worker, std::size_t begin,
-                    std::size_t end, MeanPowerAcc& acc) {
-                    for (std::size_t group = begin; group < end;
-                         group += sim::kBatchLanes) {
-                        const unsigned count = static_cast<unsigned>(
-                            std::min<std::size_t>(sim::kBatchLanes,
-                                                  end - group));
-                        worker->pts.clear();
-                        worker->keys.clear();
-                        worker->prngs.clear();
-                        for (unsigned lane = 0; lane < count; ++lane) {
-                            Xoshiro256 rng = trace_rng(seed, kStimulusStream,
-                                                       group + lane);
-                            const std::uint64_t pt = rng();
-                            const std::uint64_t key = rng();
-                            worker->pts.push_back(core::mask_word(pt, 64, rng));
-                            worker->keys.push_back(
-                                core::mask_word(key, 64, rng));
-                            worker->prngs.push_back(rng);
-                        }
-                        worker->sim.restart();
-                        worker->recorder.begin_trace(samples);
-                        if (worker->probe) worker->probe->begin_group();
-                        (void)core.encrypt_batch(worker->sim, worker->pts,
-                                                 worker->keys, worker->prngs);
-                        // Lane order == trace order, so each bin's partial
-                        // sum sees the same addend sequence as the scalar
-                        // per-trace loop.
-                        for (unsigned lane = 0; lane < count; ++lane)
-                            for (std::size_t i = 0; i < samples; ++i)
-                                acc.sum[i] += worker->recorder.sample(i, lane);
-                        // Mean power has no fixed class: every lane is
-                        // "random", matching the scalar fold below.
-                        if (worker->probe)
-                            worker->probe->fold_group(/*fixed_mask=*/0, count,
-                                                      acc.attr);
+    const auto run_lanes = [&](auto make_worker) {
+        return run_sharded_blocks_checkpointed(
+            pool, plan,
+            [&] {
+                auto worker = make_worker();
+                worker->attach_sinks(core.nl(), power_config, probe_plan);
+                return worker;
+            },
+            make_acc,
+            [&](auto& worker, std::size_t begin, std::size_t end,
+                MeanPowerAcc& acc) {
+                const unsigned group_lanes = worker->group_lanes();
+                for (std::size_t group = begin; group < end;
+                     group += group_lanes) {
+                    const unsigned count = static_cast<unsigned>(
+                        std::min<std::size_t>(group_lanes, end - group));
+                    worker->pts.clear();
+                    worker->keys.clear();
+                    worker->prngs.clear();
+                    for (unsigned lane = 0; lane < count; ++lane) {
+                        Xoshiro256 rng =
+                            trace_rng(seed, kStimulusStream, group + lane);
+                        const std::uint64_t pt = rng();
+                        const std::uint64_t key = rng();
+                        worker->pts.push_back(core::mask_word(pt, 64, rng));
+                        worker->keys.push_back(core::mask_word(key, 64, rng));
+                        worker->prngs.push_back(rng);
                     }
-                    if (telemetry::enabled())
-                        telemetry::record_sim_block(
-                            worker->sim.engine().stats(), worker->last_stats);
-                },
-                merge, policy, fingerprint, encode, decode, &prog,
-                session.meter());
+                    worker->sim.restart();
+                    // Mean power has no fixed class: every lane is
+                    // "random", matching the scalar fold below.
+                    worker->begin_group(samples, /*fixed=*/nullptr, count,
+                                        &acc.attr);
+                    (void)core.encrypt_batch_chunks(worker->sim, worker->pts,
+                                                    worker->keys,
+                                                    worker->prngs);
+                    // Lane order == trace order, so each bin's partial
+                    // sum sees the same addend sequence as the scalar
+                    // per-trace loop.
+                    for (unsigned lane = 0; lane < count; ++lane)
+                        for (std::size_t i = 0; i < samples; ++i)
+                            acc.sum[i] += worker->sample(i, lane);
+                    const unsigned chunks_used = (count + 63u) / 64u;
+                    for (unsigned c = 0; c < chunks_used; ++c)
+                        if (!worker->probes.empty())
+                            worker->probes[c].fold_group();
+                }
+                worker->finish_block();
+                if (telemetry::enabled())
+                    telemetry::record_sim_block(worker->sim.stats(),
+                                                worker->last_stats);
+            },
+            merge, policy, fingerprint, encode, decode, &prog,
+            session.meter());
+    };
+
+    MeanPowerAcc merged = [&] {
+        if (!bplan.scalar()) {
+            if (bplan.backend == SimBackend::Compiled)
+                return run_lanes([&] {
+                    return std::make_unique<
+                        DesLaneWorker<sim::CompiledClockedSim>>(
+                        core.nl(), dm, bplan.lanes, clock,
+                        sim::CouplingConfig{}, sim::SimOptions{});
+                });
+            return run_lanes([&] {
+                return std::make_unique<DesLaneWorker<EventLaneSim>>(
+                    core.nl(), dm, clock, sim::CouplingConfig{});
+            });
         }
 
         return run_sharded_blocks_checkpointed(

@@ -6,12 +6,14 @@
 #include <string>
 
 #include "core/sharing.hpp"
+#include "eval/lane_backend.hpp"
 #include "eval/parallel_campaign.hpp"
 #include "eval/run_report.hpp"
 #include "leakage/tvla.hpp"
 #include "power/batch_power.hpp"
 #include "power/power_model.hpp"
 #include "sim/batch_simulator.hpp"
+#include "sim/compiled_simulator.hpp"
 #include "support/telemetry.hpp"
 
 namespace glitchmask::eval {
@@ -168,8 +170,8 @@ void GadgetHarness::drive(sim::ClockedSim& s,
 GadgetTvlaResult GadgetHarness::run(const GadgetTvlaConfig& config,
                                     ThreadPool& pool) const {
     validate_campaign_config(config.traces, config.block_size, config.lanes);
-    const unsigned lanes =
-        resolve_lanes(config.lanes, /*timing_coupling=*/false);
+    const BackendPlan bplan =
+        resolve_backend_plan(config.run, config.lanes, /*timing_coupling=*/false);
     const ShardPlan plan{config.traces, config.block_size};
     const unsigned fresh = fresh_bits();
 
@@ -186,9 +188,10 @@ GadgetTvlaResult GadgetHarness::run(const GadgetTvlaConfig& config,
     const leakage::AttributionPlan* probe_plan = attribute ? &attr_plan : nullptr;
     CampaignFingerprint fingerprint = gadget_fingerprint(config);
     if (attribute) fold_attribution_fingerprint(fingerprint, config.run);
+    fold_backend_fingerprint(fingerprint, bplan);
 
     RunTelemetrySession session(tag, config.run, fingerprint, plan.traces,
-                                pool.size(), lanes);
+                                pool.size(), bplan.lanes);
     CheckpointPolicy policy = make_checkpoint_policy(config.run, tag);
     session.attach(policy);
     const auto encode = [attribute](const GadgetBlockAcc& acc,
@@ -213,103 +216,127 @@ GadgetTvlaResult GadgetHarness::run(const GadgetTvlaConfig& config,
     CampaignProgress progress;
 
     GadgetBlockAcc merged = [&] {
-        if (lanes == sim::kBatchLanes) {
-            struct BatchWorker {
-                sim::BatchClockedSim sim;
-                power::BatchPowerRecorder recorder;
-                std::optional<leakage::BatchAttributionProbe> probe;
-                std::vector<double> noisy;  // bin-major (kCycles x 64)
-                telemetry::SimStats last_stats;
-                BatchWorker(const netlist::Netlist& nl,
-                            const sim::DelayModel& dm, sim::ClockConfig clock,
-                            power::PowerConfig power_config,
-                            const leakage::AttributionPlan* attr)
-                    : sim(nl, dm, clock), recorder(nl, power_config) {
-                    if (attr != nullptr) {
-                        probe.emplace(*attr, &recorder);
-                        sim.engine().set_sink(&*probe);
-                    } else {
-                        sim.engine().set_sink(&recorder);
-                    }
-                }
-            };
+        if (!bplan.scalar()) {
+            // Lane-parallel replica behind the chunked-sim seam
+            // (eval/lane_backend.hpp): one pass per group of up to
+            // group_lanes() consecutive trace indices.
+            const auto run_lanes = [&](auto make_worker) {
+                return run_sharded_blocks_checkpointed(
+                    pool, plan,
+                    [&] {
+                        auto worker = make_worker();
+                        worker->attach_sinks(circuit_.nl, power_config,
+                                             probe_plan);
+                        return worker;
+                    },
+                    make_acc,
+                    [&](auto& worker, std::size_t begin, std::size_t end,
+                        GadgetBlockAcc& acc) {
+                        const unsigned group_lanes = worker->group_lanes();
+                        for (std::size_t group = begin; group < end;
+                             group += group_lanes) {
+                            const unsigned count = static_cast<unsigned>(
+                                std::min<std::size_t>(group_lanes,
+                                                      end - group));
+                            std::array<std::uint64_t, sim::kMaxLaneChunks>
+                                fixed{};
+                            std::array<
+                                std::array<std::uint64_t, sim::kMaxLaneChunks>,
+                                4>
+                                share_words{};
+                            std::array<
+                                std::array<std::uint64_t, sim::kMaxLaneChunks>,
+                                3>
+                                fresh_words{};
+                            for (unsigned lane = 0; lane < count; ++lane) {
+                                const GadgetStimulus stim = gadget_stimulus(
+                                    fresh, config.seed, group + lane);
+                                const unsigned c = lane / 64u;
+                                const std::uint64_t bit = std::uint64_t{1}
+                                                          << (lane % 64u);
+                                if (stim.fixed) fixed[c] |= bit;
+                                for (std::size_t i = 0; i < 4; ++i)
+                                    if (stim.shares[i]) share_words[i][c] |= bit;
+                                for (unsigned i = 0; i < fresh; ++i)
+                                    if (stim.fresh[i]) fresh_words[i][c] |= bit;
+                            }
 
-            return run_sharded_blocks_checkpointed(
-                pool, plan,
-                [&] {
-                    return std::make_unique<BatchWorker>(
-                        circuit_.nl, dm_, clock_, power_config, probe_plan);
-                },
-                make_acc,
-                [&](std::unique_ptr<BatchWorker>& worker, std::size_t begin,
-                    std::size_t end, GadgetBlockAcc& acc) {
-                    for (std::size_t group = begin; group < end;
-                         group += sim::kBatchLanes) {
-                        const unsigned count = static_cast<unsigned>(
-                            std::min<std::size_t>(sim::kBatchLanes,
-                                                  end - group));
-                        std::uint64_t fixed_mask = 0;
-                        std::array<std::uint64_t, 4> share_words{};
-                        std::array<std::uint64_t, 3> fresh_words{};
-                        for (unsigned lane = 0; lane < count; ++lane) {
-                            const GadgetStimulus stim = gadget_stimulus(
-                                fresh, config.seed, group + lane);
-                            if (stim.fixed)
-                                fixed_mask |= std::uint64_t{1} << lane;
-                            for (std::size_t i = 0; i < 4; ++i)
-                                if (stim.shares[i])
-                                    share_words[i] |= std::uint64_t{1} << lane;
-                            for (unsigned i = 0; i < fresh; ++i)
-                                if (stim.fresh[i])
-                                    fresh_words[i] |= std::uint64_t{1} << lane;
-                        }
+                            auto& s = worker->sim;
+                            s.restart();
+                            worker->begin_group(kCycles, fixed.data(), count,
+                                                &acc.attr);
+                            for (unsigned c = 0; c < s.chunks(); ++c) {
+                                s.set_input_word(circuit_.x_in.s0, c,
+                                                 share_words[0][c]);
+                                s.set_input_word(circuit_.x_in.s1, c,
+                                                 share_words[1][c]);
+                                s.set_input_word(circuit_.y_in.s0, c,
+                                                 share_words[2][c]);
+                                s.set_input_word(circuit_.y_in.s1, c,
+                                                 share_words[3][c]);
+                                for (unsigned i = 0; i < fresh; ++i)
+                                    s.set_input_word(circuit_.rand_in[i], c,
+                                                     fresh_words[i][c]);
+                            }
+                            s.step();
+                            s.set_enable(1, true);
+                            s.step();
+                            s.set_enable(1, false);
+                            if (circuit_.has_stage2) s.set_enable(2, true);
+                            s.step();
+                            if (circuit_.has_stage2) s.set_enable(2, false);
+                            s.step();
 
-                        auto& s = worker->sim;
-                        s.restart();
-                        worker->recorder.begin_trace(kCycles);
-                        if (worker->probe) worker->probe->begin_group();
-                        s.set_input_word(circuit_.x_in.s0, share_words[0]);
-                        s.set_input_word(circuit_.x_in.s1, share_words[1]);
-                        s.set_input_word(circuit_.y_in.s0, share_words[2]);
-                        s.set_input_word(circuit_.y_in.s1, share_words[3]);
-                        for (unsigned i = 0; i < fresh; ++i)
-                            s.set_input_word(circuit_.rand_in[i],
-                                             fresh_words[i]);
-                        s.step();
-                        s.set_enable(1, true);
-                        s.step();
-                        s.set_enable(1, false);
-                        if (circuit_.has_stage2) s.set_enable(2, true);
-                        s.step();
-                        if (circuit_.has_stage2) s.set_enable(2, false);
-                        s.step();
-
-                        auto& noisy = worker->noisy;
-                        noisy.resize(kCycles * sim::kBatchLanes);
-                        for (unsigned lane = 0; lane < count; ++lane) {
-                            Xoshiro256 noise_rng = trace_rng(
-                                config.seed, kNoiseStream, group + lane);
-                            for (std::size_t bin = 0; bin < kCycles; ++bin) {
-                                double sample =
-                                    worker->recorder.sample(bin, lane);
-                                if (config.noise_sigma > 0.0)
-                                    sample += noise_rng.gaussian(
-                                        0.0, config.noise_sigma);
-                                noisy[bin * sim::kBatchLanes + lane] = sample;
+                            // Fold chunk by chunk (chunk c == traces
+                            // group+64c .. group+64c+63), noise in the
+                            // scalar path's per-trace bin order.
+                            auto& noisy = worker->noisy;
+                            noisy.resize(kCycles * sim::kBatchLanes);
+                            const unsigned chunks_used = (count + 63u) / 64u;
+                            for (unsigned c = 0; c < chunks_used; ++c) {
+                                const unsigned cnt =
+                                    std::min(64u, count - c * 64u);
+                                for (unsigned lane = 0; lane < cnt; ++lane) {
+                                    Xoshiro256 noise_rng =
+                                        trace_rng(config.seed, kNoiseStream,
+                                                  group + c * 64u + lane);
+                                    for (std::size_t bin = 0; bin < kCycles;
+                                         ++bin) {
+                                        double sample = worker->sample(
+                                            bin, c * 64u + lane);
+                                        if (config.noise_sigma > 0.0)
+                                            sample += noise_rng.gaussian(
+                                                0.0, config.noise_sigma);
+                                        noisy[bin * sim::kBatchLanes + lane] =
+                                            sample;
+                                    }
+                                }
+                                acc.campaign.add_lane_traces(
+                                    noisy, sim::kBatchLanes, fixed[c], cnt);
+                                if (!worker->probes.empty())
+                                    worker->probes[c].fold_group();
                             }
                         }
-                        acc.campaign.add_lane_traces(noisy, sim::kBatchLanes,
-                                                     fixed_mask, count);
-                        if (worker->probe)
-                            worker->probe->fold_group(fixed_mask, count,
-                                                      acc.attr);
-                    }
-                    if (telemetry::enabled())
-                        telemetry::record_sim_block(
-                            worker->sim.engine().stats(), worker->last_stats);
-                },
-                merge, policy, fingerprint, encode, decode, &progress,
-                session.meter());
+                        worker->finish_block();
+                        if (telemetry::enabled())
+                            telemetry::record_sim_block(worker->sim.stats(),
+                                                        worker->last_stats);
+                    },
+                    merge, policy, fingerprint, encode, decode, &progress,
+                    session.meter());
+            };
+
+            if (bplan.backend == SimBackend::Compiled)
+                return run_lanes([&] {
+                    return std::make_unique<
+                        LaneWorker<sim::CompiledClockedSim>>(
+                        circuit_.nl, dm_, bplan.lanes, clock_,
+                        sim::CouplingConfig{}, sim::SimOptions{});
+                });
+            return run_lanes([&] {
+                return std::make_unique<LaneWorker<EventLaneSim>>(circuit_.nl,
+                                                                  dm_, clock_);
+            });
         }
 
         struct Worker {

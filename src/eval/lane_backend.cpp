@@ -1,0 +1,75 @@
+#include "eval/lane_backend.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "eval/parallel_campaign.hpp"
+#include "support/env.hpp"
+
+namespace glitchmask::eval {
+
+const char* backend_name(SimBackend backend) noexcept {
+    return backend == SimBackend::Compiled ? "compiled" : "event";
+}
+
+namespace {
+
+SimBackend parse_backend(const std::string& name) {
+    if (name.empty() || name == "event") return SimBackend::Event;
+    if (name == "compiled") return SimBackend::Compiled;
+    throw std::invalid_argument(
+        "campaign config: unknown backend \"" + name +
+        "\" (expected \"event\" or \"compiled\")");
+}
+
+}  // namespace
+
+BackendPlan resolve_backend_plan(const CampaignRunOptions& run,
+                                 unsigned configured_lanes,
+                                 bool timing_coupling) {
+    std::string name = run.backend;
+    if (name.empty()) name = env_string("GLITCHMASK_BACKEND", "");
+    const SimBackend backend = parse_backend(name);
+
+    BackendPlan plan;
+    if (backend == SimBackend::Event || configured_lanes == 1 ||
+        timing_coupling) {
+        // The event plan owns the legacy policy (GLITCHMASK_LANES,
+        // timing-coupling fallback to scalar).  lanes == 1 is the scalar
+        // path regardless of the requested backend: a compiled pass
+        // narrower than 64 lanes cannot exist.
+        if (backend == SimBackend::Event && configured_lanes > 64)
+            throw std::invalid_argument(
+                "campaign config: the event backend supports at most 64 "
+                "lanes; use backend=compiled for wider passes");
+        if (timing_coupling && backend == SimBackend::Compiled)
+            log::info(
+                "timing coupling forces the scalar simulator; ignoring "
+                "backend=compiled");
+        plan.backend = SimBackend::Event;
+        plan.lanes = resolve_lanes(
+            std::min(configured_lanes, 64u), timing_coupling);
+        return plan;
+    }
+
+    plan.backend = SimBackend::Compiled;
+    unsigned lanes = configured_lanes;
+    if (lanes == 0)
+        lanes = static_cast<unsigned>(env_int("GLITCHMASK_COMPILED_LANES", 512));
+    if (lanes != 64 && lanes != 128 && lanes != 256 && lanes != 512)
+        throw std::invalid_argument(
+            "campaign config: compiled backend lanes must be 64, 128, 256 "
+            "or 512, got " +
+            std::to_string(lanes));
+    plan.lanes = lanes;
+    return plan;
+}
+
+void fold_backend_fingerprint(CampaignFingerprint& fingerprint,
+                              const BackendPlan& plan) {
+    if (plan.backend != SimBackend::Compiled || plan.scalar()) return;
+    fingerprint.payload = fnv1a64(fingerprint.payload, fnv1a64_tag("backend"));
+    fingerprint.payload = fnv1a64(fingerprint.payload, fnv1a64_tag("compiled"));
+}
+
+}  // namespace glitchmask::eval

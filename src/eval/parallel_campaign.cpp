@@ -40,10 +40,11 @@ void validate_campaign_config(std::size_t traces, std::size_t block_size,
         throw std::invalid_argument(
             "campaign config: block_size must be > 0 (a zero block size "
             "would silently produce a zero-block plan)");
-    if (lanes != 0 && lanes != 1 && lanes != 64)
+    if (lanes != 0 && lanes != 1 && lanes != 64 && lanes != 128 &&
+        lanes != 256 && lanes != 512)
         throw std::invalid_argument(
-            "campaign config: lanes must be 0 (auto), 1 (scalar) or 64 "
-            "(bitsliced), got " +
+            "campaign config: lanes must be 0 (auto), 1 (scalar), 64 "
+            "(bitsliced) or 128/256/512 (compiled backend), got " +
             std::to_string(lanes));
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 
@@ -97,6 +98,8 @@ void AttributionProbe::begin_trace() {
         std::fill(stamp_.begin(), stamp_.end(), 0u);
         epoch_ = 1;
     }
+    cur_window_ = 0;
+    window_end_ = plan_.window_ps();
 }
 
 void AttributionProbe::on_toggle(netlist::NetId net, sim::TimePs time,
@@ -104,9 +107,12 @@ void AttributionProbe::on_toggle(netlist::NetId net, sim::TimePs time,
     if (next_ != nullptr) next_->on_toggle(net, time, value);
     const std::uint32_t probe = plan_.probe_of(net);
     if (probe == AttributionPlan::kUnwatched) return;
-    const auto window = static_cast<std::size_t>(time / plan_.window_ps());
-    if (window >= plan_.windows()) return;
-    const std::size_t point = probe * plan_.windows() + window;
+    if (cur_window_ >= plan_.windows()) return;
+    while (time >= window_end_) {  // commit times never decrease in a trace
+        window_end_ += plan_.window_ps();
+        if (++cur_window_ >= plan_.windows()) return;
+    }
+    const std::size_t point = plan_.point_index(probe, cur_window_);
     if (stamp_[point] != epoch_) {
         stamp_[point] = epoch_;
         count_[point] = 1;
@@ -143,16 +149,30 @@ void AttributionProbe::fold_trace(bool fixed, AttributionAccumulator& acc) {
 BatchAttributionProbe::BatchAttributionProbe(const AttributionPlan& plan,
                                              sim::BatchToggleSink* next)
     : plan_(plan), next_(next) {
-    stamp_.assign(plan.points(), 0);
-    slot_.assign(plan.points(), 0);
+    stamp_slot_.assign(plan.points(), 0);
 }
 
-void BatchAttributionProbe::begin_group() {
+void BatchAttributionProbe::begin_group(std::uint64_t fixed_mask,
+                                        unsigned count,
+                                        AttributionAccumulator& acc) {
+    // A new fold target (or a u32-headroom limit: sumsq grows by at most
+    // 64 * 255^2 per group, so ~1000 groups fit) forces a spill of the
+    // staged subtotals first.
+    if (acc_ != nullptr && (acc_ != &acc || groups_in_block_ >= 1000))
+        spill_block();
+    if (block_.empty()) block_.assign(plan_.points() * 5, 0u);
     touched_.clear();
     if (++epoch_ == 0) {
-        std::fill(stamp_.begin(), stamp_.end(), 0u);
+        std::fill(stamp_slot_.begin(), stamp_slot_.end(), std::uint64_t{0});
         epoch_ = 1;
     }
+    cur_window_ = 0;
+    window_end_ = plan_.window_ps();
+    fixed_mask_ = fixed_mask;
+    for (unsigned lane = 0; lane < sim::kBatchLanes; ++lane)
+        class_of_[lane] = static_cast<std::uint8_t>((fixed_mask >> lane) & 1u);
+    count_ = count;
+    acc_ = &acc;
 }
 
 void BatchAttributionProbe::on_toggle(netlist::NetId net, sim::TimePs time,
@@ -161,58 +181,138 @@ void BatchAttributionProbe::on_toggle(netlist::NetId net, sim::TimePs time,
     if (next_ != nullptr) next_->on_toggle(net, time, values, toggled);
     const std::uint32_t probe = plan_.probe_of(net);
     if (probe == AttributionPlan::kUnwatched) return;
-    const auto window = static_cast<std::size_t>(time / plan_.window_ps());
-    if (window >= plan_.windows()) return;
-    const std::size_t point = probe * plan_.windows() + window;
-    if (stamp_[point] != epoch_) {
-        stamp_[point] = epoch_;
-        const std::uint32_t slot = static_cast<std::uint32_t>(touched_.size());
-        slot_[point] = slot;
+    if (cur_window_ >= plan_.windows()) return;
+    if (time >= window_end_) {  // commit times never decrease in a group
+        // The cursor leaves one or more windows behind: their counters
+        // are final, so fold them while they are still cache-hot and
+        // recycle their arena slots for the windows ahead.
+        flush_windows();
+        do {
+            window_end_ += plan_.window_ps();
+            if (++cur_window_ >= plan_.windows()) return;
+        } while (time >= window_end_);
+    }
+    const std::size_t point = plan_.point_index(probe, cur_window_);
+    const std::uint64_t entry = stamp_slot_[point];
+    std::uint32_t slot = static_cast<std::uint32_t>(entry);
+    if (static_cast<std::uint32_t>(entry >> 32) != epoch_) {
+        slot = static_cast<std::uint32_t>(touched_.size());
+        stamp_slot_[point] = (std::uint64_t{epoch_} << 32) | slot;
         touched_.push_back(static_cast<std::uint32_t>(point));
         if (arena_.size() < (slot + 1u) * std::size_t{sim::kBatchLanes})
             arena_.resize((slot + 1u) * std::size_t{sim::kBatchLanes});
         std::fill_n(arena_.begin() + slot * std::size_t{sim::kBatchLanes},
                     sim::kBatchLanes, std::uint8_t{0});
     }
-    std::uint8_t* counts = arena_.data() + slot_[point] * std::size_t{sim::kBatchLanes};
-    for (std::uint64_t m = toggled; m != 0; m &= m - 1) {
-        const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
-        if (counts[lane] != 255) ++counts[lane];
+    // SWAR deposit, 8 lane counters per step: spread the mask byte to one
+    // 0/1 increment per counter byte, then suppress increments for bytes
+    // already saturated at 255.  Both byte tests are exact (no borrow
+    // artifacts): a byte of `v` is nonzero iff the high bit of
+    // ((v & 0x7f..) + 0x7f..) | v is set.
+    std::uint8_t* counts =
+        arena_.data() + slot * std::size_t{sim::kBatchLanes};
+    constexpr std::uint64_t kLow7 = 0x7F7F7F7F7F7F7F7Full;
+    constexpr std::uint64_t kHigh = 0x8080808080808080ull;
+    // Only visit the nonzero bytes of the mask (masks are sparse: schedule
+    // groups split lanes by mark time, so most commits touch 1-2 bytes).
+    std::uint64_t nz = ((((toggled & kLow7) + kLow7) | toggled) & kHigh);
+    while (nz != 0) {
+        const unsigned k = static_cast<unsigned>(std::countr_zero(nz)) / 8u;
+        nz &= nz - 1;
+        const std::uint64_t mb = (toggled >> (8 * k)) & 0xFFu;
+        // Byte j of `bits` holds bit j of mb (in that byte's bit j).
+        const std::uint64_t bits =
+            (mb * 0x0101010101010101ull) & 0x8040201008040201ull;
+        const std::uint64_t spread =
+            ((((bits & kLow7) + kLow7) | bits) & kHigh) >> 7;  // 0/1 per byte
+        std::uint64_t x;
+        std::memcpy(&x, counts + 8 * k, 8);
+        const std::uint64_t t = ~x;  // byte 0 <=> counter at 255
+        const std::uint64_t sat01 = (~((((t & kLow7) + kLow7) | t) & kHigh) &
+                                     kHigh) >> 7;  // 0/1 per saturated byte
+        x += spread & ~sat01;
+        std::memcpy(counts + 8 * k, &x, 8);
     }
 }
 
-void BatchAttributionProbe::fold_group(std::uint64_t fixed_mask, unsigned count,
-                                       AttributionAccumulator& acc) {
-    for (unsigned lane = 0; lane < count; ++lane) {
-        if ((fixed_mask >> lane) & 1u)
-            ++acc.traces_fixed;
-        else
-            ++acc.traces_random;
-    }
-    // Lane-inner iteration: each point's sums receive lane 0's sample,
-    // then lane 1's, ... -- the exact addend order of `count` scalar
-    // fold_trace() calls, so the FP sums are bit-identical to the scalar
-    // path.
-    for (const std::uint32_t point : touched_) {
-        const std::uint8_t* counts =
-            arena_.data() + slot_[point] * std::size_t{sim::kBatchLanes};
-        PointStats& p = acc.point(point);
-        for (unsigned lane = 0; lane < count; ++lane) {
-            const std::uint8_t c = counts[lane];
-            if (c == 0) continue;
-            const double v = static_cast<double>(c);
-            if ((fixed_mask >> lane) & 1u) {
-                p.sum_fixed += v;
-                p.sumsq_fixed += v * v;
-            } else {
-                p.sum_random += v;
-                p.sumsq_random += v * v;
+void BatchAttributionProbe::flush_windows() {
+    // Every addend is a small integer (counts saturate at 255) and every
+    // partial sum stays far below 2^53, so the accumulator's doubles only
+    // ever hold *exact* integers: no addition ever rounds, and any
+    // association of the same addends lands on the same double.  That
+    // frees the fold from replaying the scalar path's per-trace FP chain
+    // -- subtotal in plain integers (1-cycle dependencies instead of
+    // FP-add latency) and add one exact subtotal per class, still `==`
+    // the scalar fold_trace() sequence.
+    if (count_ != 0 && acc_ != nullptr) {
+        for (const std::uint32_t point : touched_) {
+            const std::uint8_t* counts =
+                arena_.data() + static_cast<std::uint32_t>(stamp_slot_[point]) *
+                                    std::size_t{sim::kBatchLanes};
+            // Branchless per-lane accumulation, class selected by a 0/1
+            // multiply: no data-dependent branches, so the compiler turns
+            // the loop into SIMD widening sums -- faster than any
+            // byte-skipping walk once a net toggles in most lanes (the
+            // common case for shared control and clock fanout).
+            std::uint32_t sum = 0, sum_f = 0, sumsq = 0, sumsq_f = 0;
+            std::uint32_t lanes = 0;
+            for (unsigned lane = 0; lane < count_; ++lane) {
+                const std::uint32_t c = counts[lane];
+                const std::uint32_t m = class_of_[lane];
+                sum += c;
+                sum_f += c * m;
+                sumsq += c * c;
+                sumsq_f += c * c * m;
+                lanes += c != 0 ? 1u : 0u;
             }
-            p.toggles += c;
-            p.glitches += c - 1u;
+            std::uint32_t* b = block_.data() + point * std::size_t{5};
+            b[0] += sum_f;
+            b[1] += sumsq_f;
+            b[2] += sum - sum_f;
+            b[3] += sumsq - sumsq_f;
+            b[4] += lanes;
         }
     }
-    begin_group();
+    // Recycling the touch list restarts slot allocation at 0: the next
+    // window reuses the same (cache-hot) arena rows.
+    touched_.clear();
+}
+
+void BatchAttributionProbe::fold_group() {
+    flush_windows();
+    if (acc_ == nullptr) return;
+    ++groups_in_block_;
+    for (unsigned lane = 0; lane < count_; ++lane) {
+        if ((fixed_mask_ >> lane) & 1u)
+            ++acc_->traces_fixed;
+        else
+            ++acc_->traces_random;
+    }
+}
+
+void BatchAttributionProbe::spill_block() {
+    if (acc_ == nullptr || block_.empty()) {
+        groups_in_block_ = 0;
+        return;
+    }
+    const std::size_t points = plan_.points();
+    for (std::size_t point = 0; point < points; ++point) {
+        std::uint32_t* b = block_.data() + point * std::size_t{5};
+        // Skip untouched points entirely, like the scalar fold (adding
+        // an exact 0.0 would still be a wasted dirty cache line).
+        if ((b[0] | b[1] | b[2] | b[3] | b[4]) == 0) continue;
+        PointStats& p = acc_->point(point);
+        p.sum_fixed += static_cast<double>(b[0]);
+        p.sumsq_fixed += static_cast<double>(b[1]);
+        p.sum_random += static_cast<double>(b[2]);
+        p.sumsq_random += static_cast<double>(b[3]);
+        const std::uint64_t toggles = std::uint64_t{b[0]} + b[2];
+        p.toggles += toggles;
+        p.glitches += toggles - b[4];
+        b[0] = b[1] = b[2] = b[3] = b[4] = 0;
+    }
+    groups_in_block_ = 0;
+    acc_ = nullptr;
 }
 
 // ----- analysis -----------------------------------------------------------
@@ -283,7 +383,7 @@ AttributionResult analyze_attribution(const netlist::Netlist& nl,
         net.kind = std::string(netlist::kind_name(nl.cell(id).kind));
         net.module = nl.module_names()[nl.module_of(id)];
         for (std::size_t w = 0; w < windows; ++w) {
-            const PointStats& p = acc.point(i * windows + w);
+            const PointStats& p = acc.point(plan.point_index(i, w));
             const ClassStats f =
                 class_stats(p.sum_fixed, p.sumsq_fixed, acc.traces_fixed);
             const ClassStats r =
@@ -324,7 +424,7 @@ AttributionResult analyze_attribution(const netlist::Netlist& nl,
         for (std::size_t w = 0; w < windows; ++w) {
             result.abs_t[rank * windows + w] = abs_t[i * windows + w];
             result.window_glitches[rank * windows + w] =
-                acc.point(i * windows + w).glitches;
+                acc.point(plan.point_index(i, w)).glitches;
         }
     }
     return result;

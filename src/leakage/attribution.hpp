@@ -81,6 +81,17 @@ public:
     [[nodiscard]] std::uint32_t probe_of(netlist::NetId net) const noexcept {
         return probe_of_[net];
     }
+    /// Flat accumulator index of (probe, window).  Window-major on
+    /// purpose: commits arrive in time order, so one window's counters
+    /// form a contiguous net_count-sized slice -- the probes' working set
+    /// stays cache-resident while a window is active, and fold walks the
+    /// accumulator as a near-sequential stream instead of striding
+    /// `windows` apart on every deposit (at DES scale the accumulator is
+    /// ~14 MB, so the stride order was a cache miss per toggle).
+    [[nodiscard]] std::size_t point_index(std::size_t probe,
+                                          std::size_t window) const noexcept {
+        return window * nets_.size() + probe;
+    }
 
 private:
     std::vector<netlist::NetId> nets_;       // probe index -> net
@@ -166,38 +177,81 @@ private:
     std::vector<std::uint8_t> count_;    // valid when stamp matches epoch
     std::vector<std::uint32_t> touched_; // point indices, commit order
     std::uint32_t epoch_ = 1;
+    // Monotonic window cursor (commit times never decrease in a trace):
+    // window_end_ == (cur_window_ + 1) * window_ps.
+    std::size_t cur_window_ = 0;
+    sim::TimePs window_end_ = 0;
 };
 
 /// Bitsliced probe: same contract for up to 64 traces per event-queue
 /// pass.  Counts live in a slot arena indexed by touch order (64 bytes
-/// per touched point, allocated once and reused); fold_group() walks
-/// lanes in trace order so the accumulated sums are bit-identical to 64
-/// scalar fold_trace() calls.
+/// per touched point); each window's subtotals are folded into the
+/// registered accumulator the moment the window cursor passes it -- the
+/// counters are still cache-hot then, and clearing the touch list lets
+/// the next window reuse the same arena slots, so the deposit working
+/// set stays ~net_count x 64 bytes for the whole group instead of one
+/// row per (net, window) point.  All accumulator sums are exact small
+/// integers held in doubles (counts saturate at 255, totals stay far
+/// below 2^53), so this early, chunk-interleaved addition order is
+/// bit-identical to 64 scalar fold_trace() calls.
 class BatchAttributionProbe final : public sim::BatchToggleSink {
 public:
     BatchAttributionProbe(const AttributionPlan& plan,
                           sim::BatchToggleSink* next);
 
-    /// Arms the probe for the next lane group; call alongside the batch
-    /// recorder's begin_trace().
-    void begin_group();
+    /// Arms the probe for the next lane group and registers its fold
+    /// target: bit l of `fixed_mask` labels lane l's class, lanes >=
+    /// `count` (partial final group) are ignored, and `acc` -- which must
+    /// outlive the group -- receives each window's subtotals as the
+    /// cursor passes it.  Call alongside the batch recorder's
+    /// begin_trace().
+    void begin_group(std::uint64_t fixed_mask, unsigned count,
+                     AttributionAccumulator& acc);
 
     void on_toggle(netlist::NetId net, sim::TimePs time, std::uint64_t values,
                    std::uint64_t toggled) override;
 
-    /// Folds lanes [0, count) in lane order: bit l of `fixed_mask` labels
-    /// lane l's class.  Lanes >= count (partial final group) are ignored.
-    void fold_group(std::uint64_t fixed_mask, unsigned count,
-                    AttributionAccumulator& acc);
+    /// Flushes the windows still pending into the block subtotals and
+    /// adds the per-class trace counts to the accumulator registered by
+    /// begin_group().
+    void fold_group();
+
+    /// Spills the block subtotals into the registered accumulator; call
+    /// once per block, after the last fold_group().  (Group flushes land
+    /// in a compact u32 staging array -- 20 bytes per point instead of
+    /// the accumulator's 48 -- so the expensive full-accumulator pass
+    /// runs once per block, not once per 64-trace group.)
+    void spill_block();
 
 private:
+    void flush_windows();
+
     const AttributionPlan& plan_;
     sim::BatchToggleSink* next_;
-    std::vector<std::uint32_t> stamp_;   // per point: epoch of last touch
-    std::vector<std::uint32_t> slot_;    // per point: arena slot
+    // Per point: (epoch of last touch << 32) | arena slot.  One word so
+    // the first-touch check and the slot lookup share a cache line.
+    std::vector<std::uint64_t> stamp_slot_;
     std::vector<std::uint8_t> arena_;    // 64 lane counts per slot
     std::vector<std::uint32_t> touched_; // point indices, commit order
+    // 0/1 per lane, spread from begin_group's fixed_mask: lets the flush
+    // inner loop select the class arithmetically (branchless, so the
+    // compiler vectorizes it).
+    std::uint8_t class_of_[sim::kBatchLanes] = {};
+    // Per-point block subtotals, 5 u32 each: sum/sumsq per class plus the
+    // toggling-lane count (toggles = sum_f + sum_r, glitches = toggles -
+    // lanes).  Exact small integers, spilled into the accumulator's
+    // (equally exact) doubles by spill_block().
+    std::vector<std::uint32_t> block_;
     std::uint32_t epoch_ = 1;
+    // Monotonic window cursor (commit times never decrease in a group):
+    // window_end_ == (cur_window_ + 1) * window_ps.
+    std::size_t cur_window_ = 0;
+    sim::TimePs window_end_ = 0;
+    // Fold target for the in-flight block.
+    std::uint64_t fixed_mask_ = 0;
+    unsigned count_ = 0;
+    unsigned groups_in_block_ = 0;
+    AttributionAccumulator* acc_ = nullptr;
 };
 
 // ----- analysis and reports ----------------------------------------------

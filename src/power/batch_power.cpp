@@ -20,6 +20,8 @@ void BatchPowerRecorder::begin_trace(std::size_t bins) {
     trace_.assign(bins * sim::kBatchLanes, 0.0);
     lane_toggles_.fill(0);
     trace_toggles_ = 0;
+    cur_bin_ = 0;
+    bin_end_ = config_.bin_ps;
 }
 
 void BatchPowerRecorder::on_toggle(NetId net, sim::TimePs time,
@@ -27,12 +29,20 @@ void BatchPowerRecorder::on_toggle(NetId net, sim::TimePs time,
     const int count = popcount64(toggled);
     trace_toggles_ += static_cast<std::uint64_t>(count);
     total_toggles_ += static_cast<std::uint64_t>(count);
-    for (std::uint64_t rest = toggled; rest != 0; rest &= rest - 1)
-        ++lane_toggles_[std::countr_zero(rest)];
 
-    const std::size_t bin = static_cast<std::size_t>(time / config_.bin_ps);
-    if (bin >= bins_) return;
-    double* row = trace_.data() + bin * sim::kBatchLanes;
+    // Monotonic bin cursor (commit times never decrease in a batch): when
+    // the commit lands past the window only the lane counters advance.
+    bool in_window = cur_bin_ < bins_;
+    while (in_window && time >= bin_end_) {
+        bin_end_ += config_.bin_ps;
+        in_window = ++cur_bin_ < bins_;
+    }
+    if (!in_window) {
+        for (std::uint64_t rest = toggled; rest != 0; rest &= rest - 1)
+            ++lane_toggles_[std::countr_zero(rest)];
+        return;
+    }
+    double* row = trace_.data() + cur_bin_ * sim::kBatchLanes;
     const double weight = weight_[net];
     if (config_.coupling_epsilon != 0.0 && partner_[net] != netlist::kNoNet &&
         engine_ != nullptr) {
@@ -42,13 +52,19 @@ void BatchPowerRecorder::on_toggle(NetId net, sim::TimePs time,
         const std::uint64_t opposite = engine_->word(partner_[net]) ^ values;
         for (std::uint64_t rest = toggled; rest != 0; rest &= rest - 1) {
             const unsigned lane = static_cast<unsigned>(std::countr_zero(rest));
+            ++lane_toggles_[lane];
             row[lane] += weight + (((opposite >> lane) & 1u) != 0
                                        ? config_.coupling_epsilon
                                        : -config_.coupling_epsilon);
         }
     } else {
-        for (std::uint64_t rest = toggled; rest != 0; rest &= rest - 1)
-            row[std::countr_zero(rest)] += weight;
+        // One walk covers both the per-lane counter and the deposit
+        // (masks are sparse: schedule groups split lanes by mark time).
+        for (std::uint64_t rest = toggled; rest != 0; rest &= rest - 1) {
+            const unsigned lane = static_cast<unsigned>(std::countr_zero(rest));
+            ++lane_toggles_[lane];
+            row[lane] += weight;
+        }
     }
 }
 

@@ -32,8 +32,9 @@ public:
     BatchPowerRecorder(const Netlist& nl, PowerConfig config);
 
     /// Neighbour lane words for the coupling term; required only when
-    /// coupling_epsilon != 0.
-    void attach(const sim::BatchEventSimulator* engine) noexcept {
+    /// coupling_epsilon != 0.  Any BatchWordView works: the batch engine
+    /// itself, or one chunk of the compiled wide-lane engine.
+    void attach(const sim::BatchWordView* engine) noexcept {
         engine_ = engine;
     }
 
@@ -80,11 +81,16 @@ public:
 
 private:
     PowerConfig config_;
-    const sim::BatchEventSimulator* engine_ = nullptr;
+    const sim::BatchWordView* engine_ = nullptr;
     std::vector<double> weight_;
     std::vector<NetId> partner_;
     std::vector<double> trace_;  // bin-major: [bin * 64 + lane]
     std::size_t bins_ = 0;
+    // Current-bin cursor: engine commit times never decrease within a
+    // batch, so the bin index advances monotonically -- no division in
+    // on_toggle.  bin_end_ == (cur_bin_ + 1) * bin_ps.
+    std::size_t cur_bin_ = 0;
+    sim::TimePs bin_end_ = 0;
     std::array<std::uint64_t, sim::kBatchLanes> lane_toggles_{};
     std::uint64_t trace_toggles_ = 0;
     std::uint64_t total_toggles_ = 0;

@@ -59,7 +59,17 @@ public:
                            std::uint64_t toggled) = 0;
 };
 
-class BatchEventSimulator {
+/// Read-only lane-word view of committed net values -- the seam the
+/// energy-coupling power model taps (power/batch_power.hpp).  Implemented
+/// by BatchEventSimulator (its one 64-lane word) and by each 64-lane
+/// chunk of the compiled wide-lane engine (sim/compiled_simulator.hpp).
+class BatchWordView {
+public:
+    virtual ~BatchWordView() = default;
+    [[nodiscard]] virtual std::uint64_t word(NetId net) const noexcept = 0;
+};
+
+class BatchEventSimulator final : public BatchWordView {
 public:
     /// Throws std::invalid_argument when `coupling.timing_enabled` is set:
     /// data-dependent delays break the shared-schedule premise.
@@ -84,7 +94,7 @@ public:
     /// time (max over lanes; per-lane settle times come from the sink).
     TimePs run_to_quiescence();
 
-    [[nodiscard]] std::uint64_t word(NetId net) const noexcept {
+    [[nodiscard]] std::uint64_t word(NetId net) const noexcept override {
         return out_val_[net];
     }
     [[nodiscard]] bool value(NetId net, unsigned lane) const noexcept {

@@ -1,0 +1,897 @@
+#include "sim/compiled_simulator.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+
+namespace glitchmask::sim {
+
+namespace {
+
+constexpr std::uint8_t kOutputPin = 0xFF;
+constexpr std::uint8_t kSourcePin = 0xFE;
+constexpr TimePs kNoEvent = ~TimePs{0};
+
+// ----- lane words --------------------------------------------------------
+
+template <unsigned W>
+struct LW {
+    std::uint64_t w[W];
+};
+
+template <unsigned W>
+[[nodiscard]] inline bool lw_none(const LW<W>& x) noexcept {
+    std::uint64_t acc = 0;
+    for (unsigned i = 0; i < W; ++i) acc |= x.w[i];
+    return acc == 0;
+}
+
+template <unsigned W>
+[[nodiscard]] inline std::uint64_t lw_popcount(const LW<W>& x) noexcept {
+    std::uint64_t n = 0;
+    for (unsigned i = 0; i < W; ++i)
+        n += static_cast<std::uint64_t>(std::popcount(x.w[i]));
+    return n;
+}
+
+template <unsigned W>
+[[nodiscard]] inline LW<W> lw_and(const LW<W>& a, const LW<W>& b) noexcept {
+    LW<W> r;
+    for (unsigned i = 0; i < W; ++i) r.w[i] = a.w[i] & b.w[i];
+    return r;
+}
+
+template <unsigned W>
+[[nodiscard]] inline LW<W> lw_andnot(const LW<W>& a, const LW<W>& b) noexcept {
+    LW<W> r;
+    for (unsigned i = 0; i < W; ++i) r.w[i] = a.w[i] & ~b.w[i];
+    return r;
+}
+
+template <unsigned W>
+[[nodiscard]] inline LW<W> lw_xor(const LW<W>& a, const LW<W>& b) noexcept {
+    LW<W> r;
+    for (unsigned i = 0; i < W; ++i) r.w[i] = a.w[i] ^ b.w[i];
+    return r;
+}
+
+template <unsigned W>
+inline void lw_or_eq(LW<W>& a, const LW<W>& b) noexcept {
+    for (unsigned i = 0; i < W; ++i) a.w[i] |= b.w[i];
+}
+
+template <unsigned W>
+inline void lw_andnot_eq(LW<W>& a, const LW<W>& b) noexcept {
+    for (unsigned i = 0; i < W; ++i) a.w[i] &= ~b.w[i];
+}
+
+/// dst = (dst & ~mask) | (val & mask)
+template <unsigned W>
+inline void lw_merge(LW<W>& dst, const LW<W>& val, const LW<W>& mask) noexcept {
+    for (unsigned i = 0; i < W; ++i)
+        dst.w[i] = (dst.w[i] & ~mask.w[i]) | (val.w[i] & mask.w[i]);
+}
+
+template <unsigned W>
+[[nodiscard]] inline LW<W> lw_splat(std::uint64_t v) noexcept {
+    LW<W> r;
+    for (unsigned i = 0; i < W; ++i) r.w[i] = v;
+    return r;
+}
+
+/// Wide evaluation with the kind switch hoisted out of the word loop
+/// (netlist::eval_cell_word would re-dispatch per 64-lane word).  `p`
+/// points at the cell's 3 pin words; bit-for-bit eval_cell_word per word.
+template <unsigned W>
+[[nodiscard]] inline LW<W> eval_cell_lw(netlist::CellKind kind,
+                                        const LW<W>* p) noexcept {
+    using netlist::CellKind;
+    LW<W> r;
+    switch (kind) {
+        case CellKind::Input:
+        case CellKind::Buf:
+        case CellKind::DelayBuf:
+        case CellKind::Dff:
+            r = p[0];
+            break;
+        case CellKind::Const0:
+            r = LW<W>{};
+            break;
+        case CellKind::Const1:
+            r = lw_splat<W>(~std::uint64_t{0});
+            break;
+        case CellKind::Inv:
+            for (unsigned i = 0; i < W; ++i) r.w[i] = ~p[0].w[i];
+            break;
+        case CellKind::And2:
+            for (unsigned i = 0; i < W; ++i) r.w[i] = p[0].w[i] & p[1].w[i];
+            break;
+        case CellKind::Nand2:
+            for (unsigned i = 0; i < W; ++i) r.w[i] = ~(p[0].w[i] & p[1].w[i]);
+            break;
+        case CellKind::Or2:
+            for (unsigned i = 0; i < W; ++i) r.w[i] = p[0].w[i] | p[1].w[i];
+            break;
+        case CellKind::Nor2:
+            for (unsigned i = 0; i < W; ++i) r.w[i] = ~(p[0].w[i] | p[1].w[i]);
+            break;
+        case CellKind::Xor2:
+            for (unsigned i = 0; i < W; ++i) r.w[i] = p[0].w[i] ^ p[1].w[i];
+            break;
+        case CellKind::Xnor2:
+            for (unsigned i = 0; i < W; ++i) r.w[i] = ~(p[0].w[i] ^ p[1].w[i]);
+            break;
+        case CellKind::Orn2:
+            for (unsigned i = 0; i < W; ++i) r.w[i] = p[0].w[i] | ~p[1].w[i];
+            break;
+        case CellKind::SecAnd3:
+            for (unsigned i = 0; i < W; ++i)
+                r.w[i] = (p[0].w[i] & p[1].w[i]) ^ (p[0].w[i] | ~p[2].w[i]);
+            break;
+        case CellKind::Mux2:
+            for (unsigned i = 0; i < W; ++i)
+                r.w[i] = (p[2].w[i] & p[1].w[i]) | (~p[2].w[i] & p[0].w[i]);
+            break;
+        default:
+            r = LW<W>{};
+            break;
+    }
+    return r;
+}
+
+// ----- program fingerprint ----------------------------------------------
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline std::uint64_t fnv_bytes(std::uint64_t h, const void* data,
+                               std::size_t n) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) h = (h ^ p[i]) * kFnvPrime;
+    return h;
+}
+
+template <class T>
+inline std::uint64_t fnv_value(std::uint64_t h, const T& v) noexcept {
+    return fnv_bytes(h, &v, sizeof(v));
+}
+
+std::uint64_t program_key(const netlist::Netlist& nl, const DelayModel& dm,
+                          const SimOptions& options) {
+    std::uint64_t h = kFnvOffset;
+    h = fnv_value(h, nl.size());
+    for (CellId id = 0; id < nl.size(); ++id) {
+        const netlist::Cell& cell = nl.cell(id);
+        h = fnv_value(h, cell.kind);
+        h = fnv_value(h, cell.enable);
+        h = fnv_value(h, cell.reset);
+        h = fnv_value(h, cell.in[0]);
+        h = fnv_value(h, cell.in[1]);
+        h = fnv_value(h, cell.in[2]);
+        h = fnv_value(h, dm.gate_delay(id));
+        h = fnv_value(h, dm.wire_delay(id, 0));
+        h = fnv_value(h, dm.wire_delay(id, 1));
+        h = fnv_value(h, dm.wire_delay(id, 2));
+    }
+    h = fnv_value(h, dm.clk_to_q());
+    h = fnv_value(h, options.inertial_filtering);
+    h = fnv_value(h, options.inertial_factor);
+    return h;
+}
+
+std::shared_ptr<const CompiledProgram> build_program(const netlist::Netlist& nl,
+                                                     const DelayModel& dm,
+                                                     const SimOptions& options,
+                                                     std::uint64_t key) {
+    auto prog = std::make_shared<CompiledProgram>();
+    CompiledProgram& p = *prog;
+    const std::size_t n = nl.size();
+    p.key = key;
+    p.n_cells = n;
+    p.kind.resize(n);
+    p.pins.resize(n);
+    p.in.assign(n * 3, netlist::kNoNet);
+    p.gate_ps.resize(n);
+    p.inertial_window.resize(n);
+    p.settle_one.assign(n, 0);
+    p.fanout_begin.assign(n + 1, 0);
+    p.clk_to_q = dm.clk_to_q();
+    p.max_ctrl_group = nl.max_ctrl_group();
+    p.inertial_filtering = options.inertial_filtering;
+
+    std::uint32_t max_gate = 0;
+    std::uint32_t max_wire = 0;
+    p.pin_base.assign(n + 1, 0);
+    for (CellId id = 0; id < n; ++id) {
+        const netlist::Cell& cell = nl.cell(id);
+        p.kind[id] = cell.kind;
+        const unsigned pins = netlist::pin_count(cell.kind);
+        p.pins[id] = static_cast<std::uint8_t>(pins);
+        p.pin_base[id + 1] = p.pin_base[id] + pins;
+        for (unsigned q = 0; q < pins; ++q) p.in[id * 3 + q] = cell.in[q];
+        p.gate_ps[id] = dm.gate_delay(id);
+        max_gate = std::max(max_gate, p.gate_ps[id]);
+        // Same rounding expression as the event engines so the inertial
+        // windows agree bit-for-bit.
+        p.inertial_window[id] = static_cast<TimePs>(
+            options.inertial_factor * static_cast<double>(dm.gate_delay(id)));
+        if (cell.kind == netlist::CellKind::Dff)
+            p.flops.push_back({id, cell.enable, cell.reset});
+
+        // All-sources-low steady state in creation order (topological for
+        // combinational cells) -- identical to the event engines' settle.
+        std::uint8_t one = 0;
+        switch (cell.kind) {
+            case netlist::CellKind::Input:
+            case netlist::CellKind::Dff:
+            case netlist::CellKind::Const0:
+                one = 0;
+                break;
+            case netlist::CellKind::Const1:
+                one = 1;
+                break;
+            default: {
+                std::uint64_t a = 0, b = 0, c = 0;
+                if (pins > 0) a = p.settle_one[cell.in[0]] ? kAllLanes : 0;
+                if (pins > 1) b = p.settle_one[cell.in[1]] ? kAllLanes : 0;
+                if (pins > 2) c = p.settle_one[cell.in[2]] ? kAllLanes : 0;
+                one = netlist::eval_cell_word(cell.kind, a, b, c) != 0 ? 1 : 0;
+                break;
+            }
+        }
+        p.settle_one[id] = one;
+    }
+
+    for (CellId id = 0; id < n; ++id)
+        p.fanout_begin[id + 1] =
+            p.fanout_begin[id] +
+            static_cast<std::uint32_t>(nl.fanout(id).size());
+    p.fanout.resize(p.fanout_begin[n]);
+    for (CellId id = 0; id < n; ++id) {
+        std::uint32_t out = p.fanout_begin[id];
+        for (const netlist::Sink& sink : nl.fanout(id)) {
+            const std::uint32_t wire = dm.wire_delay(sink.cell, sink.pin);
+            max_wire = std::max(max_wire, wire);
+            p.fanout[out++] = {sink.cell, sink.pin, wire};
+        }
+    }
+
+    // Ring horizon: the longest push offset past `now` is one wire hop
+    // plus one gate delay plus the clk-to-Q launch, with generous slack
+    // for the monotonic +1 bump chains.  Events past the horizon (never
+    // produced by the clocked drivers) fall back to the overflow heap, so
+    // correctness does not depend on this value.
+    const std::uint64_t span = static_cast<std::uint64_t>(max_wire) +
+                               2ull * max_gate + p.clk_to_q + 1024u;
+    p.ring_size = std::bit_ceil(std::max<std::uint64_t>(span, 4096u));
+    return prog;
+}
+
+struct ProgramCache {
+    std::mutex mutex;
+    std::vector<std::shared_ptr<const CompiledProgram>> entries;  // MRU first
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+
+ProgramCache& program_cache() {
+    static ProgramCache cache;
+    return cache;
+}
+
+constexpr std::size_t kProgramCacheCapacity = 8;
+
+}  // namespace
+
+std::shared_ptr<const CompiledProgram> compile_netlist(const netlist::Netlist& nl,
+                                                       const DelayModel& dm,
+                                                       SimOptions options) {
+    if (!nl.frozen())
+        throw std::invalid_argument("compile_netlist: netlist not frozen");
+    const std::uint64_t key = program_key(nl, dm, options);
+    ProgramCache& cache = program_cache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    for (std::size_t i = 0; i < cache.entries.size(); ++i) {
+        if (cache.entries[i]->key == key) {
+            auto hit = cache.entries[i];
+            cache.entries.erase(cache.entries.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+            cache.entries.insert(cache.entries.begin(), hit);
+            ++cache.hits;
+            return hit;
+        }
+    }
+    ++cache.misses;
+    auto prog = build_program(nl, dm, options, key);
+    cache.entries.insert(cache.entries.begin(), prog);
+    if (cache.entries.size() > kProgramCacheCapacity)
+        cache.entries.resize(kProgramCacheCapacity);
+    return prog;
+}
+
+CompiledCacheStats compiled_program_cache_stats() {
+    ProgramCache& cache = program_cache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    return CompiledCacheStats{cache.hits, cache.misses, cache.entries.size()};
+}
+
+void clear_compiled_program_cache() {
+    ProgramCache& cache = program_cache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    cache.entries.clear();
+    cache.hits = 0;
+    cache.misses = 0;
+}
+
+// ----- the wide-lane engine ----------------------------------------------
+
+namespace {
+
+template <unsigned W>
+class CompiledEngine final : public CompiledEngineBase {
+public:
+    explicit CompiledEngine(std::shared_ptr<const CompiledProgram> program)
+        : program_(std::move(program)), p_(program_.get()) {
+        const std::size_t n = p_->n_cells;
+        out_val_.resize(n);
+        pin_val_.resize(p_->pin_base[n]);
+        last_sched_out_.resize(n);
+        pending_.resize(n);
+        marks_.resize(n);
+        window_stamp_.resize(n, 0);
+        window_toggled_.resize(n);
+        ring_mask_ = p_->ring_size - 1;
+        buckets_.resize(p_->ring_size);
+        occ_.assign(p_->ring_size / 64, 0);
+        for (unsigned c = 0; c < W; ++c) views_[c].bind(this, c);
+        initialize();
+    }
+
+    [[nodiscard]] unsigned chunks() const noexcept override { return W; }
+
+    void initialize() override {
+        for (std::size_t slot = 0; slot < buckets_.size(); ++slot)
+            buckets_[slot].clear();
+        std::fill(occ_.begin(), occ_.end(), 0);
+        overflow_ = {};
+        wheel_count_ = 0;
+        live_ = 0;
+        now_ = 0;
+        seq_ = 0;
+        window_epoch_ = 1;
+        std::fill(window_stamp_.begin(), window_stamp_.end(), 0);
+        for (auto& w : window_toggled_) w = LW<W>{};
+        for (auto& pending : pending_) pending.clear();
+        for (auto& marks : marks_) marks.clear();
+        const std::size_t n = p_->n_cells;
+        for (auto& pv : pin_val_) pv = LW<W>{};
+        for (CellId id = 0; id < n; ++id) {
+            const LW<W> v = lw_splat<W>(p_->settle_one[id] ? kAllLanes : 0);
+            out_val_[id] = v;
+            last_sched_out_[id] = v;
+        }
+        for (CellId id = 0; id < n; ++id) {
+            const unsigned pins = p_->pins[id];
+            for (unsigned q = 0; q < pins; ++q)
+                pin_val_[p_->pin_base[id] + q] = out_val_[p_->in[id * 3 + q]];
+        }
+    }
+
+    void set_sink(unsigned chunk, BatchToggleSink* sink) noexcept override {
+        sinks_[chunk] = sink;
+    }
+
+    [[nodiscard]] const BatchWordView* chunk_view(
+        unsigned chunk) const noexcept override {
+        return &views_[chunk];
+    }
+
+    void drive_chunk(NetId source, unsigned chunk, std::uint64_t values,
+                     std::uint64_t lanes, TimePs time) override {
+        if (lanes == 0) return;
+        check_drive_time(time);
+        Pending p{};
+        p.time = time;
+        p.seq = seq_;
+        p.lanes.w[chunk] = lanes;
+        p.value.w[chunk] = values;
+        pending_[source].push_back(p);
+        push_commit(source, kSourcePin, time);
+    }
+
+    void drive_all(NetId source, bool value, TimePs time) override {
+        check_drive_time(time);
+        Pending p{};
+        p.time = time;
+        p.seq = seq_;
+        p.lanes = lw_splat<W>(kAllLanes);
+        p.value = lw_splat<W>(value ? kAllLanes : 0);
+        pending_[source].push_back(p);
+        push_commit(source, kSourcePin, time);
+    }
+
+    void sample_flops(const std::uint8_t* enable, const std::uint8_t* reset,
+                      TimePs launch) override {
+        // Same per-edge discipline as BatchClockedSim: reset beats enable,
+        // the D pin is the wire-delayed view, and only changed lanes are
+        // launched (flop order == drive order == seq order).
+        for (const CompiledProgram::FlopInfo& flop : p_->flops) {
+            const LW<W>& cur = out_val_[flop.cell];
+            LW<W> q;
+            if (flop.reset != netlist::kAlwaysEnabled && reset[flop.reset] != 0)
+                q = LW<W>{};
+            else if (enable[flop.enable] != 0)
+                q = pin_val_[p_->pin_base[flop.cell]];
+            else
+                q = cur;
+            const LW<W> changed = lw_xor(q, cur);
+            if (lw_none(changed)) continue;
+            pending_[flop.cell].push_back(Pending{launch, seq_, changed, q});
+            push_commit(flop.cell, kSourcePin, launch);
+        }
+    }
+
+    void run_until(TimePs t_end) override {
+        while (step_one_time(t_end)) {
+        }
+        now_ = t_end;
+    }
+
+    TimePs run_to_quiescence() override {
+        while (step_one_time(kNoEvent)) {
+        }
+        return now_;
+    }
+
+    [[nodiscard]] std::uint64_t word(NetId net,
+                                     unsigned chunk) const noexcept override {
+        return out_val_[net].w[chunk];
+    }
+
+    [[nodiscard]] std::uint64_t pin_word(CellId cell, unsigned pin,
+                                         unsigned chunk) const noexcept override {
+        return pin_val_[p_->pin_base[cell] + pin].w[chunk];
+    }
+
+    [[nodiscard]] TimePs now() const noexcept override { return now_; }
+
+    void begin_activity_window() noexcept override { ++window_epoch_; }
+
+    [[nodiscard]] telemetry::SimStats stats() const noexcept override {
+        return telemetry::SimStats{processed_, toggles_, glitches_,
+                                   inertial_cancels_, queue_peak_};
+    }
+
+private:
+    // Events are the unit of queue traffic, so they carry the minimum:
+    // a pin event needs only the toggle mask (per-edge FIFO delivery
+    // means flipping exactly those lanes reproduces the old merge), and
+    // commit events (output or source) carry nothing -- their lanes and
+    // target value wait in pending_[cell], keyed by seq.  That keeps an
+    // Event at one lane word instead of two (88 B vs 152 B at W=8),
+    // which is most of the wheel's memory traffic.
+    struct Event {
+        TimePs time;
+        std::uint64_t seq;
+        CellId cell;
+        std::uint8_t pin;  // 0xFF = output commit, 0xFE = source commit
+        LW<W> mask;        // pin event: lanes to flip; commits: unused
+    };
+    struct Pending {
+        TimePs time;
+        std::uint64_t seq;
+        LW<W> lanes;
+        LW<W> value;
+    };
+    struct Mark {
+        TimePs when;
+        LW<W> lanes;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const noexcept {
+            return (a.time != b.time) ? a.time > b.time : a.seq > b.seq;
+        }
+    };
+
+    class ChunkView final : public BatchWordView {
+    public:
+        void bind(const CompiledEngine* engine, unsigned chunk) noexcept {
+            engine_ = engine;
+            chunk_ = chunk;
+        }
+        [[nodiscard]] std::uint64_t word(NetId net) const noexcept override {
+            return engine_->out_val_[net].w[chunk_];
+        }
+
+    private:
+        const CompiledEngine* engine_ = nullptr;
+        unsigned chunk_ = 0;
+    };
+
+    void check_drive_time(TimePs time) const {
+        if (time < now_)
+            throw std::invalid_argument(
+                "CompiledEngine: drive in the past (the time-slot ring "
+                "replays forward only)");
+    }
+
+    // ----- time-slot ring ------------------------------------------------
+
+    /// Commit event: lanes/value live in pending_[cell] under this seq,
+    /// so the event's mask stays unwritten (and unread).
+    void push_commit(CellId cell, std::uint8_t pin, TimePs time) {
+        Event ev;
+        ev.time = time;
+        ev.seq = seq_++;
+        ev.cell = cell;
+        ev.pin = pin;
+        push_event(std::move(ev));
+    }
+
+    void push_event(Event&& ev) {
+        ++live_;
+        if (live_ > queue_peak_) queue_peak_ = live_;
+        if (ev.time - now_ <= ring_mask_) {
+            const std::size_t slot = ev.time & ring_mask_;
+            occ_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+            buckets_[slot].push_back(std::move(ev));
+            ++wheel_count_;
+        } else {
+            overflow_.push(std::move(ev));
+        }
+    }
+
+    /// Earliest occupied slot time >= now_ (valid only when the wheel is
+    /// non-empty): word-wise circular scan of the occupancy bitmap.
+    [[nodiscard]] TimePs next_wheel_time() const noexcept {
+        const std::size_t i0 = now_ & ring_mask_;
+        const std::size_t nwords = occ_.size();
+        std::size_t word_idx = i0 >> 6;
+        std::uint64_t w = occ_[word_idx] & (~std::uint64_t{0} << (i0 & 63));
+        for (std::size_t k = 0; k <= nwords; ++k) {
+            if (w != 0) {
+                const std::size_t slot =
+                    (word_idx << 6) +
+                    static_cast<std::size_t>(std::countr_zero(w));
+                return now_ + ((slot - i0) & ring_mask_);
+            }
+            word_idx = word_idx + 1 == nwords ? 0 : word_idx + 1;
+            w = occ_[word_idx];
+        }
+        return kNoEvent;  // unreachable while wheel_count_ > 0
+    }
+
+    void migrate_overflow() {
+        while (!overflow_.empty() && overflow_.top().time - now_ <= ring_mask_) {
+            Event ev = overflow_.top();
+            overflow_.pop();
+            const std::size_t slot = ev.time & ring_mask_;
+            auto& bucket = buckets_[slot];
+            // Keep the bucket seq-sorted: entries appended while this
+            // event sat in the overflow heap carry larger seq numbers.
+            std::size_t pos = bucket.size();
+            while (pos > 0 && bucket[pos - 1].seq > ev.seq) --pos;
+            bucket.insert(bucket.begin() + static_cast<std::ptrdiff_t>(pos),
+                          std::move(ev));
+            occ_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+            ++wheel_count_;
+        }
+    }
+
+    /// Processes every event at the next event time if it is < t_end.
+    bool step_one_time(TimePs t_end) {
+        TimePs t = kNoEvent;
+        if (wheel_count_ != 0) t = next_wheel_time();
+        if (!overflow_.empty() && overflow_.top().time < t)
+            t = overflow_.top().time;
+        if (t >= t_end) return false;
+        now_ = t;
+        migrate_overflow();
+        const std::size_t slot = t & ring_mask_;
+        auto& bucket = buckets_[slot];
+        // Index loop, size re-read each pass: same-time pushes during the
+        // drain append here and must run in this pass (FIFO == seq order,
+        // exactly the heap's (time, seq) order).
+        for (std::size_t i = 0; i < bucket.size(); ++i) {
+            const Event ev = bucket[i];  // copy: pushes may reallocate
+            ++processed_;
+            --wheel_count_;
+            --live_;
+            if (ev.pin >= kSourcePin)
+                commit_output(ev);
+            else
+                update_pin(ev);
+        }
+        bucket.clear();
+        occ_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+        return true;
+    }
+
+    // ----- ported event-engine semantics (see sim/batch_simulator.cpp) --
+
+    void schedule_group(CellId cell, const LW<W>& value, const LW<W>& lanes,
+                        TimePs when) {
+        LW<W> cancelled{};
+        if (p_->inertial_filtering) {
+            LW<W> to_check = lanes;
+            auto& pending = pending_[cell];
+            for (auto it = pending.rbegin();
+                 it != pending.rend() && !lw_none(to_check); ++it) {
+                const LW<W> m = lw_and(to_check, it->lanes);
+                if (lw_none(m)) continue;
+                if (when >= it->time &&
+                    when - it->time < p_->inertial_window[cell]) {
+                    lw_andnot_eq(it->lanes, m);
+                    lw_or_eq(cancelled, m);
+                }
+                lw_andnot_eq(to_check, m);
+            }
+            inertial_cancels_ += lw_popcount(cancelled);
+        }
+
+        lw_merge(last_sched_out_[cell], value, lanes);
+        auto& marks = marks_[cell];
+        for (Mark& mark : marks) lw_andnot_eq(mark.lanes, lanes);
+        bool merged = false;
+        for (Mark& mark : marks) {
+            if (mark.when == when) {
+                lw_or_eq(mark.lanes, lanes);
+                merged = true;
+                break;
+            }
+        }
+        if (!merged) marks.push_back(Mark{when, lanes});
+
+        const LW<W> survivors = lw_andnot(lanes, cancelled);
+        if (lw_none(survivors)) return;
+        pending_[cell].push_back(Pending{when, seq_, survivors, value});
+        push_commit(cell, kOutputPin, when);
+    }
+
+    void schedule_output(CellId cell, const LW<W>& value, const LW<W>& changed,
+                         TimePs at) {
+        auto& marks = marks_[cell];
+        std::erase_if(marks, [at](const Mark& mark) {
+            return mark.when < at || lw_none(mark.lanes);
+        });
+
+        LW<W> covered{};
+        for (const Mark& mark : marks) lw_or_eq(covered, mark.lanes);
+        covered = lw_and(covered, changed);
+
+        const LW<W> unmarked = lw_andnot(changed, covered);
+
+        if (lw_none(covered)) {
+            schedule_group(cell, value, unmarked, at == 0 ? 1 : at);
+            return;
+        }
+
+        struct Group {
+            TimePs when;
+            LW<W> lanes;
+        };
+        Group groups[8];
+        std::size_t n_groups = 0;
+        std::vector<Group> spill;
+        LW<W> left = covered;
+        while (!lw_none(left)) {
+            TimePs newest = 0;
+            for (const Mark& mark : marks)
+                if (!lw_none(lw_and(mark.lanes, left)) && mark.when >= newest)
+                    newest = mark.when;
+            LW<W> lanes_at_newest{};
+            for (const Mark& mark : marks)
+                if (mark.when == newest)
+                    lw_or_eq(lanes_at_newest, lw_and(mark.lanes, left));
+            if (n_groups < 8)
+                groups[n_groups++] = Group{newest + 1, lanes_at_newest};
+            else
+                spill.push_back(Group{newest + 1, lanes_at_newest});
+            lw_andnot_eq(left, lanes_at_newest);
+        }
+        for (std::size_t i = 0; i < n_groups; ++i)
+            schedule_group(cell, value, groups[i].lanes, groups[i].when);
+        for (const Group& group : spill)
+            schedule_group(cell, value, group.lanes, group.when);
+        if (!lw_none(unmarked))
+            schedule_group(cell, value, unmarked, at == 0 ? 1 : at);
+    }
+
+    void commit_output(const Event& ev) {
+        auto& pending = pending_[ev.cell];
+        LW<W> lanes{};
+        LW<W> value{};
+        for (auto it = pending.begin(); it != pending.end(); ++it) {
+            if (it->seq == ev.seq) {
+                lanes = it->lanes;
+                value = it->value;
+                pending.erase(it);
+                break;
+            }
+        }
+        const LW<W> toggled = lw_and(lanes, lw_xor(out_val_[ev.cell], value));
+        if (lw_none(toggled)) return;
+        toggles_ += lw_popcount(toggled);
+        if (window_stamp_[ev.cell] == window_epoch_) {
+            glitches_ += lw_popcount(lw_and(toggled, window_toggled_[ev.cell]));
+            lw_or_eq(window_toggled_[ev.cell], toggled);
+        } else {
+            window_stamp_[ev.cell] = window_epoch_;
+            window_toggled_[ev.cell] = toggled;
+        }
+        lw_merge(out_val_[ev.cell], value, toggled);
+        const LW<W>& out = out_val_[ev.cell];
+        for (unsigned c = 0; c < W; ++c)
+            if (toggled.w[c] != 0 && sinks_[c] != nullptr)
+                sinks_[c]->on_toggle(ev.cell, ev.time, out.w[c], toggled.w[c]);
+        const std::uint32_t fb = p_->fanout_begin[ev.cell];
+        const std::uint32_t fe = p_->fanout_begin[ev.cell + 1];
+        for (std::uint32_t f = fb; f < fe; ++f) {
+            const CompiledProgram::FanoutEdge& edge = p_->fanout[f];
+            Event next;
+            next.time = ev.time + edge.wire_ps;
+            next.seq = seq_++;
+            next.cell = edge.cell;
+            next.pin = edge.pin;
+            next.mask = toggled;
+            push_event(std::move(next));
+        }
+    }
+
+    void update_pin(const Event& ev) {
+        // Per-edge FIFO delivery (fixed wire delay + seq tiebreak) means
+        // the slot's masked bits still hold the source's pre-commit
+        // value, so flipping exactly the toggled lanes reproduces the
+        // merge of the committed value.
+        const std::uint32_t base = p_->pin_base[ev.cell];
+        LW<W>& slot = pin_val_[base + ev.pin];
+        for (unsigned i = 0; i < W; ++i) slot.w[i] ^= ev.mask.w[i];
+        const netlist::CellKind kind = p_->kind[ev.cell];
+        if (kind == netlist::CellKind::Dff) return;
+
+        const LW<W> value = eval_cell_lw<W>(kind, &pin_val_[base]);
+        const LW<W> changed = lw_xor(value, last_sched_out_[ev.cell]);
+        if (lw_none(changed)) return;
+        schedule_output(ev.cell, value, changed,
+                        ev.time + p_->gate_ps[ev.cell]);
+    }
+
+    std::shared_ptr<const CompiledProgram> program_;
+    const CompiledProgram* p_;
+
+    std::vector<LW<W>> out_val_;
+    std::vector<LW<W>> pin_val_;
+    std::vector<LW<W>> last_sched_out_;
+    std::vector<std::vector<Pending>> pending_;
+    std::vector<std::vector<Mark>> marks_;
+
+    std::vector<std::vector<Event>> buckets_;
+    std::vector<std::uint64_t> occ_;
+    std::size_t ring_mask_ = 0;
+    std::size_t wheel_count_ = 0;
+    std::size_t live_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> overflow_;
+
+    BatchToggleSink* sinks_[W] = {};
+    ChunkView views_[W];
+
+    std::uint64_t seq_ = 0;
+    TimePs now_ = 0;
+    std::size_t processed_ = 0;
+
+    std::uint64_t toggles_ = 0;
+    std::uint64_t glitches_ = 0;
+    std::uint64_t inertial_cancels_ = 0;
+    std::uint64_t queue_peak_ = 0;
+    std::uint32_t window_epoch_ = 1;
+    std::vector<std::uint32_t> window_stamp_;
+    std::vector<LW<W>> window_toggled_;
+};
+
+}  // namespace
+
+std::unique_ptr<CompiledEngineBase> make_compiled_engine(
+    std::shared_ptr<const CompiledProgram> program, unsigned chunks) {
+    switch (chunks) {
+        case 1:
+            return std::make_unique<CompiledEngine<1>>(std::move(program));
+        case 2:
+            return std::make_unique<CompiledEngine<2>>(std::move(program));
+        case 4:
+            return std::make_unique<CompiledEngine<4>>(std::move(program));
+        case 8:
+            return std::make_unique<CompiledEngine<8>>(std::move(program));
+        default:
+            throw std::invalid_argument(
+                "make_compiled_engine: chunks must be 1/2/4/8");
+    }
+}
+
+// ----- CompiledClockedSim ------------------------------------------------
+
+CompiledClockedSim::CompiledClockedSim(const netlist::Netlist& nl,
+                                       const DelayModel& dm, unsigned lanes,
+                                       ClockConfig clock,
+                                       CouplingConfig coupling,
+                                       SimOptions options)
+    : nl_(nl), clock_(clock) {
+    if (coupling.timing_enabled)
+        throw std::invalid_argument(
+            "CompiledClockedSim: timing coupling makes delays data-dependent; "
+            "lanes cannot share a compiled schedule -- use the scalar "
+            "EventSimulator");
+    if (lanes != 64 && lanes != 128 && lanes != 256 && lanes != 512)
+        throw std::invalid_argument(
+            "CompiledClockedSim: lanes must be 64, 128, 256 or 512");
+    program_ = compile_netlist(nl, dm, options);
+    engine_ = make_compiled_engine(program_, lanes / 64u);
+    enable_.assign(nl.max_ctrl_group() + 1u, 0);
+    reset_.assign(nl.max_ctrl_group() + 1u, 0);
+    enable_[netlist::kAlwaysEnabled] = 1;
+}
+
+void CompiledClockedSim::set_enable(netlist::CtrlGroup group, bool enabled) {
+    if (group == netlist::kAlwaysEnabled)
+        throw std::runtime_error("CompiledClockedSim: group 0 is always enabled");
+    enable_.at(group) = enabled ? 1 : 0;
+}
+
+void CompiledClockedSim::set_reset(netlist::CtrlGroup group, bool asserted) {
+    if (group == netlist::kAlwaysEnabled)
+        throw std::runtime_error("CompiledClockedSim: group 0 cannot be reset");
+    reset_.at(group) = asserted ? 1 : 0;
+}
+
+void CompiledClockedSim::set_input_word(NetId input, unsigned chunk,
+                                        std::uint64_t values) {
+    if (nl_.cell(input).kind != netlist::CellKind::Input)
+        throw std::runtime_error(
+            "CompiledClockedSim::set_input_word: not a primary input");
+    if (chunk >= chunks())
+        throw std::invalid_argument(
+            "CompiledClockedSim::set_input_word: chunk out of range");
+    pending_.push_back({input, static_cast<std::uint8_t>(chunk), values});
+}
+
+void CompiledClockedSim::set_input(NetId input, bool value) {
+    if (nl_.cell(input).kind != netlist::CellKind::Input)
+        throw std::runtime_error(
+            "CompiledClockedSim::set_input: not a primary input");
+    pending_.push_back({input, 0xFF, value ? kAllLanes : 0});
+}
+
+void CompiledClockedSim::step(std::size_t cycles) {
+    for (std::size_t n = 0; n < cycles; ++n) {
+        const TimePs edge = static_cast<TimePs>(cycle_) * clock_.period_ps;
+        engine_->begin_activity_window();
+        const TimePs launch = edge + program_->clk_to_q;
+        // Flop updates first, pending inputs second: the same seq order
+        // as BatchClockedSim::step, so every lane sees the same source
+        // events as its scalar run.
+        engine_->sample_flops(enable_.data(), reset_.data(), launch);
+        for (const PendingInput& input : pending_) {
+            if (input.chunk == 0xFF)
+                engine_->drive_all(input.net, input.values != 0, launch);
+            else
+                engine_->drive_chunk(input.net, input.chunk, input.values,
+                                     kAllLanes, launch);
+        }
+        pending_.clear();
+        engine_->run_until(edge + clock_.period_ps);
+        ++cycle_;
+    }
+}
+
+void CompiledClockedSim::restart() {
+    engine_->initialize();
+    enable_.assign(enable_.size(), 0);
+    reset_.assign(reset_.size(), 0);
+    enable_[netlist::kAlwaysEnabled] = 1;
+    pending_.clear();
+    cycle_ = 0;
+}
+
+}  // namespace glitchmask::sim

@@ -527,13 +527,15 @@ TEST(AttributionProbe, CountsWindowsAndSaturatesAt255) {
     probe.on_toggle(a, 999, true);  // window 9: out of range, dropped
     probe.fold_trace(/*fixed=*/true, acc);
 
-    const std::size_t w0 = static_cast<std::size_t>(plan.probe_of(a)) * 2;
+    const std::size_t probe_a = plan.probe_of(a);
+    const std::size_t w0 = plan.point_index(probe_a, 0);
+    const std::size_t w1 = plan.point_index(probe_a, 1);
     EXPECT_EQ(acc.traces_fixed, 1u);
     EXPECT_EQ(acc.point(w0).sum_fixed, 255.0);
     EXPECT_EQ(acc.point(w0).toggles, 255u);
     EXPECT_EQ(acc.point(w0).glitches, 254u);
-    EXPECT_EQ(acc.point(w0 + 1).sum_fixed, 2.0);
-    EXPECT_EQ(acc.point(w0 + 1).glitches, 1u);
+    EXPECT_EQ(acc.point(w1).sum_fixed, 2.0);
+    EXPECT_EQ(acc.point(w1).glitches, 1u);
 
     // fold_trace re-armed the probe: a quiet trace adds only the class
     // count.

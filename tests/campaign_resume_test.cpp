@@ -189,15 +189,20 @@ TEST(CampaignResume, SigintViaScopedSignalCancelStopsGracefully) {
 TEST(CampaignResume, ResumeAcrossLaneConfigsIsBitIdentical) {
     // A snapshot written by the scalar engine must seed the bitsliced one
     // (and vice versa): lanes are absent from the fingerprint because the
-    // two paths are proven bit-identical.
+    // two paths are proven bit-identical.  The backend is pinned: this
+    // test is about the event engine's lane axis, and must not flip to
+    // the compiled backend (a fingerprint change by design) when the
+    // suite runs under GLITCHMASK_BACKEND=compiled.
     const des::MaskedDesCore core(des::MaskedDesOptions{});
     const std::string path = temp_snapshot("lanes.gmsnap");
 
     DesTvlaConfig plain = small_campaign("");
+    plain.run.backend = "event";
     const DesTvlaResult baseline = run_des_tvla(core, plain);
 
     CancelToken token;
     DesTvlaConfig scalar_cfg = small_campaign(path);
+    scalar_cfg.run.backend = "event";
     scalar_cfg.lanes = 1;
     scalar_cfg.run.cancel = &token;
     scalar_cfg.run.on_checkpoint = [&token](std::size_t completed_blocks) {
@@ -207,6 +212,7 @@ TEST(CampaignResume, ResumeAcrossLaneConfigsIsBitIdentical) {
     ASSERT_TRUE(partial.cancelled);
 
     DesTvlaConfig batch_resume = small_campaign(path);
+    batch_resume.run.backend = "event";
     batch_resume.lanes = 64;
     const DesTvlaResult resumed = run_des_tvla(core, batch_resume);
     EXPECT_TRUE(resumed.resumed);

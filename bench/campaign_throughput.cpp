@@ -28,18 +28,32 @@
 // leakage attribution ("attribution_off_overhead" -- the CI gate holds
 // the disabled feature to <= 1% -- and "attribution_overhead" for the
 // S-box-scoped probe taps, gated <= 30% since the batched probe
-// deposit).
+// deposit).  A statistics-fold microbench times the pre-fusion gather
+// path against the fused MomentBank fold on identical data
+// ("stats_speedup", CI gate >= 1.5x), and every sweep row carries a
+// "phases" breakdown (sim/noise/moments/attribution/checkpoint wall
+// seconds from the phase.* telemetry counters) plus an "oversubscribed"
+// flag for worker counts beyond the machine's physical cores
+// (top-level "physical_cores").
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <limits>
+#include <set>
+#include <span>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "des/masked_des.hpp"
 #include "eval/des_experiments.hpp"
+#include "leakage/moment_bank.hpp"
+#include "leakage/tvla.hpp"
 #include "support/env.hpp"
+#include "support/rng.hpp"
 #include "support/table.hpp"
 #include "support/telemetry.hpp"
 
@@ -63,6 +77,7 @@ struct Series {
     unsigned workers = 0;
     std::size_t checkpoint_every = 0;  // blocks between snapshots; 0 = off
     bool attribution = false;          // per-net probe taps (scope "sbox")
+    bool oversubscribed = false;       // workers > physical cores
     double seconds = 0.0;
     double traces_per_sec = 0.0;
     double toggle_mb_per_sec = 0.0;
@@ -73,7 +88,38 @@ struct Series {
     std::uint64_t sim_glitches = 0;
     std::uint64_t sim_inertial_cancels = 0;
     std::uint64_t sim_queue_peak = 0;
+    // Per-phase wall seconds (summed across workers) from the block-level
+    // phase.* telemetry counters; "other" is everything the phase clocks
+    // do not cover (thread handoff, block orchestration, finalization).
+    double phase_sim = 0.0;
+    double phase_noise = 0.0;
+    double phase_moments = 0.0;
+    double phase_attribution = 0.0;
+    double phase_checkpoint = 0.0;
 };
+
+/// Physical (non-SMT) core count: unique (physical id, core id) pairs in
+/// /proc/cpuinfo, falling back to hardware_concurrency where the file is
+/// absent (non-Linux) or unparsable.  Worker counts above this figure
+/// only measure scheduler time-slicing, so rows get flagged -- not
+/// dropped -- as "oversubscribed".
+unsigned physical_core_count() {
+    std::ifstream cpuinfo("/proc/cpuinfo");
+    std::set<std::pair<int, int>> cores;
+    int physical_id = 0;
+    std::string line;
+    while (std::getline(cpuinfo, line)) {
+        const auto colon = line.find(':');
+        if (colon == std::string::npos) continue;
+        const std::string key = line.substr(0, line.find('\t'));
+        const int value = std::atoi(line.c_str() + colon + 1);
+        if (key == "physical id") physical_id = value;
+        else if (key == "core id") cores.emplace(physical_id, value);
+    }
+    if (!cores.empty()) return static_cast<unsigned>(cores.size());
+    const unsigned fallback = std::thread::hardware_concurrency();
+    return fallback > 0 ? fallback : 1;
+}
 
 }  // namespace
 
@@ -149,8 +195,73 @@ int main(int argc, char** argv) {
     const double attribution_off_overhead = best_attr_off / best_plain - 1.0;
     const double attribution_overhead = best_attr_on / best_plain - 1.0;
 
+    // Statistics-fold microbench: the pre-fusion gather path (a bin-major
+    // noisy batch swept point-by-point into per-point scalar accumulators
+    // via TvlaCampaign::add_lane_traces) against the fused fold (each lane
+    // row streamed straight into the bin-vectorized MomentBank).  Both
+    // layouts hold the same values and are built outside the timed
+    // region, so the ratio isolates the moment update itself.  Both sides
+    // must land on the same t statistic to the bit (the bank feeds every
+    // per-point accumulator the same addend sequence); CI gates the
+    // speedup at >= 1.5x.
+    const std::size_t stat_points = core.total_cycles();
+    constexpr unsigned kStatLanes = 64;
+    constexpr std::size_t kStatBlocks = 8;
+    std::vector<std::vector<double>> stat_bins;    // [block][point*lanes+lane]
+    std::vector<std::vector<double>> stat_rows;    // [block*lanes][point]
+    std::vector<std::uint64_t> stat_masks;
+    {
+        Xoshiro256 stat_rng(99);
+        for (std::size_t b = 0; b < kStatBlocks; ++b) {
+            std::vector<double> bins(stat_points * kStatLanes);
+            for (double& x : bins) x = stat_rng.gaussian(0.0, 1.0);
+            for (unsigned lane = 0; lane < kStatLanes; ++lane) {
+                std::vector<double> row(stat_points);
+                for (std::size_t i = 0; i < stat_points; ++i)
+                    row[i] = bins[i * kStatLanes + lane];
+                stat_rows.push_back(std::move(row));
+            }
+            stat_bins.push_back(std::move(bins));
+            stat_masks.push_back(stat_rng());
+        }
+    }
+    double best_gather = std::numeric_limits<double>::infinity();
+    double best_fused = std::numeric_limits<double>::infinity();
+    double gather_t1 = 0.0;
+    double fused_t1 = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        {
+            leakage::TvlaCampaign campaign(stat_points, 2);
+            const auto start = std::chrono::steady_clock::now();
+            for (std::size_t b = 0; b < kStatBlocks; ++b)
+                campaign.add_lane_traces(stat_bins[b], kStatLanes,
+                                         stat_masks[b], kStatLanes);
+            const auto stop = std::chrono::steady_clock::now();
+            best_gather = std::min(
+                best_gather,
+                std::chrono::duration<double>(stop - start).count());
+            gather_t1 = campaign.max_abs_t(1);
+        }
+        {
+            leakage::MomentBank bank(stat_points, 2);
+            const auto start = std::chrono::steady_clock::now();
+            for (std::size_t b = 0; b < kStatBlocks; ++b)
+                for (unsigned lane = 0; lane < kStatLanes; ++lane)
+                    bank.add_trace(((stat_masks[b] >> lane) & 1u) != 0,
+                                   stat_rows[b * kStatLanes + lane].data());
+            const auto stop = std::chrono::steady_clock::now();
+            best_fused = std::min(
+                best_fused,
+                std::chrono::duration<double>(stop - start).count());
+            fused_t1 = bank.max_abs_t(1);
+        }
+    }
+    const double stats_speedup = best_gather / best_fused;
+    const bool stats_identical = gather_t1 == fused_t1;
+
     // Counters for every sweep row below.
     telemetry::set_enabled(true);
+    const unsigned physical_cores = physical_core_count();
 
     TablePrinter table({"backend", "lanes", "workers", "ckpt", "attr",
                         "seconds", "traces/s", "toggle MB/s", "speedup",
@@ -193,6 +304,7 @@ int main(int argc, char** argv) {
         s.workers = workers;
         s.checkpoint_every = checkpoint_every;
         s.attribution = attribute;
+        s.oversubscribed = workers > physical_cores;
         s.seconds = std::chrono::duration<double>(stop - start).count();
         s.traces_per_sec = static_cast<double>(r.traces) / s.seconds;
         s.toggle_mb_per_sec =
@@ -204,6 +316,17 @@ int main(int argc, char** argv) {
         s.sim_inertial_cancels =
             counters.value(telemetry::Counter::kSimInertialCancels);
         s.sim_queue_peak = counters.value(telemetry::Counter::kSimQueuePeak);
+        const auto phase_seconds = [&](telemetry::Counter c) {
+            return static_cast<double>(counters.value(c)) / 1e9;
+        };
+        s.phase_sim = phase_seconds(telemetry::Counter::kPhaseSimNanos);
+        s.phase_noise = phase_seconds(telemetry::Counter::kPhaseNoiseNanos);
+        s.phase_moments =
+            phase_seconds(telemetry::Counter::kPhaseMomentsNanos);
+        s.phase_attribution =
+            phase_seconds(telemetry::Counter::kPhaseAttributionNanos);
+        s.phase_checkpoint =
+            phase_seconds(telemetry::Counter::kCheckpointNanos);
         s.speedup = series.empty() ? 1.0 : series.front().seconds / s.seconds;
         series.push_back(s);
 
@@ -272,6 +395,15 @@ int main(int argc, char** argv) {
     std::printf("Attribution-off overhead (must be noise): %.2f%%   "
                 "attribution-on cost (sbox scope): %.2f%%\n",
                 attribution_off_overhead * 100.0, attribution_overhead * 100.0);
+    std::printf("Statistics fold (%zu bins x %zu traces): gather %.1f ms, "
+                "fused %.1f ms -> %.2fx (%s)\n",
+                stat_points, kStatBlocks * (std::size_t)kStatLanes,
+                best_gather * 1e3, best_fused * 1e3, stats_speedup,
+                stats_identical ? "bit-identical" : "MISMATCH (bug!)");
+    std::printf("Physical cores: %u%s\n", physical_cores,
+                physical_cores < 2
+                    ? " (multi-worker rows flagged oversubscribed)"
+                    : "");
 
     // The headline numbers, both per-core: the PR-2 bitslicing gain
     // (scalar -> 64-lane event) and this PR's compiled-replay gain on top
@@ -307,6 +439,9 @@ int main(int argc, char** argv) {
             TablePrinter::num(attribution_off_overhead, 4) + ",\n";
     json += "  \"attribution_overhead\": " +
             TablePrinter::num(attribution_overhead, 4) + ",\n";
+    json += "  \"stats_speedup\": " + TablePrinter::num(stats_speedup, 3) +
+            ",\n";
+    json += "  \"physical_cores\": " + std::to_string(physical_cores) + ",\n";
     json += "  \"series\": [\n";
     for (std::size_t i = 0; i < series.size(); ++i) {
         const Series& s = series[i];
@@ -316,6 +451,8 @@ int main(int argc, char** argv) {
                 ", \"checkpoint_every\": " + std::to_string(s.checkpoint_every) +
                 std::string(", \"attribution\": ") +
                 (s.attribution ? "true" : "false") +
+                std::string(", \"oversubscribed\": ") +
+                (s.oversubscribed ? "true" : "false") +
                 ", \"seconds\": " + TablePrinter::num(s.seconds, 4) +
                 ", \"traces_per_sec\": " + TablePrinter::num(s.traces_per_sec, 2) +
                 ", \"toggle_mb_per_sec\": " +
@@ -327,7 +464,14 @@ int main(int argc, char** argv) {
                 std::to_string(s.sim_inertial_cancels) +
                 ", \"sim_queue_peak\": " + std::to_string(s.sim_queue_peak) +
                 ", \"speedup\": " + TablePrinter::num(s.speedup, 3) +
-                ", \"max_abs_t1\": " + TablePrinter::num(s.max_abs_t1, 9) + "}";
+                ", \"max_abs_t1\": " + TablePrinter::num(s.max_abs_t1, 9) +
+                ", \"phases\": {\"sim\": " + TablePrinter::num(s.phase_sim, 4) +
+                ", \"noise\": " + TablePrinter::num(s.phase_noise, 4) +
+                ", \"moments\": " + TablePrinter::num(s.phase_moments, 4) +
+                ", \"attribution\": " +
+                TablePrinter::num(s.phase_attribution, 4) +
+                ", \"checkpoint\": " +
+                TablePrinter::num(s.phase_checkpoint, 4) + "}}";
         json += (i + 1 < series.size()) ? ",\n" : "\n";
     }
     json += "  ]\n}\n";
@@ -338,5 +482,5 @@ int main(int argc, char** argv) {
         std::fclose(f);
         std::printf("JSON: BENCH_batch_sim.json\n");
     }
-    return deterministic ? 0 : 1;
+    return (deterministic && stats_identical) ? 0 : 1;
 }

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Reference CI recipe: configure + build + test one or more presets.
-# With no arguments the default sweep runs the Release preset and then the
+# With no arguments the default sweep runs the Release preset, the
 # AddressSanitizer preset (heap/stack bugs in the checkpoint and snapshot
-# I/O paths would otherwise only surface as flaky corruption); pass
-# explicit preset names to run a subset, e.g. `scripts/ci.sh release` or
-# `scripts/ci.sh asan tsan`.  Exits nonzero on any build or test failure.
+# I/O paths would otherwise only surface as flaky corruption), then the
+# UBSan preset (the intrinsics-heavy moment kernels and bit-manipulating
+# recorders are where signed overflow and misaligned loads would hide);
+# pass explicit preset names to run a subset, e.g. `scripts/ci.sh release`
+# or `scripts/ci.sh asan tsan ubsan`.  Exits nonzero on any build or test
+# failure.
 #
 # The release and asan legs smoke per-net leakage attribution end to end
 # (examples/inspect_gadget trichina --attribute) and rerun the suite with
@@ -14,23 +17,29 @@
 # observability and performance:
 #   * one extra ctest pass under GLITCHMASK_LOG=debug (log call sites in
 #     the hot paths must never change a result or crash);
+#   * one extra ctest pass under GLITCHMASK_SIMD=off, pinning every
+#     runtime-dispatched kernel to its portable scalar fallback (the
+#     bit-identity tests then prove scalar == vector end to end);
 #   * bench/campaign_throughput's telemetry_overhead must stay <= 3%,
 #     and its attribution_off_overhead <= 1% (the disabled probe tap
 #     must be free);
 #   * attribution_overhead <= 30% (the sbox-scoped probe taps), and
 #     compiled_speedup_1worker >= 2x (best compiled width vs event-64;
-#     the committed single-core reference run shows ~2.8x).
+#     the committed single-core reference run shows ~2.8x);
+#   * stats_speedup >= 1.5x (the fused bin-vectorized moment fold vs the
+#     pre-fusion per-point gather on identical data; the reference run
+#     shows ~6x with AVX2).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 presets=("$@")
 if [ "${#presets[@]}" -eq 0 ]; then
-  presets=(release asan)
+  presets=(release asan ubsan)
 fi
 for preset in "${presets[@]}"; do
   case "$preset" in
-    release|asan|tsan) ;;
-    *) echo "usage: scripts/ci.sh [release|asan|tsan ...]" >&2; exit 2 ;;
+    release|asan|tsan|ubsan) ;;
+    *) echo "usage: scripts/ci.sh [release|asan|tsan|ubsan ...]" >&2; exit 2 ;;
   esac
 done
 
@@ -56,6 +65,9 @@ for preset in "${presets[@]}"; do
   if [ "$preset" = "release" ]; then
     echo "==> release extras: suite under GLITCHMASK_LOG=debug"
     GLITCHMASK_LOG=debug ctest --preset "$preset" -j "$jobs"
+
+    echo "==> release extras: suite under GLITCHMASK_SIMD=off (scalar kernels)"
+    GLITCHMASK_SIMD=off ctest --preset "$preset" -j "$jobs"
 
     echo "==> release extras: bench overhead + speedup gates"
     # 256 traces: large enough that the per-block amortizations (spill
@@ -113,5 +125,18 @@ for preset in "${presets[@]}"; do
       exit 1
     fi
     echo "compiled speedup: ${compiled} (>= 2.0)"
+
+    echo "==> release extras: statistics-fold speedup gate (bar: 1.5x)"
+    stats="$(sed -n 's/.*"stats_speedup": \(-\{0,1\}[0-9.]*\).*/\1/p' \
+      build/bench/BENCH_batch_sim.json)"
+    if [ -z "$stats" ]; then
+      echo "FAIL: stats_speedup missing from BENCH_batch_sim.json" >&2
+      exit 1
+    fi
+    if ! awk -v x="$stats" 'BEGIN { exit !(x >= 1.5) }'; then
+      echo "FAIL: statistics-fold speedup ${stats} below the 1.5 bar" >&2
+      exit 1
+    fi
+    echo "statistics-fold speedup: ${stats} (>= 1.5)"
   fi
 done

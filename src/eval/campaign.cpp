@@ -10,6 +10,7 @@
 
 #include "core/sharing.hpp"
 #include "eval/lane_backend.hpp"
+#include "leakage/moment_bank.hpp"
 #include "eval/run_report.hpp"
 #include "power/batch_power.hpp"
 #include "sim/batch_simulator.hpp"
@@ -89,9 +90,11 @@ CampaignFingerprint sequence_fingerprint(const core::InputSequence& sequence,
 
 /// Block accumulator: TVLA statistics plus the optional attribution
 /// state, merged and snapshotted together so both ride the same merge
-/// tree (attr has zero points when attribution is off).
+/// tree (attr has zero points when attribution is off).  The statistics
+/// live in the fused bin-vectorized MomentBank; its serialized form is
+/// byte-identical to TvlaCampaign, so old checkpoints stay resumable.
 struct SeqBlockAcc {
-    leakage::TvlaCampaign campaign;
+    leakage::MomentBank bank;
     leakage::AttributionAccumulator attr;
 };
 
@@ -107,7 +110,8 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
     // Sequence campaigns never enable coupling, so the lane-parallel paths
     // are always available; the plan only decides which one we take.
     const BackendPlan bplan =
-        resolve_backend_plan(config.run, config.lanes, /*timing_coupling=*/false);
+        resolve_backend_plan(config.run, config.lanes, /*timing_coupling=*/false,
+                             circuit_.nl.size());
     const ShardPlan plan{config.traces, config.block_size};
 
     const std::string tag = sequence_tag(sequence);
@@ -127,20 +131,20 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
     session.attach(policy);
     const auto encode = [attribute](const SeqBlockAcc& acc,
                                     SnapshotWriter& out) {
-        acc.campaign.encode(out);
+        acc.bank.encode(out);
         if (attribute) acc.attr.encode(out);
     };
     const auto decode = [attribute](SnapshotReader& in) {
-        SeqBlockAcc acc{leakage::TvlaCampaign::decode(in), {}};
+        SeqBlockAcc acc{leakage::MomentBank::decode(in), {}};
         if (attribute) acc.attr = leakage::AttributionAccumulator::decode(in);
         return acc;
     };
     const auto make_acc = [&] {
-        return SeqBlockAcc{leakage::TvlaCampaign(kCycles, config.max_test_order),
+        return SeqBlockAcc{leakage::MomentBank(kCycles, config.max_test_order),
                            leakage::AttributionAccumulator(attr_plan.points())};
     };
     const auto merge = [](SeqBlockAcc& into, const SeqBlockAcc& from) {
-        into.campaign.merge(from.campaign);
+        into.bank.merge(from.bank);
         into.attr.merge(from.attr);
     };
     const leakage::AttributionPlan* probe_plan = attribute ? &attr_plan : nullptr;
@@ -166,6 +170,8 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
                     make_acc,
                     [&](auto& worker, std::size_t begin, std::size_t end,
                         SeqBlockAcc& acc) {
+                        telemetry::PhaseClock phases;
+                        phases.mark();
                         const unsigned group_lanes = worker->group_lanes();
                         for (std::size_t group = begin; group < end;
                              group += group_lanes) {
@@ -206,13 +212,17 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
                                 s.step();
                             }
                             s.step();
+                            phases.lap(telemetry::Counter::kPhaseSimNanos);
 
-                            // Fold chunk by chunk (chunk c == traces
-                            // group+64c .. group+64c+63), per-lane noise in
-                            // bin order from that trace's counter-based
-                            // stream -- the same draws the scalar path makes.
+                            // Fused fold, chunk by chunk (chunk c == traces
+                            // group+64c .. group+64c+63): each lane's noisy
+                            // row streams straight into the moment bank --
+                            // no batch noisy-trace matrix.  Per-lane noise
+                            // draws come in bin order from that trace's
+                            // counter-based stream, and lanes fold in lane
+                            // order, so every per-point accumulator sees the
+                            // same addend sequence as the scalar path.
                             auto& noisy = worker->noisy;
-                            noisy.resize(kCycles * sim::kBatchLanes);
                             const unsigned chunks_used = (count + 63u) / 64u;
                             for (unsigned c = 0; c < chunks_used; ++c) {
                                 const unsigned cnt =
@@ -221,24 +231,27 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
                                     Xoshiro256 noise_rng =
                                         trace_rng(config.seed, kNoiseStream,
                                                   group + c * 64u + lane);
-                                    for (std::size_t bin = 0; bin < kCycles;
-                                         ++bin) {
-                                        double sample = worker->sample(
-                                            bin, c * 64u + lane);
-                                        if (config.noise_sigma > 0.0)
-                                            sample += noise_rng.gaussian(
-                                                0.0, config.noise_sigma);
-                                        noisy[bin * sim::kBatchLanes + lane] =
-                                            sample;
-                                    }
+                                    worker->noisy_row(c * 64u + lane,
+                                                      noise_rng,
+                                                      config.noise_sigma,
+                                                      noisy);
+                                    phases.lap(
+                                        telemetry::Counter::kPhaseNoiseNanos);
+                                    acc.bank.add_trace(
+                                        ((fixed[c] >> lane) & 1u) != 0,
+                                        noisy.data());
+                                    phases.lap(
+                                        telemetry::Counter::kPhaseMomentsNanos);
                                 }
-                                acc.campaign.add_lane_traces(
-                                    noisy, sim::kBatchLanes, fixed[c], cnt);
                                 if (!worker->probes.empty())
                                     worker->probes[c].fold_group();
+                                phases.lap(
+                                    telemetry::Counter::kPhaseAttributionNanos);
                             }
                         }
                         worker->finish_block();
+                        phases.lap(telemetry::Counter::kPhaseAttributionNanos);
+                        phases.flush();
                         if (telemetry::enabled())
                             telemetry::record_sim_block(worker->sim.stats(),
                                                         worker->last_stats);
@@ -291,6 +304,8 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
             make_acc,
             [&](std::unique_ptr<Worker>& worker, std::size_t begin,
                 std::size_t end, SeqBlockAcc& acc) {
+                telemetry::PhaseClock phases;
+                phases.mark();
                 for (std::size_t trace_index = begin; trace_index < end;
                      ++trace_index) {
                     const SequenceStimulus stim =
@@ -312,12 +327,17 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
                         s.step();
                     }
                     s.step();
+                    phases.lap(telemetry::Counter::kPhaseSimNanos);
                     worker->recorder.noisy_trace_into(
                         noise_rng, config.noise_sigma, worker->noisy);
-                    acc.campaign.add_trace(stim.fixed, worker->noisy);
+                    phases.lap(telemetry::Counter::kPhaseNoiseNanos);
+                    acc.bank.add_trace(stim.fixed, worker->noisy.data());
+                    phases.lap(telemetry::Counter::kPhaseMomentsNanos);
                     if (worker->probe)
                         worker->probe->fold_trace(stim.fixed, acc.attr);
+                    phases.lap(telemetry::Counter::kPhaseAttributionNanos);
                 }
+                phases.flush();
                 if (telemetry::enabled())
                     telemetry::record_sim_block(worker->sim.engine().stats(),
                                                 worker->last_stats);
@@ -325,12 +345,12 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
             merge, policy, fingerprint, encode, decode, &progress,
             session.meter());
     }();
-    const leakage::TvlaCampaign& campaign = merged.campaign;
+    const leakage::MomentBank& bank = merged.bank;
 
     SequenceLeakResult result;
     result.sequence = sequence;
-    result.max_abs_t1 = campaign.max_abs_t(1, &result.argmax_cycle);
-    result.max_abs_t2 = campaign.max_abs_t(2);
+    result.max_abs_t1 = bank.max_abs_t(1, &result.argmax_cycle);
+    result.max_abs_t2 = bank.max_abs_t(2);
     result.leaks_first_order = result.max_abs_t1 > leakage::kTvlaThreshold;
     result.expected_to_leak = core::sequence_expected_to_leak(sequence);
     result.completed_traces = progress.completed_traces;

@@ -13,6 +13,7 @@
 #include "eval/lane_backend.hpp"
 #include "eval/parallel_campaign.hpp"
 #include "eval/run_report.hpp"
+#include "leakage/moment_bank.hpp"
 #include "power/batch_power.hpp"
 #include "sim/batch_simulator.hpp"
 #include "sim/compiled_simulator.hpp"
@@ -89,22 +90,24 @@ DesStimulus des_stimulus(const DesTvlaConfig& config, std::size_t trace_index) {
 }
 
 /// Per-block accumulator of the DES TVLA campaign (and its snapshot
-/// payload: the campaign's accumulators plus the toggle counter).
+/// payload: the statistics bank plus the toggle counter).  The bank's
+/// serialized form is byte-identical to the TvlaCampaign it replaced,
+/// so pre-existing checkpoints stay resumable.
 struct DesBlockAcc {
-    leakage::TvlaCampaign campaign;
+    leakage::MomentBank bank;
     std::uint64_t toggles = 0;
     leakage::AttributionAccumulator attr;  // zero points when off
 };
 
 void encode_des_acc(const DesBlockAcc& acc, SnapshotWriter& out,
                     bool attribute) {
-    acc.campaign.encode(out);
+    acc.bank.encode(out);
     out.u64(acc.toggles);
     if (attribute) acc.attr.encode(out);
 }
 
 DesBlockAcc decode_des_acc(SnapshotReader& in, bool attribute) {
-    DesBlockAcc acc{leakage::TvlaCampaign::decode(in), 0, {}};
+    DesBlockAcc acc{leakage::MomentBank::decode(in), 0, {}};
     acc.toggles = in.u64();
     if (attribute) acc.attr = leakage::AttributionAccumulator::decode(in);
     return acc;
@@ -154,7 +157,8 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
     // Timing coupling makes delays data-dependent, which the shared batch
     // schedule cannot express -- fall back to the scalar engine then.
     const BackendPlan bplan = resolve_backend_plan(
-        config.run, config.lanes, config.coupling.timing_enabled);
+        config.run, config.lanes, config.coupling.timing_enabled,
+        core.nl().size());
 
     const bool attribute = attribution_enabled(config.run);
     const leakage::AttributionPlan attr_plan =
@@ -182,12 +186,12 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
 
     const ShardPlan plan{config.traces, config.block_size};
     const auto make_acc = [&] {
-        return BlockAcc{leakage::TvlaCampaign(samples, config.max_test_order),
+        return BlockAcc{leakage::MomentBank(samples, config.max_test_order),
                         0,
                         leakage::AttributionAccumulator(attr_plan.points())};
     };
     const auto merge_acc = [](BlockAcc& into, const BlockAcc& from) {
-        into.campaign.merge(from.campaign);
+        into.bank.merge(from.bank);
         into.toggles += from.toggles;
         into.attr.merge(from.attr);
     };
@@ -205,6 +209,8 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
             make_acc,
             [&](auto& worker, std::size_t begin, std::size_t end,
                 BlockAcc& acc) {
+                telemetry::PhaseClock phases;
+                phases.mark();
                 const unsigned group_lanes = worker->group_lanes();
                 for (std::size_t group = begin; group < end;
                      group += group_lanes) {
@@ -231,40 +237,43 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
                         worker->sim, worker->pts, worker->keys,
                         config.prng_on ? std::span<Xoshiro256>(worker->prngs)
                                        : std::span<Xoshiro256>{});
+                    phases.lap(telemetry::Counter::kPhaseSimNanos);
 
-                    // Fold chunk by chunk: chunk c covers traces
-                    // group+64c .. group+64c+63, so the accumulators see
-                    // the same 64-trace call sequence as the event path.
+                    // Fused fold, chunk by chunk (chunk c covers traces
+                    // group+64c .. group+64c+63): each lane's noisy row
+                    // streams straight into the moment bank, no batch
+                    // noisy-trace matrix.  Noise draws come in bin order
+                    // from that trace's counter-based stream and lanes
+                    // fold in lane order, so every per-point accumulator
+                    // sees the event path's exact addend sequence.
                     auto& noisy = worker->noisy;
-                    noisy.resize(samples * sim::kBatchLanes);
                     const unsigned chunks_used = (count + 63u) / 64u;
                     for (unsigned c = 0; c < chunks_used; ++c) {
                         const unsigned cnt =
                             std::min(64u, count - c * 64u);
-                        // Per-lane noise in bin order from that trace's
-                        // counter-based stream -- the scalar draw sequence.
                         for (unsigned lane = 0; lane < cnt; ++lane) {
                             Xoshiro256 noise_rng =
                                 trace_rng(config.seed, kNoiseStream,
                                           group + c * 64u + lane);
-                            for (std::size_t bin = 0; bin < samples; ++bin) {
-                                double sample =
-                                    worker->sample(bin, c * 64u + lane);
-                                if (config.noise_sigma > 0.0)
-                                    sample += noise_rng.gaussian(
-                                        0.0, config.noise_sigma);
-                                noisy[bin * sim::kBatchLanes + lane] = sample;
-                            }
+                            worker->noisy_row(c * 64u + lane, noise_rng,
+                                              config.noise_sigma, noisy);
                             acc.toggles +=
                                 worker->lane_toggles(c * 64u + lane);
+                            phases.lap(telemetry::Counter::kPhaseNoiseNanos);
+                            acc.bank.add_trace(
+                                ((fixed[c] >> lane) & 1u) != 0, noisy.data());
+                            phases.lap(
+                                telemetry::Counter::kPhaseMomentsNanos);
                         }
-                        acc.campaign.add_lane_traces(noisy, sim::kBatchLanes,
-                                                     fixed[c], cnt);
                         if (!worker->probes.empty())
                             worker->probes[c].fold_group();
+                        phases.lap(
+                            telemetry::Counter::kPhaseAttributionNanos);
                     }
                 }
                 worker->finish_block();
+                phases.lap(telemetry::Counter::kPhaseAttributionNanos);
+                phases.flush();
                 if (telemetry::enabled())
                     telemetry::record_sim_block(worker->sim.stats(),
                                                 worker->last_stats);
@@ -295,13 +304,11 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
                                                    config.coupling,
                                                    power_config, probe_plan);
             },
-            [&] {
-                return BlockAcc{
-                    leakage::TvlaCampaign(samples, config.max_test_order), 0,
-                    leakage::AttributionAccumulator(attr_plan.points())};
-            },
+            make_acc,
             [&](std::unique_ptr<DesWorker>& worker, std::size_t begin,
                 std::size_t end, BlockAcc& acc) {
+                telemetry::PhaseClock phases;
+                phases.mark();
                 for (std::size_t trace_index = begin; trace_index < end;
                      ++trace_index) {
                     DesStimulus stim = des_stimulus(config, trace_index);
@@ -313,22 +320,23 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
                     if (worker->probe) worker->probe->begin_trace();
                     (void)core.encrypt(worker->sim, stim.pt, stim.key,
                                        config.prng_on ? &stim.rng : nullptr);
+                    phases.lap(telemetry::Counter::kPhaseSimNanos);
                     worker->recorder.noisy_trace_into(
                         noise_rng, config.noise_sigma, worker->noisy);
-                    acc.campaign.add_trace(stim.fixed, worker->noisy);
                     acc.toggles += worker->recorder.trace_toggles();
+                    phases.lap(telemetry::Counter::kPhaseNoiseNanos);
+                    acc.bank.add_trace(stim.fixed, worker->noisy.data());
+                    phases.lap(telemetry::Counter::kPhaseMomentsNanos);
                     if (worker->probe)
                         worker->probe->fold_trace(stim.fixed, acc.attr);
+                    phases.lap(telemetry::Counter::kPhaseAttributionNanos);
                 }
+                phases.flush();
                 if (telemetry::enabled())
                     telemetry::record_sim_block(worker->sim.engine().stats(),
                                                 worker->last_stats);
             },
-            [](BlockAcc& into, const BlockAcc& from) {
-                into.campaign.merge(from.campaign);
-                into.toggles += from.toggles;
-                into.attr.merge(from.attr);
-            },
+            merge_acc,
             policy, fingerprint, encode, decode, &progress, session.meter());
     }();
 
@@ -339,7 +347,7 @@ DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
     result.cancelled = progress.cancelled;
     result.resumed = progress.resumed;
     result.toggles = merged.toggles;
-    result.campaign = std::move(merged.campaign);
+    result.campaign = merged.bank.to_campaign();
     for (int order = 1; order <= config.max_test_order; ++order) {
         result.max_abs_t[order] =
             result.campaign.max_abs_t(order, &result.argmax[order]);
@@ -389,7 +397,8 @@ std::vector<double> mean_power_trace(const des::MaskedDesCore& core,
     ThreadPool pool(resolve_workers(workers));
     const ShardPlan plan{traces, /*block_size=*/64};
     const BackendPlan bplan =
-        resolve_backend_plan(run, lanes, /*timing_coupling=*/false);
+        resolve_backend_plan(run, lanes, /*timing_coupling=*/false,
+                             core.nl().size());
 
     const bool attribute = attribution_enabled(run);
     const leakage::AttributionPlan attr_plan =
@@ -450,6 +459,8 @@ std::vector<double> mean_power_trace(const des::MaskedDesCore& core,
             make_acc,
             [&](auto& worker, std::size_t begin, std::size_t end,
                 MeanPowerAcc& acc) {
+                telemetry::PhaseClock phases;
+                phases.mark();
                 const unsigned group_lanes = worker->group_lanes();
                 for (std::size_t group = begin; group < end;
                      group += group_lanes) {
@@ -475,18 +486,23 @@ std::vector<double> mean_power_trace(const des::MaskedDesCore& core,
                     (void)core.encrypt_batch_chunks(worker->sim, worker->pts,
                                                     worker->keys,
                                                     worker->prngs);
+                    phases.lap(telemetry::Counter::kPhaseSimNanos);
                     // Lane order == trace order, so each bin's partial
                     // sum sees the same addend sequence as the scalar
                     // per-trace loop.
                     for (unsigned lane = 0; lane < count; ++lane)
                         for (std::size_t i = 0; i < samples; ++i)
                             acc.sum[i] += worker->sample(i, lane);
+                    phases.lap(telemetry::Counter::kPhaseMomentsNanos);
                     const unsigned chunks_used = (count + 63u) / 64u;
                     for (unsigned c = 0; c < chunks_used; ++c)
                         if (!worker->probes.empty())
                             worker->probes[c].fold_group();
+                    phases.lap(telemetry::Counter::kPhaseAttributionNanos);
                 }
                 worker->finish_block();
+                phases.lap(telemetry::Counter::kPhaseAttributionNanos);
+                phases.flush();
                 if (telemetry::enabled())
                     telemetry::record_sim_block(worker->sim.stats(),
                                                 worker->last_stats);
@@ -520,6 +536,8 @@ std::vector<double> mean_power_trace(const des::MaskedDesCore& core,
             make_acc,
             [&](std::unique_ptr<DesWorker>& worker, std::size_t begin,
                 std::size_t end, MeanPowerAcc& acc) {
+                telemetry::PhaseClock phases;
+                phases.mark();
                 for (std::size_t trace_index = begin; trace_index < end;
                      ++trace_index) {
                     Xoshiro256 rng =
@@ -530,12 +548,16 @@ std::vector<double> mean_power_trace(const des::MaskedDesCore& core,
                     const std::uint64_t pt = rng();
                     const std::uint64_t key = rng();
                     (void)core.encrypt_value(worker->sim, pt, key, &rng);
+                    phases.lap(telemetry::Counter::kPhaseSimNanos);
                     const std::vector<double>& trace = worker->recorder.trace();
                     for (std::size_t i = 0; i < samples; ++i)
                         acc.sum[i] += trace[i];
+                    phases.lap(telemetry::Counter::kPhaseMomentsNanos);
                     if (worker->probe)
                         worker->probe->fold_trace(/*fixed=*/false, acc.attr);
+                    phases.lap(telemetry::Counter::kPhaseAttributionNanos);
                 }
+                phases.flush();
                 if (telemetry::enabled())
                     telemetry::record_sim_block(worker->sim.engine().stats(),
                                                 worker->last_stats);

@@ -9,6 +9,7 @@
 #include "eval/lane_backend.hpp"
 #include "eval/parallel_campaign.hpp"
 #include "eval/run_report.hpp"
+#include "leakage/moment_bank.hpp"
 #include "leakage/tvla.hpp"
 #include "power/batch_power.hpp"
 #include "power/power_model.hpp"
@@ -122,9 +123,10 @@ sim::DelayConfig gadget_delay_config(std::uint64_t placement_seed) {
 }
 
 /// Block accumulator: TVLA statistics plus the optional attribution
-/// state.
+/// state.  The statistics live in the fused bin-vectorized MomentBank;
+/// its snapshot form matches TvlaCampaign byte for byte.
 struct GadgetBlockAcc {
-    leakage::TvlaCampaign campaign;
+    leakage::MomentBank bank;
     leakage::AttributionAccumulator attr;
 };
 
@@ -171,7 +173,8 @@ GadgetTvlaResult GadgetHarness::run(const GadgetTvlaConfig& config,
                                     ThreadPool& pool) const {
     validate_campaign_config(config.traces, config.block_size, config.lanes);
     const BackendPlan bplan =
-        resolve_backend_plan(config.run, config.lanes, /*timing_coupling=*/false);
+        resolve_backend_plan(config.run, config.lanes, /*timing_coupling=*/false,
+                             circuit_.nl.size());
     const ShardPlan plan{config.traces, config.block_size};
     const unsigned fresh = fresh_bits();
 
@@ -196,21 +199,21 @@ GadgetTvlaResult GadgetHarness::run(const GadgetTvlaConfig& config,
     session.attach(policy);
     const auto encode = [attribute](const GadgetBlockAcc& acc,
                                     SnapshotWriter& out) {
-        acc.campaign.encode(out);
+        acc.bank.encode(out);
         if (attribute) acc.attr.encode(out);
     };
     const auto decode = [attribute](SnapshotReader& in) {
-        GadgetBlockAcc acc{leakage::TvlaCampaign::decode(in), {}};
+        GadgetBlockAcc acc{leakage::MomentBank::decode(in), {}};
         if (attribute) acc.attr = leakage::AttributionAccumulator::decode(in);
         return acc;
     };
     const auto make_acc = [&] {
         return GadgetBlockAcc{
-            leakage::TvlaCampaign(kCycles, config.max_test_order),
+            leakage::MomentBank(kCycles, config.max_test_order),
             leakage::AttributionAccumulator(attr_plan.points())};
     };
     const auto merge = [](GadgetBlockAcc& into, const GadgetBlockAcc& from) {
-        into.campaign.merge(from.campaign);
+        into.bank.merge(from.bank);
         into.attr.merge(from.attr);
     };
     CampaignProgress progress;
@@ -232,6 +235,8 @@ GadgetTvlaResult GadgetHarness::run(const GadgetTvlaConfig& config,
                     make_acc,
                     [&](auto& worker, std::size_t begin, std::size_t end,
                         GadgetBlockAcc& acc) {
+                        telemetry::PhaseClock phases;
+                        phases.mark();
                         const unsigned group_lanes = worker->group_lanes();
                         for (std::size_t group = begin; group < end;
                              group += group_lanes) {
@@ -286,12 +291,15 @@ GadgetTvlaResult GadgetHarness::run(const GadgetTvlaConfig& config,
                             s.step();
                             if (circuit_.has_stage2) s.set_enable(2, false);
                             s.step();
+                            phases.lap(telemetry::Counter::kPhaseSimNanos);
 
-                            // Fold chunk by chunk (chunk c == traces
-                            // group+64c .. group+64c+63), noise in the
-                            // scalar path's per-trace bin order.
+                            // Fused fold, chunk by chunk (chunk c == traces
+                            // group+64c .. group+64c+63): each lane's noisy
+                            // row streams straight into the moment bank,
+                            // noise in the scalar path's per-trace bin
+                            // order, lanes in lane order -- the same addend
+                            // sequence per accumulator either way.
                             auto& noisy = worker->noisy;
-                            noisy.resize(kCycles * sim::kBatchLanes);
                             const unsigned chunks_used = (count + 63u) / 64u;
                             for (unsigned c = 0; c < chunks_used; ++c) {
                                 const unsigned cnt =
@@ -300,24 +308,27 @@ GadgetTvlaResult GadgetHarness::run(const GadgetTvlaConfig& config,
                                     Xoshiro256 noise_rng =
                                         trace_rng(config.seed, kNoiseStream,
                                                   group + c * 64u + lane);
-                                    for (std::size_t bin = 0; bin < kCycles;
-                                         ++bin) {
-                                        double sample = worker->sample(
-                                            bin, c * 64u + lane);
-                                        if (config.noise_sigma > 0.0)
-                                            sample += noise_rng.gaussian(
-                                                0.0, config.noise_sigma);
-                                        noisy[bin * sim::kBatchLanes + lane] =
-                                            sample;
-                                    }
+                                    worker->noisy_row(c * 64u + lane,
+                                                      noise_rng,
+                                                      config.noise_sigma,
+                                                      noisy);
+                                    phases.lap(
+                                        telemetry::Counter::kPhaseNoiseNanos);
+                                    acc.bank.add_trace(
+                                        ((fixed[c] >> lane) & 1u) != 0,
+                                        noisy.data());
+                                    phases.lap(
+                                        telemetry::Counter::kPhaseMomentsNanos);
                                 }
-                                acc.campaign.add_lane_traces(
-                                    noisy, sim::kBatchLanes, fixed[c], cnt);
                                 if (!worker->probes.empty())
                                     worker->probes[c].fold_group();
+                                phases.lap(
+                                    telemetry::Counter::kPhaseAttributionNanos);
                             }
                         }
                         worker->finish_block();
+                        phases.lap(telemetry::Counter::kPhaseAttributionNanos);
+                        phases.flush();
                         if (telemetry::enabled())
                             telemetry::record_sim_block(worker->sim.stats(),
                                                         worker->last_stats);
@@ -367,6 +378,8 @@ GadgetTvlaResult GadgetHarness::run(const GadgetTvlaConfig& config,
             make_acc,
             [&](std::unique_ptr<Worker>& worker, std::size_t begin,
                 std::size_t end, GadgetBlockAcc& acc) {
+                telemetry::PhaseClock phases;
+                phases.mark();
                 for (std::size_t trace_index = begin; trace_index < end;
                      ++trace_index) {
                     const GadgetStimulus stim =
@@ -378,12 +391,17 @@ GadgetTvlaResult GadgetHarness::run(const GadgetTvlaConfig& config,
                     worker->recorder.begin_trace(kCycles);
                     if (worker->probe) worker->probe->begin_trace();
                     drive(worker->sim, stim);
+                    phases.lap(telemetry::Counter::kPhaseSimNanos);
                     worker->recorder.noisy_trace_into(
                         noise_rng, config.noise_sigma, worker->noisy);
-                    acc.campaign.add_trace(stim.fixed, worker->noisy);
+                    phases.lap(telemetry::Counter::kPhaseNoiseNanos);
+                    acc.bank.add_trace(stim.fixed, worker->noisy.data());
+                    phases.lap(telemetry::Counter::kPhaseMomentsNanos);
                     if (worker->probe)
                         worker->probe->fold_trace(stim.fixed, acc.attr);
+                    phases.lap(telemetry::Counter::kPhaseAttributionNanos);
                 }
+                phases.flush();
                 if (telemetry::enabled())
                     telemetry::record_sim_block(worker->sim.engine().stats(),
                                                 worker->last_stats);
@@ -394,8 +412,8 @@ GadgetTvlaResult GadgetHarness::run(const GadgetTvlaConfig& config,
 
     GadgetTvlaResult result;
     result.gadget = circuit_.kind;
-    result.max_abs_t1 = merged.campaign.max_abs_t(1, &result.argmax_cycle);
-    result.max_abs_t2 = merged.campaign.max_abs_t(2);
+    result.max_abs_t1 = merged.bank.max_abs_t(1, &result.argmax_cycle);
+    result.max_abs_t2 = merged.bank.max_abs_t(2);
     result.leaks_first_order = result.max_abs_t1 > leakage::kTvlaThreshold;
     result.completed_traces = progress.completed_traces;
     result.cancelled = progress.cancelled;

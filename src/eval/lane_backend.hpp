@@ -56,11 +56,16 @@ struct BackendPlan {
 };
 
 /// Resolves (backend, lanes) for one campaign.  `configured_lanes` is the
-/// config's lanes knob (0 = auto).  Throws std::invalid_argument for an
-/// unknown backend name or a lane width the backend cannot serve.
+/// config's lanes knob (0 = auto).  `netlist_nets` sizes the compiled
+/// engine's per-lane state for GLITCHMASK_COMPILED_LANES=auto, which
+/// picks the widest lane count whose working set still fits the cache
+/// (0 = unknown, auto then falls back to the 512 default).  Throws
+/// std::invalid_argument for an unknown backend name or a lane width the
+/// backend cannot serve.
 [[nodiscard]] BackendPlan resolve_backend_plan(const CampaignRunOptions& run,
                                                unsigned configured_lanes,
-                                               bool timing_coupling);
+                                               bool timing_coupling,
+                                               std::size_t netlist_nets = 0);
 
 /// Folds the backend choice into the snapshot identity.  The event
 /// backend folds nothing (pre-existing checkpoints stay valid); the
@@ -191,6 +196,14 @@ struct LaneWorker {
     }
     [[nodiscard]] std::uint64_t lane_toggles(unsigned lane) const noexcept {
         return recorders[lane / 64u].lane_toggles(lane % 64u);
+    }
+    /// One lane's complete trace plus Gaussian noise into `out` -- the
+    /// fused statistics path hands this row straight to MomentBank
+    /// without materializing the whole noisy batch matrix.
+    void noisy_row(unsigned lane, Xoshiro256& rng, double sigma,
+                   std::vector<double>& out) const {
+        recorders[lane / 64u].noisy_lane_trace_into(lane % 64u, rng, sigma,
+                                                    out);
     }
 };
 

@@ -8,7 +8,7 @@
 namespace glitchmask::power {
 
 BatchPowerRecorder::BatchPowerRecorder(const Netlist& nl, PowerConfig config)
-    : config_(config) {
+    : config_(config), kernels_(kernels::resolve_deposit_kernels()) {
     if (!nl.frozen())
         throw std::runtime_error("BatchPowerRecorder: netlist not frozen");
     weight_ = net_weights(nl, config);
@@ -37,9 +37,22 @@ void BatchPowerRecorder::on_toggle(NetId net, sim::TimePs time,
         bin_end_ += config_.bin_ps;
         in_window = ++cur_bin_ < bins_;
     }
+    // Density cutover for the dispatched kernels: the vector forms touch
+    // all 64 lanes regardless of mask population, which only pays off on
+    // dense masks (clock-edge register commits toggle most lanes at
+    // once); glitch-window masks are usually a few bits, where the sparse
+    // bit-walk wins.  Either form performs the same per-lane double adds,
+    // so the cutover cannot change a result bit.
+    constexpr int kDenseCutover = 8;
+    const bool dense = count >= kDenseCutover;
+
     if (!in_window) {
-        for (std::uint64_t rest = toggled; rest != 0; rest &= rest - 1)
-            ++lane_toggles_[std::countr_zero(rest)];
+        if (dense) {
+            kernels_.count(lane_toggles_.data(), toggled);
+        } else {
+            for (std::uint64_t rest = toggled; rest != 0; rest &= rest - 1)
+                ++lane_toggles_[std::countr_zero(rest)];
+        }
         return;
     }
     double* row = trace_.data() + cur_bin_ * sim::kBatchLanes;
@@ -50,6 +63,12 @@ void BatchPowerRecorder::on_toggle(NetId net, sim::TimePs time,
         // Miller term, same-level lanes get the shielding discount --
         // the per-lane analogue of the scalar recorder's branch.
         const std::uint64_t opposite = engine_->word(partner_[net]) ^ values;
+        if (dense) {
+            kernels_.deposit_coupled(row, lane_toggles_.data(), toggled,
+                                     opposite, weight,
+                                     config_.coupling_epsilon);
+            return;
+        }
         for (std::uint64_t rest = toggled; rest != 0; rest &= rest - 1) {
             const unsigned lane = static_cast<unsigned>(std::countr_zero(rest));
             ++lane_toggles_[lane];
@@ -58,8 +77,13 @@ void BatchPowerRecorder::on_toggle(NetId net, sim::TimePs time,
                                        : -config_.coupling_epsilon);
         }
     } else {
+        if (dense) {
+            kernels_.deposit(row, lane_toggles_.data(), toggled, weight);
+            return;
+        }
         // One walk covers both the per-lane counter and the deposit
-        // (masks are sparse: schedule groups split lanes by mark time).
+        // (glitch-window masks are sparse: schedule groups split lanes by
+        // mark time).
         for (std::uint64_t rest = toggled; rest != 0; rest &= rest - 1) {
             const unsigned lane = static_cast<unsigned>(std::countr_zero(rest));
             ++lane_toggles_[lane];

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "power/deposit_kernels.hpp"
 #include "power/power_model.hpp"
 #include "sim/batch_simulator.hpp"
 
@@ -81,6 +82,7 @@ public:
 
 private:
     PowerConfig config_;
+    kernels::DepositKernels kernels_;
     const sim::BatchWordView* engine_ = nullptr;
     std::vector<double> weight_;
     std::vector<NetId> partner_;

@@ -1,0 +1,90 @@
+// AVX2 deposit kernels: 4 lanes per vector, 16 groups per 64-lane mask.
+//
+// Bit-identity discipline: toggled lanes get exactly one double add in
+// the same order as the scalar walk (each lane is independent, so "order"
+// is per-lane and trivially preserved); untouched lanes are rewritten
+// with their original bit pattern via blendv, never recomputed.  Counter
+// bumps subtract the all-ones lane mask (-1) from the counter vector.
+// Compiled with -mavx2 -ffp-contract=off (see deposit_kernels.hpp).
+#include "power/deposit_kernels.hpp"
+
+#if defined(GLITCHMASK_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace glitchmask::power::kernels {
+
+namespace {
+
+/// All-ones 64-bit element for every set bit of the low nibble of
+/// `bits`: broadcast, AND with {1,2,4,8}, compare-equal.
+inline __m256i nibble_mask(std::uint64_t bits) noexcept {
+    const __m256i select = _mm256_set_epi64x(8, 4, 2, 1);
+    const __m256i b = _mm256_set1_epi64x(static_cast<long long>(bits & 15u));
+    return _mm256_cmpeq_epi64(_mm256_and_si256(b, select), select);
+}
+
+}  // namespace
+
+void deposit_avx2(double* row, std::uint64_t* lane_toggles,
+                  std::uint64_t toggled, double weight) {
+    const __m256d w = _mm256_set1_pd(weight);
+    for (unsigned g = 0; g < 16; ++g) {
+        const std::uint64_t bits = (toggled >> (4 * g)) & 15u;
+        if (bits == 0) continue;
+        const __m256i m = nibble_mask(bits);
+        __m256i cnt = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(lane_toggles + 4 * g));
+        cnt = _mm256_sub_epi64(cnt, m);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(lane_toggles + 4 * g),
+                            cnt);
+        const __m256d v = _mm256_loadu_pd(row + 4 * g);
+        const __m256d added = _mm256_add_pd(v, w);
+        _mm256_storeu_pd(row + 4 * g,
+                         _mm256_blendv_pd(v, added, _mm256_castsi256_pd(m)));
+    }
+}
+
+void deposit_coupled_avx2(double* row, std::uint64_t* lane_toggles,
+                          std::uint64_t toggled, std::uint64_t opposite,
+                          double weight, double eps) {
+    const __m256d w = _mm256_set1_pd(weight);
+    const __m256d pos = _mm256_set1_pd(eps);
+    const __m256d neg = _mm256_set1_pd(-eps);
+    for (unsigned g = 0; g < 16; ++g) {
+        const std::uint64_t bits = (toggled >> (4 * g)) & 15u;
+        if (bits == 0) continue;
+        const __m256i m = nibble_mask(bits);
+        __m256i cnt = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(lane_toggles + 4 * g));
+        cnt = _mm256_sub_epi64(cnt, m);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(lane_toggles + 4 * g),
+                            cnt);
+        const __m256i om = nibble_mask(opposite >> (4 * g));
+        // weight + (+-eps): one add, then the deposit add -- two double
+        // adds per lane, same as the scalar expression.
+        const __m256d addend =
+            _mm256_add_pd(w, _mm256_blendv_pd(neg, pos, _mm256_castsi256_pd(om)));
+        const __m256d v = _mm256_loadu_pd(row + 4 * g);
+        const __m256d added = _mm256_add_pd(v, addend);
+        _mm256_storeu_pd(row + 4 * g,
+                         _mm256_blendv_pd(v, added, _mm256_castsi256_pd(m)));
+    }
+}
+
+void count_avx2(std::uint64_t* lane_toggles, std::uint64_t toggled) {
+    for (unsigned g = 0; g < 16; ++g) {
+        const std::uint64_t bits = (toggled >> (4 * g)) & 15u;
+        if (bits == 0) continue;
+        const __m256i m = nibble_mask(bits);
+        __m256i cnt = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(lane_toggles + 4 * g));
+        cnt = _mm256_sub_epi64(cnt, m);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(lane_toggles + 4 * g),
+                            cnt);
+    }
+}
+
+}  // namespace glitchmask::power::kernels
+
+#endif  // GLITCHMASK_HAVE_AVX2

@@ -1,0 +1,9 @@
+// AVX2 instantiation of the wide-lane engine: same source, compiled with
+// -mavx2 -ffp-contract=off (src/CMakeLists.txt) so the LW<W> word loops
+// and eval_cell_lw become 256-bit integer ops.  The engine carries no
+// floating point, so the variant is bit-identical to engine_portable by
+// construction; dispatch in make_compiled_engine is purely for speed.
+#if defined(GLITCHMASK_HAVE_AVX2)
+#define GLITCHMASK_ENGINE_VARIANT engine_avx2
+#include "sim/compiled_engine_impl.h"
+#endif

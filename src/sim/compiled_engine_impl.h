@@ -1,0 +1,711 @@
+// Wide-lane engine implementation, textually included per ISA variant.
+//
+// The including TU defines GLITCHMASK_ENGINE_VARIANT (a namespace name)
+// and gets one full copy of the engine template plus a factory
+//
+//     std::unique_ptr<CompiledEngineBase>
+//     GLITCHMASK_ENGINE_VARIANT::make_engine(program, chunks);
+//
+// compiled_engine_portable.cpp compiles it with the project's baseline
+// flags; compiled_engine_avx2.cpp adds -mavx2 (+ -ffp-contract=off) so
+// the LW<W> lane-word loops and eval_cell_lw compile to 256-bit ops.
+// The engine is pure integer code -- lane words, times, counters -- so
+// the ISA variant cannot change a committed waveform bit; dispatch picks
+// a variant in make_compiled_engine purely for speed
+// (tests/compiled_sim_test + moment_bank_test assert == across
+// GLITCHMASK_SIMD levels).
+//
+// Layout notes (this file is also where the per-event memory plan
+// lives):
+//   * CellState packs every mutable per-cell field the event loop
+//     touches -- committed output, last scheduled value, activity-window
+//     mask/stamp, gate delay, inertial window, pending commits, marks --
+//     into one contiguous struct.  A commit previously walked five
+//     parallel arrays plus two program arrays (seven-plus cache lines,
+//     most of a ~1 MB working set at W=4); now it touches one struct
+//     line-run plus the two small heap blocks.
+//   * Event is 48 bytes at W=4: pin packs into the cell id's top byte
+//     (programs are capped at 2^24 cells) and seq is 32-bit with an
+//     explicit overflow guard (a settle pass never reaches 4G events).
+//     Commit events never write or read their mask.
+//
+// Everything here lives in internal linkage except the factory, so two
+// variants in one binary cannot collide.
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/compiled_simulator.hpp"
+
+namespace glitchmask::sim {
+namespace GLITCHMASK_ENGINE_VARIANT {
+namespace {
+
+constexpr std::uint8_t kOutputPin = 0xFF;
+constexpr std::uint8_t kSourcePin = 0xFE;
+constexpr TimePs kNoEvent = ~TimePs{0};
+
+// ----- lane words --------------------------------------------------------
+
+template <unsigned W>
+struct LW {
+    std::uint64_t w[W];
+};
+
+template <unsigned W>
+[[nodiscard]] inline bool lw_none(const LW<W>& x) noexcept {
+    std::uint64_t acc = 0;
+    for (unsigned i = 0; i < W; ++i) acc |= x.w[i];
+    return acc == 0;
+}
+
+template <unsigned W>
+[[nodiscard]] inline std::uint64_t lw_popcount(const LW<W>& x) noexcept {
+    std::uint64_t n = 0;
+    for (unsigned i = 0; i < W; ++i)
+        n += static_cast<std::uint64_t>(std::popcount(x.w[i]));
+    return n;
+}
+
+template <unsigned W>
+[[nodiscard]] inline LW<W> lw_and(const LW<W>& a, const LW<W>& b) noexcept {
+    LW<W> r;
+    for (unsigned i = 0; i < W; ++i) r.w[i] = a.w[i] & b.w[i];
+    return r;
+}
+
+template <unsigned W>
+[[nodiscard]] inline LW<W> lw_andnot(const LW<W>& a, const LW<W>& b) noexcept {
+    LW<W> r;
+    for (unsigned i = 0; i < W; ++i) r.w[i] = a.w[i] & ~b.w[i];
+    return r;
+}
+
+template <unsigned W>
+[[nodiscard]] inline LW<W> lw_xor(const LW<W>& a, const LW<W>& b) noexcept {
+    LW<W> r;
+    for (unsigned i = 0; i < W; ++i) r.w[i] = a.w[i] ^ b.w[i];
+    return r;
+}
+
+template <unsigned W>
+inline void lw_or_eq(LW<W>& a, const LW<W>& b) noexcept {
+    for (unsigned i = 0; i < W; ++i) a.w[i] |= b.w[i];
+}
+
+template <unsigned W>
+inline void lw_andnot_eq(LW<W>& a, const LW<W>& b) noexcept {
+    for (unsigned i = 0; i < W; ++i) a.w[i] &= ~b.w[i];
+}
+
+/// dst = (dst & ~mask) | (val & mask)
+template <unsigned W>
+inline void lw_merge(LW<W>& dst, const LW<W>& val, const LW<W>& mask) noexcept {
+    for (unsigned i = 0; i < W; ++i)
+        dst.w[i] = (dst.w[i] & ~mask.w[i]) | (val.w[i] & mask.w[i]);
+}
+
+template <unsigned W>
+[[nodiscard]] inline LW<W> lw_splat(std::uint64_t v) noexcept {
+    LW<W> r;
+    for (unsigned i = 0; i < W; ++i) r.w[i] = v;
+    return r;
+}
+
+/// Wide evaluation with the kind switch hoisted out of the word loop
+/// (netlist::eval_cell_word would re-dispatch per 64-lane word).  `p`
+/// points at the cell's 3 pin words; bit-for-bit eval_cell_word per word.
+template <unsigned W>
+[[nodiscard]] inline LW<W> eval_cell_lw(netlist::CellKind kind,
+                                        const LW<W>* p) noexcept {
+    using netlist::CellKind;
+    LW<W> r;
+    switch (kind) {
+        case CellKind::Input:
+        case CellKind::Buf:
+        case CellKind::DelayBuf:
+        case CellKind::Dff:
+            r = p[0];
+            break;
+        case CellKind::Const0:
+            r = LW<W>{};
+            break;
+        case CellKind::Const1:
+            r = lw_splat<W>(~std::uint64_t{0});
+            break;
+        case CellKind::Inv:
+            for (unsigned i = 0; i < W; ++i) r.w[i] = ~p[0].w[i];
+            break;
+        case CellKind::And2:
+            for (unsigned i = 0; i < W; ++i) r.w[i] = p[0].w[i] & p[1].w[i];
+            break;
+        case CellKind::Nand2:
+            for (unsigned i = 0; i < W; ++i) r.w[i] = ~(p[0].w[i] & p[1].w[i]);
+            break;
+        case CellKind::Or2:
+            for (unsigned i = 0; i < W; ++i) r.w[i] = p[0].w[i] | p[1].w[i];
+            break;
+        case CellKind::Nor2:
+            for (unsigned i = 0; i < W; ++i) r.w[i] = ~(p[0].w[i] | p[1].w[i]);
+            break;
+        case CellKind::Xor2:
+            for (unsigned i = 0; i < W; ++i) r.w[i] = p[0].w[i] ^ p[1].w[i];
+            break;
+        case CellKind::Xnor2:
+            for (unsigned i = 0; i < W; ++i) r.w[i] = ~(p[0].w[i] ^ p[1].w[i]);
+            break;
+        case CellKind::Orn2:
+            for (unsigned i = 0; i < W; ++i) r.w[i] = p[0].w[i] | ~p[1].w[i];
+            break;
+        case CellKind::SecAnd3:
+            for (unsigned i = 0; i < W; ++i)
+                r.w[i] = (p[0].w[i] & p[1].w[i]) ^ (p[0].w[i] | ~p[2].w[i]);
+            break;
+        case CellKind::Mux2:
+            for (unsigned i = 0; i < W; ++i)
+                r.w[i] = (p[2].w[i] & p[1].w[i]) | (~p[2].w[i] & p[0].w[i]);
+            break;
+        default:
+            r = LW<W>{};
+            break;
+    }
+    return r;
+}
+
+// ----- the wide-lane engine ----------------------------------------------
+
+template <unsigned W>
+class CompiledEngine final : public CompiledEngineBase {
+public:
+    explicit CompiledEngine(std::shared_ptr<const CompiledProgram> program)
+        : program_(std::move(program)), p_(program_.get()) {
+        const std::size_t n = p_->n_cells;
+        if (n >= (std::size_t{1} << 24))
+            throw std::invalid_argument(
+                "CompiledEngine: more than 2^24 cells (event cell/pin "
+                "packing)");
+        cells_.resize(n);
+        for (CellId id = 0; id < n; ++id) {
+            cells_[id].gate_ps = p_->gate_ps[id];
+            cells_[id].inertial_window = p_->inertial_window[id];
+        }
+        pin_val_.resize(p_->pin_base[n]);
+        ring_mask_ = p_->ring_size - 1;
+        buckets_.resize(p_->ring_size);
+        occ_.assign(p_->ring_size / 64, 0);
+        for (unsigned c = 0; c < W; ++c) views_[c].bind(this, c);
+        initialize();
+    }
+
+    [[nodiscard]] unsigned chunks() const noexcept override { return W; }
+
+    void initialize() override {
+        for (std::size_t slot = 0; slot < buckets_.size(); ++slot)
+            buckets_[slot].clear();
+        std::fill(occ_.begin(), occ_.end(), 0);
+        overflow_ = {};
+        wheel_count_ = 0;
+        live_ = 0;
+        now_ = 0;
+        seq_ = 0;
+        window_epoch_ = 1;
+        const std::size_t n = p_->n_cells;
+        for (auto& pv : pin_val_) pv = LW<W>{};
+        for (CellId id = 0; id < n; ++id) {
+            CellState& cs = cells_[id];
+            const LW<W> v = lw_splat<W>(p_->settle_one[id] ? kAllLanes : 0);
+            cs.out = v;
+            cs.last_sched = v;
+            cs.window_toggled = LW<W>{};
+            cs.window_stamp = 0;
+            cs.pending.clear();
+            cs.marks.clear();
+        }
+        for (CellId id = 0; id < n; ++id) {
+            const unsigned pins = p_->pins[id];
+            for (unsigned q = 0; q < pins; ++q)
+                pin_val_[p_->pin_base[id] + q] = cells_[p_->in[id * 3 + q]].out;
+        }
+    }
+
+    void set_sink(unsigned chunk, BatchToggleSink* sink) noexcept override {
+        sinks_[chunk] = sink;
+    }
+
+    [[nodiscard]] const BatchWordView* chunk_view(
+        unsigned chunk) const noexcept override {
+        return &views_[chunk];
+    }
+
+    void drive_chunk(NetId source, unsigned chunk, std::uint64_t values,
+                     std::uint64_t lanes, TimePs time) override {
+        if (lanes == 0) return;
+        check_drive_time(time);
+        Pending p{};
+        p.time = time;
+        p.seq = seq_;
+        p.lanes.w[chunk] = lanes;
+        p.value.w[chunk] = values;
+        cells_[source].pending.push_back(p);
+        push_commit(source, kSourcePin, time);
+    }
+
+    void drive_all(NetId source, bool value, TimePs time) override {
+        check_drive_time(time);
+        Pending p{};
+        p.time = time;
+        p.seq = seq_;
+        p.lanes = lw_splat<W>(kAllLanes);
+        p.value = lw_splat<W>(value ? kAllLanes : 0);
+        cells_[source].pending.push_back(p);
+        push_commit(source, kSourcePin, time);
+    }
+
+    void sample_flops(const std::uint8_t* enable, const std::uint8_t* reset,
+                      TimePs launch) override {
+        // Same per-edge discipline as BatchClockedSim: reset beats enable,
+        // the D pin is the wire-delayed view, and only changed lanes are
+        // launched (flop order == drive order == seq order).
+        for (const CompiledProgram::FlopInfo& flop : p_->flops) {
+            const LW<W>& cur = cells_[flop.cell].out;
+            LW<W> q;
+            if (flop.reset != netlist::kAlwaysEnabled && reset[flop.reset] != 0)
+                q = LW<W>{};
+            else if (enable[flop.enable] != 0)
+                q = pin_val_[p_->pin_base[flop.cell]];
+            else
+                q = cur;
+            const LW<W> changed = lw_xor(q, cur);
+            if (lw_none(changed)) continue;
+            cells_[flop.cell].pending.push_back(
+                Pending{launch, seq_, changed, q});
+            push_commit(flop.cell, kSourcePin, launch);
+        }
+    }
+
+    void run_until(TimePs t_end) override {
+        while (step_one_time(t_end)) {
+        }
+        now_ = t_end;
+    }
+
+    TimePs run_to_quiescence() override {
+        while (step_one_time(kNoEvent)) {
+        }
+        return now_;
+    }
+
+    [[nodiscard]] std::uint64_t word(NetId net,
+                                     unsigned chunk) const noexcept override {
+        return cells_[net].out.w[chunk];
+    }
+
+    [[nodiscard]] std::uint64_t pin_word(CellId cell, unsigned pin,
+                                         unsigned chunk) const noexcept override {
+        return pin_val_[p_->pin_base[cell] + pin].w[chunk];
+    }
+
+    [[nodiscard]] TimePs now() const noexcept override { return now_; }
+
+    void begin_activity_window() noexcept override { ++window_epoch_; }
+
+    [[nodiscard]] telemetry::SimStats stats() const noexcept override {
+        return telemetry::SimStats{processed_, toggles_, glitches_,
+                                   inertial_cancels_, queue_peak_};
+    }
+
+private:
+    // Events are the unit of queue traffic, so they carry the minimum: a
+    // pin event needs only the toggle mask (per-edge FIFO delivery means
+    // flipping exactly those lanes reproduces the old merge), and commit
+    // events (output or source) carry nothing -- their lanes and target
+    // value wait in CellState::pending, keyed by seq.  pin lives in the
+    // cell id's top byte and seq is 32-bit (guarded), so the header is
+    // 16 bytes and an Event is 48 B at W=4 / 80 B at W=8.
+    struct Event {
+        TimePs time;
+        std::uint32_t seq;
+        std::uint32_t cell_pin;  // (pin << 24) | cell
+        LW<W> mask;              // pin event: lanes to flip; commits: unused
+
+        Event() = default;
+        Event(TimePs t, std::uint32_t s, std::uint32_t cp) noexcept
+            : time(t), seq(s), cell_pin(cp) {}
+        Event(TimePs t, std::uint32_t s, std::uint32_t cp,
+              const LW<W>& m) noexcept
+            : time(t), seq(s), cell_pin(cp), mask(m) {}
+    };
+    struct Pending {
+        TimePs time;
+        std::uint32_t seq;
+        LW<W> lanes;
+        LW<W> value;
+    };
+    struct Mark {
+        TimePs when;
+        LW<W> lanes;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const noexcept {
+            return (a.time != b.time) ? a.time > b.time : a.seq > b.seq;
+        }
+    };
+
+    /// Every mutable per-cell field the event loop touches, contiguous.
+    struct CellState {
+        LW<W> out;             // committed output value
+        LW<W> last_sched;      // last scheduled output value
+        LW<W> window_toggled;  // lanes toggled in this activity window
+        std::uint32_t window_stamp = 0;
+        std::uint32_t gate_ps = 0;
+        TimePs inertial_window = 0;
+        std::vector<Pending> pending;
+        std::vector<Mark> marks;
+    };
+
+    class ChunkView final : public BatchWordView {
+    public:
+        void bind(const CompiledEngine* engine, unsigned chunk) noexcept {
+            engine_ = engine;
+            chunk_ = chunk;
+        }
+        [[nodiscard]] std::uint64_t word(NetId net) const noexcept override {
+            return engine_->cells_[net].out.w[chunk_];
+        }
+
+    private:
+        const CompiledEngine* engine_ = nullptr;
+        unsigned chunk_ = 0;
+    };
+
+    static constexpr std::uint32_t pack(CellId cell, std::uint8_t pin) noexcept {
+        return (static_cast<std::uint32_t>(pin) << 24) |
+               static_cast<std::uint32_t>(cell);
+    }
+
+    void check_drive_time(TimePs time) const {
+        if (time < now_)
+            throw std::invalid_argument(
+                "CompiledEngine: drive in the past (the time-slot ring "
+                "replays forward only)");
+    }
+
+    [[nodiscard]] std::uint32_t next_seq() {
+        if (seq_ == std::numeric_limits<std::uint32_t>::max())
+            throw std::runtime_error(
+                "CompiledEngine: event sequence counter overflow");
+        return seq_++;
+    }
+
+    // ----- time-slot ring ------------------------------------------------
+
+    void note_push(TimePs time) noexcept {
+        ++live_;
+        if (live_ > queue_peak_) queue_peak_ = live_;
+        const std::size_t slot = time & ring_mask_;
+        occ_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+        ++wheel_count_;
+    }
+
+    /// Commit event: lanes/value live in CellState::pending under this
+    /// seq, so the event's mask stays unwritten (and unread).
+    void push_commit(CellId cell, std::uint8_t pin, TimePs time) {
+        const std::uint32_t seq = next_seq();
+        if (time - now_ <= ring_mask_) {
+            buckets_[time & ring_mask_].emplace_back(time, seq,
+                                                     pack(cell, pin));
+            note_push(time);
+        } else {
+            ++live_;
+            if (live_ > queue_peak_) queue_peak_ = live_;
+            overflow_.push(Event(time, seq, pack(cell, pin)));
+        }
+    }
+
+    void push_pin_event(CellId cell, std::uint8_t pin, TimePs time,
+                        const LW<W>& mask) {
+        const std::uint32_t seq = next_seq();
+        if (time - now_ <= ring_mask_) {
+            buckets_[time & ring_mask_].emplace_back(time, seq,
+                                                     pack(cell, pin), mask);
+            note_push(time);
+        } else {
+            ++live_;
+            if (live_ > queue_peak_) queue_peak_ = live_;
+            overflow_.push(Event(time, seq, pack(cell, pin), mask));
+        }
+    }
+
+    /// Earliest occupied slot time >= now_ (valid only when the wheel is
+    /// non-empty): word-wise circular scan of the occupancy bitmap.
+    [[nodiscard]] TimePs next_wheel_time() const noexcept {
+        const std::size_t i0 = now_ & ring_mask_;
+        const std::size_t nwords = occ_.size();
+        std::size_t word_idx = i0 >> 6;
+        std::uint64_t w = occ_[word_idx] & (~std::uint64_t{0} << (i0 & 63));
+        for (std::size_t k = 0; k <= nwords; ++k) {
+            if (w != 0) {
+                const std::size_t slot =
+                    (word_idx << 6) +
+                    static_cast<std::size_t>(std::countr_zero(w));
+                return now_ + ((slot - i0) & ring_mask_);
+            }
+            word_idx = word_idx + 1 == nwords ? 0 : word_idx + 1;
+            w = occ_[word_idx];
+        }
+        return kNoEvent;  // unreachable while wheel_count_ > 0
+    }
+
+    void migrate_overflow() {
+        while (!overflow_.empty() && overflow_.top().time - now_ <= ring_mask_) {
+            Event ev = overflow_.top();
+            overflow_.pop();
+            const std::size_t slot = ev.time & ring_mask_;
+            auto& bucket = buckets_[slot];
+            // Keep the bucket seq-sorted: entries appended while this
+            // event sat in the overflow heap carry larger seq numbers.
+            std::size_t pos = bucket.size();
+            while (pos > 0 && bucket[pos - 1].seq > ev.seq) --pos;
+            bucket.insert(bucket.begin() + static_cast<std::ptrdiff_t>(pos),
+                          std::move(ev));
+            occ_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+            ++wheel_count_;
+        }
+    }
+
+    /// Processes every event at the next event time if it is < t_end.
+    bool step_one_time(TimePs t_end) {
+        TimePs t = kNoEvent;
+        if (wheel_count_ != 0) t = next_wheel_time();
+        if (!overflow_.empty() && overflow_.top().time < t)
+            t = overflow_.top().time;
+        if (t >= t_end) return false;
+        now_ = t;
+        migrate_overflow();
+        const std::size_t slot = t & ring_mask_;
+        auto& bucket = buckets_[slot];
+        // Index loop, size re-read each pass: same-time pushes during the
+        // drain append here and must run in this pass (FIFO == seq order,
+        // exactly the heap's (time, seq) order).  Only the 16-byte header
+        // is copied up front (pushes may reallocate the bucket); the mask
+        // is copied just for pin events.
+        for (std::size_t i = 0; i < bucket.size(); ++i) {
+            const TimePs time = bucket[i].time;
+            const std::uint32_t seq = bucket[i].seq;
+            const std::uint32_t cell_pin = bucket[i].cell_pin;
+            ++processed_;
+            --wheel_count_;
+            --live_;
+            const CellId cell = cell_pin & 0xFFFFFFu;
+            const std::uint8_t pin = static_cast<std::uint8_t>(cell_pin >> 24);
+            if (pin >= kSourcePin) {
+                commit_output(cell, time, seq);
+            } else {
+                const LW<W> mask = bucket[i].mask;
+                update_pin(cell, pin, time, mask);
+            }
+        }
+        bucket.clear();
+        occ_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+        return true;
+    }
+
+    // ----- ported event-engine semantics (see sim/batch_simulator.cpp) --
+
+    void schedule_group(CellId cell, const LW<W>& value, const LW<W>& lanes,
+                        TimePs when) {
+        CellState& cs = cells_[cell];
+        LW<W> cancelled{};
+        if (p_->inertial_filtering) {
+            LW<W> to_check = lanes;
+            auto& pending = cs.pending;
+            for (auto it = pending.rbegin();
+                 it != pending.rend() && !lw_none(to_check); ++it) {
+                const LW<W> m = lw_and(to_check, it->lanes);
+                if (lw_none(m)) continue;
+                if (when >= it->time && when - it->time < cs.inertial_window) {
+                    lw_andnot_eq(it->lanes, m);
+                    lw_or_eq(cancelled, m);
+                }
+                lw_andnot_eq(to_check, m);
+            }
+            inertial_cancels_ += lw_popcount(cancelled);
+        }
+
+        lw_merge(cs.last_sched, value, lanes);
+        auto& marks = cs.marks;
+        for (Mark& mark : marks) lw_andnot_eq(mark.lanes, lanes);
+        bool merged = false;
+        for (Mark& mark : marks) {
+            if (mark.when == when) {
+                lw_or_eq(mark.lanes, lanes);
+                merged = true;
+                break;
+            }
+        }
+        if (!merged) marks.push_back(Mark{when, lanes});
+
+        const LW<W> survivors = lw_andnot(lanes, cancelled);
+        if (lw_none(survivors)) return;
+        cs.pending.push_back(Pending{when, seq_, survivors, value});
+        push_commit(cell, kOutputPin, when);
+    }
+
+    void schedule_output(CellId cell, const LW<W>& value, const LW<W>& changed,
+                         TimePs at) {
+        auto& marks = cells_[cell].marks;
+        std::erase_if(marks, [at](const Mark& mark) {
+            return mark.when < at || lw_none(mark.lanes);
+        });
+
+        LW<W> covered{};
+        for (const Mark& mark : marks) lw_or_eq(covered, mark.lanes);
+        covered = lw_and(covered, changed);
+
+        const LW<W> unmarked = lw_andnot(changed, covered);
+
+        if (lw_none(covered)) {
+            schedule_group(cell, value, unmarked, at == 0 ? 1 : at);
+            return;
+        }
+
+        struct Group {
+            TimePs when;
+            LW<W> lanes;
+        };
+        Group groups[8];
+        std::size_t n_groups = 0;
+        std::vector<Group> spill;
+        LW<W> left = covered;
+        while (!lw_none(left)) {
+            TimePs newest = 0;
+            for (const Mark& mark : marks)
+                if (!lw_none(lw_and(mark.lanes, left)) && mark.when >= newest)
+                    newest = mark.when;
+            LW<W> lanes_at_newest{};
+            for (const Mark& mark : marks)
+                if (mark.when == newest)
+                    lw_or_eq(lanes_at_newest, lw_and(mark.lanes, left));
+            if (n_groups < 8)
+                groups[n_groups++] = Group{newest + 1, lanes_at_newest};
+            else
+                spill.push_back(Group{newest + 1, lanes_at_newest});
+            lw_andnot_eq(left, lanes_at_newest);
+        }
+        for (std::size_t i = 0; i < n_groups; ++i)
+            schedule_group(cell, value, groups[i].lanes, groups[i].when);
+        for (const Group& group : spill)
+            schedule_group(cell, value, group.lanes, group.when);
+        if (!lw_none(unmarked))
+            schedule_group(cell, value, unmarked, at == 0 ? 1 : at);
+    }
+
+    void commit_output(CellId cell, TimePs time, std::uint32_t seq) {
+        CellState& cs = cells_[cell];
+        auto& pending = cs.pending;
+        LW<W> lanes{};
+        LW<W> value{};
+        for (auto it = pending.begin(); it != pending.end(); ++it) {
+            if (it->seq == seq) {
+                lanes = it->lanes;
+                value = it->value;
+                pending.erase(it);
+                break;
+            }
+        }
+        const LW<W> toggled = lw_and(lanes, lw_xor(cs.out, value));
+        if (lw_none(toggled)) return;
+        toggles_ += lw_popcount(toggled);
+        if (cs.window_stamp == window_epoch_) {
+            glitches_ += lw_popcount(lw_and(toggled, cs.window_toggled));
+            lw_or_eq(cs.window_toggled, toggled);
+        } else {
+            cs.window_stamp = window_epoch_;
+            cs.window_toggled = toggled;
+        }
+        lw_merge(cs.out, value, toggled);
+        const LW<W>& out = cs.out;
+        for (unsigned c = 0; c < W; ++c)
+            if (toggled.w[c] != 0 && sinks_[c] != nullptr)
+                sinks_[c]->on_toggle(cell, time, out.w[c], toggled.w[c]);
+        const std::uint32_t fb = p_->fanout_begin[cell];
+        const std::uint32_t fe = p_->fanout_begin[cell + 1];
+        for (std::uint32_t f = fb; f < fe; ++f) {
+            const CompiledProgram::FanoutEdge& edge = p_->fanout[f];
+            push_pin_event(edge.cell, edge.pin, time + edge.wire_ps, toggled);
+        }
+    }
+
+    void update_pin(CellId cell, std::uint8_t pin, TimePs time,
+                    const LW<W>& mask) {
+        // Per-edge FIFO delivery (fixed wire delay + seq tiebreak) means
+        // the slot's masked bits still hold the source's pre-commit
+        // value, so flipping exactly the toggled lanes reproduces the
+        // merge of the committed value.
+        const std::uint32_t base = p_->pin_base[cell];
+        LW<W>& slot = pin_val_[base + pin];
+        for (unsigned i = 0; i < W; ++i) slot.w[i] ^= mask.w[i];
+        const netlist::CellKind kind = p_->kind[cell];
+        if (kind == netlist::CellKind::Dff) return;
+
+        const LW<W> value = eval_cell_lw<W>(kind, &pin_val_[base]);
+        CellState& cs = cells_[cell];
+        const LW<W> changed = lw_xor(value, cs.last_sched);
+        if (lw_none(changed)) return;
+        schedule_output(cell, value, changed, time + cs.gate_ps);
+    }
+
+    std::shared_ptr<const CompiledProgram> program_;
+    const CompiledProgram* p_;
+
+    std::vector<CellState> cells_;
+    std::vector<LW<W>> pin_val_;
+
+    std::vector<std::vector<Event>> buckets_;
+    std::vector<std::uint64_t> occ_;
+    std::size_t ring_mask_ = 0;
+    std::size_t wheel_count_ = 0;
+    std::size_t live_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> overflow_;
+
+    BatchToggleSink* sinks_[W] = {};
+    ChunkView views_[W];
+
+    std::uint32_t seq_ = 0;
+    TimePs now_ = 0;
+    std::size_t processed_ = 0;
+
+    std::uint64_t toggles_ = 0;
+    std::uint64_t glitches_ = 0;
+    std::uint64_t inertial_cancels_ = 0;
+    std::uint64_t queue_peak_ = 0;
+    std::uint32_t window_epoch_ = 1;
+};
+
+}  // namespace
+
+std::unique_ptr<CompiledEngineBase> make_engine(
+    std::shared_ptr<const CompiledProgram> program, unsigned chunks) {
+    switch (chunks) {
+        case 1:
+            return std::make_unique<CompiledEngine<1>>(std::move(program));
+        case 2:
+            return std::make_unique<CompiledEngine<2>>(std::move(program));
+        case 4:
+            return std::make_unique<CompiledEngine<4>>(std::move(program));
+        case 8:
+            return std::make_unique<CompiledEngine<8>>(std::move(program));
+        default:
+            throw std::invalid_argument(
+                "make_compiled_engine: chunks must be 1/2/4/8");
+    }
+}
+
+}  // namespace GLITCHMASK_ENGINE_VARIANT
+}  // namespace glitchmask::sim

@@ -1,0 +1,5 @@
+// Baseline-ISA instantiation of the wide-lane engine.  Always compiled;
+// make_compiled_engine falls back here when AVX2 is unavailable or the
+// user forces GLITCHMASK_SIMD=off.
+#define GLITCHMASK_ENGINE_VARIANT engine_portable
+#include "sim/compiled_engine_impl.h"

@@ -2,145 +2,26 @@
 
 #include <algorithm>
 #include <bit>
-#include <cstring>
 #include <mutex>
-#include <queue>
 #include <stdexcept>
+
+#include "support/simd.hpp"
 
 namespace glitchmask::sim {
 
+// Per-ISA engine factories (sim/compiled_engine_impl.h, one TU each).
+namespace engine_portable {
+std::unique_ptr<CompiledEngineBase> make_engine(
+    std::shared_ptr<const CompiledProgram> program, unsigned chunks);
+}
+#if defined(GLITCHMASK_HAVE_AVX2)
+namespace engine_avx2 {
+std::unique_ptr<CompiledEngineBase> make_engine(
+    std::shared_ptr<const CompiledProgram> program, unsigned chunks);
+}
+#endif
+
 namespace {
-
-constexpr std::uint8_t kOutputPin = 0xFF;
-constexpr std::uint8_t kSourcePin = 0xFE;
-constexpr TimePs kNoEvent = ~TimePs{0};
-
-// ----- lane words --------------------------------------------------------
-
-template <unsigned W>
-struct LW {
-    std::uint64_t w[W];
-};
-
-template <unsigned W>
-[[nodiscard]] inline bool lw_none(const LW<W>& x) noexcept {
-    std::uint64_t acc = 0;
-    for (unsigned i = 0; i < W; ++i) acc |= x.w[i];
-    return acc == 0;
-}
-
-template <unsigned W>
-[[nodiscard]] inline std::uint64_t lw_popcount(const LW<W>& x) noexcept {
-    std::uint64_t n = 0;
-    for (unsigned i = 0; i < W; ++i)
-        n += static_cast<std::uint64_t>(std::popcount(x.w[i]));
-    return n;
-}
-
-template <unsigned W>
-[[nodiscard]] inline LW<W> lw_and(const LW<W>& a, const LW<W>& b) noexcept {
-    LW<W> r;
-    for (unsigned i = 0; i < W; ++i) r.w[i] = a.w[i] & b.w[i];
-    return r;
-}
-
-template <unsigned W>
-[[nodiscard]] inline LW<W> lw_andnot(const LW<W>& a, const LW<W>& b) noexcept {
-    LW<W> r;
-    for (unsigned i = 0; i < W; ++i) r.w[i] = a.w[i] & ~b.w[i];
-    return r;
-}
-
-template <unsigned W>
-[[nodiscard]] inline LW<W> lw_xor(const LW<W>& a, const LW<W>& b) noexcept {
-    LW<W> r;
-    for (unsigned i = 0; i < W; ++i) r.w[i] = a.w[i] ^ b.w[i];
-    return r;
-}
-
-template <unsigned W>
-inline void lw_or_eq(LW<W>& a, const LW<W>& b) noexcept {
-    for (unsigned i = 0; i < W; ++i) a.w[i] |= b.w[i];
-}
-
-template <unsigned W>
-inline void lw_andnot_eq(LW<W>& a, const LW<W>& b) noexcept {
-    for (unsigned i = 0; i < W; ++i) a.w[i] &= ~b.w[i];
-}
-
-/// dst = (dst & ~mask) | (val & mask)
-template <unsigned W>
-inline void lw_merge(LW<W>& dst, const LW<W>& val, const LW<W>& mask) noexcept {
-    for (unsigned i = 0; i < W; ++i)
-        dst.w[i] = (dst.w[i] & ~mask.w[i]) | (val.w[i] & mask.w[i]);
-}
-
-template <unsigned W>
-[[nodiscard]] inline LW<W> lw_splat(std::uint64_t v) noexcept {
-    LW<W> r;
-    for (unsigned i = 0; i < W; ++i) r.w[i] = v;
-    return r;
-}
-
-/// Wide evaluation with the kind switch hoisted out of the word loop
-/// (netlist::eval_cell_word would re-dispatch per 64-lane word).  `p`
-/// points at the cell's 3 pin words; bit-for-bit eval_cell_word per word.
-template <unsigned W>
-[[nodiscard]] inline LW<W> eval_cell_lw(netlist::CellKind kind,
-                                        const LW<W>* p) noexcept {
-    using netlist::CellKind;
-    LW<W> r;
-    switch (kind) {
-        case CellKind::Input:
-        case CellKind::Buf:
-        case CellKind::DelayBuf:
-        case CellKind::Dff:
-            r = p[0];
-            break;
-        case CellKind::Const0:
-            r = LW<W>{};
-            break;
-        case CellKind::Const1:
-            r = lw_splat<W>(~std::uint64_t{0});
-            break;
-        case CellKind::Inv:
-            for (unsigned i = 0; i < W; ++i) r.w[i] = ~p[0].w[i];
-            break;
-        case CellKind::And2:
-            for (unsigned i = 0; i < W; ++i) r.w[i] = p[0].w[i] & p[1].w[i];
-            break;
-        case CellKind::Nand2:
-            for (unsigned i = 0; i < W; ++i) r.w[i] = ~(p[0].w[i] & p[1].w[i]);
-            break;
-        case CellKind::Or2:
-            for (unsigned i = 0; i < W; ++i) r.w[i] = p[0].w[i] | p[1].w[i];
-            break;
-        case CellKind::Nor2:
-            for (unsigned i = 0; i < W; ++i) r.w[i] = ~(p[0].w[i] | p[1].w[i]);
-            break;
-        case CellKind::Xor2:
-            for (unsigned i = 0; i < W; ++i) r.w[i] = p[0].w[i] ^ p[1].w[i];
-            break;
-        case CellKind::Xnor2:
-            for (unsigned i = 0; i < W; ++i) r.w[i] = ~(p[0].w[i] ^ p[1].w[i]);
-            break;
-        case CellKind::Orn2:
-            for (unsigned i = 0; i < W; ++i) r.w[i] = p[0].w[i] | ~p[1].w[i];
-            break;
-        case CellKind::SecAnd3:
-            for (unsigned i = 0; i < W; ++i)
-                r.w[i] = (p[0].w[i] & p[1].w[i]) ^ (p[0].w[i] | ~p[2].w[i]);
-            break;
-        case CellKind::Mux2:
-            for (unsigned i = 0; i < W; ++i)
-                r.w[i] = (p[2].w[i] & p[1].w[i]) | (~p[2].w[i] & p[0].w[i]);
-            break;
-        default:
-            r = LW<W>{};
-            break;
-    }
-    return r;
-}
 
 // ----- program fingerprint ----------------------------------------------
 
@@ -326,488 +207,15 @@ void clear_compiled_program_cache() {
     cache.misses = 0;
 }
 
-// ----- the wide-lane engine ----------------------------------------------
-
-namespace {
-
-template <unsigned W>
-class CompiledEngine final : public CompiledEngineBase {
-public:
-    explicit CompiledEngine(std::shared_ptr<const CompiledProgram> program)
-        : program_(std::move(program)), p_(program_.get()) {
-        const std::size_t n = p_->n_cells;
-        out_val_.resize(n);
-        pin_val_.resize(p_->pin_base[n]);
-        last_sched_out_.resize(n);
-        pending_.resize(n);
-        marks_.resize(n);
-        window_stamp_.resize(n, 0);
-        window_toggled_.resize(n);
-        ring_mask_ = p_->ring_size - 1;
-        buckets_.resize(p_->ring_size);
-        occ_.assign(p_->ring_size / 64, 0);
-        for (unsigned c = 0; c < W; ++c) views_[c].bind(this, c);
-        initialize();
-    }
-
-    [[nodiscard]] unsigned chunks() const noexcept override { return W; }
-
-    void initialize() override {
-        for (std::size_t slot = 0; slot < buckets_.size(); ++slot)
-            buckets_[slot].clear();
-        std::fill(occ_.begin(), occ_.end(), 0);
-        overflow_ = {};
-        wheel_count_ = 0;
-        live_ = 0;
-        now_ = 0;
-        seq_ = 0;
-        window_epoch_ = 1;
-        std::fill(window_stamp_.begin(), window_stamp_.end(), 0);
-        for (auto& w : window_toggled_) w = LW<W>{};
-        for (auto& pending : pending_) pending.clear();
-        for (auto& marks : marks_) marks.clear();
-        const std::size_t n = p_->n_cells;
-        for (auto& pv : pin_val_) pv = LW<W>{};
-        for (CellId id = 0; id < n; ++id) {
-            const LW<W> v = lw_splat<W>(p_->settle_one[id] ? kAllLanes : 0);
-            out_val_[id] = v;
-            last_sched_out_[id] = v;
-        }
-        for (CellId id = 0; id < n; ++id) {
-            const unsigned pins = p_->pins[id];
-            for (unsigned q = 0; q < pins; ++q)
-                pin_val_[p_->pin_base[id] + q] = out_val_[p_->in[id * 3 + q]];
-        }
-    }
-
-    void set_sink(unsigned chunk, BatchToggleSink* sink) noexcept override {
-        sinks_[chunk] = sink;
-    }
-
-    [[nodiscard]] const BatchWordView* chunk_view(
-        unsigned chunk) const noexcept override {
-        return &views_[chunk];
-    }
-
-    void drive_chunk(NetId source, unsigned chunk, std::uint64_t values,
-                     std::uint64_t lanes, TimePs time) override {
-        if (lanes == 0) return;
-        check_drive_time(time);
-        Pending p{};
-        p.time = time;
-        p.seq = seq_;
-        p.lanes.w[chunk] = lanes;
-        p.value.w[chunk] = values;
-        pending_[source].push_back(p);
-        push_commit(source, kSourcePin, time);
-    }
-
-    void drive_all(NetId source, bool value, TimePs time) override {
-        check_drive_time(time);
-        Pending p{};
-        p.time = time;
-        p.seq = seq_;
-        p.lanes = lw_splat<W>(kAllLanes);
-        p.value = lw_splat<W>(value ? kAllLanes : 0);
-        pending_[source].push_back(p);
-        push_commit(source, kSourcePin, time);
-    }
-
-    void sample_flops(const std::uint8_t* enable, const std::uint8_t* reset,
-                      TimePs launch) override {
-        // Same per-edge discipline as BatchClockedSim: reset beats enable,
-        // the D pin is the wire-delayed view, and only changed lanes are
-        // launched (flop order == drive order == seq order).
-        for (const CompiledProgram::FlopInfo& flop : p_->flops) {
-            const LW<W>& cur = out_val_[flop.cell];
-            LW<W> q;
-            if (flop.reset != netlist::kAlwaysEnabled && reset[flop.reset] != 0)
-                q = LW<W>{};
-            else if (enable[flop.enable] != 0)
-                q = pin_val_[p_->pin_base[flop.cell]];
-            else
-                q = cur;
-            const LW<W> changed = lw_xor(q, cur);
-            if (lw_none(changed)) continue;
-            pending_[flop.cell].push_back(Pending{launch, seq_, changed, q});
-            push_commit(flop.cell, kSourcePin, launch);
-        }
-    }
-
-    void run_until(TimePs t_end) override {
-        while (step_one_time(t_end)) {
-        }
-        now_ = t_end;
-    }
-
-    TimePs run_to_quiescence() override {
-        while (step_one_time(kNoEvent)) {
-        }
-        return now_;
-    }
-
-    [[nodiscard]] std::uint64_t word(NetId net,
-                                     unsigned chunk) const noexcept override {
-        return out_val_[net].w[chunk];
-    }
-
-    [[nodiscard]] std::uint64_t pin_word(CellId cell, unsigned pin,
-                                         unsigned chunk) const noexcept override {
-        return pin_val_[p_->pin_base[cell] + pin].w[chunk];
-    }
-
-    [[nodiscard]] TimePs now() const noexcept override { return now_; }
-
-    void begin_activity_window() noexcept override { ++window_epoch_; }
-
-    [[nodiscard]] telemetry::SimStats stats() const noexcept override {
-        return telemetry::SimStats{processed_, toggles_, glitches_,
-                                   inertial_cancels_, queue_peak_};
-    }
-
-private:
-    // Events are the unit of queue traffic, so they carry the minimum:
-    // a pin event needs only the toggle mask (per-edge FIFO delivery
-    // means flipping exactly those lanes reproduces the old merge), and
-    // commit events (output or source) carry nothing -- their lanes and
-    // target value wait in pending_[cell], keyed by seq.  That keeps an
-    // Event at one lane word instead of two (88 B vs 152 B at W=8),
-    // which is most of the wheel's memory traffic.
-    struct Event {
-        TimePs time;
-        std::uint64_t seq;
-        CellId cell;
-        std::uint8_t pin;  // 0xFF = output commit, 0xFE = source commit
-        LW<W> mask;        // pin event: lanes to flip; commits: unused
-    };
-    struct Pending {
-        TimePs time;
-        std::uint64_t seq;
-        LW<W> lanes;
-        LW<W> value;
-    };
-    struct Mark {
-        TimePs when;
-        LW<W> lanes;
-    };
-    struct Later {
-        bool operator()(const Event& a, const Event& b) const noexcept {
-            return (a.time != b.time) ? a.time > b.time : a.seq > b.seq;
-        }
-    };
-
-    class ChunkView final : public BatchWordView {
-    public:
-        void bind(const CompiledEngine* engine, unsigned chunk) noexcept {
-            engine_ = engine;
-            chunk_ = chunk;
-        }
-        [[nodiscard]] std::uint64_t word(NetId net) const noexcept override {
-            return engine_->out_val_[net].w[chunk_];
-        }
-
-    private:
-        const CompiledEngine* engine_ = nullptr;
-        unsigned chunk_ = 0;
-    };
-
-    void check_drive_time(TimePs time) const {
-        if (time < now_)
-            throw std::invalid_argument(
-                "CompiledEngine: drive in the past (the time-slot ring "
-                "replays forward only)");
-    }
-
-    // ----- time-slot ring ------------------------------------------------
-
-    /// Commit event: lanes/value live in pending_[cell] under this seq,
-    /// so the event's mask stays unwritten (and unread).
-    void push_commit(CellId cell, std::uint8_t pin, TimePs time) {
-        Event ev;
-        ev.time = time;
-        ev.seq = seq_++;
-        ev.cell = cell;
-        ev.pin = pin;
-        push_event(std::move(ev));
-    }
-
-    void push_event(Event&& ev) {
-        ++live_;
-        if (live_ > queue_peak_) queue_peak_ = live_;
-        if (ev.time - now_ <= ring_mask_) {
-            const std::size_t slot = ev.time & ring_mask_;
-            occ_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
-            buckets_[slot].push_back(std::move(ev));
-            ++wheel_count_;
-        } else {
-            overflow_.push(std::move(ev));
-        }
-    }
-
-    /// Earliest occupied slot time >= now_ (valid only when the wheel is
-    /// non-empty): word-wise circular scan of the occupancy bitmap.
-    [[nodiscard]] TimePs next_wheel_time() const noexcept {
-        const std::size_t i0 = now_ & ring_mask_;
-        const std::size_t nwords = occ_.size();
-        std::size_t word_idx = i0 >> 6;
-        std::uint64_t w = occ_[word_idx] & (~std::uint64_t{0} << (i0 & 63));
-        for (std::size_t k = 0; k <= nwords; ++k) {
-            if (w != 0) {
-                const std::size_t slot =
-                    (word_idx << 6) +
-                    static_cast<std::size_t>(std::countr_zero(w));
-                return now_ + ((slot - i0) & ring_mask_);
-            }
-            word_idx = word_idx + 1 == nwords ? 0 : word_idx + 1;
-            w = occ_[word_idx];
-        }
-        return kNoEvent;  // unreachable while wheel_count_ > 0
-    }
-
-    void migrate_overflow() {
-        while (!overflow_.empty() && overflow_.top().time - now_ <= ring_mask_) {
-            Event ev = overflow_.top();
-            overflow_.pop();
-            const std::size_t slot = ev.time & ring_mask_;
-            auto& bucket = buckets_[slot];
-            // Keep the bucket seq-sorted: entries appended while this
-            // event sat in the overflow heap carry larger seq numbers.
-            std::size_t pos = bucket.size();
-            while (pos > 0 && bucket[pos - 1].seq > ev.seq) --pos;
-            bucket.insert(bucket.begin() + static_cast<std::ptrdiff_t>(pos),
-                          std::move(ev));
-            occ_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
-            ++wheel_count_;
-        }
-    }
-
-    /// Processes every event at the next event time if it is < t_end.
-    bool step_one_time(TimePs t_end) {
-        TimePs t = kNoEvent;
-        if (wheel_count_ != 0) t = next_wheel_time();
-        if (!overflow_.empty() && overflow_.top().time < t)
-            t = overflow_.top().time;
-        if (t >= t_end) return false;
-        now_ = t;
-        migrate_overflow();
-        const std::size_t slot = t & ring_mask_;
-        auto& bucket = buckets_[slot];
-        // Index loop, size re-read each pass: same-time pushes during the
-        // drain append here and must run in this pass (FIFO == seq order,
-        // exactly the heap's (time, seq) order).
-        for (std::size_t i = 0; i < bucket.size(); ++i) {
-            const Event ev = bucket[i];  // copy: pushes may reallocate
-            ++processed_;
-            --wheel_count_;
-            --live_;
-            if (ev.pin >= kSourcePin)
-                commit_output(ev);
-            else
-                update_pin(ev);
-        }
-        bucket.clear();
-        occ_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
-        return true;
-    }
-
-    // ----- ported event-engine semantics (see sim/batch_simulator.cpp) --
-
-    void schedule_group(CellId cell, const LW<W>& value, const LW<W>& lanes,
-                        TimePs when) {
-        LW<W> cancelled{};
-        if (p_->inertial_filtering) {
-            LW<W> to_check = lanes;
-            auto& pending = pending_[cell];
-            for (auto it = pending.rbegin();
-                 it != pending.rend() && !lw_none(to_check); ++it) {
-                const LW<W> m = lw_and(to_check, it->lanes);
-                if (lw_none(m)) continue;
-                if (when >= it->time &&
-                    when - it->time < p_->inertial_window[cell]) {
-                    lw_andnot_eq(it->lanes, m);
-                    lw_or_eq(cancelled, m);
-                }
-                lw_andnot_eq(to_check, m);
-            }
-            inertial_cancels_ += lw_popcount(cancelled);
-        }
-
-        lw_merge(last_sched_out_[cell], value, lanes);
-        auto& marks = marks_[cell];
-        for (Mark& mark : marks) lw_andnot_eq(mark.lanes, lanes);
-        bool merged = false;
-        for (Mark& mark : marks) {
-            if (mark.when == when) {
-                lw_or_eq(mark.lanes, lanes);
-                merged = true;
-                break;
-            }
-        }
-        if (!merged) marks.push_back(Mark{when, lanes});
-
-        const LW<W> survivors = lw_andnot(lanes, cancelled);
-        if (lw_none(survivors)) return;
-        pending_[cell].push_back(Pending{when, seq_, survivors, value});
-        push_commit(cell, kOutputPin, when);
-    }
-
-    void schedule_output(CellId cell, const LW<W>& value, const LW<W>& changed,
-                         TimePs at) {
-        auto& marks = marks_[cell];
-        std::erase_if(marks, [at](const Mark& mark) {
-            return mark.when < at || lw_none(mark.lanes);
-        });
-
-        LW<W> covered{};
-        for (const Mark& mark : marks) lw_or_eq(covered, mark.lanes);
-        covered = lw_and(covered, changed);
-
-        const LW<W> unmarked = lw_andnot(changed, covered);
-
-        if (lw_none(covered)) {
-            schedule_group(cell, value, unmarked, at == 0 ? 1 : at);
-            return;
-        }
-
-        struct Group {
-            TimePs when;
-            LW<W> lanes;
-        };
-        Group groups[8];
-        std::size_t n_groups = 0;
-        std::vector<Group> spill;
-        LW<W> left = covered;
-        while (!lw_none(left)) {
-            TimePs newest = 0;
-            for (const Mark& mark : marks)
-                if (!lw_none(lw_and(mark.lanes, left)) && mark.when >= newest)
-                    newest = mark.when;
-            LW<W> lanes_at_newest{};
-            for (const Mark& mark : marks)
-                if (mark.when == newest)
-                    lw_or_eq(lanes_at_newest, lw_and(mark.lanes, left));
-            if (n_groups < 8)
-                groups[n_groups++] = Group{newest + 1, lanes_at_newest};
-            else
-                spill.push_back(Group{newest + 1, lanes_at_newest});
-            lw_andnot_eq(left, lanes_at_newest);
-        }
-        for (std::size_t i = 0; i < n_groups; ++i)
-            schedule_group(cell, value, groups[i].lanes, groups[i].when);
-        for (const Group& group : spill)
-            schedule_group(cell, value, group.lanes, group.when);
-        if (!lw_none(unmarked))
-            schedule_group(cell, value, unmarked, at == 0 ? 1 : at);
-    }
-
-    void commit_output(const Event& ev) {
-        auto& pending = pending_[ev.cell];
-        LW<W> lanes{};
-        LW<W> value{};
-        for (auto it = pending.begin(); it != pending.end(); ++it) {
-            if (it->seq == ev.seq) {
-                lanes = it->lanes;
-                value = it->value;
-                pending.erase(it);
-                break;
-            }
-        }
-        const LW<W> toggled = lw_and(lanes, lw_xor(out_val_[ev.cell], value));
-        if (lw_none(toggled)) return;
-        toggles_ += lw_popcount(toggled);
-        if (window_stamp_[ev.cell] == window_epoch_) {
-            glitches_ += lw_popcount(lw_and(toggled, window_toggled_[ev.cell]));
-            lw_or_eq(window_toggled_[ev.cell], toggled);
-        } else {
-            window_stamp_[ev.cell] = window_epoch_;
-            window_toggled_[ev.cell] = toggled;
-        }
-        lw_merge(out_val_[ev.cell], value, toggled);
-        const LW<W>& out = out_val_[ev.cell];
-        for (unsigned c = 0; c < W; ++c)
-            if (toggled.w[c] != 0 && sinks_[c] != nullptr)
-                sinks_[c]->on_toggle(ev.cell, ev.time, out.w[c], toggled.w[c]);
-        const std::uint32_t fb = p_->fanout_begin[ev.cell];
-        const std::uint32_t fe = p_->fanout_begin[ev.cell + 1];
-        for (std::uint32_t f = fb; f < fe; ++f) {
-            const CompiledProgram::FanoutEdge& edge = p_->fanout[f];
-            Event next;
-            next.time = ev.time + edge.wire_ps;
-            next.seq = seq_++;
-            next.cell = edge.cell;
-            next.pin = edge.pin;
-            next.mask = toggled;
-            push_event(std::move(next));
-        }
-    }
-
-    void update_pin(const Event& ev) {
-        // Per-edge FIFO delivery (fixed wire delay + seq tiebreak) means
-        // the slot's masked bits still hold the source's pre-commit
-        // value, so flipping exactly the toggled lanes reproduces the
-        // merge of the committed value.
-        const std::uint32_t base = p_->pin_base[ev.cell];
-        LW<W>& slot = pin_val_[base + ev.pin];
-        for (unsigned i = 0; i < W; ++i) slot.w[i] ^= ev.mask.w[i];
-        const netlist::CellKind kind = p_->kind[ev.cell];
-        if (kind == netlist::CellKind::Dff) return;
-
-        const LW<W> value = eval_cell_lw<W>(kind, &pin_val_[base]);
-        const LW<W> changed = lw_xor(value, last_sched_out_[ev.cell]);
-        if (lw_none(changed)) return;
-        schedule_output(ev.cell, value, changed,
-                        ev.time + p_->gate_ps[ev.cell]);
-    }
-
-    std::shared_ptr<const CompiledProgram> program_;
-    const CompiledProgram* p_;
-
-    std::vector<LW<W>> out_val_;
-    std::vector<LW<W>> pin_val_;
-    std::vector<LW<W>> last_sched_out_;
-    std::vector<std::vector<Pending>> pending_;
-    std::vector<std::vector<Mark>> marks_;
-
-    std::vector<std::vector<Event>> buckets_;
-    std::vector<std::uint64_t> occ_;
-    std::size_t ring_mask_ = 0;
-    std::size_t wheel_count_ = 0;
-    std::size_t live_ = 0;
-    std::priority_queue<Event, std::vector<Event>, Later> overflow_;
-
-    BatchToggleSink* sinks_[W] = {};
-    ChunkView views_[W];
-
-    std::uint64_t seq_ = 0;
-    TimePs now_ = 0;
-    std::size_t processed_ = 0;
-
-    std::uint64_t toggles_ = 0;
-    std::uint64_t glitches_ = 0;
-    std::uint64_t inertial_cancels_ = 0;
-    std::uint64_t queue_peak_ = 0;
-    std::uint32_t window_epoch_ = 1;
-    std::vector<std::uint32_t> window_stamp_;
-    std::vector<LW<W>> window_toggled_;
-};
-
-}  // namespace
+// ----- engine dispatch ---------------------------------------------------
 
 std::unique_ptr<CompiledEngineBase> make_compiled_engine(
     std::shared_ptr<const CompiledProgram> program, unsigned chunks) {
-    switch (chunks) {
-        case 1:
-            return std::make_unique<CompiledEngine<1>>(std::move(program));
-        case 2:
-            return std::make_unique<CompiledEngine<2>>(std::move(program));
-        case 4:
-            return std::make_unique<CompiledEngine<4>>(std::move(program));
-        case 8:
-            return std::make_unique<CompiledEngine<8>>(std::move(program));
-        default:
-            throw std::invalid_argument(
-                "make_compiled_engine: chunks must be 1/2/4/8");
-    }
+#if defined(GLITCHMASK_HAVE_AVX2)
+    if (support::active_simd_level() >= support::SimdLevel::kAvx2)
+        return engine_avx2::make_engine(std::move(program), chunks);
+#endif
+    return engine_portable::make_engine(std::move(program), chunks);
 }
 
 // ----- CompiledClockedSim ------------------------------------------------

@@ -39,6 +39,10 @@ constexpr CounterInfo kCounterInfo[kCounterCount] = {
     {"campaign.block_nanos", MergeKind::kSum, false},
     {"checkpoint.writes", MergeKind::kSum, false},
     {"checkpoint.write_nanos", MergeKind::kSum, false},
+    {"phase.sim_nanos", MergeKind::kSum, false},
+    {"phase.noise_nanos", MergeKind::kSum, false},
+    {"phase.moments_nanos", MergeKind::kSum, false},
+    {"phase.attribution_nanos", MergeKind::kSum, false},
 };
 
 std::atomic<int> g_enabled{-1};  // -1 = resolve GLITCHMASK_TELEMETRY
@@ -120,6 +124,21 @@ MergeKind counter_merge(Counter counter) noexcept {
 
 bool counter_deterministic(Counter counter) noexcept {
     return kCounterInfo[static_cast<std::size_t>(counter)].deterministic;
+}
+
+std::uint64_t steady_now_ns() noexcept {
+    return static_cast<std::uint64_t>(steady_ns());
+}
+
+void PhaseClock::flush() noexcept {
+    if (!enabled_) return;
+    Shard& s = shard();
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+        if (nanos_[i] != 0) {
+            s.add(static_cast<Counter>(i), nanos_[i]);
+            nanos_[i] = 0;
+        }
+    }
 }
 
 bool enabled() noexcept {

@@ -55,6 +55,10 @@ enum class Counter : unsigned {
     kCampaignBlockNanos,   // wall time inside run_block
     kCheckpointWrites,     // snapshots written
     kCheckpointNanos,      // wall time inside atomic checkpoint writes
+    kPhaseSimNanos,        // block phase: stimulus build + simulation
+    kPhaseNoiseNanos,      // block phase: Gaussian noise row fills
+    kPhaseMomentsNanos,    // block phase: moment-bank trace folds
+    kPhaseAttributionNanos,  // block phase: per-net attribution folds
     kCount
 };
 
@@ -169,6 +173,39 @@ struct SimStats {
 /// Adds (now - last) to the calling thread's shard and advances `last`.
 /// Call once per completed block with the replica's cumulative stats.
 void record_sim_block(const SimStats& now, SimStats& last);
+
+// ----- phase profiling ---------------------------------------------------
+
+/// Monotonic clock in nanoseconds (the registry's time base).
+[[nodiscard]] std::uint64_t steady_now_ns() noexcept;
+
+/// Accumulates wall time into phase counters within one block body.
+/// mark() pins the clock; each lap(counter) credits the time since the
+/// previous mark/lap locally and re-pins, so consecutive laps chain
+/// through interleaved phases without re-reading the clock twice.
+/// flush() folds the local totals into the calling thread's shard once
+/// per block.  All methods are no-ops when telemetry is disabled, so the
+/// block bodies carry no clock reads in the default configuration.
+class PhaseClock {
+public:
+    PhaseClock() : enabled_(enabled()) {}
+
+    void mark() noexcept {
+        if (enabled_) last_ = steady_now_ns();
+    }
+    void lap(Counter counter) noexcept {
+        if (!enabled_) return;
+        const std::uint64_t now = steady_now_ns();
+        nanos_[static_cast<std::size_t>(counter)] += now - last_;
+        last_ = now;
+    }
+    void flush() noexcept;
+
+private:
+    bool enabled_;
+    std::uint64_t last_ = 0;
+    std::array<std::uint64_t, kCounterCount> nanos_{};
+};
 
 // ----- progress / ETA ----------------------------------------------------
 

@@ -1,0 +1,120 @@
+// Minimal client for the glitchmaskd campaign daemon.
+//
+// Sends one NDJSON request line over the daemon's Unix socket and prints
+// every response line until the terminal one for that request arrives:
+//
+//   campaign_client /tmp/gm.sock '{"op":"submit","kind":"gadget_tvla",
+//                                  "gadget":"trichina","traces":2000}'
+//   campaign_client /tmp/gm.sock '{"op":"status","job":3}'
+//   campaign_client /tmp/gm.sock '{"op":"stats"}'
+//   campaign_client /tmp/gm.sock '{"op":"shutdown","drain":false}'
+//
+// For a submit, the client stays connected and relays progress events
+// until the result line; every other op gets exactly one reply.  Exit
+// status: 0 on a completed/answered request, 1 on rejection or overload,
+// 2 on usage/connection errors.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace {
+
+bool line_ends_conversation(const std::string& line, bool is_submit,
+                            int& exit_code) {
+    const auto has = [&](const char* token) {
+        return line.find(token) != std::string::npos;
+    };
+    if (has("\"event\":\"rejected\"") || has("\"event\":\"overloaded\"")) {
+        exit_code = 1;
+        return true;
+    }
+    if (is_submit) {
+        if (has("\"event\":\"result\"")) {
+            exit_code = has("\"state\":\"completed\"") ? 0 : 1;
+            return true;
+        }
+        return false;  // accepted / progress: keep streaming
+    }
+    exit_code = 0;
+    return true;  // single-reply ops are done after any event line
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc != 3) {
+        std::fprintf(stderr, "usage: %s SOCKET_PATH REQUEST_JSON\n", argv[0]);
+        return 2;
+    }
+    const std::string socket_path = argv[1];
+    std::string request = argv[2];
+    if (request.empty() || request.back() != '\n') request += '\n';
+    const bool is_submit =
+        request.find("\"op\":\"submit\"") != std::string::npos;
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::perror("socket");
+        return 2;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+        std::perror(("connect " + socket_path).c_str());
+        ::close(fd);
+        return 2;
+    }
+
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+        const ssize_t n =
+            ::write(fd, request.data() + sent, request.size() - sent);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            std::perror("write");
+            ::close(fd);
+            return 2;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+
+    int exit_code = 1;
+    std::string pending;
+    char buffer[4096];
+    for (;;) {
+        const ssize_t n = ::read(fd, buffer, sizeof buffer);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            std::perror("read");
+            break;
+        }
+        if (n == 0) break;  // daemon closed (e.g. shutdown)
+        pending.append(buffer, static_cast<std::size_t>(n));
+        std::size_t start = 0;
+        bool done = false;
+        for (;;) {
+            const std::size_t newline = pending.find('\n', start);
+            if (newline == std::string::npos) break;
+            const std::string line = pending.substr(start, newline - start);
+            start = newline + 1;
+            std::printf("%s\n", line.c_str());
+            std::fflush(stdout);
+            if (line_ends_conversation(line, is_submit, exit_code)) {
+                done = true;
+                break;
+            }
+        }
+        pending.erase(0, start);
+        if (done) break;
+    }
+    ::close(fd);
+    return exit_code;
+}

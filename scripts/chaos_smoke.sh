@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# Daemon chaos smoke: boots glitchmaskd against a scratch spool and drives
+# it through the robustness contract end to end with campaign_client:
+#
+#   1. clean run      -> completed, and an identical resubmit answers from
+#                        the result cache without re-simulating;
+#   2. EINTR storm    -> a seeded fault plan (via GLITCHMASK_FAULTS, the
+#                        environment lever) peppers every atomic_file site
+#                        with EINTR; the run must complete with metrics
+#                        byte-identical to the fault-free run;
+#   3. ENOSPC        -> persistent checkpoint-fsync failure; the daemon
+#                        degrades to the in-memory frontier (flagged as
+#                        checkpoint_degraded) and still completes with
+#                        byte-identical metrics;
+#   4. SIGTERM drain  -> the daemon is killed mid-campaign; the unfinished
+#                        request lands in the state file, the restarted
+#                        daemon resumes it from the spool snapshot, and a
+#                        reconnecting client gets the completed result.
+#
+# All fault schedules are seeded, so any failure reproduces exactly.
+# Usage: scripts/chaos_smoke.sh BUILDDIR   (e.g. build or build-asan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+builddir="${1:?usage: scripts/chaos_smoke.sh BUILDDIR}"
+daemon="$builddir/src/glitchmaskd"
+client="$builddir/examples/campaign_client"
+work="$(mktemp -d "${TMPDIR:-/tmp}/gm-chaos.XXXXXX")"
+sock="$work/gm.sock"
+request='{"op":"submit","kind":"gadget_tvla","gadget":"trichina","traces":512,"seed":7}'
+daemon_pid=""
+
+cleanup() {
+  [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+start_daemon() {  # start_daemon [extra daemon args...]
+  mkdir -p "$work/spool"
+  "$daemon" --socket "$sock" --spool "$work/spool" \
+    --state "$work/state.json" "$@" >>"$work/daemon.log" 2>&1 &
+  daemon_pid=$!
+  for _ in $(seq 1 100); do
+    [ -S "$sock" ] && return 0
+    sleep 0.1
+  done
+  echo "FAIL: daemon did not come up (see $work/daemon.log)" >&2
+  exit 1
+}
+
+stop_daemon() {
+  "$client" "$sock" '{"op":"shutdown","drain":false}' >/dev/null
+  wait "$daemon_pid"
+  daemon_pid=""
+}
+
+# Submits $request, prints the terminal result line, fails on non-completion.
+submit_expect_completed() {
+  local line
+  line="$("$client" "$sock" "$request" | tail -1)"
+  if ! grep -q '"state":"completed"' <<<"$line"; then
+    echo "FAIL: expected a completed result, got: $line" >&2
+    exit 1
+  fi
+  printf '%s\n' "$line"
+}
+
+metrics_of() { sed -n 's/.*"metrics":{\([^}]*\)}.*/\1/p' <<<"$1"; }
+
+echo "--- chaos smoke 1/4: clean run + cache hit"
+start_daemon
+fresh="$(submit_expect_completed)"
+reference_metrics="$(metrics_of "$fresh")"
+if [ -z "$reference_metrics" ]; then
+  echo "FAIL: result carried no metrics: $fresh" >&2
+  exit 1
+fi
+cached="$(submit_expect_completed)"
+grep -q '"cached":true' <<<"$cached" || {
+  echo "FAIL: resubmit was not answered from the cache: $cached" >&2
+  exit 1
+}
+stop_daemon
+
+echo "--- chaos smoke 2/4: EINTR storm is absorbed bit-identically"
+rm -rf "$work/spool" "$work/state.json"
+GLITCHMASK_FAULTS='seed=9;atomic_file.*=eintr@p=0.35' start_daemon
+stormy="$(submit_expect_completed)"
+[ "$(metrics_of "$stormy")" = "$reference_metrics" ] || {
+  echo "FAIL: metrics drifted under the EINTR storm: $stormy" >&2
+  exit 1
+}
+stop_daemon
+
+echo "--- chaos smoke 3/4: checkpoint ENOSPC degrades, result still exact"
+rm -rf "$work/spool" "$work/state.json"
+start_daemon --faults 'seed=10;atomic_file.fsync=enospc'
+degraded="$(submit_expect_completed)"
+grep -q '"checkpoint_degraded":true' <<<"$degraded" || {
+  echo "FAIL: fsync=enospc did not flag checkpoint degradation: $degraded" >&2
+  exit 1
+}
+[ "$(metrics_of "$degraded")" = "$reference_metrics" ] || {
+  echo "FAIL: metrics drifted under checkpoint degradation: $degraded" >&2
+  exit 1
+}
+stop_daemon
+
+echo "--- chaos smoke 4/4: SIGTERM drain, restart resumes from the spool"
+rm -rf "$work/spool" "$work/state.json"
+start_daemon
+long_request='{"op":"submit","kind":"gadget_tvla","gadget":"trichina","traces":300000,"seed":8}'
+"$client" "$sock" "$long_request" >"$work/client.log" 2>&1 &
+client_pid=$!
+for _ in $(seq 1 200); do
+  grep -q '"event":"progress"' "$work/client.log" && break
+  sleep 0.1
+done
+grep -q '"event":"progress"' "$work/client.log" || {
+  echo "FAIL: long campaign never reported progress" >&2
+  exit 1
+}
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+daemon_pid=""
+wait "$client_pid" 2>/dev/null || true
+[ -f "$work/state.json" ] || {
+  echo "FAIL: drain left no state file" >&2
+  exit 1
+}
+start_daemon
+resumed="$("$client" "$sock" "$long_request" | tail -1)"
+grep -q '"state":"completed"' <<<"$resumed" || {
+  echo "FAIL: restarted daemon did not finish the drained campaign: $resumed" >&2
+  exit 1
+}
+grep -q '"resumed":true' <<<"$resumed" || {
+  echo "FAIL: restarted campaign did not resume from the spool: $resumed" >&2
+  exit 1
+}
+stop_daemon
+
+echo "chaos smoke: all 4 scenarios passed"

@@ -13,7 +13,11 @@
 # (examples/inspect_gadget trichina --attribute) and rerun the suite with
 # GLITCHMASK_BACKEND=compiled, so every campaign-level test also covers
 # the compiled replay engine (memory bugs in its wide-lane state would
-# otherwise only surface in benches).  The release leg additionally gates
+# otherwise only surface in benches).  Both legs also run the daemon
+# chaos smoke (scripts/chaos_smoke.sh): glitchmaskd under seeded
+# fault-injection schedules -- EINTR storms, checkpoint ENOSPC, SIGTERM
+# mid-campaign -- must complete bit-identically, degrade gracefully, and
+# resume from its spool.  The release leg additionally gates
 # observability and performance:
 #   * one extra ctest pass under GLITCHMASK_LOG=debug (log call sites in
 #     the hot paths must never change a result or crash);
@@ -60,6 +64,9 @@ for preset in "${presets[@]}"; do
 
     echo "==> $preset extras: suite under GLITCHMASK_BACKEND=compiled"
     GLITCHMASK_BACKEND=compiled ctest --preset "$preset" -j "$jobs"
+
+    echo "==> $preset extras: daemon chaos smoke (seeded fault sweep)"
+    scripts/chaos_smoke.sh "$builddir"
   fi
 
   if [ "$preset" = "release" ]; then

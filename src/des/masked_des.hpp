@@ -73,9 +73,14 @@ public:
     /// Cycles from the first stimulus edge to a readable ciphertext
     /// (= the number of power samples per trace): 113 for the FF core
     /// (1 stimulus + 16 x 7), 34 for the PD core (1 + 16 x 2 + settle).
+    /// The static form answers without building the (expensive) core --
+    /// the sample count depends only on the flavor.
+    [[nodiscard]] static constexpr unsigned total_cycles_for(
+        CoreFlavor flavor) noexcept {
+        return flavor == CoreFlavor::PD ? 1u + 16u * 2u + 1u : 1u + 16u * 7u;
+    }
     [[nodiscard]] unsigned total_cycles() const noexcept {
-        return options_.flavor == CoreFlavor::PD ? 1u + 16u * 2u + 1u
-                                                 : 1u + 16u * 7u;
+        return total_cycles_for(options_.flavor);
     }
 
     /// Recommended clock period [ps] (PD needs room for its delay chains:

@@ -71,23 +71,6 @@ std::string sequence_tag(const core::InputSequence& sequence) {
     return tag;
 }
 
-/// The sequence itself is part of the campaign identity: resuming one
-/// sequence's snapshot into another's campaign must be rejected.
-CampaignFingerprint sequence_fingerprint(const core::InputSequence& sequence,
-                                         const SequenceExperimentConfig& config,
-                                         std::size_t cycles) {
-    std::uint64_t payload = kFnvOffset;
-    for (const core::ShareId slot : sequence)
-        payload = fnv1a64(payload, static_cast<std::uint64_t>(slot));
-    payload = fnv1a64(payload, config.replicas);
-    payload = fnv1a64(payload, std::bit_cast<std::uint64_t>(config.noise_sigma));
-    payload = fnv1a64(payload, config.placement_seed);
-    payload = fnv1a64(payload, static_cast<std::uint64_t>(config.max_test_order));
-    payload = fnv1a64(payload, static_cast<std::uint64_t>(cycles));
-    return CampaignFingerprint{fnv1a64_tag("sequence_tvla"), config.seed,
-                               config.traces, config.block_size, payload};
-}
-
 /// Block accumulator: TVLA statistics plus the optional attribution
 /// state, merged and snapshotted together so both ride the same merge
 /// tree (attr has zero points when attribution is off).  The statistics
@@ -100,10 +83,27 @@ struct SeqBlockAcc {
 
 }  // namespace
 
+/// The sequence itself is part of the campaign identity: resuming one
+/// sequence's snapshot into another's campaign must be rejected.
+CampaignFingerprint sequence_fingerprint(const core::InputSequence& sequence,
+                                         const SequenceExperimentConfig& config) {
+    const std::size_t cycles = kSequenceCycles;
+    std::uint64_t payload = kFnvOffset;
+    for (const core::ShareId slot : sequence)
+        payload = fnv1a64(payload, static_cast<std::uint64_t>(slot));
+    payload = fnv1a64(payload, config.replicas);
+    payload = fnv1a64(payload, std::bit_cast<std::uint64_t>(config.noise_sigma));
+    payload = fnv1a64(payload, config.placement_seed);
+    payload = fnv1a64(payload, static_cast<std::uint64_t>(config.max_test_order));
+    payload = fnv1a64(payload, static_cast<std::uint64_t>(cycles));
+    return CampaignFingerprint{fnv1a64_tag("sequence_tvla"), config.seed,
+                               config.traces, config.block_size, payload};
+}
+
 SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
                                         const SequenceExperimentConfig& config,
                                         ThreadPool& pool) const {
-    constexpr std::size_t kCycles = 6;  // inputs + 4 sequence slots + settle
+    constexpr std::size_t kCycles = kSequenceCycles;
 
     validate_campaign_config(config.traces, config.block_size, config.lanes);
 
@@ -122,7 +122,7 @@ SequenceLeakResult SequenceHarness::run(const core::InputSequence& sequence,
                                              config.run.attribution_scope)
                   : leakage::AttributionPlan();
     CampaignFingerprint fingerprint =
-        sequence_fingerprint(sequence, config, kCycles);
+        sequence_fingerprint(sequence, config);
     if (attribute) fold_attribution_fingerprint(fingerprint, config.run);
     fold_backend_fingerprint(fingerprint, bplan);
     RunTelemetrySession session(tag, config.run, fingerprint, plan.traces,

@@ -91,6 +91,16 @@ private:
     power::PowerConfig power_config_;
 };
 
+/// Power bins per sequence trace: inputs + 4 sequence slots + settle.
+inline constexpr std::size_t kSequenceCycles = 6;
+
+/// The campaign identity of one sequence experiment -- the exact
+/// fingerprint its checkpoints are stamped with.  Exposed so the service
+/// layer can key its result cache without running the campaign.
+[[nodiscard]] CampaignFingerprint sequence_fingerprint(
+    const core::InputSequence& sequence,
+    const SequenceExperimentConfig& config);
+
 /// Runs the paper's Sec. II-B experiment for one input sequence: the four
 /// shares are applied one per cycle in the given order to the registered
 /// secAND2 harness, and a fixed-vs-random TVLA is evaluated per cycle.

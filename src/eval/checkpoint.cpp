@@ -61,6 +61,10 @@ CheckpointPolicy make_checkpoint_policy(const CampaignRunOptions& run,
     if (run.checkpoint_every > 0) policy.every_blocks = run.checkpoint_every;
     policy.cancel = run.cancel;
     policy.on_checkpoint = run.on_checkpoint;
+    policy.io_retry = run.io_retry;
+    policy.degrade_on_io_error = run.degrade_on_io_error;
+    policy.discard_corrupt_snapshot = run.discard_corrupt_snapshot;
+    policy.on_degraded = run.on_degraded;
     return policy;
 }
 

@@ -31,6 +31,7 @@
 #include <string>
 
 #include "support/cancel.hpp"
+#include "support/retry.hpp"
 #include "support/snapshot.hpp"
 #include "support/telemetry.hpp"
 
@@ -126,6 +127,24 @@ struct CampaignRunOptions {
     /// under one backend cannot silently resume under the other; lane
     /// *width* is not part of the identity (results are width-invariant).
     std::string backend;
+    /// Retry ladder for transient checkpoint-write errors (EINTR/EIO);
+    /// permanent errnos (ENOSPC, EROFS, ...) are never retried.
+    RetryPolicy io_retry;
+    /// Graceful degradation: when a checkpoint write fails persistently
+    /// (e.g. ENOSPC), keep the campaign running on its in-memory merge
+    /// frontier -- correct results, no further durability -- instead of
+    /// failing the run.  Off by default: a CLI run should fail loudly.
+    bool degrade_on_io_error = false;
+    /// Graceful degradation: a corrupt resume snapshot is quarantined
+    /// (renamed `<path>.corrupt`) and the campaign restarts from zero --
+    /// bit-identical to a fresh run -- instead of throwing.  Fingerprint
+    /// mismatches still throw (they mean a *different* campaign's file).
+    bool discard_corrupt_snapshot = false;
+    /// Observer for every degradation decision: what is one of
+    /// "checkpoint_degraded" / "snapshot_discarded", detail the message
+    /// of the triggering error.
+    std::function<void(const char* what, const std::string& detail)>
+        on_degraded;
 };
 
 /// True when this run should attribute: the explicit flag or
@@ -146,6 +165,12 @@ struct CheckpointPolicy {
     std::size_t every_blocks = 16;
     CancelToken* cancel = nullptr;
     std::function<void(std::size_t)> on_checkpoint;
+    /// Degradation policy, copied from CampaignRunOptions (see there).
+    RetryPolicy io_retry;
+    bool degrade_on_io_error = false;
+    bool discard_corrupt_snapshot = false;
+    std::function<void(const char* what, const std::string& detail)>
+        on_degraded;
 
     /// Anything here that forces the wave-structured (checkpointable)
     /// execution path instead of the one-shot submit-all path?
@@ -166,6 +191,12 @@ struct CampaignProgress {
     std::size_t completed_traces = 0;
     bool cancelled = false;   // token fired; result covers a prefix only
     bool resumed = false;     // a snapshot seeded this run
+    /// Checkpoint writes failed persistently and the policy allowed
+    /// degradation: the run continued on its in-memory frontier only.
+    bool checkpoint_degraded = false;
+    /// A corrupt resume snapshot was quarantined and the campaign
+    /// restarted from zero (results unaffected).
+    bool snapshot_discarded = false;
 };
 
 // --- snapshot file framing (used by the templated runner) ---------------

@@ -113,6 +113,8 @@ DesBlockAcc decode_des_acc(SnapshotReader& in, bool attribute) {
     return acc;
 }
 
+}  // namespace
+
 /// Everything that defines the campaign's statistics except workers and
 /// lanes (both proven bit-identical) goes into the fingerprint.
 CampaignFingerprint des_tvla_fingerprint(const DesTvlaConfig& config,
@@ -135,7 +137,16 @@ CampaignFingerprint des_tvla_fingerprint(const DesTvlaConfig& config,
                                config.traces, config.block_size, payload};
 }
 
-}  // namespace
+CampaignFingerprint mean_power_fingerprint(std::size_t traces,
+                                           std::uint64_t seed,
+                                           std::uint64_t placement_seed,
+                                           std::size_t samples) {
+    std::uint64_t payload = kFnvOffset;
+    payload = fnv1a64(payload, placement_seed);
+    payload = fnv1a64(payload, static_cast<std::uint64_t>(samples));
+    return CampaignFingerprint{fnv1a64_tag("mean_power"), seed, traces,
+                               /*block_size=*/64, payload};
+}
 
 DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
                            const DesTvlaConfig& config) {
@@ -408,11 +419,8 @@ std::vector<double> mean_power_trace(const des::MaskedDesCore& core,
                   : leakage::AttributionPlan();
     const leakage::AttributionPlan* probe_plan = attribute ? &attr_plan : nullptr;
 
-    std::uint64_t payload = kFnvOffset;
-    payload = fnv1a64(payload, placement_seed);
-    payload = fnv1a64(payload, static_cast<std::uint64_t>(samples));
-    CampaignFingerprint fingerprint{fnv1a64_tag("mean_power"), seed,
-                                    traces, plan.block_size, payload};
+    CampaignFingerprint fingerprint =
+        mean_power_fingerprint(traces, seed, placement_seed, samples);
     if (attribute) fold_attribution_fingerprint(fingerprint, run);
     fold_backend_fingerprint(fingerprint, bplan);
     RunTelemetrySession session("mean_power", run, fingerprint, traces,

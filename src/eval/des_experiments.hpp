@@ -77,6 +77,18 @@ struct DesTvlaResult {
         : campaign(n_samples, max_order) {}
 };
 
+/// The campaign identity of one DES TVLA run; `samples` is the core's
+/// total_cycles() (des::MaskedDesCore::total_cycles_for answers from the
+/// flavor alone).  Exposed so the service layer can key its result cache
+/// without building the core.
+[[nodiscard]] CampaignFingerprint des_tvla_fingerprint(
+    const DesTvlaConfig& config, std::size_t samples);
+
+/// Likewise for mean_power_trace (block size is fixed at 64 there).
+[[nodiscard]] CampaignFingerprint mean_power_fingerprint(
+    std::size_t traces, std::uint64_t seed, std::uint64_t placement_seed,
+    std::size_t samples);
+
 [[nodiscard]] DesTvlaResult run_des_tvla(const des::MaskedDesCore& core,
                                          const DesTvlaConfig& config);
 

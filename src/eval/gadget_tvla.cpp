@@ -130,6 +130,8 @@ struct GadgetBlockAcc {
     leakage::AttributionAccumulator attr;
 };
 
+}  // namespace
+
 CampaignFingerprint gadget_fingerprint(const GadgetTvlaConfig& config) {
     std::uint64_t payload = kFnvOffset;
     payload = fnv1a64(payload, static_cast<std::uint64_t>(config.gadget));
@@ -141,8 +143,6 @@ CampaignFingerprint gadget_fingerprint(const GadgetTvlaConfig& config) {
     return CampaignFingerprint{fnv1a64_tag("gadget_tvla"), config.seed,
                                config.traces, config.block_size, payload};
 }
-
-}  // namespace
 
 GadgetHarness::GadgetHarness(GadgetKind kind, unsigned replicas,
                              std::uint64_t placement_seed)

@@ -141,6 +141,12 @@ private:
     sim::ClockConfig clock_;
 };
 
+/// The campaign identity of one gadget TVLA run -- the fingerprint its
+/// checkpoints carry.  Exposed so the service layer can key its result
+/// cache without building the harness.
+[[nodiscard]] CampaignFingerprint gadget_fingerprint(
+    const GadgetTvlaConfig& config);
+
 /// One-shot convenience: builds the harness and pool and runs the
 /// campaign.
 [[nodiscard]] GadgetTvlaResult run_gadget_tvla(const GadgetTvlaConfig& config);

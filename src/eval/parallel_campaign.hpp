@@ -26,6 +26,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <optional>
 #include <string>
 #include <utility>
@@ -33,7 +34,9 @@
 
 #include "eval/checkpoint.hpp"
 #include "support/atomic_file.hpp"
+#include "support/fault.hpp"
 #include "support/log.hpp"
+#include "support/retry.hpp"
 #include "support/rng.hpp"
 #include "support/telemetry.hpp"
 #include "support/thread_pool.hpp"
@@ -285,38 +288,59 @@ template <class MakeWorker, class MakeAcc, class RunBlock, class Merge,
     std::size_t next_block = 0;
 
     if (!policy.path.empty()) {
-        if (const auto bytes = read_file_if_exists(policy.path)) {
-            SnapshotReader in(*bytes);  // verifies the CRC trailer
-            const CheckpointHeader header = read_checkpoint_header(in);
-            require_fingerprint_match(fingerprint, header.fingerprint);
-            if (header.completed_blocks > n_blocks ||
-                header.stack_entries > 64)
-                throw CampaignError(
-                    CampaignErrorKind::CorruptSnapshot,
-                    "snapshot: completed-block count exceeds the block plan");
-            std::uint64_t spanned = 0;
-            for (std::uint64_t e = 0; e < header.stack_entries; ++e) {
-                const std::uint64_t span = in.u64();
-                const bool pow2 = span != 0 && (span & (span - 1)) == 0;
-                if (!pow2 || (!stack.empty() && stack.back().first <= span))
+        try {
+            if (const auto bytes = read_file_if_exists(policy.path)) {
+                SnapshotReader in(*bytes);  // verifies the CRC trailer
+                const CheckpointHeader header = read_checkpoint_header(in);
+                require_fingerprint_match(fingerprint, header.fingerprint);
+                if (header.completed_blocks > n_blocks ||
+                    header.stack_entries > 64)
                     throw CampaignError(
                         CampaignErrorKind::CorruptSnapshot,
-                        "snapshot: merge frontier is not a strictly "
-                        "decreasing power-of-two sequence");
-                stack.emplace_back(span, decode_acc(in));
-                spanned += span;
+                        "snapshot: completed-block count exceeds the block plan");
+                std::uint64_t spanned = 0;
+                for (std::uint64_t e = 0; e < header.stack_entries; ++e) {
+                    const std::uint64_t span = in.u64();
+                    const bool pow2 = span != 0 && (span & (span - 1)) == 0;
+                    if (!pow2 || (!stack.empty() && stack.back().first <= span))
+                        throw CampaignError(
+                            CampaignErrorKind::CorruptSnapshot,
+                            "snapshot: merge frontier is not a strictly "
+                            "decreasing power-of-two sequence");
+                    stack.emplace_back(span, decode_acc(in));
+                    spanned += span;
+                }
+                if (spanned != header.completed_blocks)
+                    throw CampaignError(CampaignErrorKind::CorruptSnapshot,
+                                        "snapshot: merge frontier does not cover "
+                                        "the completed blocks");
+                next_block = static_cast<std::size_t>(header.completed_blocks);
+                prog.resumed = true;
+                if (meter != nullptr && next_block > 0)
+                    meter->note_resumed(plan.block_end(next_block - 1));
+                log::info("resumed campaign from " + policy.path + " at block " +
+                          std::to_string(next_block) + "/" +
+                          std::to_string(n_blocks));
             }
-            if (spanned != header.completed_blocks)
-                throw CampaignError(CampaignErrorKind::CorruptSnapshot,
-                                    "snapshot: merge frontier does not cover "
-                                    "the completed blocks");
-            next_block = static_cast<std::size_t>(header.completed_blocks);
-            prog.resumed = true;
-            if (meter != nullptr && next_block > 0)
-                meter->note_resumed(plan.block_end(next_block - 1));
-            log::info("resumed campaign from " + policy.path + " at block " +
-                      std::to_string(next_block) + "/" +
-                      std::to_string(n_blocks));
+        } catch (const CampaignError& error) {
+            // Quarantine-and-restart degradation: a corrupt snapshot is
+            // renamed aside and the campaign starts from zero, which is
+            // bit-identical to a fresh run.  ConfigMismatch still throws
+            // (the file belongs to a different campaign, not to us).
+            if (error.kind() != CampaignErrorKind::CorruptSnapshot ||
+                !policy.discard_corrupt_snapshot)
+                throw;
+            const std::string quarantine = policy.path + ".corrupt";
+            (void)std::rename(policy.path.c_str(), quarantine.c_str());
+            stack.clear();
+            next_block = 0;
+            prog.resumed = false;
+            prog.snapshot_discarded = true;
+            log::warn("discarding corrupt snapshot " + policy.path +
+                      " (quarantined as " + quarantine +
+                      "); restarting campaign from block 0: " + error.what());
+            if (policy.on_degraded)
+                policy.on_degraded("snapshot_discarded", error.what());
         }
     }
 
@@ -330,8 +354,12 @@ template <class MakeWorker, class MakeAcc, class RunBlock, class Merge,
         }
     };
 
+    // Persistent checkpoint-write failure under a degradation-enabled
+    // policy drops the campaign to its in-memory frontier: results stay
+    // exact, durability is gone, and the condition is surfaced once.
+    bool checkpoints_disabled = false;
     auto write_checkpoint = [&](std::size_t completed) {
-        if (policy.path.empty()) return;
+        if (policy.path.empty() || checkpoints_disabled) return;
         const bool telem = telemetry::enabled();
         const auto start = telem ? std::chrono::steady_clock::now()
                                  : std::chrono::steady_clock::time_point{};
@@ -341,7 +369,32 @@ template <class MakeWorker, class MakeAcc, class RunBlock, class Merge,
             out.u64(span);
             encode_acc(acc, out);
         }
-        atomic_write_file(policy.path, std::move(out).finish());
+        const std::vector<std::uint8_t> bytes = std::move(out).finish();
+        try {
+            retry_io(
+                policy.io_retry,
+                [&] { atomic_write_file(policy.path, bytes); }, policy.cancel,
+                [&](unsigned attempt, const CampaignError& error) {
+                    if (telemetry::enabled())
+                        telemetry::shard().add(telemetry::Counter::kIoRetries);
+                    log::warn("checkpoint write attempt " +
+                              std::to_string(attempt) + " failed (" +
+                              error.what() + "); retrying");
+                });
+        } catch (const CampaignError& error) {
+            if (error.kind() != CampaignErrorKind::IoFailure ||
+                !policy.degrade_on_io_error)
+                throw;
+            checkpoints_disabled = true;
+            prog.checkpoint_degraded = true;
+            log::warn("checkpoint writes to " + policy.path +
+                      " failed persistently (" + error.what() +
+                      "); continuing on the in-memory frontier without "
+                      "further snapshots");
+            if (policy.on_degraded)
+                policy.on_degraded("checkpoint_degraded", error.what());
+            return;
+        }
         if (telem) {
             const auto nanos =
                 std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -374,6 +427,9 @@ template <class MakeWorker, class MakeAcc, class RunBlock, class Merge,
             TaskGroup group(pool, policy.cancel);
             for (std::size_t b = next_block; b < wave_end; ++b) {
                 group.run([&, b] {
+                    // Chaos site: lets a fault plan stall or kill a worker
+                    // mid-campaign (one relaxed load when no plan is on).
+                    fault::inject_point("campaign.block");
                     const int id = pool.current_worker();
                     std::optional<Worker>& slot =
                         replicas[static_cast<std::size_t>(id)];

@@ -1,0 +1,416 @@
+#include "service/campaign_request.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <string_view>
+
+#include "service/json_writer.hpp"
+
+namespace glitchmask::service {
+
+namespace {
+
+[[noreturn]] void bad_member(const std::string& name, const char* why) {
+    throw std::runtime_error("campaign request: member '" + name + "' " + why);
+}
+
+std::uint64_t require_u64(const eval::JsonValue& v, const std::string& name) {
+    if (v.kind != eval::JsonValue::Kind::kUnsigned)
+        bad_member(name, "must be a non-negative integer");
+    return v.unsigned_value;
+}
+
+double require_number(const eval::JsonValue& v, const std::string& name) {
+    if (v.kind != eval::JsonValue::Kind::kUnsigned &&
+        v.kind != eval::JsonValue::Kind::kNumber)
+        bad_member(name, "must be a number");
+    return v.as_number();
+}
+
+bool require_bool(const eval::JsonValue& v, const std::string& name) {
+    if (v.kind != eval::JsonValue::Kind::kBool)
+        bad_member(name, "must be true or false");
+    return v.boolean;
+}
+
+const std::string& require_string(const eval::JsonValue& v,
+                                  const std::string& name) {
+    if (v.kind != eval::JsonValue::Kind::kString)
+        bad_member(name, "must be a string");
+    return v.string;
+}
+
+core::InputSequence parse_sequence(const std::string& text) {
+    if (text.size() != 4)
+        throw std::runtime_error(
+            "campaign request: 'sequence' must be 4 digits 0-3 (e.g. "
+            "\"0213\")");
+    core::InputSequence sequence{};
+    bool seen[4] = {};
+    for (std::size_t i = 0; i < 4; ++i) {
+        const int slot = text[i] - '0';
+        if (slot < 0 || slot > 3 || seen[slot])
+            throw std::runtime_error(
+                "campaign request: 'sequence' must be a permutation of "
+                "0123");
+        seen[slot] = true;
+        sequence[i] = static_cast<core::ShareId>(slot);
+    }
+    return sequence;
+}
+
+std::string sequence_text(const core::InputSequence& sequence) {
+    std::string text;
+    for (const core::ShareId slot : sequence)
+        text += static_cast<char>('0' + static_cast<int>(slot));
+    return text;
+}
+
+const char* flavor_name(des::CoreFlavor flavor) noexcept {
+    switch (flavor) {
+        case des::CoreFlavor::FF: return "ff";
+        case des::CoreFlavor::PD: return "pd";
+        case des::CoreFlavor::DOM: return "dom";
+    }
+    return "ff";
+}
+
+std::optional<des::CoreFlavor> parse_flavor(std::string_view name) noexcept {
+    if (name == "ff") return des::CoreFlavor::FF;
+    if (name == "pd") return des::CoreFlavor::PD;
+    if (name == "dom") return des::CoreFlavor::DOM;
+    return std::nullopt;
+}
+
+eval::SequenceExperimentConfig sequence_config(const CampaignRequest& r) {
+    eval::SequenceExperimentConfig config;
+    config.replicas = r.replicas;
+    config.traces = r.traces;
+    config.noise_sigma = r.noise_sigma;
+    config.seed = r.seed;
+    config.placement_seed = r.placement_seed;
+    config.max_test_order = r.max_test_order;
+    config.workers = r.workers;
+    config.block_size = r.block_size;
+    config.lanes = r.lanes;
+    return config;
+}
+
+eval::GadgetTvlaConfig gadget_config(const CampaignRequest& r) {
+    eval::GadgetTvlaConfig config;
+    config.gadget = r.gadget;
+    config.replicas = r.replicas;
+    config.traces = r.traces;
+    config.noise_sigma = r.noise_sigma;
+    config.seed = r.seed;
+    config.placement_seed = r.placement_seed;
+    config.max_test_order = r.max_test_order;
+    config.workers = r.workers;
+    config.block_size = r.block_size;
+    config.lanes = r.lanes;
+    return config;
+}
+
+eval::DesTvlaConfig des_config(const CampaignRequest& r) {
+    eval::DesTvlaConfig config;
+    config.traces = r.traces;
+    config.noise_sigma = r.noise_sigma;
+    config.seed = r.seed;
+    config.placement_seed = r.placement_seed;
+    config.prng_on = r.prng_on;
+    config.fixed_plaintext = r.fixed_plaintext;
+    config.key = r.key;
+    config.max_test_order = r.max_test_order;
+    config.workers = r.workers;
+    config.block_size = r.block_size;
+    config.lanes = r.lanes;
+    return config;
+}
+
+}  // namespace
+
+const char* campaign_kind_name(CampaignKind kind) noexcept {
+    switch (kind) {
+        case CampaignKind::SequenceTvla: return "sequence_tvla";
+        case CampaignKind::GadgetTvla: return "gadget_tvla";
+        case CampaignKind::DesTvla: return "des_tvla";
+        case CampaignKind::MeanPower: return "mean_power";
+    }
+    return "unknown";
+}
+
+std::optional<CampaignKind> parse_campaign_kind(std::string_view name) noexcept {
+    if (name == "sequence_tvla") return CampaignKind::SequenceTvla;
+    if (name == "gadget_tvla") return CampaignKind::GadgetTvla;
+    if (name == "des_tvla") return CampaignKind::DesTvla;
+    if (name == "mean_power") return CampaignKind::MeanPower;
+    return std::nullopt;
+}
+
+CampaignRequest default_request(CampaignKind kind) {
+    CampaignRequest request;
+    request.kind = kind;
+    switch (kind) {
+        case CampaignKind::SequenceTvla: {
+            const eval::SequenceExperimentConfig defaults;
+            request.traces = defaults.traces;
+            request.noise_sigma = defaults.noise_sigma;
+            request.max_test_order = defaults.max_test_order;
+            request.replicas = defaults.replicas;
+            break;
+        }
+        case CampaignKind::GadgetTvla: {
+            const eval::GadgetTvlaConfig defaults;
+            request.traces = defaults.traces;
+            request.noise_sigma = defaults.noise_sigma;
+            request.max_test_order = defaults.max_test_order;
+            request.replicas = defaults.replicas;
+            break;
+        }
+        case CampaignKind::DesTvla: {
+            const eval::DesTvlaConfig defaults;
+            request.traces = defaults.traces;
+            request.noise_sigma = defaults.noise_sigma;
+            request.max_test_order = defaults.max_test_order;
+            break;
+        }
+        case CampaignKind::MeanPower:
+            request.traces = 256;
+            request.noise_sigma = 0.0;  // mean power adds no noise
+            break;
+    }
+    return request;
+}
+
+eval::CampaignFingerprint request_fingerprint(const CampaignRequest& request) {
+    switch (request.kind) {
+        case CampaignKind::SequenceTvla:
+            return eval::sequence_fingerprint(request.sequence,
+                                              sequence_config(request));
+        case CampaignKind::GadgetTvla:
+            return eval::gadget_fingerprint(gadget_config(request));
+        case CampaignKind::DesTvla:
+            return eval::des_tvla_fingerprint(
+                des_config(request),
+                des::MaskedDesCore::total_cycles_for(request.flavor));
+        case CampaignKind::MeanPower:
+            return eval::mean_power_fingerprint(
+                request.traces, request.seed, request.placement_seed,
+                des::MaskedDesCore::total_cycles_for(request.flavor));
+    }
+    throw std::runtime_error("campaign request: unknown kind");
+}
+
+std::string fingerprint_hex(const eval::CampaignFingerprint& fingerprint) {
+    const std::uint64_t words[5] = {fingerprint.kind, fingerprint.seed,
+                                    fingerprint.traces, fingerprint.block_size,
+                                    fingerprint.payload};
+    std::string hex;
+    hex.reserve(80);
+    for (const std::uint64_t word : words) {
+        char buffer[20];
+        std::snprintf(buffer, sizeof buffer, "%016llx",
+                      static_cast<unsigned long long>(word));
+        hex += buffer;
+    }
+    return hex;
+}
+
+std::string encode_request(const CampaignRequest& request) {
+    JsonWriter w;
+    w.begin_object();
+    w.member("kind", campaign_kind_name(request.kind));
+    w.member("priority", request.priority);
+    w.member("traces", request.traces);
+    w.member("noise_sigma", request.noise_sigma);
+    w.member("seed", request.seed);
+    w.member("placement_seed", request.placement_seed);
+    w.member("max_test_order", request.max_test_order);
+    w.member("block_size", request.block_size);
+    w.member("lanes", static_cast<std::uint64_t>(request.lanes));
+    w.member("workers", static_cast<std::uint64_t>(request.workers));
+    switch (request.kind) {
+        case CampaignKind::SequenceTvla:
+            w.member("sequence", sequence_text(request.sequence));
+            w.member("replicas", static_cast<std::uint64_t>(request.replicas));
+            break;
+        case CampaignKind::GadgetTvla:
+            w.member("gadget", eval::gadget_name(request.gadget));
+            w.member("replicas", static_cast<std::uint64_t>(request.replicas));
+            break;
+        case CampaignKind::DesTvla:
+            w.member("flavor", flavor_name(request.flavor));
+            w.member("prng_on", request.prng_on);
+            w.member("fixed_plaintext", request.fixed_plaintext);
+            w.member("key", request.key);
+            break;
+        case CampaignKind::MeanPower:
+            w.member("flavor", flavor_name(request.flavor));
+            break;
+    }
+    w.end_object();
+    return w.take();
+}
+
+CampaignRequest decode_request(const eval::JsonValue& json) {
+    if (json.kind != eval::JsonValue::Kind::kObject)
+        throw std::runtime_error("campaign request: expected a JSON object");
+    const eval::JsonValue* kind_member = json.find("kind");
+    if (kind_member == nullptr)
+        throw std::runtime_error("campaign request: missing 'kind'");
+    const std::optional<CampaignKind> kind =
+        parse_campaign_kind(require_string(*kind_member, "kind"));
+    if (!kind)
+        throw std::runtime_error("campaign request: unknown kind '" +
+                                 kind_member->string + "'");
+
+    CampaignRequest request = default_request(*kind);
+    for (const auto& [name, value] : json.object) {
+        if (name == "kind" || name == "op" || name == "id") continue;
+        if (name == "priority") {
+            request.priority = static_cast<int>(require_number(value, name));
+        } else if (name == "traces") {
+            request.traces = require_u64(value, name);
+        } else if (name == "noise_sigma") {
+            request.noise_sigma = require_number(value, name);
+        } else if (name == "seed") {
+            request.seed = require_u64(value, name);
+        } else if (name == "placement_seed") {
+            request.placement_seed = require_u64(value, name);
+        } else if (name == "max_test_order") {
+            request.max_test_order =
+                static_cast<int>(require_u64(value, name));
+        } else if (name == "block_size") {
+            request.block_size = require_u64(value, name);
+        } else if (name == "lanes") {
+            request.lanes = static_cast<unsigned>(require_u64(value, name));
+        } else if (name == "workers") {
+            request.workers = static_cast<unsigned>(require_u64(value, name));
+        } else if (name == "sequence") {
+            request.sequence = parse_sequence(require_string(value, name));
+        } else if (name == "replicas") {
+            request.replicas = static_cast<unsigned>(require_u64(value, name));
+        } else if (name == "gadget") {
+            const std::optional<eval::GadgetKind> gadget =
+                eval::parse_gadget(require_string(value, name));
+            if (!gadget) bad_member(name, "names no known gadget");
+            request.gadget = *gadget;
+        } else if (name == "flavor") {
+            const std::optional<des::CoreFlavor> flavor =
+                parse_flavor(require_string(value, name));
+            if (!flavor) bad_member(name, "must be ff, pd or dom");
+            request.flavor = *flavor;
+        } else if (name == "prng_on") {
+            request.prng_on = require_bool(value, name);
+        } else if (name == "fixed_plaintext") {
+            request.fixed_plaintext = require_u64(value, name);
+        } else if (name == "key") {
+            request.key = require_u64(value, name);
+        } else {
+            bad_member(name, "is not a known request field");
+        }
+    }
+    return request;
+}
+
+CampaignOutcome run_campaign_request(const CampaignRequest& request,
+                                     eval::CampaignRunOptions run) {
+    CampaignOutcome outcome;
+    outcome.fingerprint = request_fingerprint(request);
+    outcome.total_traces = request.traces;
+
+    // The degradation flags live in CampaignProgress, which only
+    // mean_power surfaces; observe them uniformly through the hook.
+    const auto forward = run.on_degraded;
+    run.on_degraded = [&outcome, forward](const char* what,
+                                          const std::string& detail) {
+        if (std::string_view(what) == "checkpoint_degraded")
+            outcome.checkpoint_degraded = true;
+        else
+            outcome.snapshot_discarded = true;
+        if (forward) forward(what, detail);
+    };
+
+    switch (request.kind) {
+        case CampaignKind::SequenceTvla: {
+            eval::SequenceExperimentConfig config = sequence_config(request);
+            config.run = run;
+            const eval::SequenceLeakResult result =
+                eval::run_sequence_experiment(request.sequence, config);
+            outcome.completed_traces = result.completed_traces;
+            outcome.cancelled = result.cancelled;
+            outcome.resumed = result.resumed;
+            outcome.metrics = {
+                {"max_abs_t_order1", result.max_abs_t1},
+                {"max_abs_t_order2", result.max_abs_t2},
+                {"argmax_cycle", static_cast<double>(result.argmax_cycle)},
+                {"leaks_first_order", result.leaks_first_order ? 1.0 : 0.0},
+            };
+            break;
+        }
+        case CampaignKind::GadgetTvla: {
+            eval::GadgetTvlaConfig config = gadget_config(request);
+            config.run = run;
+            const eval::GadgetTvlaResult result = eval::run_gadget_tvla(config);
+            outcome.completed_traces = result.completed_traces;
+            outcome.cancelled = result.cancelled;
+            outcome.resumed = result.resumed;
+            outcome.metrics = {
+                {"max_abs_t_order1", result.max_abs_t1},
+                {"max_abs_t_order2", result.max_abs_t2},
+                {"argmax_cycle", static_cast<double>(result.argmax_cycle)},
+                {"leaks_first_order", result.leaks_first_order ? 1.0 : 0.0},
+            };
+            break;
+        }
+        case CampaignKind::DesTvla: {
+            eval::DesTvlaConfig config = des_config(request);
+            config.run = run;
+            const des::MaskedDesCore core(
+                des::MaskedDesOptions{.flavor = request.flavor});
+            const eval::DesTvlaResult result = eval::run_des_tvla(core, config);
+            outcome.completed_traces = result.completed_traces;
+            outcome.cancelled = result.cancelled;
+            outcome.resumed = result.resumed;
+            outcome.metrics = {
+                {"samples", static_cast<double>(result.samples)},
+                {"toggles", static_cast<double>(result.toggles)},
+            };
+            for (int order = 1;
+                 order <= config.max_test_order && order <= 3; ++order) {
+                char name[32];
+                std::snprintf(name, sizeof name, "max_abs_t_order%d", order);
+                outcome.metrics.emplace_back(
+                    name, result.max_abs_t[static_cast<std::size_t>(order)]);
+            }
+            break;
+        }
+        case CampaignKind::MeanPower: {
+            const des::MaskedDesCore core(
+                des::MaskedDesOptions{.flavor = request.flavor});
+            eval::CampaignProgress progress;
+            const std::vector<double> trace = eval::mean_power_trace(
+                core, request.traces, request.seed, request.placement_seed,
+                request.workers, request.lanes, run, &progress);
+            outcome.completed_traces = progress.completed_traces;
+            outcome.cancelled = progress.cancelled;
+            outcome.resumed = progress.resumed;
+            outcome.checkpoint_degraded |= progress.checkpoint_degraded;
+            outcome.snapshot_discarded |= progress.snapshot_discarded;
+            double sum = 0.0, peak = 0.0;
+            for (const double v : trace) {
+                sum += v;
+                if (v > peak) peak = v;
+            }
+            outcome.metrics = {
+                {"samples", static_cast<double>(trace.size())},
+                {"mean_power", trace.empty() ? 0.0 : sum / trace.size()},
+                {"peak_power", peak},
+            };
+            break;
+        }
+    }
+    return outcome;
+}
+
+}  // namespace glitchmask::service

@@ -1,0 +1,261 @@
+// glitchmaskd: the campaign service daemon.
+//
+// Accepts CampaignRequests over a local Unix socket (newline-delimited
+// JSON, see service/protocol.hpp), schedules them on a bounded executor
+// pool with priorities and an explicit-overload admission policy, streams
+// progress back, dedupes identical campaigns through the fingerprint
+// cache, and survives the unglamorous parts: full disks degrade to
+// in-memory progress, corrupt spool snapshots are quarantined, wedged
+// jobs are cancelled by the watchdog with a resumable checkpoint, SIGTERM
+// drains to a state file a restarted daemon picks up.
+//
+//   glitchmaskd --socket /tmp/gm.sock --spool /var/tmp/gm-spool
+//               --state /var/tmp/gm-spool/state.json --executors 1 &
+//   printf '{"op":"submit","kind":"gadget_tvla","gadget":"trichina",
+//           "traces":2000}\n' | nc -U /tmp/gm.sock
+//
+// --faults installs a deterministic fault plan (support/fault.hpp) for
+// chaos testing; GLITCHMASK_FAULTS does the same from the environment.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "service/protocol.hpp"
+#include "service/service.hpp"
+#include "service/socket_server.hpp"
+#include "support/cancel.hpp"
+#include "support/fault.hpp"
+#include "support/log.hpp"
+
+namespace {
+
+using namespace glitchmask;
+using namespace glitchmask::service;
+
+void usage(const char* argv0) {
+    std::fprintf(
+        stderr,
+        "usage: %s --socket PATH [options]\n"
+        "  --socket PATH     Unix socket to serve on (required)\n"
+        "  --spool DIR       checkpoint spool directory (resumable jobs)\n"
+        "  --state PATH      drain state file (resubmitted on restart)\n"
+        "  --executors N     concurrent campaign runs (default 1)\n"
+        "  --queue N         admission queue capacity (default 16)\n"
+        "  --cache N         result cache entries (default 64)\n"
+        "  --watchdog SEC    cancel jobs with no progress for SEC seconds\n"
+        "  --faults SPEC     install a deterministic fault plan\n",
+        argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    ServiceConfig service_config;
+    SocketServerConfig socket_config;
+    std::string faults;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            socket_config.socket_path = next();
+        } else if (arg == "--spool") {
+            service_config.spool_dir = next();
+        } else if (arg == "--state") {
+            service_config.state_path = next();
+        } else if (arg == "--executors") {
+            service_config.executors =
+                static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--queue") {
+            service_config.queue_capacity =
+                static_cast<std::size_t>(std::atol(next()));
+        } else if (arg == "--cache") {
+            service_config.cache_capacity =
+                static_cast<std::size_t>(std::atol(next()));
+        } else if (arg == "--watchdog") {
+            service_config.watchdog_timeout_sec = std::atof(next());
+        } else if (arg == "--faults") {
+            faults = next();
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (socket_config.socket_path.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    try {
+        fault::install_from_env();
+        if (!faults.empty()) fault::install(fault::parse_fault_plan(faults));
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "glitchmaskd: bad fault plan: %s\n",
+                     error.what());
+        return 2;
+    }
+
+    CampaignService campaign_service(service_config);
+    SocketServer server(socket_config);
+
+    // Route job events back to the submitting connection.  A vanished
+    // client is not a cancellation: the mapping goes stale, the job runs
+    // on, and the result stays queryable (and cached) by a reconnect.
+    std::mutex route_mutex;
+    std::unordered_map<std::uint64_t, SocketServer::ClientId> job_client;
+
+    campaign_service.set_progress_hook(
+        [&](std::uint64_t job_id, const telemetry::ProgressUpdate& update) {
+            SocketServer::ClientId client = 0;
+            {
+                std::lock_guard<std::mutex> lock(route_mutex);
+                const auto it = job_client.find(job_id);
+                if (it == job_client.end()) return;
+                client = it->second;
+            }
+            (void)server.send(client, encode_progress(job_id, update),
+                              /*droppable=*/true);
+        });
+    campaign_service.set_completion_hook([&](const JobStatus& status) {
+        SocketServer::ClientId client = 0;
+        {
+            std::lock_guard<std::mutex> lock(route_mutex);
+            const auto it = job_client.find(status.id);
+            if (it == job_client.end()) return;
+            client = it->second;
+            job_client.erase(it);
+        }
+        (void)server.send(client, encode_result(status), /*droppable=*/false);
+    });
+
+    bool draining = false;
+    server.set_line_handler([&](SocketServer::ClientId client,
+                                const std::string& line) {
+        ClientCommand command;
+        try {
+            command = parse_client_command(line);
+        } catch (const std::exception& error) {
+            (void)server.send(client, encode_rejected(error.what()),
+                              /*droppable=*/false);
+            return;
+        }
+        switch (command.op) {
+            case ClientCommand::Op::Submit: {
+                if (draining) {
+                    (void)server.send(client, encode_rejected("draining"),
+                                      false);
+                    return;
+                }
+                const auto result = campaign_service.submit(*command.request);
+                if (result.kind ==
+                    CampaignService::SubmitResult::Kind::Overloaded) {
+                    (void)server.send(client, encode_overloaded(), false);
+                    return;
+                }
+                if (result.kind ==
+                    CampaignService::SubmitResult::Kind::Draining) {
+                    (void)server.send(client, encode_rejected("draining"),
+                                      false);
+                    return;
+                }
+                {
+                    std::lock_guard<std::mutex> lock(route_mutex);
+                    job_client[result.job_id] = client;
+                }
+                const auto status = campaign_service.status(result.job_id);
+                (void)server.send(
+                    client,
+                    encode_accepted(result.job_id,
+                                    status ? fingerprint_hex(
+                                                 status->outcome.fingerprint)
+                                           : std::string()),
+                    false);
+                // A cache hit is terminal at submit time; its completion
+                // hook ran before the mapping existed, so answer here.
+                if (status && job_state_terminal(status->state)) {
+                    std::lock_guard<std::mutex> lock(route_mutex);
+                    job_client.erase(result.job_id);
+                    (void)server.send(client, encode_result(*status), false);
+                }
+                break;
+            }
+            case ClientCommand::Op::Status: {
+                const auto status = campaign_service.status(command.job_id);
+                if (!status) {
+                    (void)server.send(client, encode_rejected("unknown job"),
+                                      false);
+                    return;
+                }
+                (void)server.send(client, encode_status(*status), false);
+                break;
+            }
+            case ClientCommand::Op::Cancel: {
+                const bool ok = campaign_service.cancel(command.job_id);
+                (void)server.send(
+                    client,
+                    ok ? encode_status(*campaign_service.status(
+                             command.job_id))
+                       : encode_rejected("unknown or finished job"),
+                    false);
+                break;
+            }
+            case ClientCommand::Op::Stats:
+                (void)server.send(client,
+                                  encode_stats(campaign_service.stats()),
+                                  false);
+                break;
+            case ClientCommand::Op::Shutdown:
+                (void)server.send(client, encode_shutting_down(), false);
+                if (command.drain) {
+                    draining = true;  // finish the backlog, then exit
+                } else {
+                    server.stop();  // cancel + persist below
+                }
+                break;
+        }
+    });
+
+    // SIGTERM/SIGINT: cooperative shutdown -- running jobs are cancelled
+    // (they write final checkpoints), unfinished requests go to the state
+    // file, and the exit is clean.
+    CancelToken term;
+    ScopedSignalCancel signal_binding(term);
+    server.set_tick_handler([&] {
+        if (term.requested()) server.stop();
+        if (draining) {
+            const auto stats = campaign_service.stats();
+            if (stats.queued_now == 0 && stats.running_now == 0)
+                server.stop();
+        }
+    });
+
+    try {
+        server.listen();
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "glitchmaskd: %s\n", error.what());
+        return 1;
+    }
+    const std::size_t resumed = campaign_service.load_state();
+    if (resumed > 0)
+        log::info("glitchmaskd: resubmitted " + std::to_string(resumed) +
+                  " request(s) from the state file");
+    log::info("glitchmaskd: serving on " + socket_config.socket_path);
+
+    server.run();
+    campaign_service.shutdown(/*cancel_running=*/true);
+    return 0;
+}

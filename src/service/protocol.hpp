@@ -1,0 +1,68 @@
+// The daemon's wire protocol: newline-delimited JSON over a local Unix
+// socket.
+//
+// Requests (one object per line, "op" selects the verb):
+//
+//   {"op":"submit", "kind":"gadget_tvla", ...request fields...}
+//   {"op":"status", "job":N}
+//   {"op":"cancel", "job":N}
+//   {"op":"stats"}
+//   {"op":"shutdown", "drain":true}
+//
+// Responses and asynchronous events (one object per line, "event"
+// discriminates):
+//
+//   {"event":"accepted",  "job":N, "fingerprint":"..."}
+//   {"event":"overloaded"}               submit rejected: queue full
+//   {"event":"rejected",  "reason":...}  malformed request / draining
+//   {"event":"progress",  "job":N, "completed":..., "total":...,
+//                         "traces_per_sec":..., "eta_sec":...}
+//   {"event":"result",    "job":N, "state":"completed"|..., "cached":...,
+//                         "metrics":{...}, "error_kind":..., ...}
+//   {"event":"status",    ...}           answer to a status op
+//   {"event":"stats",     ...}
+//   {"event":"shutting_down"}
+//
+// Progress events are advisory and *droppable* (a slow client loses
+// progress lines, never results); every other line is reliable up to the
+// connection's hard buffer cap.  Encoders live here so the daemon, the
+// example client, and the tests agree on one schema.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "service/campaign_request.hpp"
+#include "service/service.hpp"
+#include "support/telemetry.hpp"
+
+namespace glitchmask::service {
+
+/// One parsed client line.
+struct ClientCommand {
+    enum class Op { Submit, Status, Cancel, Stats, Shutdown };
+    Op op = Op::Stats;
+    std::optional<CampaignRequest> request;  // Submit
+    std::uint64_t job_id = 0;                // Status / Cancel
+    bool drain = true;                       // Shutdown
+};
+
+/// Parses one NDJSON request line; throws std::runtime_error with a
+/// client-presentable message on malformed input.
+[[nodiscard]] ClientCommand parse_client_command(const std::string& line);
+
+// ----- event encoders (each returns one line, '\n'-terminated) ----------
+
+[[nodiscard]] std::string encode_accepted(std::uint64_t job_id,
+                                          const std::string& fingerprint_hex);
+[[nodiscard]] std::string encode_overloaded();
+[[nodiscard]] std::string encode_rejected(const std::string& reason);
+[[nodiscard]] std::string encode_progress(
+    std::uint64_t job_id, const telemetry::ProgressUpdate& update);
+[[nodiscard]] std::string encode_result(const JobStatus& status);
+[[nodiscard]] std::string encode_status(const JobStatus& status);
+[[nodiscard]] std::string encode_stats(const CampaignService::Stats& stats);
+[[nodiscard]] std::string encode_shutting_down();
+
+}  // namespace glitchmask::service

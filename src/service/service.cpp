@@ -1,0 +1,460 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "support/atomic_file.hpp"
+#include "support/campaign_error.hpp"
+#include "support/fault.hpp"
+#include "support/log.hpp"
+#include "support/telemetry.hpp"
+
+namespace glitchmask::service {
+
+namespace {
+
+std::uint64_t now_ns() noexcept { return telemetry::steady_now_ns(); }
+
+void count(telemetry::Counter counter) {
+    if (telemetry::enabled()) telemetry::shard().add(counter);
+}
+
+}  // namespace
+
+const char* job_state_name(JobState state) noexcept {
+    switch (state) {
+        case JobState::Queued: return "queued";
+        case JobState::Running: return "running";
+        case JobState::Completed: return "completed";
+        case JobState::Failed: return "failed";
+        case JobState::Cancelled: return "cancelled";
+        case JobState::TimedOut: return "timed_out";
+    }
+    return "unknown";
+}
+
+CampaignService::CampaignService(ServiceConfig config)
+    : config_(std::move(config)) {
+    const unsigned executors = std::max(1u, config_.executors);
+    executors_.reserve(executors);
+    for (unsigned i = 0; i < executors; ++i)
+        executors_.emplace_back([this] { executor_loop(); });
+    if (config_.watchdog_timeout_sec > 0.0)
+        watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+CampaignService::~CampaignService() { shutdown(/*cancel_running=*/true); }
+
+void CampaignService::set_progress_hook(ProgressHook hook) {
+    progress_hook_ = std::move(hook);
+}
+
+void CampaignService::set_completion_hook(CompletionHook hook) {
+    completion_hook_ = std::move(hook);
+}
+
+CampaignService::SubmitResult CampaignService::submit(
+    const CampaignRequest& request) {
+    const eval::CampaignFingerprint fingerprint = request_fingerprint(request);
+    std::string key = fingerprint_hex(fingerprint);
+
+    JobStatus completed_now;
+    bool notify_completion = false;
+    SubmitResult result;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (draining_ || stop_) {
+            result.kind = SubmitResult::Kind::Draining;
+            return result;
+        }
+        stats_.submitted++;
+
+        // Cache hit: the campaign already ran to completion under this
+        // identity; answer without simulating.
+        for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+            if (it->key != key) continue;
+            CacheEntry entry = std::move(*it);
+            cache_.erase(it);
+            cache_.push_front(entry);
+            auto job = std::make_shared<Job>();
+            job->id = next_id_++;
+            job->request = request;
+            job->fingerprint = fingerprint;
+            job->fingerprint_key = std::move(key);
+            job->state = JobState::Completed;
+            job->outcome = cache_.front().outcome;
+            job->cached = true;
+            jobs_[job->id] = job;
+            stats_.cache_hits++;
+            count(telemetry::Counter::kServiceCacheHits);
+            result.job_id = job->id;
+            completed_now = snapshot_locked(*job);
+            notify_completion = true;
+            done_cv_.notify_all();
+            break;
+        }
+
+        if (!notify_completion) {
+            // Coalesce onto an identical queued/running job: one run
+            // answers both (equal fingerprints => bit-identical results).
+            JobPtr primary;
+            for (const auto& [id, job] : jobs_) {
+                if (!job_state_terminal(job->state) &&
+                    job->fingerprint_key == key && !job->coalesced) {
+                    primary = job;
+                    break;
+                }
+            }
+            if (primary) {
+                auto job = std::make_shared<Job>();
+                job->id = next_id_++;
+                job->request = request;
+                job->fingerprint = fingerprint;
+                job->fingerprint_key = std::move(key);
+                job->coalesced = true;
+                jobs_[job->id] = job;
+                primary->followers.push_back(job);
+                result.job_id = job->id;
+            } else if (queue_.size() >= config_.queue_capacity) {
+                // Explicit backpressure: the client is told, nothing is
+                // dropped on the floor.
+                stats_.rejected_overloaded++;
+                result.kind = SubmitResult::Kind::Overloaded;
+                return result;
+            } else {
+                auto job = std::make_shared<Job>();
+                job->id = next_id_++;
+                job->request = request;
+                job->fingerprint = fingerprint;
+                job->fingerprint_key = std::move(key);
+                jobs_[job->id] = job;
+                queue_.push_back(job);
+                result.job_id = job->id;
+                work_cv_.notify_one();
+            }
+        }
+    }
+    if (notify_completion && completion_hook_) completion_hook_(completed_now);
+    return result;
+}
+
+bool CampaignService::cancel(std::uint64_t job_id) {
+    JobStatus terminal;
+    bool notify = false;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        const auto it = jobs_.find(job_id);
+        if (it == jobs_.end() || job_state_terminal(it->second->state))
+            return false;
+        const JobPtr job = it->second;
+        if (job->state == JobState::Running) {
+            job->cancel.request();
+            return true;
+        }
+        // Queued: remove from the queue (or its primary's followers) and
+        // terminate immediately.
+        std::erase(queue_, job);
+        for (auto& [id, other] : jobs_)
+            std::erase(other->followers, job);
+        job->state = JobState::Cancelled;
+        stats_.cancelled++;
+        terminal = snapshot_locked(*job);
+        notify = true;
+        done_cv_.notify_all();
+    }
+    if (notify && completion_hook_) completion_hook_(terminal);
+    return true;
+}
+
+std::optional<JobStatus> CampaignService::status(std::uint64_t job_id) const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) return std::nullopt;
+    return snapshot_locked(*it->second);
+}
+
+std::optional<JobStatus> CampaignService::wait(std::uint64_t job_id) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) return std::nullopt;
+    const JobPtr job = it->second;
+    done_cv_.wait(lock, [&] { return job_state_terminal(job->state); });
+    return snapshot_locked(*job);
+}
+
+void CampaignService::wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+        return queue_.empty() && running_ == 0 && notifying_ == 0;
+    });
+}
+
+void CampaignService::shutdown(bool cancel_running) {
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (stop_) return;
+        draining_ = true;
+        stop_ = true;
+        if (cancel_running) {
+            for (auto& [id, job] : jobs_) {
+                if (job->state != JobState::Running) continue;
+                job->shutdown_cancelled.store(true, std::memory_order_relaxed);
+                job->cancel.request();
+            }
+        }
+        work_cv_.notify_all();
+        watchdog_cv_.notify_all();
+    }
+    for (std::thread& executor : executors_) executor.join();
+    executors_.clear();
+    if (watchdog_.joinable()) watchdog_.join();
+    std::unique_lock<std::mutex> lock(mutex_);
+    write_state_locked();
+}
+
+std::size_t CampaignService::load_state() {
+    if (config_.state_path.empty()) return 0;
+    std::optional<std::vector<std::uint8_t>> bytes;
+    try {
+        bytes = read_file_if_exists(config_.state_path);
+    } catch (const CampaignError& error) {
+        log::warn(std::string("service: cannot read state file: ") +
+                  error.what());
+        return 0;
+    }
+    if (!bytes) return 0;
+    std::size_t accepted = 0;
+    try {
+        const eval::JsonValue state = eval::parse_json(std::string_view(
+            reinterpret_cast<const char*>(bytes->data()), bytes->size()));
+        const eval::JsonValue* requests = state.find("requests");
+        if (requests == nullptr ||
+            requests->kind != eval::JsonValue::Kind::kArray)
+            throw std::runtime_error("state file: missing 'requests' array");
+        for (const eval::JsonValue& entry : requests->array) {
+            const CampaignRequest request = decode_request(entry);
+            if (submit(request).kind == SubmitResult::Kind::Accepted)
+                ++accepted;
+            else
+                log::warn("service: state-file request not re-admitted "
+                          "(queue full or draining)");
+        }
+    } catch (const std::exception& error) {
+        log::warn(std::string("service: discarding unreadable state file: ") +
+                  error.what());
+    }
+    std::remove(config_.state_path.c_str());
+    return accepted;
+}
+
+CampaignService::Stats CampaignService::stats() const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    Stats stats = stats_;
+    stats.queued_now = queue_.size();
+    stats.running_now = running_;
+    return stats;
+}
+
+CampaignService::JobPtr CampaignService::pop_next_locked() {
+    // Highest priority first, FIFO within a priority; the queue is
+    // capacity-bounded, so the linear scan is cheap.
+    auto best = queue_.begin();
+    for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it)
+        if ((*it)->request.priority > (*best)->request.priority) best = it;
+    JobPtr job = *best;
+    queue_.erase(best);
+    return job;
+}
+
+JobStatus CampaignService::snapshot_locked(const Job& job) const {
+    JobStatus status;
+    status.id = job.id;
+    status.state = job.state;
+    status.request = job.request;
+    status.outcome = job.outcome;
+    status.cached = job.cached;
+    status.coalesced = job.coalesced;
+    status.error_kind = job.error_kind;
+    status.error_message = job.error_message;
+    return status;
+}
+
+std::string CampaignService::spool_path(const Job& job) const {
+    return config_.spool_dir + "/" + job.fingerprint_key + ".gmsnap";
+}
+
+void CampaignService::executor_loop() {
+    for (;;) {
+        JobPtr job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+            if (stop_) return;  // queued jobs are persisted, not run
+            job = pop_next_locked();
+            job->state = JobState::Running;
+            running_++;
+        }
+        run_job(job);
+    }
+}
+
+void CampaignService::run_job(const JobPtr& job) {
+    // Control-flow fault site: a plan can kill, stall, or oom the
+    // executor right at job start (the chaos tests' worker-death lever).
+    try {
+        fault::inject_point("service.worker");
+    } catch (const std::bad_alloc&) {
+        job->error_kind = "error";
+        job->error_message = "allocation failure starting job";
+        finish_job(job, JobState::Failed);
+        return;
+    }
+
+    eval::CampaignRunOptions run;
+    if (!config_.spool_dir.empty()) run.checkpoint_path = spool_path(*job);
+    run.cancel = &job->cancel;
+    // A daemon must outlive full disks and stray corruption: keep the
+    // campaign running on the in-memory frontier, quarantine bad
+    // snapshots.  Both decisions are warned and flagged in the outcome.
+    run.degrade_on_io_error = true;
+    run.discard_corrupt_snapshot = true;
+    run.on_degraded = [job](const char* what, const std::string& detail) {
+        log::warn("service: job " + std::to_string(job->id) + " " + what +
+                  ": " + detail);
+    };
+    job->last_activity_ns.store(now_ns(), std::memory_order_relaxed);
+    run.on_progress = [this, job](const telemetry::ProgressUpdate& update) {
+        job->last_activity_ns.store(now_ns(), std::memory_order_relaxed);
+        if (progress_hook_) progress_hook_(job->id, update);
+    };
+
+    JobState state = JobState::Completed;
+    try {
+        job->outcome = run_campaign_request(job->request, std::move(run));
+        if (job->outcome.cancelled)
+            state = job->watchdog_fired.load(std::memory_order_relaxed)
+                        ? JobState::TimedOut
+                        : JobState::Cancelled;
+    } catch (const CampaignError& error) {
+        job->error_kind = campaign_error_kind_name(error.kind());
+        job->error_message = error.what();
+        state = JobState::Failed;
+    } catch (const std::exception& error) {
+        job->error_kind = "error";
+        job->error_message = error.what();
+        state = JobState::Failed;
+    }
+    finish_job(job, state);
+}
+
+void CampaignService::finish_job(const JobPtr& job, JobState state) {
+    std::vector<JobStatus> to_notify;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        job->state = state;
+        running_--;
+        switch (state) {
+            case JobState::Completed:
+                stats_.executed++;
+                count(telemetry::Counter::kServiceJobs);
+                if (config_.cache_capacity > 0) {
+                    cache_.push_front(
+                        CacheEntry{job->fingerprint_key, job->outcome});
+                    while (cache_.size() > config_.cache_capacity)
+                        cache_.pop_back();
+                }
+                // The result is in the cache; the spool snapshot has done
+                // its job and would only grow the spool unboundedly.
+                if (!config_.spool_dir.empty())
+                    std::remove(spool_path(*job).c_str());
+                break;
+            case JobState::Failed: stats_.failed++; break;
+            case JobState::Cancelled: stats_.cancelled++; break;
+            case JobState::TimedOut: stats_.timed_out++; break;
+            default: break;
+        }
+        to_notify.push_back(snapshot_locked(*job));
+        // Followers ride the primary's terminal state and outcome.
+        for (const JobPtr& follower : job->followers) {
+            follower->state = state;
+            follower->outcome = job->outcome;
+            follower->error_kind = job->error_kind;
+            follower->error_message = job->error_message;
+            stats_.coalesced++;
+            to_notify.push_back(snapshot_locked(*follower));
+        }
+        job->followers.clear();
+        if (completion_hook_) notifying_++;
+        done_cv_.notify_all();
+    }
+    if (completion_hook_) {
+        for (const JobStatus& status : to_notify) completion_hook_(status);
+        std::unique_lock<std::mutex> lock(mutex_);
+        notifying_--;
+        done_cv_.notify_all();
+    }
+}
+
+void CampaignService::watchdog_loop() {
+    const auto timeout_ns = static_cast<std::uint64_t>(
+        config_.watchdog_timeout_sec * 1e9);
+    const auto poll = std::chrono::duration<double>(
+        std::max(0.05, config_.watchdog_timeout_sec / 4.0));
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (watchdog_cv_.wait_for(lock, poll, [&] { return stop_; }))
+                return;
+            const std::uint64_t now = now_ns();
+            for (auto& [id, job] : jobs_) {
+                if (job->state != JobState::Running) continue;
+                const std::uint64_t last =
+                    job->last_activity_ns.load(std::memory_order_relaxed);
+                if (last != 0 && now > last && now - last > timeout_ns &&
+                    !job->watchdog_fired.exchange(true,
+                                                  std::memory_order_relaxed)) {
+                    log::warn("service: watchdog cancelling wedged job " +
+                              std::to_string(id));
+                    job->cancel.request();
+                }
+            }
+        }
+    }
+}
+
+void CampaignService::write_state_locked() {
+    if (config_.state_path.empty()) return;
+    // Everything that did not finish -- still queued, or cancelled out of
+    // a running state by this shutdown -- is persisted for the next
+    // incarnation; their spool snapshots make the replay a resume.
+    std::vector<const CampaignRequest*> unfinished;
+    for (const JobPtr& job : queue_) unfinished.push_back(&job->request);
+    for (const auto& [id, job] : jobs_)
+        if (job->state == JobState::Cancelled &&
+            job->shutdown_cancelled.load(std::memory_order_relaxed) &&
+            !job->coalesced)
+            unfinished.push_back(&job->request);
+    if (unfinished.empty()) {
+        std::remove(config_.state_path.c_str());
+        return;
+    }
+    std::string text = "{\"version\":1,\"requests\":[";
+    for (std::size_t i = 0; i < unfinished.size(); ++i) {
+        if (i != 0) text += ',';
+        text += encode_request(*unfinished[i]);
+    }
+    text += "]}\n";
+    try {
+        atomic_write_file(config_.state_path,
+                          std::span<const std::uint8_t>(
+                              reinterpret_cast<const std::uint8_t*>(
+                                  text.data()),
+                              text.size()));
+    } catch (const CampaignError& error) {
+        log::error(std::string("service: cannot write state file: ") +
+                   error.what());
+    }
+}
+
+}  // namespace glitchmask::service

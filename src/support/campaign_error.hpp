@@ -29,13 +29,34 @@ enum class CampaignErrorKind {
 
 class CampaignError : public std::runtime_error {
 public:
-    CampaignError(CampaignErrorKind kind, const std::string& message)
-        : std::runtime_error(message), kind_(kind) {}
+    /// `error_number` preserves the errno of the failing syscall for
+    /// IoFailure (0 when not applicable) -- retry policies classify
+    /// transient errors (EINTR/EAGAIN/EIO) against permanent ones
+    /// (ENOSPC/EROFS/EACCES) from it instead of parsing the message.
+    CampaignError(CampaignErrorKind kind, const std::string& message,
+                  int error_number = 0)
+        : std::runtime_error(message),
+          kind_(kind),
+          error_number_(error_number) {}
 
     [[nodiscard]] CampaignErrorKind kind() const noexcept { return kind_; }
+    [[nodiscard]] int error_number() const noexcept { return error_number_; }
 
 private:
     CampaignErrorKind kind_;
+    int error_number_ = 0;
 };
+
+/// Stable machine-readable name ("config_mismatch", "corrupt_snapshot",
+/// "io_failure") used by run reports and the service protocol.
+[[nodiscard]] constexpr const char* campaign_error_kind_name(
+    CampaignErrorKind kind) noexcept {
+    switch (kind) {
+        case CampaignErrorKind::ConfigMismatch: return "config_mismatch";
+        case CampaignErrorKind::CorruptSnapshot: return "corrupt_snapshot";
+        case CampaignErrorKind::IoFailure: return "io_failure";
+    }
+    return "unknown";
+}
 
 }  // namespace glitchmask

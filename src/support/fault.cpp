@@ -1,0 +1,289 @@
+#include "support/fault.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <stdexcept>
+#include <thread>
+
+#include <unistd.h>
+
+#include <atomic>
+
+#include "support/log.hpp"
+#include "support/rng.hpp"
+
+#if !defined(GLITCHMASK_NO_FAULT_INJECTION)
+
+namespace glitchmask::fault {
+
+namespace {
+
+/// FNV-1a over the site name, mixed with the plan seed and hit index to
+/// drive the Bernoulli draw and the corruption byte position.
+std::uint64_t site_hash(const char* site) noexcept {
+    std::uint64_t hash = 0xCBF29CE484222325ULL;
+    for (; *site != '\0'; ++site) {
+        hash ^= static_cast<std::uint8_t>(*site);
+        hash *= 0x100000001B3ULL;
+    }
+    return hash;
+}
+
+struct SiteState {
+    FaultSpec spec;
+    std::uint64_t hits = 0;   // eligible consultations
+    std::uint64_t armed = 0;  // hits past `after`
+    std::uint64_t fires = 0;
+};
+
+struct PlanState {
+    std::uint64_t seed = 1;
+    std::vector<SiteState> sites;
+};
+
+std::mutex g_mutex;
+PlanState* g_plan = nullptr;             // guarded by g_mutex
+std::atomic<bool> g_active{false};       // fast-path gate
+std::atomic<std::uint64_t> g_fires{0};
+
+bool site_matches(const std::string& pattern, const char* site) noexcept {
+    if (!pattern.empty() && pattern.back() == '*')
+        return std::string_view(site).substr(0, pattern.size() - 1) ==
+               std::string_view(pattern).substr(0, pattern.size() - 1);
+    return pattern == site;
+}
+
+/// Kind families a call site can trigger: inject_errno() only consults
+/// IoError specs, inject_corrupt() only Corrupt ones, inject_point() the
+/// control kinds -- so a site shared between families never consumes the
+/// wrong spec's fire budget.
+bool kind_eligible(FaultKind kind, bool io, bool corrupt,
+                   bool control) noexcept {
+    switch (kind) {
+        case FaultKind::IoError: return io;
+        case FaultKind::Corrupt: return corrupt;
+        case FaultKind::Alloc:
+        case FaultKind::Kill:
+        case FaultKind::Stall: return control;
+    }
+    return false;
+}
+
+/// Consults the plan for `site`; fills `out` and returns true when a spec
+/// fires on this hit.  Deterministic: the decision depends only on the
+/// plan and the per-spec hit ordinal, never on wall clock or scheduling.
+bool consult(const char* site, bool io, bool corrupt, bool control,
+             FaultSpec& out) noexcept {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (g_plan == nullptr) return false;
+    for (SiteState& state : g_plan->sites) {
+        if (!kind_eligible(state.spec.kind, io, corrupt, control)) continue;
+        if (!site_matches(state.spec.site, site)) continue;
+        state.hits += 1;
+        if (state.fires >= state.spec.count) continue;
+        if (state.hits <= state.spec.after) continue;
+        state.armed += 1;
+        if (state.spec.every > 1 && (state.armed % state.spec.every) != 0)
+            continue;
+        if (state.spec.probability < 1.0) {
+            const std::uint64_t draw = mix64(
+                mix64(g_plan->seed, site_hash(site)), state.armed);
+            const double uniform =
+                static_cast<double>(draw >> 11) * 0x1.0p-53;
+            if (uniform >= state.spec.probability) continue;
+        }
+        state.fires += 1;
+        g_fires.fetch_add(1, std::memory_order_relaxed);
+        out = state.spec;
+        return true;
+    }
+    return false;
+}
+
+[[noreturn]] void bad_clause(const std::string& clause,
+                             const std::string& why) {
+    throw std::invalid_argument("fault spec clause '" + clause + "': " + why);
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(const std::string& text) {
+    FaultPlan plan;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t end = text.find(';', pos);
+        if (end == std::string::npos) end = text.size();
+        const std::string clause = text.substr(pos, end - pos);
+        pos = end + 1;
+        if (clause.empty()) continue;
+
+        const std::size_t eq = clause.find('=');
+        if (eq == std::string::npos) bad_clause(clause, "missing '='");
+        const std::string key = clause.substr(0, eq);
+        if (key == "seed") {
+            plan.seed = std::strtoull(clause.c_str() + eq + 1, nullptr, 10);
+            continue;
+        }
+
+        FaultSpec spec;
+        spec.site = key;
+        if (spec.site.empty()) bad_clause(clause, "empty site name");
+        std::string rhs = clause.substr(eq + 1);
+        std::string params;
+        if (const std::size_t at = rhs.find('@'); at != std::string::npos) {
+            params = rhs.substr(at + 1);
+            rhs = rhs.substr(0, at);
+        }
+        if (rhs == "eintr") {
+            spec.kind = FaultKind::IoError;
+            spec.error_number = EINTR;
+        } else if (rhs == "eio") {
+            spec.kind = FaultKind::IoError;
+            spec.error_number = EIO;
+        } else if (rhs == "enospc") {
+            spec.kind = FaultKind::IoError;
+            spec.error_number = ENOSPC;
+        } else if (rhs == "oom") {
+            spec.kind = FaultKind::Alloc;
+        } else if (rhs == "corrupt") {
+            spec.kind = FaultKind::Corrupt;
+        } else if (rhs == "kill") {
+            spec.kind = FaultKind::Kill;
+        } else if (rhs == "stall") {
+            spec.kind = FaultKind::Stall;
+        } else {
+            bad_clause(clause, "unknown fault kind '" + rhs + "'");
+        }
+
+        std::size_t ppos = 0;
+        while (ppos < params.size()) {
+            std::size_t pend = params.find(',', ppos);
+            if (pend == std::string::npos) pend = params.size();
+            const std::string param = params.substr(ppos, pend - ppos);
+            ppos = pend + 1;
+            const std::size_t peq = param.find('=');
+            if (peq == std::string::npos)
+                bad_clause(clause, "parameter '" + param + "' missing '='");
+            const std::string name = param.substr(0, peq);
+            const char* value = param.c_str() + peq + 1;
+            if (name == "after") {
+                spec.after = std::strtoull(value, nullptr, 10);
+            } else if (name == "count") {
+                spec.count = std::strtoull(value, nullptr, 10);
+            } else if (name == "every") {
+                spec.every = std::strtoull(value, nullptr, 10);
+                if (spec.every == 0) bad_clause(clause, "every=0");
+            } else if (name == "p") {
+                spec.probability = std::strtod(value, nullptr);
+                if (spec.probability < 0.0 || spec.probability > 1.0)
+                    bad_clause(clause, "p outside [0, 1]");
+            } else if (name == "ms") {
+                spec.stall_ms = std::strtoull(value, nullptr, 10);
+            } else {
+                bad_clause(clause, "unknown parameter '" + name + "'");
+            }
+        }
+        plan.specs.push_back(std::move(spec));
+    }
+    return plan;
+}
+
+void install(FaultPlan plan) {
+    auto* state = new PlanState;
+    state->seed = plan.seed;
+    for (FaultSpec& spec : plan.specs)
+        state->sites.push_back(SiteState{std::move(spec), 0, 0, 0});
+    std::lock_guard<std::mutex> lock(g_mutex);
+    delete g_plan;
+    g_plan = state;
+    g_fires.store(0, std::memory_order_relaxed);
+    g_active.store(!state->sites.empty(), std::memory_order_relaxed);
+}
+
+void install_from_env() {
+    const char* raw = std::getenv("GLITCHMASK_FAULTS");
+    if (raw == nullptr || *raw == '\0') return;
+    install(parse_fault_plan(raw));
+    log::warn(std::string("fault injection active: GLITCHMASK_FAULTS=") + raw);
+}
+
+void clear() noexcept {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    delete g_plan;
+    g_plan = nullptr;
+    g_active.store(false, std::memory_order_relaxed);
+}
+
+bool active() noexcept { return g_active.load(std::memory_order_relaxed); }
+
+int inject_errno(const char* site) noexcept {
+    if (!active()) return 0;
+    FaultSpec spec;
+    if (!consult(site, true, false, false, spec)) return 0;
+    log::debug(std::string("fault: injecting errno ") +
+               std::to_string(spec.error_number) + " at " + site);
+    return spec.error_number;
+}
+
+bool inject_corrupt(const char* site, std::span<std::uint8_t> buf) noexcept {
+    if (!active() || buf.empty()) return false;
+    FaultSpec spec;
+    if (!consult(site, false, true, false, spec)) return false;
+    std::uint64_t seed;
+    {
+        std::lock_guard<std::mutex> lock(g_mutex);
+        seed = g_plan != nullptr ? g_plan->seed : 1;
+    }
+    const std::uint64_t fires = g_fires.load(std::memory_order_relaxed);
+    const std::size_t index = static_cast<std::size_t>(
+        mix64(mix64(seed, site_hash(site)), fires) % buf.size());
+    buf[index] ^= 0xA5u;
+    log::debug(std::string("fault: corrupting byte ") + std::to_string(index) +
+               " at " + site);
+    return true;
+}
+
+void inject_point(const char* site) {
+    if (!active()) return;
+    FaultSpec spec;
+    if (!consult(site, false, false, true, spec)) return;
+    switch (spec.kind) {
+        case FaultKind::Alloc:
+            log::debug(std::string("fault: throwing bad_alloc at ") + site);
+            throw std::bad_alloc();
+        case FaultKind::Stall:
+            log::debug(std::string("fault: stalling ") +
+                       std::to_string(spec.stall_ms) + " ms at " + site);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(spec.stall_ms));
+            return;
+        case FaultKind::Kill:
+            // No log: mirrors a real SIGKILL, which leaves no trace either.
+            ::kill(::getpid(), SIGKILL);
+            return;
+        case FaultKind::IoError:
+        case FaultKind::Corrupt:
+            return;  // data-kind specs never fire at control points
+    }
+}
+
+std::vector<SiteStats> stats() {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    std::vector<SiteStats> out;
+    if (g_plan == nullptr) return out;
+    for (const SiteState& state : g_plan->sites)
+        out.push_back(SiteStats{state.spec.site, state.hits, state.fires});
+    return out;
+}
+
+std::uint64_t total_fires() noexcept {
+    return g_fires.load(std::memory_order_relaxed);
+}
+
+}  // namespace glitchmask::fault
+
+#endif  // !GLITCHMASK_NO_FAULT_INJECTION

@@ -1,0 +1,127 @@
+// Deterministic, site-addressable fault injection for robustness testing.
+//
+// The crash-safe campaign runtime promises typed errors and bit-identical
+// resume under arbitrary I/O failure; that promise is only worth anything
+// if the failure paths actually run.  This layer lets tests and CI drive
+// them on demand: named *sites* in the I/O and service code
+// ("atomic_file.write", "atomic_file.payload", "campaign.block",
+// "service.worker", ...) consult an installed FaultPlan, which decides --
+// deterministically, from (plan seed, site, hit index) -- whether to
+// simulate an errno, corrupt a buffer, throw std::bad_alloc, stall the
+// clock, or SIGKILL the process.
+//
+// Cost discipline: with no plan installed every site is one relaxed
+// atomic load ("is anything active?") and nothing else; configuring the
+// build with -DGLITCHMASK_FAULT_INJECTION=OFF compiles every site to a
+// constant-false no-op, so production binaries carry zero overhead and
+// zero attack surface.
+//
+// Plans are expressed as a spec string (env GLITCHMASK_FAULTS, daemon
+// --faults, or parse_fault_plan in tests):
+//
+//   spec      := clause (';' clause)*
+//   clause    := "seed=" N | site '=' kind ('@' param (',' param)*)?
+//   kind      := eintr | eio | enospc | oom | corrupt | kill | stall
+//   param     := "after=" N   eligible hits skipped before arming
+//              | "count=" N   maximum number of fires (default unlimited)
+//              | "every=" N   fire on every Nth armed hit (default 1)
+//              | "p=" F       seeded Bernoulli fire probability
+//              | "ms=" N      stall duration (stall only, default 50)
+//
+// e.g. GLITCHMASK_FAULTS="seed=7;atomic_file.write=enospc@after=2,count=1;
+//       campaign.block=stall@ms=40,every=5"
+// A trailing '*' in a site name prefix-matches ("atomic_file.*").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace glitchmask::fault {
+
+enum class FaultKind { IoError, Alloc, Corrupt, Kill, Stall };
+
+struct FaultSpec {
+    std::string site;                  // exact, or prefix when ending in '*'
+    FaultKind kind = FaultKind::IoError;
+    int error_number = 0;              // simulated errno (IoError)
+    std::uint64_t after = 0;           // eligible hits skipped before arming
+    std::uint64_t count = ~0ull;       // max fires
+    std::uint64_t every = 1;           // fire on every Nth armed hit
+    double probability = 1.0;          // seeded Bernoulli per armed hit
+    std::uint64_t stall_ms = 50;       // Stall only
+};
+
+struct FaultPlan {
+    std::uint64_t seed = 1;
+    std::vector<FaultSpec> specs;
+};
+
+/// Parses the spec grammar above; throws std::invalid_argument naming the
+/// offending clause.
+[[nodiscard]] FaultPlan parse_fault_plan(const std::string& text);
+
+/// Per-site observability: how often each configured spec was consulted
+/// and how often it fired.
+struct SiteStats {
+    std::string site;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+};
+
+#if defined(GLITCHMASK_NO_FAULT_INJECTION)
+
+inline void install(FaultPlan) {}
+inline void install_from_env() {}
+inline void clear() noexcept {}
+[[nodiscard]] inline bool active() noexcept { return false; }
+[[nodiscard]] inline int inject_errno(const char*) noexcept { return 0; }
+[[nodiscard]] inline bool inject_corrupt(const char*,
+                                         std::span<std::uint8_t>) noexcept {
+    return false;
+}
+inline void inject_point(const char*) {}
+[[nodiscard]] inline std::vector<SiteStats> stats() { return {}; }
+[[nodiscard]] inline std::uint64_t total_fires() noexcept { return 0; }
+
+#else
+
+/// Installs `plan` process-wide, resetting all hit counters.
+void install(FaultPlan plan);
+
+/// install(parse_fault_plan($GLITCHMASK_FAULTS)) when the env var is set;
+/// no-op otherwise.  Called by the daemon and CI harnesses, never by the
+/// library implicitly.
+void install_from_env();
+
+/// Removes the plan; every site reverts to the single-load fast path.
+void clear() noexcept;
+
+/// True when a plan with at least one spec is installed (one relaxed
+/// atomic load -- the only cost a site pays when faults are off).
+[[nodiscard]] bool active() noexcept;
+
+/// IoError site: the errno this hit should simulate, or 0 (no fault).
+[[nodiscard]] int inject_errno(const char* site) noexcept;
+
+/// Corrupt site: deterministically flips one byte of `buf` (position
+/// derived from the plan seed and hit index) and returns true when the
+/// site fired.  Empty buffers never fire.
+[[nodiscard]] bool inject_corrupt(const char* site,
+                                  std::span<std::uint8_t> buf) noexcept;
+
+/// Control-flow site: throws std::bad_alloc (Alloc), sleeps (Stall), or
+/// SIGKILLs the process (Kill) when the site fires; no-op for sites
+/// configured with data kinds (IoError/Corrupt).
+void inject_point(const char* site);
+
+/// Counters for every spec of the installed plan, in plan order.
+[[nodiscard]] std::vector<SiteStats> stats();
+
+/// Total fires across all specs since install().
+[[nodiscard]] std::uint64_t total_fires() noexcept;
+
+#endif  // GLITCHMASK_NO_FAULT_INJECTION
+
+}  // namespace glitchmask::fault

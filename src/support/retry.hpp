@@ -1,0 +1,73 @@
+// Typed retry-with-backoff for transient I/O failures.
+//
+// A checkpoint write that hits a transient EIO should not kill a
+// multi-hour campaign, but ENOSPC retried forever is a hang, not
+// robustness.  RetryPolicy + retry_io() encode the distinction: a failed
+// operation that threw CampaignError{IoFailure} with a *transient* errno
+// (errno_transient) is retried up to max_attempts with exponential
+// backoff; everything else -- permanent errnos, corrupt snapshots, config
+// mismatches -- propagates immediately, unchanged and typed.  The backoff
+// sleep polls an optional CancelToken so graceful shutdown never waits
+// out a retry ladder.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "support/campaign_error.hpp"
+#include "support/cancel.hpp"
+
+namespace glitchmask {
+
+struct RetryPolicy {
+    unsigned max_attempts = 3;        // total tries, including the first
+    unsigned initial_backoff_ms = 5;
+    double multiplier = 2.0;
+    unsigned max_backoff_ms = 200;
+};
+
+/// True for errnos worth retrying: interruptions and transient device
+/// errors.  ENOSPC/EDQUOT/EROFS/EACCES/ENOENT are permanent for the
+/// duration of a run -- retrying them only delays the typed error (or the
+/// degradation path) the caller needs to see.
+[[nodiscard]] bool errno_transient(int error_number) noexcept;
+
+/// Sleeps ~`ms`, polling `cancel` (when non-null) every few milliseconds;
+/// returns false when cancellation cut the sleep short.
+bool backoff_sleep(unsigned ms, const CancelToken* cancel) noexcept;
+
+/// Runs `fn`, retrying per `policy` on transient CampaignError{IoFailure}.
+/// Rethrows the last error when attempts are exhausted, the errno is
+/// permanent, or `cancel` fires mid-backoff.  `on_retry(attempt, error)`
+/// (optional) observes each retry for logging/telemetry.
+template <class Fn, class OnRetry>
+void retry_io(const RetryPolicy& policy, Fn&& fn, const CancelToken* cancel,
+              OnRetry&& on_retry) {
+    unsigned backoff = policy.initial_backoff_ms;
+    for (unsigned attempt = 1;; ++attempt) {
+        try {
+            fn();
+            return;
+        } catch (const CampaignError& error) {
+            if (error.kind() != CampaignErrorKind::IoFailure ||
+                !errno_transient(error.error_number()) ||
+                attempt >= std::max(1u, policy.max_attempts))
+                throw;
+            on_retry(attempt, error);
+            if (!backoff_sleep(backoff, cancel)) throw;
+            backoff = static_cast<unsigned>(
+                std::min<double>(policy.max_backoff_ms,
+                                 backoff * std::max(1.0, policy.multiplier)));
+        }
+    }
+}
+
+template <class Fn>
+void retry_io(const RetryPolicy& policy, Fn&& fn,
+              const CancelToken* cancel = nullptr) {
+    retry_io(policy, static_cast<Fn&&>(fn), cancel,
+             [](unsigned, const CampaignError&) {});
+}
+
+}  // namespace glitchmask

@@ -43,6 +43,9 @@ constexpr CounterInfo kCounterInfo[kCounterCount] = {
     {"phase.noise_nanos", MergeKind::kSum, false},
     {"phase.moments_nanos", MergeKind::kSum, false},
     {"phase.attribution_nanos", MergeKind::kSum, false},
+    {"io.retries", MergeKind::kSum, false},
+    {"service.jobs", MergeKind::kSum, false},
+    {"service.cache_hits", MergeKind::kSum, false},
 };
 
 std::atomic<int> g_enabled{-1};  // -1 = resolve GLITCHMASK_TELEMETRY
@@ -276,10 +279,19 @@ void ProgressMeter::emit(bool final) {
     update.completed_traces = completed_.load(std::memory_order_relaxed);
     update.total_traces = total_;
     update.final = final;
+    // Robustness guards (resume-corrected math must survive degenerate
+    // inputs): a stepped/suspended clock can make the raw delta negative
+    // (clamped to 0), and note_resumed() racing this read can leave the
+    // loaded `resumed` momentarily ahead of `completed` -- an unguarded
+    // u64 subtraction would turn that into a ~1.8e19 "fresh" count and a
+    // nonsense rate/ETA, so the subtraction saturates at 0 instead.
+    const std::int64_t elapsed_raw = steady_ns() - start_ns_;
     update.elapsed_sec =
-        static_cast<double>(steady_ns() - start_ns_) * 1e-9;
-    const std::size_t fresh =
-        update.completed_traces - resumed_.load(std::memory_order_relaxed);
+        elapsed_raw > 0 ? static_cast<double>(elapsed_raw) * 1e-9 : 0.0;
+    const std::size_t resumed = resumed_.load(std::memory_order_relaxed);
+    const std::size_t fresh = update.completed_traces > resumed
+                                  ? update.completed_traces - resumed
+                                  : 0;
     if (update.elapsed_sec > 0.0 && fresh > 0) {
         update.traces_per_sec =
             static_cast<double>(fresh) / update.elapsed_sec;

@@ -59,6 +59,9 @@ enum class Counter : unsigned {
     kPhaseNoiseNanos,      // block phase: Gaussian noise row fills
     kPhaseMomentsNanos,    // block phase: moment-bank trace folds
     kPhaseAttributionNanos,  // block phase: per-net attribution folds
+    kIoRetries,            // transient I/O failures absorbed by retry_io
+    kServiceJobs,          // campaign-service jobs executed (not cached)
+    kServiceCacheHits,     // submissions served from the result cache
     kCount
 };
 

@@ -1,0 +1,318 @@
+// The deterministic fault-injection layer (support/fault.hpp), the typed
+// retry ladder (support/retry.hpp), and the hardened atomic-file paths
+// they were built to exercise.
+//
+// Robustness code that never runs is speculation; these tests drive every
+// failure path on purpose: simulated EINTR storms must be absorbed
+// silently, ENOSPC must surface as a typed CampaignError{IoFailure}
+// naming the path, injected payload corruption must be caught by the
+// snapshot CRC, and the temp file must never outlive a failed write.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/atomic_file.hpp"
+#include "support/campaign_error.hpp"
+#include "support/cancel.hpp"
+#include "support/fault.hpp"
+#include "support/retry.hpp"
+
+namespace glitchmask {
+namespace {
+
+/// Every test leaves the process fault-free, even on assertion failure.
+class FaultInjectionTest : public ::testing::Test {
+protected:
+    void TearDown() override { fault::clear(); }
+
+    static std::string temp_path(const std::string& name) {
+        const std::string path = ::testing::TempDir() + "glitchmask_" + name;
+        std::remove(path.c_str());
+        return path;
+    }
+
+    static std::vector<std::uint8_t> bytes(const std::string& text) {
+        return {text.begin(), text.end()};
+    }
+
+    static bool file_exists(const std::string& path) {
+        return read_file_if_exists(path).has_value();
+    }
+};
+
+// ----- plan grammar ------------------------------------------------------
+
+TEST_F(FaultInjectionTest, ParsesFullSpecGrammar) {
+    const fault::FaultPlan plan = fault::parse_fault_plan(
+        "seed=7;atomic_file.write=enospc@after=2,count=1;"
+        "campaign.block=stall@ms=40,every=5;io.*=eintr@p=0.5");
+    EXPECT_EQ(plan.seed, 7u);
+    ASSERT_EQ(plan.specs.size(), 3u);
+    EXPECT_EQ(plan.specs[0].site, "atomic_file.write");
+    EXPECT_EQ(plan.specs[0].kind, fault::FaultKind::IoError);
+    EXPECT_EQ(plan.specs[0].error_number, ENOSPC);
+    EXPECT_EQ(plan.specs[0].after, 2u);
+    EXPECT_EQ(plan.specs[0].count, 1u);
+    EXPECT_EQ(plan.specs[1].kind, fault::FaultKind::Stall);
+    EXPECT_EQ(plan.specs[1].stall_ms, 40u);
+    EXPECT_EQ(plan.specs[1].every, 5u);
+    EXPECT_EQ(plan.specs[2].site, "io.*");
+    EXPECT_EQ(plan.specs[2].probability, 0.5);
+}
+
+TEST_F(FaultInjectionTest, RejectsMalformedClauses) {
+    EXPECT_THROW((void)fault::parse_fault_plan("nonsense"),
+                 std::invalid_argument);
+    EXPECT_THROW((void)fault::parse_fault_plan("site=badkind"),
+                 std::invalid_argument);
+    EXPECT_THROW((void)fault::parse_fault_plan("site=eio@bogus=1"),
+                 std::invalid_argument);
+    EXPECT_THROW((void)fault::parse_fault_plan("site=eio@every=0"),
+                 std::invalid_argument);
+    EXPECT_THROW((void)fault::parse_fault_plan("site=corrupt@p=1.5"),
+                 std::invalid_argument);
+}
+
+// ----- site semantics ----------------------------------------------------
+
+TEST_F(FaultInjectionTest, NoPlanMeansNoFaultsAndNoCost) {
+    EXPECT_FALSE(fault::active());
+    EXPECT_EQ(fault::inject_errno("anything"), 0);
+    EXPECT_EQ(fault::total_fires(), 0u);
+}
+
+TEST_F(FaultInjectionTest, AfterCountEveryScheduleIsExact) {
+    fault::install(
+        fault::parse_fault_plan("s=eio@after=2,every=2,count=3"));
+    // Hits:   1 2 3 4 5 6 7 8 9 10 ...
+    // Armed:      1 2 3 4 5 6 7  8
+    // Fires:        ^   ^   ^          (every 2nd armed, max 3)
+    std::vector<int> fired;
+    for (int hit = 1; hit <= 12; ++hit)
+        if (fault::inject_errno("s") != 0) fired.push_back(hit);
+    EXPECT_EQ(fired, (std::vector<int>{4, 6, 8}));
+    const std::vector<fault::SiteStats> stats = fault::stats();
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0].hits, 12u);
+    EXPECT_EQ(stats[0].fires, 3u);
+}
+
+TEST_F(FaultInjectionTest, BernoulliScheduleIsDeterministic) {
+    const auto run_schedule = [] {
+        fault::install(fault::parse_fault_plan("seed=11;s=eio@p=0.3"));
+        std::vector<int> fired;
+        for (int hit = 1; hit <= 200; ++hit)
+            if (fault::inject_errno("s") != 0) fired.push_back(hit);
+        return fired;
+    };
+    const std::vector<int> first = run_schedule();
+    const std::vector<int> second = run_schedule();
+    EXPECT_EQ(first, second);
+    EXPECT_FALSE(first.empty());
+    EXPECT_LT(first.size(), 120u);  // ~60 expected at p=0.3
+}
+
+TEST_F(FaultInjectionTest, PrefixSitePatternMatches) {
+    fault::install(fault::parse_fault_plan("atomic_file.*=eintr"));
+    EXPECT_EQ(fault::inject_errno("atomic_file.write"), EINTR);
+    EXPECT_EQ(fault::inject_errno("atomic_file.fsync"), EINTR);
+    EXPECT_EQ(fault::inject_errno("checkpoint.write"), 0);
+}
+
+TEST_F(FaultInjectionTest, KindFamiliesDoNotConsumeEachOther) {
+    // One site, two specs of different families: an errno consultation
+    // must not burn the corrupt spec's budget or vice versa.
+    fault::install(
+        fault::parse_fault_plan("s=eio@count=1;s=corrupt@count=1"));
+    EXPECT_EQ(fault::inject_errno("s"), EIO);
+    std::vector<std::uint8_t> buffer(16, 0);
+    EXPECT_TRUE(fault::inject_corrupt("s", buffer));
+    int changed = 0;
+    for (const std::uint8_t byte : buffer) changed += byte != 0;
+    EXPECT_EQ(changed, 1);  // exactly one byte flipped
+}
+
+TEST_F(FaultInjectionTest, OomPointThrowsBadAlloc) {
+    fault::install(fault::parse_fault_plan("p=oom@count=1"));
+    EXPECT_THROW(fault::inject_point("p"), std::bad_alloc);
+    fault::inject_point("p");  // budget exhausted: no-op
+}
+
+// ----- errno classification and retry ladder -----------------------------
+
+TEST_F(FaultInjectionTest, ErrnoTransientClassification) {
+    EXPECT_TRUE(errno_transient(EINTR));
+    EXPECT_TRUE(errno_transient(EAGAIN));
+    EXPECT_TRUE(errno_transient(EIO));
+    EXPECT_TRUE(errno_transient(EBUSY));
+    EXPECT_FALSE(errno_transient(ENOSPC));
+    EXPECT_FALSE(errno_transient(EROFS));
+    EXPECT_FALSE(errno_transient(EACCES));
+    EXPECT_FALSE(errno_transient(ENOENT));
+    EXPECT_FALSE(errno_transient(0));
+}
+
+TEST_F(FaultInjectionTest, RetryIoRetriesTransientThenSucceeds) {
+    RetryPolicy policy;
+    policy.initial_backoff_ms = 1;
+    int calls = 0;
+    int retries = 0;
+    retry_io(
+        policy,
+        [&] {
+            if (++calls < 3)
+                throw CampaignError(CampaignErrorKind::IoFailure,
+                                    "transient", EIO);
+        },
+        nullptr, [&](unsigned, const CampaignError&) { ++retries; });
+    EXPECT_EQ(calls, 3);
+    EXPECT_EQ(retries, 2);
+}
+
+TEST_F(FaultInjectionTest, RetryIoNeverRetriesPermanentErrno) {
+    RetryPolicy policy;
+    policy.initial_backoff_ms = 1;
+    int calls = 0;
+    EXPECT_THROW(retry_io(policy,
+                          [&] {
+                              ++calls;
+                              throw CampaignError(
+                                  CampaignErrorKind::IoFailure,
+                                  "disk full", ENOSPC);
+                          }),
+                 CampaignError);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST_F(FaultInjectionTest, RetryIoExhaustsAttemptsAndRethrows) {
+    RetryPolicy policy;
+    policy.max_attempts = 3;
+    policy.initial_backoff_ms = 1;
+    int calls = 0;
+    try {
+        retry_io(policy, [&] {
+            ++calls;
+            throw CampaignError(CampaignErrorKind::IoFailure, "flaky", EIO);
+        });
+        FAIL() << "expected CampaignError";
+    } catch (const CampaignError& error) {
+        EXPECT_EQ(error.kind(), CampaignErrorKind::IoFailure);
+        EXPECT_EQ(error.error_number(), EIO);
+    }
+    EXPECT_EQ(calls, 3);
+}
+
+TEST_F(FaultInjectionTest, RetryIoStopsOnCancellation) {
+    RetryPolicy policy;
+    policy.max_attempts = 100;
+    policy.initial_backoff_ms = 5;
+    CancelToken cancel;
+    cancel.request();
+    int calls = 0;
+    EXPECT_THROW(
+        retry_io(policy,
+                 [&] {
+                     ++calls;
+                     throw CampaignError(CampaignErrorKind::IoFailure,
+                                         "flaky", EIO);
+                 },
+                 &cancel),
+        CampaignError);
+    EXPECT_EQ(calls, 1);  // backoff aborted immediately
+}
+
+// ----- hardened atomic_file ----------------------------------------------
+
+TEST_F(FaultInjectionTest, AtomicWriteAbsorbsEintrStorm) {
+    // Interrupt open, write and fsync several times each: the EINTR
+    // retry loops must land the file intact anyway.
+    fault::install(fault::parse_fault_plan(
+        "atomic_file.open=eintr@count=2;atomic_file.write=eintr@count=3;"
+        "atomic_file.fsync=eintr@count=2"));
+    const std::string path = temp_path("eintr.bin");
+    atomic_write_file(path, bytes("storm-survivor"));
+    const auto readback = read_file_if_exists(path);
+    ASSERT_TRUE(readback.has_value());
+    EXPECT_EQ(*readback, bytes("storm-survivor"));
+    EXPECT_GE(fault::total_fires(), 7u);
+    std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectionTest, EnospcIsTypedAndNamesThePath) {
+    fault::install(fault::parse_fault_plan("atomic_file.write=enospc"));
+    const std::string path = temp_path("enospc.bin");
+    try {
+        atomic_write_file(path, bytes("doomed"));
+        FAIL() << "expected CampaignError";
+    } catch (const CampaignError& error) {
+        EXPECT_EQ(error.kind(), CampaignErrorKind::IoFailure);
+        EXPECT_EQ(error.error_number(), ENOSPC);
+        EXPECT_NE(std::string(error.what()).find(path), std::string::npos)
+            << error.what();
+    }
+    // No debris: neither the target nor the temp file may exist.
+    fault::clear();
+    EXPECT_FALSE(file_exists(path));
+    EXPECT_FALSE(file_exists(path + ".tmp"));
+}
+
+TEST_F(FaultInjectionTest, FailedWriteLeavesPreviousFileIntact) {
+    const std::string path = temp_path("keep_old.bin");
+    atomic_write_file(path, bytes("old-generation"));
+    fault::install(fault::parse_fault_plan("atomic_file.fsync=enospc"));
+    EXPECT_THROW(atomic_write_file(path, bytes("new-generation")),
+                 CampaignError);
+    fault::clear();
+    const auto readback = read_file_if_exists(path);
+    ASSERT_TRUE(readback.has_value());
+    EXPECT_EQ(*readback, bytes("old-generation"));
+    EXPECT_FALSE(file_exists(path + ".tmp"));
+    std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectionTest, RenameFailureUnlinksTempFile) {
+    fault::install(fault::parse_fault_plan("atomic_file.rename=eio"));
+    const std::string path = temp_path("rename_fail.bin");
+    EXPECT_THROW(atomic_write_file(path, bytes("lost")), CampaignError);
+    fault::clear();
+    EXPECT_FALSE(file_exists(path));
+    EXPECT_FALSE(file_exists(path + ".tmp"));
+}
+
+TEST_F(FaultInjectionTest, InjectedCorruptionChangesExactlyOneByte) {
+    fault::install(
+        fault::parse_fault_plan("atomic_file.payload=corrupt@count=1"));
+    const std::string path = temp_path("corrupt.bin");
+    const std::vector<std::uint8_t> payload(64, 0x11);
+    atomic_write_file(path, payload);
+    fault::clear();
+    const auto readback = read_file_if_exists(path);
+    ASSERT_TRUE(readback.has_value());
+    ASSERT_EQ(readback->size(), payload.size());
+    int changed = 0;
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        changed += (*readback)[i] != payload[i];
+    EXPECT_EQ(changed, 1);
+    std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectionTest, ReadFailuresAreTypedToo) {
+    const std::string path = temp_path("read_eio.bin");
+    atomic_write_file(path, bytes("payload"));
+    fault::install(fault::parse_fault_plan("atomic_file.read=eio"));
+    try {
+        (void)read_file_if_exists(path);
+        FAIL() << "expected CampaignError";
+    } catch (const CampaignError& error) {
+        EXPECT_EQ(error.kind(), CampaignErrorKind::IoFailure);
+        EXPECT_EQ(error.error_number(), EIO);
+    }
+    fault::clear();
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace glitchmask

@@ -410,4 +410,55 @@ TEST(ProgressMeter, ResumedTracesCountTowardCompletionNotRate) {
     EXPECT_GT(last.traces_per_sec, 0.0);
 }
 
+TEST(ProgressMeter, ZeroFreshTracesNeverDividesByZero) {
+    telemetry::set_heartbeat_interval(0.0);
+    // A campaign cancelled before its first block finishes with zero
+    // completed traces; the rate/ETA math must report clean zeros, never
+    // 0/elapsed artifacts or NaN.
+    telemetry::ProgressUpdate last;
+    telemetry::ProgressMeter meter(
+        "empty", 100, [&](const telemetry::ProgressUpdate& u) { last = u; });
+    meter.finish();
+    EXPECT_TRUE(last.final);
+    EXPECT_EQ(last.completed_traces, 0u);
+    EXPECT_EQ(last.traces_per_sec, 0.0);
+    EXPECT_EQ(last.eta_sec, 0.0);
+    EXPECT_GE(last.elapsed_sec, 0.0);
+}
+
+TEST(ProgressMeter, ResumeCreditWithNoFreshWorkKeepsRateZero) {
+    telemetry::set_heartbeat_interval(0.0);
+    // A resume credits 80 traces before any fresh block lands.  The fresh
+    // count (completed - resumed) is zero; an unguarded u64 subtraction
+    // under the emit/note_resumed race would instead produce a ~1.8e19
+    // "fresh" count.  With zero rate, the 20 remaining traces must yield
+    // ETA 0 (unknown), never a division by the zero rate.
+    telemetry::ProgressUpdate last;
+    telemetry::ProgressMeter meter(
+        "saturate", 100,
+        [&](const telemetry::ProgressUpdate& u) { last = u; });
+    meter.note_resumed(80);
+    meter.finish();
+    EXPECT_EQ(last.completed_traces, 80u);
+    EXPECT_EQ(last.traces_per_sec, 0.0);
+    EXPECT_EQ(last.eta_sec, 0.0);
+}
+
+TEST(ProgressMeter, FullyResumedRunReportsZeroEta) {
+    telemetry::set_heartbeat_interval(0.0);
+    // Everything was done by the previous process: completion is total,
+    // the fresh-trace rate is zero, and the ETA must not go negative or
+    // divide by the zero rate.
+    telemetry::ProgressUpdate last;
+    telemetry::ProgressMeter meter(
+        "all_resumed", 50,
+        [&](const telemetry::ProgressUpdate& u) { last = u; });
+    meter.note_resumed(50);
+    meter.advance(0);
+    meter.finish();
+    EXPECT_EQ(last.completed_traces, 50u);
+    EXPECT_EQ(last.traces_per_sec, 0.0);
+    EXPECT_EQ(last.eta_sec, 0.0);
+}
+
 }  // namespace

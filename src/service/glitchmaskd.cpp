@@ -46,6 +46,8 @@ void usage(const char* argv0) {
         "  --executors N     concurrent campaign runs (default 1)\n"
         "  --queue N         admission queue capacity (default 16)\n"
         "  --cache N         result cache entries (default 64)\n"
+        "  --history N       terminal jobs kept queryable (default 256,\n"
+        "                    0 = unbounded)\n"
         "  --watchdog SEC    cancel jobs with no progress for SEC seconds\n"
         "  --faults SPEC     install a deterministic fault plan\n",
         argv0);
@@ -81,6 +83,9 @@ int main(int argc, char** argv) {
                 static_cast<std::size_t>(std::atol(next()));
         } else if (arg == "--cache") {
             service_config.cache_capacity =
+                static_cast<std::size_t>(std::atol(next()));
+        } else if (arg == "--history") {
+            service_config.history_capacity =
                 static_cast<std::size_t>(std::atol(next()));
         } else if (arg == "--watchdog") {
             service_config.watchdog_timeout_sec = std::atof(next());
@@ -177,19 +182,30 @@ int main(int argc, char** argv) {
                     job_client[result.job_id] = client;
                 }
                 const auto status = campaign_service.status(result.job_id);
+                // The request fingerprint is the job's identity from submit
+                // time on (outcome.fingerprint only exists once a campaign
+                // has run).
                 (void)server.send(
                     client,
                     encode_accepted(result.job_id,
-                                    status ? fingerprint_hex(
-                                                 status->outcome.fingerprint)
+                                    status ? status->fingerprint_key
                                            : std::string()),
                     false);
                 // A cache hit is terminal at submit time; its completion
-                // hook ran before the mapping existed, so answer here.
+                // hook ran before the mapping existed, so answer here.  A
+                // fast real job can also be terminal already -- but then
+                // the hook raced us and may have consumed the mapping and
+                // sent the result itself, so only send if the mapping is
+                // still ours to consume.
                 if (status && job_state_terminal(status->state)) {
-                    std::lock_guard<std::mutex> lock(route_mutex);
-                    job_client.erase(result.job_id);
-                    (void)server.send(client, encode_result(*status), false);
+                    bool unclaimed = false;
+                    {
+                        std::lock_guard<std::mutex> lock(route_mutex);
+                        unclaimed = job_client.erase(result.job_id) > 0;
+                    }
+                    if (unclaimed)
+                        (void)server.send(client, encode_result(*status),
+                                          false);
                 }
                 break;
             }

@@ -86,6 +86,7 @@ CampaignService::SubmitResult CampaignService::submit(
             job->outcome = cache_.front().outcome;
             job->cached = true;
             jobs_[job->id] = job;
+            retire_job_locked(job);
             stats_.cache_hits++;
             count(telemetry::Counter::kServiceCacheHits);
             result.job_id = job->id;
@@ -99,9 +100,8 @@ CampaignService::SubmitResult CampaignService::submit(
             // Coalesce onto an identical queued/running job: one run
             // answers both (equal fingerprints => bit-identical results).
             JobPtr primary;
-            for (const auto& [id, job] : jobs_) {
-                if (!job_state_terminal(job->state) &&
-                    job->fingerprint_key == key && !job->coalesced) {
+            for (const auto& [id, job] : active_) {
+                if (job->fingerprint_key == key && !job->coalesced) {
                     primary = job;
                     break;
                 }
@@ -114,6 +114,7 @@ CampaignService::SubmitResult CampaignService::submit(
                 job->fingerprint_key = std::move(key);
                 job->coalesced = true;
                 jobs_[job->id] = job;
+                active_[job->id] = job;
                 primary->followers.push_back(job);
                 result.job_id = job->id;
             } else if (queue_.size() >= config_.queue_capacity) {
@@ -129,6 +130,7 @@ CampaignService::SubmitResult CampaignService::submit(
                 job->fingerprint = fingerprint;
                 job->fingerprint_key = std::move(key);
                 jobs_[job->id] = job;
+                active_[job->id] = job;
                 queue_.push_back(job);
                 result.job_id = job->id;
                 work_cv_.notify_one();
@@ -155,9 +157,23 @@ bool CampaignService::cancel(std::uint64_t job_id) {
         // Queued: remove from the queue (or its primary's followers) and
         // terminate immediately.
         std::erase(queue_, job);
-        for (auto& [id, other] : jobs_)
+        for (auto& [id, other] : active_)
             std::erase(other->followers, job);
+        // A queued primary may carry coalesced followers; they asked for
+        // the campaign, not the cancellation, so promote the first to a
+        // real queued job (it inherits the cancelled job's queue slot and
+        // the remaining followers) instead of stranding them.
+        if (!job->followers.empty()) {
+            const JobPtr heir = job->followers.front();
+            heir->coalesced = false;
+            heir->followers.assign(job->followers.begin() + 1,
+                                   job->followers.end());
+            job->followers.clear();
+            queue_.push_back(heir);
+            work_cv_.notify_one();
+        }
         job->state = JobState::Cancelled;
+        retire_job_locked(job);
         stats_.cancelled++;
         terminal = snapshot_locked(*job);
         notify = true;
@@ -267,12 +283,39 @@ CampaignService::JobPtr CampaignService::pop_next_locked() {
     return job;
 }
 
+void CampaignService::retire_job_locked(const JobPtr& job) {
+    // The job just reached a terminal state: out of the active index, into
+    // the bounded terminal history.  Waiters holding the JobPtr still see
+    // the terminal snapshot even after eviction; only id lookups age out.
+    active_.erase(job->id);
+    terminal_order_.push_back(job->id);
+    if (config_.history_capacity == 0) return;
+    while (terminal_order_.size() > config_.history_capacity) {
+        bool evicted = false;
+        for (auto it = terminal_order_.begin(); it != terminal_order_.end();
+             ++it) {
+            const auto jt = jobs_.find(*it);
+            // Jobs cancelled by shutdown() must survive until
+            // write_state_locked() has persisted their requests.
+            if (jt != jobs_.end() &&
+                jt->second->shutdown_cancelled.load(std::memory_order_relaxed))
+                continue;
+            if (jt != jobs_.end()) jobs_.erase(jt);
+            terminal_order_.erase(it);
+            evicted = true;
+            break;
+        }
+        if (!evicted) break;
+    }
+}
+
 JobStatus CampaignService::snapshot_locked(const Job& job) const {
     JobStatus status;
     status.id = job.id;
     status.state = job.state;
     status.request = job.request;
     status.outcome = job.outcome;
+    status.fingerprint_key = job.fingerprint_key;
     status.cached = job.cached;
     status.coalesced = job.coalesced;
     status.error_kind = job.error_kind;
@@ -374,6 +417,7 @@ void CampaignService::finish_job(const JobPtr& job, JobState state) {
             case JobState::TimedOut: stats_.timed_out++; break;
             default: break;
         }
+        retire_job_locked(job);
         to_notify.push_back(snapshot_locked(*job));
         // Followers ride the primary's terminal state and outcome.
         for (const JobPtr& follower : job->followers) {
@@ -381,6 +425,7 @@ void CampaignService::finish_job(const JobPtr& job, JobState state) {
             follower->outcome = job->outcome;
             follower->error_kind = job->error_kind;
             follower->error_message = job->error_message;
+            retire_job_locked(follower);
             stats_.coalesced++;
             to_notify.push_back(snapshot_locked(*follower));
         }
@@ -407,7 +452,7 @@ void CampaignService::watchdog_loop() {
             if (watchdog_cv_.wait_for(lock, poll, [&] { return stop_; }))
                 return;
             const std::uint64_t now = now_ns();
-            for (auto& [id, job] : jobs_) {
+            for (auto& [id, job] : active_) {
                 if (job->state != JobState::Running) continue;
                 const std::uint64_t last =
                     job->last_activity_ns.load(std::memory_order_relaxed);

@@ -10,7 +10,9 @@
 //     beyond that is rejected *explicitly* (SubmitResult::Overloaded) --
 //     backpressure is the client's signal to slow down, never a silent
 //     drop.  Queued jobs run highest-priority first, FIFO within a
-//     priority.
+//     priority.  Terminal jobs stay queryable through a bounded history
+//     (history_capacity), so a long-running daemon's job table cannot
+//     grow without bound.
 //   * Dedupe by campaign identity.  The request fingerprint (the same
 //     identity checkpoints are stamped with) keys an LRU result cache; a
 //     resubmit of a completed campaign answers from the cache without
@@ -55,6 +57,10 @@ struct ServiceConfig {
     unsigned executors = 1;        // concurrent campaign runs
     std::size_t queue_capacity = 16;
     std::size_t cache_capacity = 64;    // LRU entries; 0 disables caching
+    /// Terminal jobs kept queryable via status()/wait(); older ones are
+    /// evicted (oldest-terminal first) so a long-running daemon's job
+    /// table stays bounded.  0 = keep everything (tests, short runs).
+    std::size_t history_capacity = 256;
     double watchdog_timeout_sec = 0.0;  // 0 = watchdog off
     std::string spool_dir;   // checkpoint spool; empty = no checkpoints
     std::string state_path;  // drain state file; empty = none
@@ -80,6 +86,10 @@ struct JobStatus {
     JobState state = JobState::Queued;
     CampaignRequest request;
     CampaignOutcome outcome;       // valid in terminal states except Failed
+    /// Hex request fingerprint (the cache/spool identity) -- known from
+    /// submit time, unlike outcome.fingerprint which only exists once a
+    /// campaign has run.
+    std::string fingerprint_key;
     bool cached = false;           // served from the result cache
     bool coalesced = false;        // rode on an identical in-flight job
     std::string error_kind;        // Failed: campaign_error_kind_name / "error"
@@ -180,6 +190,7 @@ private:
     void watchdog_loop();
     void run_job(const JobPtr& job);
     void finish_job(const JobPtr& job, JobState state);
+    void retire_job_locked(const JobPtr& job);
     [[nodiscard]] JobPtr pop_next_locked();
     [[nodiscard]] JobStatus snapshot_locked(const Job& job) const;
     void write_state_locked();
@@ -200,7 +211,15 @@ private:
     bool stop_ = false;
     std::uint64_t next_id_ = 1;
     std::deque<JobPtr> queue_;          // admission order; priority at pop
+    /// Every job still queryable: the non-terminal ones plus a bounded
+    /// history of terminal ones (config_.history_capacity).
     std::map<std::uint64_t, JobPtr> jobs_;
+    /// Non-terminal subset of jobs_: the coalesce scan in submit() and
+    /// the watchdog walk this instead of the whole history.
+    std::map<std::uint64_t, JobPtr> active_;
+    /// Terminal job ids in retirement order -- the eviction queue that
+    /// keeps jobs_ bounded.
+    std::deque<std::uint64_t> terminal_order_;
     std::size_t running_ = 0;
     /// Completion hooks still executing outside the lock.  wait_idle()
     /// counts these as live work: a caller must be able to destroy

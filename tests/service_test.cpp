@@ -454,6 +454,82 @@ TEST_F(ServiceTest, QueuedJobsCancelImmediately) {
     svc.shutdown(false);
 }
 
+TEST_F(ServiceTest, CancellingAQueuedPrimaryPromotesItsFollowers) {
+    // One executor held by a stalled filler, so three identical submits
+    // stack up: one queued primary plus two coalesced followers.
+    // Cancelling the primary must not strand the followers -- the first
+    // is promoted to a real queued job and the rest ride on it.
+    fault::install(
+        fault::parse_fault_plan("service.worker=stall@ms=400,count=1"));
+    CampaignService svc(service_config(1));
+
+    (void)svc.submit(small_gadget_request(145));
+    ASSERT_TRUE(wait_until([&] { return svc.stats().running_now == 1; }));
+
+    const CampaignRequest request = small_gadget_request(146);
+    const auto primary = svc.submit(request);
+    const auto follower = svc.submit(request);
+    const auto rider = svc.submit(request);
+    ASSERT_EQ(primary.kind, CampaignService::SubmitResult::Kind::Accepted);
+    ASSERT_EQ(follower.kind, CampaignService::SubmitResult::Kind::Accepted);
+    ASSERT_EQ(rider.kind, CampaignService::SubmitResult::Kind::Accepted);
+
+    EXPECT_TRUE(svc.cancel(primary.job_id));
+    const std::optional<JobStatus> cancelled = svc.status(primary.job_id);
+    ASSERT_TRUE(cancelled.has_value());
+    EXPECT_EQ(cancelled->state, JobState::Cancelled);
+
+    // The promoted heir runs for real; the remaining follower rides it.
+    const std::optional<JobStatus> heir = svc.wait(follower.job_id);
+    const std::optional<JobStatus> rode = svc.wait(rider.job_id);
+    ASSERT_TRUE(heir.has_value() && rode.has_value());
+    EXPECT_EQ(heir->state, JobState::Completed);
+    EXPECT_FALSE(heir->coalesced);
+    EXPECT_EQ(rode->state, JobState::Completed);
+    EXPECT_TRUE(rode->coalesced);
+    expect_same_metrics(rode->outcome, heir->outcome);
+
+    EXPECT_EQ(svc.stats().executed, 2u);  // filler + promoted heir
+    EXPECT_EQ(svc.stats().cancelled, 1u);
+    EXPECT_EQ(svc.stats().coalesced, 1u);
+    svc.shutdown(false);
+}
+
+TEST_F(ServiceTest, TerminalJobHistoryIsBounded) {
+    ServiceConfig config = service_config(1);
+    config.history_capacity = 2;
+    CampaignService svc(config);
+
+    std::vector<std::uint64_t> ids;
+    for (std::uint64_t seed = 160; seed < 165; ++seed) {
+        const auto submitted = svc.submit(small_gadget_request(seed));
+        ASSERT_EQ(submitted.kind,
+                  CampaignService::SubmitResult::Kind::Accepted);
+        const std::optional<JobStatus> done = svc.wait(submitted.job_id);
+        ASSERT_TRUE(done.has_value());
+        EXPECT_EQ(done->state, JobState::Completed);
+        EXPECT_EQ(done->fingerprint_key,
+                  fingerprint_hex(request_fingerprint(
+                      small_gadget_request(seed))));
+        ids.push_back(submitted.job_id);
+    }
+
+    // Only the newest history_capacity terminal jobs stay queryable; the
+    // older ones age out (their results persist in the result cache).
+    EXPECT_FALSE(svc.status(ids[0]).has_value());
+    EXPECT_FALSE(svc.status(ids[1]).has_value());
+    EXPECT_FALSE(svc.status(ids[2]).has_value());
+    EXPECT_TRUE(svc.status(ids[3]).has_value());
+    EXPECT_TRUE(svc.status(ids[4]).has_value());
+
+    // An evicted job's campaign still answers from the cache.
+    const auto resubmitted = svc.submit(small_gadget_request(160));
+    const std::optional<JobStatus> cached = svc.wait(resubmitted.job_id);
+    ASSERT_TRUE(cached.has_value());
+    EXPECT_TRUE(cached->cached);
+    svc.shutdown(false);
+}
+
 TEST_F(ServiceTest, CancelledRunLeavesResumableSpoolAndResumesExactly) {
     const CampaignRequest request = small_gadget_request(150, 8192);
     const CampaignOutcome reference = reference_outcome(request);

@@ -24,11 +24,14 @@
 // (run report of each row; the file is rewritten per row, so it ends up
 // describing the last row of the sweep).  Before the sweep the harness
 // times telemetry off-vs-on pairs and emits the relative cost as the
-// top-level "telemetry_overhead" key, and does the same for per-net
-// leakage attribution ("attribution_off_overhead" -- the CI gate holds
-// the disabled feature to <= 1% -- and "attribution_overhead" for the
-// S-box-scoped probe taps, gated <= 30% since the batched probe
-// deposit).  A statistics-fold microbench times the pre-fusion gather
+// top-level "telemetry_overhead" key; span tracing gets the same
+// treatment ("trace_off_overhead" -- off-vs-off pairs bound the
+// disabled recorder's residual, CI gate <= 1% -- and "trace_overhead"
+// for full block/phase span collection, gated <= 5%), and so does
+// per-net leakage attribution ("attribution_off_overhead" -- the CI
+// gate holds the disabled feature to <= 1% -- and
+// "attribution_overhead" for the S-box-scoped probe taps, gated <= 30%
+// since the batched probe deposit).  A statistics-fold microbench times the pre-fusion gather
 // path against the fused MomentBank fold on identical data
 // ("stats_speedup", CI gate >= 1.5x), and every sweep row carries a
 // "phases" breakdown (sim/noise/moments/attribution/checkpoint wall
@@ -56,6 +59,7 @@
 #include "support/rng.hpp"
 #include "support/table.hpp"
 #include "support/telemetry.hpp"
+#include "support/trace.hpp"
 
 using namespace glitchmask;
 
@@ -159,6 +163,47 @@ int main(int argc, char** argv) {
         best_on = std::min(best_on, time_once(true));
     }
     const double telemetry_overhead = best_on / best_off - 1.0;
+
+    // Tracing cost check, same protocol.  With the recorder off every
+    // instrumented site is a single relaxed load, so off-vs-off pairs
+    // bound the residual plumbing cost at measurement noise (CI gate
+    // <= 1%); turning collection on adds a block-granularity span plus
+    // the phase leaves, which must stay cheap (CI gate <= 5%).
+    // Telemetry is held off throughout so the pair isolates tracing.
+    auto time_traced = [&](bool tracing_on) {
+        trace::set_enabled(tracing_on);
+        eval::DesTvlaConfig config;
+        config.traces = traces;
+        config.block_size = kBlockSize;
+        config.noise_sigma = noise;
+        config.seed = 7;
+        config.workers = 1;
+        config.lanes = 64;
+        config.run.backend = "event";
+        const auto start = std::chrono::steady_clock::now();
+        (void)eval::run_des_tvla(core, config);
+        const auto stop = std::chrono::steady_clock::now();
+        // Spans are measurement-only here: drain so repeated traced runs
+        // never hit the global buffer cap mid-timing.
+        if (tracing_on) (void)trace::take_spans();
+        return std::chrono::duration<double>(stop - start).count();
+    };
+    telemetry::set_enabled(false);
+    double best_trace_base = std::numeric_limits<double>::infinity();
+    double best_trace_off = std::numeric_limits<double>::infinity();
+    double best_trace_on = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; ++rep) {
+        best_trace_base = std::min(best_trace_base, time_traced(false));
+        best_trace_off = std::min(best_trace_off, time_traced(false));
+        best_trace_on = std::min(best_trace_on, time_traced(true));
+    }
+    trace::set_enabled(false);
+    trace::reset();
+    const double trace_off_overhead = best_trace_off / best_trace_base - 1.0;
+    const double trace_overhead = best_trace_on / best_trace_base - 1.0;
+    // The telemetry pair above leaves collection on; the attribution pair
+    // below historically runs in that state -- restore it.
+    telemetry::set_enabled(true);
 
     // Attribution cost check.  With attribution off no probe is even
     // constructed -- the sink chain is exactly the pre-feature one -- so
@@ -392,6 +437,9 @@ int main(int argc, char** argv) {
     std::printf("Telemetry overhead (event-64 / 1 worker, best of 3): "
                 "%.2f%%\n",
                 telemetry_overhead * 100.0);
+    std::printf("Tracing-off overhead (must be noise): %.2f%%   "
+                "tracing-on cost (block+phase spans): %.2f%%\n",
+                trace_off_overhead * 100.0, trace_overhead * 100.0);
     std::printf("Attribution-off overhead (must be noise): %.2f%%   "
                 "attribution-on cost (sbox scope): %.2f%%\n",
                 attribution_off_overhead * 100.0, attribution_overhead * 100.0);
@@ -435,6 +483,10 @@ int main(int argc, char** argv) {
             TablePrinter::num(checkpoint_overhead, 4) + ",\n";
     json += "  \"telemetry_overhead\": " +
             TablePrinter::num(telemetry_overhead, 4) + ",\n";
+    json += "  \"trace_off_overhead\": " +
+            TablePrinter::num(trace_off_overhead, 4) + ",\n";
+    json += "  \"trace_overhead\": " +
+            TablePrinter::num(trace_overhead, 4) + ",\n";
     json += "  \"attribution_off_overhead\": " +
             TablePrinter::num(attribution_off_overhead, 4) + ",\n";
     json += "  \"attribution_overhead\": " +

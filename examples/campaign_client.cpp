@@ -7,12 +7,15 @@
 //                                  "gadget":"trichina","traces":2000}'
 //   campaign_client /tmp/gm.sock '{"op":"status","job":3}'
 //   campaign_client /tmp/gm.sock '{"op":"stats"}'
+//   campaign_client /tmp/gm.sock '{"op":"metrics"}'
 //   campaign_client /tmp/gm.sock '{"op":"shutdown","drain":false}'
 //
 // For a submit, the client stays connected and relays progress events
-// until the result line; every other op gets exactly one reply.  Exit
-// status: 0 on a completed/answered request, 1 on rejection or overload,
-// 2 on usage/connection errors.
+// until the result line; every other op gets exactly one reply.  With a
+// trailing --follow, a submit additionally renders the result's span
+// rollup (queue_wait, execute, block, sim, ...) as a one-line-per-span
+// latency summary on stderr.  Exit status: 0 on a completed/answered
+// request, 1 on rejection or overload, 2 on usage/connection errors.
 
 #include <cstdio>
 #include <cstring>
@@ -21,6 +24,8 @@
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include "eval/run_report.hpp"
 
 namespace {
 
@@ -44,11 +49,44 @@ bool line_ends_conversation(const std::string& line, bool is_submit,
     return true;  // single-reply ops are done after any event line
 }
 
+/// --follow: one line per span name from the result event's "spans"
+/// rollup, on stderr so piped-stdout consumers still see pure NDJSON.
+void render_span_summary(const std::string& result_line) {
+    try {
+        const glitchmask::eval::JsonValue json =
+            glitchmask::eval::parse_json(result_line);
+        const glitchmask::eval::JsonValue* spans = json.find("spans");
+        if (spans == nullptr || spans->array.empty()) {
+            std::fprintf(stderr, "[follow] no span rollup in result\n");
+            return;
+        }
+        for (const glitchmask::eval::JsonValue& entry : spans->array) {
+            const glitchmask::eval::JsonValue* name = entry.find("name");
+            const glitchmask::eval::JsonValue* count = entry.find("count");
+            const glitchmask::eval::JsonValue* total = entry.find("total_ns");
+            if (name == nullptr || count == nullptr || total == nullptr)
+                continue;
+            std::fprintf(stderr, "[follow] %-16s count=%-8llu total=%.3fms\n",
+                         name->string.c_str(),
+                         static_cast<unsigned long long>(
+                             count->unsigned_value),
+                         static_cast<double>(total->unsigned_value) * 1e-6);
+        }
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "[follow] unparsable result line: %s\n",
+                     error.what());
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-    if (argc != 3) {
-        std::fprintf(stderr, "usage: %s SOCKET_PATH REQUEST_JSON\n", argv[0]);
+    bool follow = false;
+    if (argc == 4 && std::strcmp(argv[3], "--follow") == 0) {
+        follow = true;
+    } else if (argc != 3) {
+        std::fprintf(stderr, "usage: %s SOCKET_PATH REQUEST_JSON [--follow]\n",
+                     argv[0]);
         return 2;
     }
     const std::string socket_path = argv[1];
@@ -88,6 +126,7 @@ int main(int argc, char** argv) {
 
     int exit_code = 1;
     std::string pending;
+    std::string last_line;
     char buffer[4096];
     for (;;) {
         const ssize_t n = ::read(fd, buffer, sizeof buffer);
@@ -108,6 +147,7 @@ int main(int argc, char** argv) {
             std::printf("%s\n", line.c_str());
             std::fflush(stdout);
             if (line_ends_conversation(line, is_submit, exit_code)) {
+                last_line = line;
                 done = true;
                 break;
             }
@@ -116,5 +156,8 @@ int main(int argc, char** argv) {
         if (done) break;
     }
     ::close(fd);
+    if (follow && is_submit && !last_line.empty() &&
+        last_line.find("\"event\":\"result\"") != std::string::npos)
+        render_span_summary(last_line);
     return exit_code;
 }

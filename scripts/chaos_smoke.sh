@@ -15,7 +15,15 @@
 #   4. SIGTERM drain  -> the daemon is killed mid-campaign; the unfinished
 #                        request lands in the state file, the restarted
 #                        daemon resumes it from the spool snapshot, and a
-#                        reconnecting client gets the completed result.
+#                        reconnecting client gets the completed result;
+#   5. observability  -> with --trace-dir and --metrics-file up, a traced
+#                        job must yield a python-validated Chrome-trace
+#                        JSON (queue_wait/execute/block spans), the
+#                        metrics verb must answer a well-formed registry
+#                        dump, and the Prometheus exposition file must
+#                        materialize -- all without perturbing the
+#                        result (metrics byte-identical to the clean
+#                        run).
 #
 # All fault schedules are seeded, so any failure reproduces exactly.
 # Usage: scripts/chaos_smoke.sh BUILDDIR   (e.g. build or build-asan)
@@ -68,7 +76,7 @@ submit_expect_completed() {
 
 metrics_of() { sed -n 's/.*"metrics":{\([^}]*\)}.*/\1/p' <<<"$1"; }
 
-echo "--- chaos smoke 1/4: clean run + cache hit"
+echo "--- chaos smoke 1/5: clean run + cache hit"
 start_daemon
 fresh="$(submit_expect_completed)"
 reference_metrics="$(metrics_of "$fresh")"
@@ -83,7 +91,7 @@ grep -q '"cached":true' <<<"$cached" || {
 }
 stop_daemon
 
-echo "--- chaos smoke 2/4: EINTR storm is absorbed bit-identically"
+echo "--- chaos smoke 2/5: EINTR storm is absorbed bit-identically"
 rm -rf "$work/spool" "$work/state.json"
 GLITCHMASK_FAULTS='seed=9;atomic_file.*=eintr@p=0.35' start_daemon
 stormy="$(submit_expect_completed)"
@@ -93,7 +101,7 @@ stormy="$(submit_expect_completed)"
 }
 stop_daemon
 
-echo "--- chaos smoke 3/4: checkpoint ENOSPC degrades, result still exact"
+echo "--- chaos smoke 3/5: checkpoint ENOSPC degrades, result still exact"
 rm -rf "$work/spool" "$work/state.json"
 start_daemon --faults 'seed=10;atomic_file.fsync=enospc'
 degraded="$(submit_expect_completed)"
@@ -107,7 +115,7 @@ grep -q '"checkpoint_degraded":true' <<<"$degraded" || {
 }
 stop_daemon
 
-echo "--- chaos smoke 4/4: SIGTERM drain, restart resumes from the spool"
+echo "--- chaos smoke 4/5: SIGTERM drain, restart resumes from the spool"
 rm -rf "$work/spool" "$work/state.json"
 start_daemon
 long_request='{"op":"submit","kind":"gadget_tvla","gadget":"trichina","traces":300000,"seed":8}'
@@ -141,4 +149,62 @@ grep -q '"resumed":true' <<<"$resumed" || {
 }
 stop_daemon
 
-echo "chaos smoke: all 4 scenarios passed"
+echo "--- chaos smoke 5/5: tracing + metrics exposition, result still exact"
+rm -rf "$work/spool" "$work/state.json"
+mkdir -p "$work/traces"
+start_daemon --trace-dir "$work/traces" --metrics-file "$work/metrics.prom"
+traced="$(submit_expect_completed)"
+[ "$(metrics_of "$traced")" = "$reference_metrics" ] || {
+  echo "FAIL: metrics drifted with tracing+telemetry on: $traced" >&2
+  exit 1
+}
+grep -q '"spans":\[' <<<"$traced" || {
+  echo "FAIL: traced result carried no span rollup: $traced" >&2
+  exit 1
+}
+
+metrics_line="$("$client" "$sock" '{"op":"metrics"}' | tail -1)"
+printf '%s\n' "$metrics_line" | python3 -c '
+import json, sys
+doc = json.loads(sys.stdin.readline())
+assert doc["event"] == "metrics", doc
+for section in ("counters", "histograms", "gauges", "service"):
+    assert section in doc, f"metrics reply missing {section!r}"
+execute = doc["histograms"]["service.execute_nanos"]
+assert execute["count"] >= 1, execute
+assert sum(n for _, n in execute["buckets"]) == execute["count"], execute
+assert doc["service"]["cache_entries"] >= 1, doc["service"]
+' || {
+  echo "FAIL: metrics verb reply failed validation: $metrics_line" >&2
+  exit 1
+}
+
+trace_file="$(ls "$work/traces"/job-*.trace.json 2>/dev/null | head -1)"
+[ -n "$trace_file" ] || {
+  echo "FAIL: no job trace exported to $work/traces" >&2
+  exit 1
+}
+python3 -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+names = {event["name"] for event in doc["traceEvents"]}
+for required in ("job", "queue_wait", "execute", "block"):
+    assert required in names, f"trace missing {required!r} spans: {names}"
+for event in doc["traceEvents"]:
+    assert event["ph"] == "X" and "args" in event, event
+' "$trace_file" || {
+  echo "FAIL: exported trace failed validation: $trace_file" >&2
+  exit 1
+}
+stop_daemon
+[ -s "$work/metrics.prom" ] || {
+  echo "FAIL: daemon never wrote the Prometheus exposition file" >&2
+  exit 1
+}
+grep -q '^glitchmask_service_execute_nanos_count' "$work/metrics.prom" || {
+  echo "FAIL: exposition file lacks the execute-latency histogram" >&2
+  exit 1
+}
+
+echo "chaos smoke: all 5 scenarios passed"

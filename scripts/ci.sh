@@ -25,6 +25,8 @@
 #     runtime-dispatched kernel to its portable scalar fallback (the
 #     bit-identity tests then prove scalar == vector end to end);
 #   * bench/campaign_throughput's telemetry_overhead must stay <= 3%,
+#     its trace_off_overhead <= 1% (the disabled span recorder must be
+#     free) and trace_overhead <= 5% (block+phase span collection),
 #     and its attribution_off_overhead <= 1% (the disabled probe tap
 #     must be free);
 #   * attribution_overhead <= 30% (the sbox-scoped probe taps), and
@@ -93,6 +95,32 @@ for preset in "${presets[@]}"; do
       exit 1
     fi
     echo "telemetry overhead: ${overhead} (<= 0.03)"
+
+    echo "==> release extras: tracing-off overhead gate (bar: 1%)"
+    trace_off="$(sed -n 's/.*"trace_off_overhead": \(-\{0,1\}[0-9.]*\).*/\1/p' \
+      build/bench/BENCH_batch_sim.json)"
+    if [ -z "$trace_off" ]; then
+      echo "FAIL: trace_off_overhead missing from BENCH_batch_sim.json" >&2
+      exit 1
+    fi
+    if ! awk -v x="$trace_off" 'BEGIN { exit !(x <= 0.01) }'; then
+      echo "FAIL: tracing-off overhead ${trace_off} exceeds the 0.01 bar" >&2
+      exit 1
+    fi
+    echo "tracing-off overhead: ${trace_off} (<= 0.01)"
+
+    echo "==> release extras: tracing-on overhead gate (bar: 5%)"
+    trace_on="$(sed -n 's/.*"trace_overhead": \(-\{0,1\}[0-9.]*\).*/\1/p' \
+      build/bench/BENCH_batch_sim.json)"
+    if [ -z "$trace_on" ]; then
+      echo "FAIL: trace_overhead missing from BENCH_batch_sim.json" >&2
+      exit 1
+    fi
+    if ! awk -v x="$trace_on" 'BEGIN { exit !(x <= 0.05) }'; then
+      echo "FAIL: tracing overhead ${trace_on} exceeds the 0.05 bar" >&2
+      exit 1
+    fi
+    echo "tracing overhead: ${trace_on} (<= 0.05)"
 
     echo "==> release extras: attribution-off overhead gate (bar: 1%)"
     attr_off="$(sed -n 's/.*"attribution_off_overhead": \(-\{0,1\}[0-9.]*\).*/\1/p' \

@@ -65,6 +65,7 @@ CheckpointPolicy make_checkpoint_policy(const CampaignRunOptions& run,
     policy.degrade_on_io_error = run.degrade_on_io_error;
     policy.discard_corrupt_snapshot = run.discard_corrupt_snapshot;
     policy.on_degraded = run.on_degraded;
+    policy.trace_parent = run.trace_parent;
     return policy;
 }
 

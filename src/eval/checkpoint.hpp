@@ -145,6 +145,10 @@ struct CampaignRunOptions {
     /// of the triggering error.
     std::function<void(const char* what, const std::string& detail)>
         on_degraded;
+    /// Trace span the campaign's block/checkpoint spans parent to -- the
+    /// service sets this to its execute span id; 0 = top-level.  Only
+    /// meaningful when trace collection (support/trace.hpp) is on.
+    std::uint64_t trace_parent = 0;
 };
 
 /// True when this run should attribute: the explicit flag or
@@ -171,6 +175,10 @@ struct CheckpointPolicy {
     bool discard_corrupt_snapshot = false;
     std::function<void(const char* what, const std::string& detail)>
         on_degraded;
+    /// Parent span for block/checkpoint spans (copied from run options;
+    /// not part of active() -- tracing alone never changes the execution
+    /// path).
+    std::uint64_t trace_parent = 0;
 
     /// Anything here that forces the wave-structured (checkpointable)
     /// execution path instead of the one-shot submit-all path?

@@ -40,39 +40,59 @@
 #include "support/rng.hpp"
 #include "support/telemetry.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 namespace glitchmask::eval {
 
 namespace detail {
 
 /// Per-block telemetry bracket shared by both sharded runners: times the
-/// block when collection is on and feeds the progress meter.  Constructed
-/// on the worker thread right before run_block.
+/// block when collection is on, feeds the progress meter, and -- when
+/// span tracing is on -- opens a "block" span for the block's duration
+/// (joining the ambient stack so PhaseClock's flushed phase leaves nest
+/// under it).  Constructed on the worker thread right before run_block.
 class BlockScope {
 public:
-    BlockScope()
+    explicit BlockScope(trace::SpanId trace_parent = 0, std::size_t block = 0)
         : on_(telemetry::enabled()),
-          start_(on_ ? std::chrono::steady_clock::now()
-                     : std::chrono::steady_clock::time_point{}) {}
+          tracing_(trace::enabled()),
+          block_(block),
+          parent_(trace_parent),
+          start_ns_(on_ || tracing_ ? telemetry::steady_now_ns() : 0) {
+        if (tracing_) {
+            span_ = trace::new_span_id();
+            trace::push_ambient(span_);
+        }
+    }
 
     void done(std::size_t traces, telemetry::ProgressMeter* meter) const {
+        const std::uint64_t end_ns =
+            on_ || tracing_ ? telemetry::steady_now_ns() : 0;
+        if (tracing_) {
+            trace::pop_ambient();
+            trace::record_span(span_, "block", parent_, start_ns_, end_ns,
+                               {{"block", std::to_string(block_)},
+                                {"traces", std::to_string(traces)}});
+        }
         if (on_) {
-            const auto nanos =
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    std::chrono::steady_clock::now() - start_)
-                    .count();
+            const std::uint64_t nanos = end_ns - start_ns_;
             telemetry::Shard& shard = telemetry::shard();
             shard.add(telemetry::Counter::kCampaignBlocks, 1);
             shard.add(telemetry::Counter::kCampaignTraces, traces);
-            shard.add(telemetry::Counter::kCampaignBlockNanos,
-                      static_cast<std::uint64_t>(nanos));
+            shard.add(telemetry::Counter::kCampaignBlockNanos, nanos);
+            shard.observe(telemetry::Histogram::kBlockNanos, nanos);
+            shard.observe(telemetry::Histogram::kBlockTraces, traces);
         }
         if (meter != nullptr) meter->advance(traces);
     }
 
 private:
     bool on_;
-    std::chrono::steady_clock::time_point start_;
+    bool tracing_;
+    std::size_t block_;
+    trace::SpanId parent_;
+    trace::SpanId span_ = 0;
+    std::uint64_t start_ns_;
 };
 
 }  // namespace detail
@@ -176,7 +196,8 @@ template <class MakeWorker, class MakeAcc, class RunBlock, class Merge>
                                       MakeWorker&& make_worker,
                                       MakeAcc&& make_acc, RunBlock&& run_block,
                                       Merge&& merge,
-                                      telemetry::ProgressMeter* meter = nullptr)
+                                      telemetry::ProgressMeter* meter = nullptr,
+                                      trace::SpanId trace_parent = 0)
     -> decltype(make_acc()) {
     using Acc = decltype(make_acc());
     using Worker = decltype(make_worker());
@@ -196,7 +217,7 @@ template <class MakeWorker, class MakeAcc, class RunBlock, class Merge>
             std::optional<Worker>& slot = replicas[static_cast<std::size_t>(id)];
             if (!slot.has_value()) slot.emplace(make_worker());
 
-            const detail::BlockScope scope;
+            const detail::BlockScope scope(trace_parent, b);
             Acc acc = make_acc();
             const std::size_t begin = plan.block_begin(b);
             const std::size_t end = plan.block_end(b);
@@ -275,7 +296,7 @@ template <class MakeWorker, class MakeAcc, class RunBlock, class Merge,
         Acc result = run_sharded_blocks(
             pool, plan, std::forward<MakeWorker>(make_worker),
             std::forward<MakeAcc>(make_acc), std::forward<RunBlock>(run_block),
-            std::forward<Merge>(merge), meter);
+            std::forward<Merge>(merge), meter, policy.trace_parent);
         prog.completed_blocks = n_blocks;
         prog.completed_traces = plan.traces;
         return result;
@@ -361,6 +382,11 @@ template <class MakeWorker, class MakeAcc, class RunBlock, class Merge,
     auto write_checkpoint = [&](std::size_t completed) {
         if (policy.path.empty() || checkpoints_disabled) return;
         const bool telem = telemetry::enabled();
+        // The wave loop runs on the submitting thread, so the ambient
+        // parent (a service execute span, when one is open) is correct.
+        const trace::ScopedSpan span(
+            "checkpoint", policy.trace_parent,
+            {{"completed_blocks", std::to_string(completed)}});
         const auto start = telem ? std::chrono::steady_clock::now()
                                  : std::chrono::steady_clock::time_point{};
         SnapshotWriter out =
@@ -404,6 +430,8 @@ template <class MakeWorker, class MakeAcc, class RunBlock, class Merge,
             shard.add(telemetry::Counter::kCheckpointWrites, 1);
             shard.add(telemetry::Counter::kCheckpointNanos,
                       static_cast<std::uint64_t>(nanos));
+            shard.observe(telemetry::Histogram::kCheckpointWriteNanos,
+                          static_cast<std::uint64_t>(nanos));
         }
     };
 
@@ -434,7 +462,7 @@ template <class MakeWorker, class MakeAcc, class RunBlock, class Merge,
                     std::optional<Worker>& slot =
                         replicas[static_cast<std::size_t>(id)];
                     if (!slot.has_value()) slot.emplace(make_worker());
-                    const detail::BlockScope scope;
+                    const detail::BlockScope scope(policy.trace_parent, b);
                     Acc acc = make_acc();
                     const std::size_t begin = plan.block_begin(b);
                     const std::size_t end = plan.block_end(b);

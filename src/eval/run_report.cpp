@@ -304,6 +304,15 @@ std::string resolve_report_path(const CampaignRunOptions& run,
     return dir + "/" + id + ".report.json";
 }
 
+std::string resolve_trace_path(const CampaignRunOptions& run,
+                               const std::string& default_id) {
+    const std::string dir = env_string("GLITCHMASK_TRACE_DIR", "");
+    if (dir.empty()) return {};
+    const std::string id =
+        run.campaign_id.empty() ? default_id : run.campaign_id;
+    return dir + "/" + id + ".trace.json";
+}
+
 std::string render_run_report(const RunReport& report) {
     std::string out;
     out.reserve(2048);
@@ -343,7 +352,41 @@ std::string render_run_report(const RunReport& report) {
         out += ": ";
         append_u64(out, report.counters.values[i]);
     }
-    out += "\n  },\n  \"progress\": {";
+    out += "\n  },\n  \"histograms\": {";
+    // v3, sparse: only observed families, only nonzero buckets, each
+    // bucket as [floor, count] (the floor maps back to its index via
+    // histogram_bucket()).
+    bool first_histogram = true;
+    for (std::size_t i = 0; i < telemetry::kHistogramCount; ++i) {
+        const telemetry::HistogramSnapshot& h = report.counters.histograms[i];
+        if (h.count == 0) continue;
+        if (!first_histogram) out += ",";
+        first_histogram = false;
+        out += "\n    ";
+        append_escaped(out, telemetry::histogram_name(
+                                static_cast<telemetry::Histogram>(i)));
+        out += ": {\"count\": ";
+        append_u64(out, h.count);
+        out += ", \"sum\": ";
+        append_u64(out, h.sum);
+        out += ", \"max\": ";
+        append_u64(out, h.max);
+        out += ", \"buckets\": [";
+        bool first_bucket = true;
+        for (std::size_t b = 0; b < telemetry::kHistogramBuckets; ++b) {
+            if (h.buckets[b] == 0) continue;
+            if (!first_bucket) out += ", ";
+            first_bucket = false;
+            out += "[";
+            append_u64(out, telemetry::histogram_bucket_floor(b));
+            out += ", ";
+            append_u64(out, h.buckets[b]);
+            out += "]";
+        }
+        out += "]}";
+    }
+    out += first_histogram ? "}" : "\n  }";
+    out += ",\n  \"progress\": {";
     out += "\"completed_blocks\": ";
     append_u64(out, report.progress.completed_blocks);
     out += ", \"completed_traces\": ";
@@ -404,6 +447,21 @@ std::string render_run_report(const RunReport& report) {
         }
         out += attr.nets.empty() ? "]\n  }" : "\n    ]\n  }";
     }
+    if (!report.spans.empty()) {
+        out += ",\n  \"spans\": [";
+        for (std::size_t i = 0; i < report.spans.size(); ++i) {
+            const trace::SpanSummary& span = report.spans[i];
+            out += i != 0 ? "," : "";
+            out += "\n    {\"name\": ";
+            append_escaped(out, span.name);
+            out += ", \"count\": ";
+            append_u64(out, span.count);
+            out += ", \"total_ns\": ";
+            append_u64(out, span.total_ns);
+            out += "}";
+        }
+        out += "\n  ]";
+    }
     out += "\n}\n";
     return out;
 }
@@ -452,6 +510,29 @@ std::optional<RunReport> read_run_report(const std::string& path) {
         if (const JsonValue* value = counters.find(name))
             report.counters.values[i] = value->unsigned_value;
     }
+    // v3 section; absent in v1/v2 files and in histogram-free runs.
+    if (const JsonValue* histograms = root.find("histograms")) {
+        for (std::size_t i = 0; i < telemetry::kHistogramCount; ++i) {
+            const char* name = telemetry::histogram_name(
+                static_cast<telemetry::Histogram>(i));
+            const JsonValue* cell = histograms->find(name);
+            if (cell == nullptr) continue;
+            telemetry::HistogramSnapshot& h = report.counters.histograms[i];
+            h.count = require_u64(*cell, "count");
+            h.sum = require_u64(*cell, "sum");
+            h.max = require_u64(*cell, "max");
+            for (const JsonValue& pair : require(*cell, "buckets").array) {
+                if (pair.kind != JsonValue::Kind::kArray ||
+                    pair.array.size() != 2)
+                    throw std::runtime_error(
+                        "run report: histogram bucket is not a "
+                        "[floor, count] pair");
+                const std::size_t bucket = telemetry::histogram_bucket(
+                    pair.array[0].unsigned_value);
+                h.buckets[bucket] = pair.array[1].unsigned_value;
+            }
+        }
+    }
     const JsonValue& progress = require(root, "progress");
     report.progress.completed_blocks =
         static_cast<std::size_t>(require_u64(progress, "completed_blocks"));
@@ -485,6 +566,16 @@ std::optional<RunReport> read_run_report(const std::string& path) {
             report.attribution.nets.push_back(std::move(net));
         }
     }
+    // v3 section; absent in v1/v2 files and in untraced runs.
+    if (const JsonValue* spans = root.find("spans")) {
+        for (const JsonValue& entry : spans->array) {
+            trace::SpanSummary span;
+            span.name = require(entry, "name").string;
+            span.count = require_u64(entry, "count");
+            span.total_ns = require_u64(entry, "total_ns");
+            report.spans.push_back(std::move(span));
+        }
+    }
     return report;
 }
 
@@ -497,14 +588,18 @@ RunTelemetrySession::RunTelemetrySession(std::string campaign_id,
                                          unsigned workers, unsigned lanes)
     : campaign_(std::move(campaign_id)),
       report_path_(resolve_report_path(run, campaign_)),
+      trace_path_(resolve_trace_path(run, campaign_)),
       fingerprint_(fingerprint),
       workers_(workers),
       lanes_(lanes),
       restore_enabled_(telemetry::enabled()),
+      restore_trace_(trace::enabled()),
       meter_(campaign_, total_traces, run.on_progress) {
     // A requested report implies collection for this run; drivers without
-    // a report keep whatever GLITCHMASK_TELEMETRY selected.
+    // a report keep whatever GLITCHMASK_TELEMETRY selected.  Likewise a
+    // requested trace file implies span collection.
     if (!report_path_.empty()) telemetry::set_enabled(true);
+    if (!trace_path_.empty()) trace::set_enabled(true);
     start_ = telemetry::snapshot();
     cpu_start_ = telemetry::process_cpu_seconds();
     wall_start_ns_ = steady_ns();
@@ -512,6 +607,7 @@ RunTelemetrySession::RunTelemetrySession(std::string campaign_id,
 
 RunTelemetrySession::~RunTelemetrySession() {
     telemetry::set_enabled(restore_enabled_);
+    trace::set_enabled(restore_trace_);
 }
 
 void RunTelemetrySession::attach(CheckpointPolicy& policy) {
@@ -564,6 +660,16 @@ void RunTelemetrySession::finish(const CampaignProgress& progress) {
     if (finished_) return;
     finished_ = true;
     meter_.finish();
+
+    // Only a session that *asked* for a trace file drains the global span
+    // buffer -- under the daemon, spans belong to the service's per-job
+    // harvest and draining here would steal them.
+    std::vector<trace::SpanSummary> span_summary;
+    if (!trace_path_.empty()) {
+        const std::vector<trace::Span> spans = trace::take_spans();
+        trace::write_chrome_trace(trace_path_, spans);
+        span_summary = trace::summarize_spans(spans);
+    }
     if (report_path_.empty()) return;
 
     RunReport report;
@@ -580,6 +686,7 @@ void RunTelemetrySession::finish(const CampaignProgress& progress) {
     report.checkpoint_blocks = checkpoint_blocks_;
     report.metrics = metrics_;
     report.attribution = attribution_;
+    report.spans = std::move(span_summary);
     write_run_report(report_path_, report);
 }
 

@@ -29,6 +29,7 @@
 
 #include "eval/checkpoint.hpp"
 #include "support/telemetry.hpp"
+#include "support/trace.hpp"
 
 namespace glitchmask::leakage {
 struct AttributionResult;
@@ -37,9 +38,11 @@ struct AttributionResult;
 namespace glitchmask::eval {
 
 inline constexpr const char* kRunReportSchema = "glitchmask.run_report";
-/// v2 adds the optional "attribution" section (per-net culprit summary);
-/// the reader accepts v1 files (section absent -> disabled).
-inline constexpr std::uint32_t kRunReportVersion = 2;
+/// v2 added the optional "attribution" section (per-net culprit summary);
+/// v3 adds the optional "histograms" (sparse latency-histogram dump) and
+/// "spans" (per-name trace rollup) sections.  The reader accepts v1/v2
+/// files -- absent sections read back empty/disabled.
+inline constexpr std::uint32_t kRunReportVersion = 3;
 
 /// One culprit row of the report's attribution section (a flat copy of
 /// leakage::NetAttribution, kept here so the report schema does not pull
@@ -93,12 +96,24 @@ struct RunReport {
     /// v2: per-net leakage attribution summary; the JSON section is
     /// emitted only when enabled.
     AttributionReport attribution;
+    /// v3: per-name rollup of the run's trace spans (block, sim, noise,
+    /// moments, checkpoint, ...); empty when tracing was off.  The JSON
+    /// section is emitted only when non-empty.
+    std::vector<trace::SpanSummary> spans;
 };
 
 /// Report path for one driver run: explicit run.report_path, else
 /// $GLITCHMASK_REPORT_DIR/<id>.report.json, else "" (no report).
 [[nodiscard]] std::string resolve_report_path(const CampaignRunOptions& run,
                                               const std::string& default_id);
+
+/// Chrome-trace export path for one driver run:
+/// $GLITCHMASK_TRACE_DIR/<id>.trace.json when the env var is set, else ""
+/// (no per-run trace file).  The daemon deliberately does NOT set the env
+/// var -- it exports per-*job* traces itself (ServiceConfig::trace_dir),
+/// and a driver-side drain here would steal the service's span buffer.
+[[nodiscard]] std::string resolve_trace_path(const CampaignRunOptions& run,
+                                             const std::string& default_id);
 
 /// Serializes the report as pretty-printed JSON (trailing newline).
 [[nodiscard]] std::string render_run_report(const RunReport& report);
@@ -188,18 +203,23 @@ public:
         return report_path_;
     }
 
-    /// Emits the final progress update and writes the report (when one
-    /// was requested).  Idempotent; safe to skip on exception paths (the
-    /// destructor restores telemetry state but writes nothing).
+    /// Emits the final progress update, exports the trace (when
+    /// GLITCHMASK_TRACE_DIR resolved a path: drains the span buffer,
+    /// writes the Chrome-trace file, folds the rollup into the report's
+    /// "spans" section) and writes the report (when one was requested).
+    /// Idempotent; safe to skip on exception paths (the destructor
+    /// restores telemetry/trace state but writes nothing).
     void finish(const CampaignProgress& progress);
 
 private:
     std::string campaign_;
     std::string report_path_;
+    std::string trace_path_;
     CampaignFingerprint fingerprint_;
     unsigned workers_ = 0;
     unsigned lanes_ = 0;
     bool restore_enabled_ = false;   // telemetry state to restore
+    bool restore_trace_ = false;     // trace state to restore
     bool finished_ = false;
     telemetry::Snapshot start_;
     double cpu_start_ = 0.0;

@@ -21,15 +21,19 @@
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 
 #include "service/protocol.hpp"
 #include "service/service.hpp"
 #include "service/socket_server.hpp"
+#include "support/atomic_file.hpp"
 #include "support/cancel.hpp"
 #include "support/fault.hpp"
 #include "support/log.hpp"
+#include "support/telemetry.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
@@ -49,8 +53,33 @@ void usage(const char* argv0) {
         "  --history N       terminal jobs kept queryable (default 256,\n"
         "                    0 = unbounded)\n"
         "  --watchdog SEC    cancel jobs with no progress for SEC seconds\n"
+        "  --trace-dir DIR   enable span tracing; write one Chrome-trace\n"
+        "                    JSON per terminal job (job-<id>.trace.json)\n"
+        "  --metrics-file P  enable telemetry; atomically refresh a\n"
+        "                    Prometheus-text exposition file while serving\n"
         "  --faults SPEC     install a deterministic fault plan\n",
         argv0);
+}
+
+/// Renders the full registry (counters + histograms + gauges) as
+/// Prometheus text and atomically replaces `path`; scrape-safe at any
+/// moment.  Failures are logged, never fatal -- metrics must not take the
+/// daemon down.
+void refresh_metrics_file(const std::string& path,
+                          CampaignService& campaign_service) {
+    (void)campaign_service.metrics_info();  // refreshes the service gauges
+    const std::string text =
+        telemetry::render_prometheus_text(telemetry::snapshot());
+    try {
+        atomic_write_file(path,
+                          std::span<const std::uint8_t>(
+                              reinterpret_cast<const std::uint8_t*>(
+                                  text.data()),
+                              text.size()));
+    } catch (const std::exception& error) {
+        log::warn(std::string("glitchmaskd: cannot write metrics file: ") +
+                  error.what());
+    }
 }
 
 }  // namespace
@@ -59,6 +88,7 @@ int main(int argc, char** argv) {
     ServiceConfig service_config;
     SocketServerConfig socket_config;
     std::string faults;
+    std::string metrics_file;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -89,6 +119,10 @@ int main(int argc, char** argv) {
                 static_cast<std::size_t>(std::atol(next()));
         } else if (arg == "--watchdog") {
             service_config.watchdog_timeout_sec = std::atof(next());
+        } else if (arg == "--trace-dir") {
+            service_config.trace_dir = next();
+        } else if (arg == "--metrics-file") {
+            metrics_file = next();
         } else if (arg == "--faults") {
             faults = next();
         } else if (arg == "--help" || arg == "-h") {
@@ -113,6 +147,12 @@ int main(int argc, char** argv) {
                      error.what());
         return 2;
     }
+
+    // Observability opt-ins: a trace directory turns span collection on,
+    // a metrics file turns telemetry collection on (both are otherwise
+    // zero-cost-off, same as their env-var gates).
+    if (!service_config.trace_dir.empty()) trace::set_enabled(true);
+    if (!metrics_file.empty()) telemetry::set_enabled(true);
 
     CampaignService campaign_service(service_config);
     SocketServer server(socket_config);
@@ -234,6 +274,13 @@ int main(int argc, char** argv) {
                                   encode_stats(campaign_service.stats()),
                                   false);
                 break;
+            case ClientCommand::Op::Metrics:
+                (void)server.send(
+                    client,
+                    encode_metrics(telemetry::snapshot(),
+                                   campaign_service.metrics_info()),
+                    false);
+                break;
             case ClientCommand::Op::Shutdown:
                 (void)server.send(client, encode_shutting_down(), false);
                 if (command.drain) {
@@ -250,12 +297,22 @@ int main(int argc, char** argv) {
     // file, and the exit is clean.
     CancelToken term;
     ScopedSignalCancel signal_binding(term);
+    std::uint64_t last_metrics_refresh_ns = 0;
     server.set_tick_handler([&] {
         if (term.requested()) server.stop();
         if (draining) {
             const auto stats = campaign_service.stats();
             if (stats.queued_now == 0 && stats.running_now == 0)
                 server.stop();
+        }
+        if (!metrics_file.empty()) {
+            // Rate-limited: the tick fires every accept timeout, the file
+            // only needs to be fresh on a scrape's timescale.
+            const std::uint64_t now = telemetry::steady_now_ns();
+            if (now - last_metrics_refresh_ns >= 2'000'000'000ull) {
+                last_metrics_refresh_ns = now;
+                refresh_metrics_file(metrics_file, campaign_service);
+            }
         }
     });
 
@@ -273,5 +330,8 @@ int main(int argc, char** argv) {
 
     server.run();
     campaign_service.shutdown(/*cancel_running=*/true);
+    // Final exposition so post-mortem scrapes see the complete run.
+    if (!metrics_file.empty())
+        refresh_metrics_file(metrics_file, campaign_service);
     return 0;
 }

@@ -34,6 +34,18 @@ void encode_job_members(JsonWriter& w, const JobStatus& status) {
     } else if (job_state_terminal(status.state)) {
         encode_outcome_members(w, status.outcome);
     }
+    if (job_state_terminal(status.state) && !status.spans.empty()) {
+        w.key("spans");
+        w.begin_array();
+        for (const trace::SpanSummary& span : status.spans) {
+            w.begin_object();
+            w.member("name", span.name);
+            w.member("count", span.count);
+            w.member("total_ns", span.total_ns);
+            w.end_object();
+        }
+        w.end_array();
+    }
 }
 
 std::string finish_line(JsonWriter& w) {
@@ -77,6 +89,10 @@ ClientCommand parse_client_command(const std::string& line) {
     }
     if (op->string == "stats") {
         command.op = ClientCommand::Op::Stats;
+        return command;
+    }
+    if (op->string == "metrics") {
+        command.op = ClientCommand::Op::Metrics;
         return command;
     }
     if (op->string == "shutdown") {
@@ -155,7 +171,9 @@ std::string encode_stats(const CampaignService::Stats& stats) {
     w.member("event", "stats");
     w.member("submitted", stats.submitted);
     w.member("executed", stats.executed);
+    w.member("completed", stats.completed);
     w.member("cache_hits", stats.cache_hits);
+    w.member("cache_misses", stats.cache_misses);
     w.member("coalesced", stats.coalesced);
     w.member("rejected_overloaded", stats.rejected_overloaded);
     w.member("failed", stats.failed);
@@ -163,6 +181,72 @@ std::string encode_stats(const CampaignService::Stats& stats) {
     w.member("timed_out", stats.timed_out);
     w.member("queued_now", stats.queued_now);
     w.member("running_now", stats.running_now);
+    w.member("queue_peak", stats.queue_peak);
+    w.end_object();
+    return finish_line(w);
+}
+
+std::string encode_metrics(const telemetry::Snapshot& snapshot,
+                           const CampaignService::MetricsInfo& info) {
+    JsonWriter w;
+    w.begin_object();
+    w.member("event", "metrics");
+
+    w.key("counters");
+    w.begin_object();
+    for (std::size_t i = 0; i < telemetry::kCounterCount; ++i) {
+        if (snapshot.values[i] == 0) continue;
+        w.member(telemetry::counter_name(
+                     static_cast<telemetry::Counter>(i)),
+                 snapshot.values[i]);
+    }
+    w.end_object();
+
+    // Sparse histograms: only observed families, only nonzero buckets,
+    // each bucket as [floor, count].
+    w.key("histograms");
+    w.begin_object();
+    for (std::size_t i = 0; i < telemetry::kHistogramCount; ++i) {
+        const telemetry::HistogramSnapshot& h = snapshot.histograms[i];
+        if (h.count == 0) continue;
+        w.key(telemetry::histogram_name(
+            static_cast<telemetry::Histogram>(i)));
+        w.begin_object();
+        w.member("count", h.count);
+        w.member("sum", h.sum);
+        w.member("max", h.max);
+        w.key("buckets");
+        w.begin_array();
+        for (std::size_t b = 0; b < telemetry::kHistogramBuckets; ++b) {
+            if (h.buckets[b] == 0) continue;
+            w.begin_array();
+            w.value(telemetry::histogram_bucket_floor(b));
+            w.value(h.buckets[b]);
+            w.end_array();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_object();
+
+    w.key("gauges");
+    w.begin_object();
+    for (std::size_t i = 0; i < telemetry::kGaugeCount; ++i) {
+        w.member(telemetry::gauge_name(static_cast<telemetry::Gauge>(i)),
+                 snapshot.gauges[i]);
+    }
+    w.end_object();
+
+    w.key("service");
+    w.begin_object();
+    w.member("queue_depth", info.stats.queued_now);
+    w.member("running", info.stats.running_now);
+    w.member("queue_peak", info.stats.queue_peak);
+    w.member("cache_entries", info.cache_entries);
+    w.member("cache_hit_rate", info.cache_hit_rate);
+    w.member("spool_bytes", info.spool_bytes);
+    w.end_object();
+
     w.end_object();
     return finish_line(w);
 }

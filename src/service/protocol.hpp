@@ -7,6 +7,7 @@
 //   {"op":"status", "job":N}
 //   {"op":"cancel", "job":N}
 //   {"op":"stats"}
+//   {"op":"metrics"}
 //   {"op":"shutdown", "drain":true}
 //
 // Responses and asynchronous events (one object per line, "event"
@@ -21,7 +22,13 @@
 //                         "metrics":{...}, "error_kind":..., ...}
 //   {"event":"status",    ...}           answer to a status op
 //   {"event":"stats",     ...}
+//   {"event":"metrics",   "counters":{...}, "histograms":{...},
+//                         "gauges":{...}, "service":{...}}
 //   {"event":"shutting_down"}
+//
+// Terminal result/status events for jobs that carry a span rollup also
+// include "spans":[{"name":...,"count":...,"total_ns":...},...] -- the
+// per-job latency breakdown (queue_wait, execute, block, sim, ...).
 //
 // Progress events are advisory and *droppable* (a slow client loses
 // progress lines, never results); every other line is reliable up to the
@@ -41,7 +48,7 @@ namespace glitchmask::service {
 
 /// One parsed client line.
 struct ClientCommand {
-    enum class Op { Submit, Status, Cancel, Stats, Shutdown };
+    enum class Op { Submit, Status, Cancel, Stats, Metrics, Shutdown };
     Op op = Op::Stats;
     std::optional<CampaignRequest> request;  // Submit
     std::uint64_t job_id = 0;                // Status / Cancel
@@ -63,6 +70,12 @@ struct ClientCommand {
 [[nodiscard]] std::string encode_result(const JobStatus& status);
 [[nodiscard]] std::string encode_status(const JobStatus& status);
 [[nodiscard]] std::string encode_stats(const CampaignService::Stats& stats);
+/// The full observability surface in one line: every telemetry counter,
+/// every latency histogram (sparse [bucket_floor, count] pairs), every
+/// gauge, plus the service-health figures from metrics_info().
+[[nodiscard]] std::string encode_metrics(
+    const telemetry::Snapshot& snapshot,
+    const CampaignService::MetricsInfo& info);
 [[nodiscard]] std::string encode_shutting_down();
 
 }  // namespace glitchmask::service

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <iterator>
+#include <unordered_set>
 
 #include "support/atomic_file.hpp"
 #include "support/campaign_error.hpp"
@@ -58,9 +61,13 @@ CampaignService::SubmitResult CampaignService::submit(
     const CampaignRequest& request) {
     const eval::CampaignFingerprint fingerprint = request_fingerprint(request);
     std::string key = fingerprint_hex(fingerprint);
+    const bool telem = telemetry::enabled();
+    const bool tracing = trace::enabled();
 
     JobStatus completed_now;
     bool notify_completion = false;
+    std::vector<trace::Span> hit_trace;
+    std::uint64_t hit_job_id = 0;
     SubmitResult result;
     {
         std::unique_lock<std::mutex> lock(mutex_);
@@ -72,6 +79,7 @@ CampaignService::SubmitResult CampaignService::submit(
 
         // Cache hit: the campaign already ran to completion under this
         // identity; answer without simulating.
+        const std::uint64_t scan_begin = (telem || tracing) ? now_ns() : 0;
         for (auto it = cache_.begin(); it != cache_.end(); ++it) {
             if (it->key != key) continue;
             CacheEntry entry = std::move(*it);
@@ -88,13 +96,37 @@ CampaignService::SubmitResult CampaignService::submit(
             jobs_[job->id] = job;
             retire_job_locked(job);
             stats_.cache_hits++;
+            stats_.completed++;
             count(telemetry::Counter::kServiceCacheHits);
+            if (tracing) {
+                // A cache hit still gets a (tiny) trace tree: one root
+                // with the lookup as its only child.
+                const std::uint64_t scan_end = now_ns();
+                job->trace_root = trace::new_span_id();
+                trace::record_span(trace::new_span_id(), "cache_lookup",
+                                   job->trace_root, scan_begin, scan_end);
+                trace::record_span(
+                    job->trace_root, "job", 0, scan_begin, scan_end,
+                    {{"job", std::to_string(job->id)},
+                     {"kind", campaign_kind_name(job->request.kind)},
+                     {"fingerprint", job->fingerprint_key},
+                     {"state", "completed"},
+                     {"cached", "1"}});
+                hit_trace = harvest_job_trace(job->trace_root);
+                job->spans = trace::summarize_spans(hit_trace);
+                hit_job_id = job->id;
+            }
             result.job_id = job->id;
             completed_now = snapshot_locked(*job);
             notify_completion = true;
             done_cv_.notify_all();
             break;
         }
+        if (telem) {
+            telemetry::observe(telemetry::Histogram::kCacheLookupNanos,
+                               now_ns() - scan_begin);
+        }
+        if (!notify_completion) stats_.cache_misses++;
 
         if (!notify_completion) {
             // Coalesce onto an identical queued/running job: one run
@@ -129,12 +161,25 @@ CampaignService::SubmitResult CampaignService::submit(
                 job->request = request;
                 job->fingerprint = fingerprint;
                 job->fingerprint_key = std::move(key);
+                job->submit_ns = now_ns();
+                if (tracing) job->trace_root = trace::new_span_id();
                 jobs_[job->id] = job;
                 active_[job->id] = job;
                 queue_.push_back(job);
+                stats_.queue_peak = std::max(stats_.queue_peak, queue_.size());
+                telemetry::set_gauge(telemetry::Gauge::kServiceQueueDepth,
+                                     queue_.size());
                 result.job_id = job->id;
                 work_cv_.notify_one();
             }
+        }
+    }
+    if (!hit_trace.empty() && !config_.trace_dir.empty()) {
+        try {
+            trace::write_chrome_trace(trace_path(hit_job_id), hit_trace);
+        } catch (const CampaignError& error) {
+            log::warn(std::string("service: cannot write job trace: ") +
+                      error.what());
         }
     }
     if (notify_completion && completion_hook_) completion_hook_(completed_now);
@@ -169,9 +214,13 @@ bool CampaignService::cancel(std::uint64_t job_id) {
             heir->followers.assign(job->followers.begin() + 1,
                                    job->followers.end());
             job->followers.clear();
+            heir->submit_ns = now_ns();
+            if (trace::enabled()) heir->trace_root = trace::new_span_id();
             queue_.push_back(heir);
             work_cv_.notify_one();
         }
+        telemetry::set_gauge(telemetry::Gauge::kServiceQueueDepth,
+                             queue_.size());
         job->state = JobState::Cancelled;
         retire_job_locked(job);
         stats_.cancelled++;
@@ -272,6 +321,92 @@ CampaignService::Stats CampaignService::stats() const {
     return stats;
 }
 
+CampaignService::MetricsInfo CampaignService::metrics_info() const {
+    MetricsInfo info;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        info.stats = stats_;
+        info.stats.queued_now = queue_.size();
+        info.stats.running_now = running_;
+        info.cache_entries = cache_.size();
+        const std::uint64_t lookups =
+            stats_.cache_hits + stats_.cache_misses;
+        if (lookups > 0)
+            info.cache_hit_rate =
+                static_cast<double>(stats_.cache_hits) /
+                static_cast<double>(lookups);
+        telemetry::set_gauge(telemetry::Gauge::kServiceQueueDepth,
+                             queue_.size());
+        telemetry::set_gauge(telemetry::Gauge::kServiceRunningJobs, running_);
+        telemetry::set_gauge(telemetry::Gauge::kServiceCacheEntries,
+                             cache_.size());
+    }
+    if (!config_.spool_dir.empty()) {
+        // Best-effort walk: the spool may be concurrently mutated or
+        // missing; either just reads as fewer bytes.
+        std::error_code ec;
+        std::filesystem::directory_iterator it(config_.spool_dir, ec);
+        if (!ec) {
+            for (const auto& entry : it) {
+                std::error_code size_ec;
+                const auto size = entry.file_size(size_ec);
+                if (!size_ec) info.spool_bytes += size;
+            }
+        }
+    }
+    telemetry::set_gauge(telemetry::Gauge::kServiceSpoolBytes,
+                         info.spool_bytes);
+    return info;
+}
+
+std::vector<trace::Span> CampaignService::harvest_job_trace(
+    trace::SpanId root) {
+    const std::lock_guard<std::mutex> lock(trace_mutex_);
+    {
+        std::vector<trace::Span> drained = trace::take_spans();
+        trace_pending_.insert(trace_pending_.end(),
+                              std::make_move_iterator(drained.begin()),
+                              std::make_move_iterator(drained.end()));
+    }
+    // Transitive membership: grow the id set from the root until no span
+    // joins -- buffered spans arrive in no particular order, so one pass
+    // is not enough.
+    std::unordered_set<trace::SpanId> tree{root};
+    bool grew = true;
+    while (grew) {
+        grew = false;
+        for (const trace::Span& span : trace_pending_) {
+            if (span.id == 0 || tree.count(span.id) != 0) continue;
+            if (tree.count(span.parent) != 0) {
+                tree.insert(span.id);
+                grew = true;
+            }
+        }
+    }
+    std::vector<trace::Span> mine;
+    std::vector<trace::Span> rest;
+    rest.reserve(trace_pending_.size());
+    for (trace::Span& span : trace_pending_) {
+        (tree.count(span.id) != 0 ? mine : rest).push_back(std::move(span));
+    }
+    trace_pending_ = std::move(rest);
+    // Spans that never resolve to a harvested tree (a job that died before
+    // recording its root) must not accumulate forever: drop the oldest.
+    constexpr std::size_t kMaxPending = std::size_t{1} << 16;
+    if (trace_pending_.size() > kMaxPending)
+        trace_pending_.erase(
+            trace_pending_.begin(),
+            trace_pending_.end() -
+                static_cast<std::ptrdiff_t>(kMaxPending));
+    std::stable_sort(mine.begin(), mine.end(),
+                     [](const trace::Span& a, const trace::Span& b) {
+                         return a.begin_ns != b.begin_ns
+                                    ? a.begin_ns < b.begin_ns
+                                    : a.id < b.id;
+                     });
+    return mine;
+}
+
 CampaignService::JobPtr CampaignService::pop_next_locked() {
     // Highest priority first, FIFO within a priority; the queue is
     // capacity-bounded, so the linear scan is cheap.
@@ -320,11 +455,17 @@ JobStatus CampaignService::snapshot_locked(const Job& job) const {
     status.coalesced = job.coalesced;
     status.error_kind = job.error_kind;
     status.error_message = job.error_message;
+    status.spans = job.spans;
     return status;
 }
 
 std::string CampaignService::spool_path(const Job& job) const {
     return config_.spool_dir + "/" + job.fingerprint_key + ".gmsnap";
+}
+
+std::string CampaignService::trace_path(std::uint64_t job_id) const {
+    return config_.trace_dir + "/job-" + std::to_string(job_id) +
+           ".trace.json";
 }
 
 void CampaignService::executor_loop() {
@@ -336,13 +477,38 @@ void CampaignService::executor_loop() {
             if (stop_) return;  // queued jobs are persisted, not run
             job = pop_next_locked();
             job->state = JobState::Running;
+            job->start_ns = now_ns();
             running_++;
+            telemetry::set_gauge(telemetry::Gauge::kServiceQueueDepth,
+                                 queue_.size());
+            telemetry::set_gauge(telemetry::Gauge::kServiceRunningJobs,
+                                 running_);
+            if (telemetry::enabled() && job->submit_ns != 0 &&
+                job->start_ns >= job->submit_ns)
+                telemetry::observe(telemetry::Histogram::kQueueWaitNanos,
+                                   job->start_ns - job->submit_ns);
         }
         run_job(job);
     }
 }
 
 void CampaignService::run_job(const JobPtr& job) {
+    // Every log line this executor emits while the job runs carries its
+    // identity, so interleaved multi-executor stderr stays attributable.
+    const ScopedLogContext log_context(
+        "job " + std::to_string(job->id) + " fp=" +
+        job->fingerprint_key.substr(0, 8));
+    const bool telem = telemetry::enabled();
+    const bool tracing = trace::enabled() && job->trace_root != 0;
+    if (tracing && job->submit_ns != 0 && job->start_ns >= job->submit_ns) {
+        // Queue wait began on the submitter's thread and ended here:
+        // recorded retrospectively under a pre-allocated id.
+        trace::record_span(trace::new_span_id(), "queue_wait",
+                           job->trace_root, job->submit_ns, job->start_ns);
+    }
+
+    JobState state = JobState::Completed;
+    bool started = true;
     // Control-flow fault site: a plan can kill, stall, or oom the
     // executor right at job start (the chaos tests' worker-death lever).
     try {
@@ -350,62 +516,123 @@ void CampaignService::run_job(const JobPtr& job) {
     } catch (const std::bad_alloc&) {
         job->error_kind = "error";
         job->error_message = "allocation failure starting job";
-        finish_job(job, JobState::Failed);
-        return;
+        state = JobState::Failed;
+        started = false;
     }
 
-    eval::CampaignRunOptions run;
-    if (!config_.spool_dir.empty()) run.checkpoint_path = spool_path(*job);
-    run.cancel = &job->cancel;
-    // A daemon must outlive full disks and stray corruption: keep the
-    // campaign running on the in-memory frontier, quarantine bad
-    // snapshots.  Both decisions are warned and flagged in the outcome.
-    run.degrade_on_io_error = true;
-    run.discard_corrupt_snapshot = true;
-    run.on_degraded = [job](const char* what, const std::string& detail) {
-        log::warn("service: job " + std::to_string(job->id) + " " + what +
-                  ": " + detail);
-    };
-    job->last_activity_ns.store(now_ns(), std::memory_order_relaxed);
-    run.on_progress = [this, job](const telemetry::ProgressUpdate& update) {
+    std::uint64_t exec_begin = 0;
+    std::uint64_t exec_end = 0;
+    if (started) {
+        eval::CampaignRunOptions run;
+        if (!config_.spool_dir.empty()) run.checkpoint_path = spool_path(*job);
+        run.cancel = &job->cancel;
+        // A daemon must outlive full disks and stray corruption: keep the
+        // campaign running on the in-memory frontier, quarantine bad
+        // snapshots.  Both decisions are warned and flagged in the outcome.
+        run.degrade_on_io_error = true;
+        run.discard_corrupt_snapshot = true;
+        run.on_degraded = [job](const char* what, const std::string& detail) {
+            log::warn("service: job " + std::to_string(job->id) + " " + what +
+                      ": " + detail);
+        };
         job->last_activity_ns.store(now_ns(), std::memory_order_relaxed);
-        if (progress_hook_) progress_hook_(job->id, update);
-    };
+        run.on_progress = [this,
+                           job](const telemetry::ProgressUpdate& update) {
+            job->last_activity_ns.store(now_ns(), std::memory_order_relaxed);
+            if (progress_hook_) progress_hook_(job->id, update);
+        };
 
-    JobState state = JobState::Completed;
-    try {
-        job->outcome = run_campaign_request(job->request, std::move(run));
-        if (job->outcome.cancelled)
-            state = job->watchdog_fired.load(std::memory_order_relaxed)
-                        ? JobState::TimedOut
-                        : JobState::Cancelled;
-    } catch (const CampaignError& error) {
-        job->error_kind = campaign_error_kind_name(error.kind());
-        job->error_message = error.what();
-        state = JobState::Failed;
-    } catch (const std::exception& error) {
-        job->error_kind = "error";
-        job->error_message = error.what();
-        state = JobState::Failed;
+        try {
+            const trace::ScopedSpan exec("execute", job->trace_root,
+                                         {{"job", std::to_string(job->id)}});
+            run.trace_parent = exec.id();
+            exec_begin = now_ns();
+            job->outcome = run_campaign_request(job->request, std::move(run));
+            exec_end = now_ns();
+            if (job->outcome.cancelled)
+                state = job->watchdog_fired.load(std::memory_order_relaxed)
+                            ? JobState::TimedOut
+                            : JobState::Cancelled;
+        } catch (const CampaignError& error) {
+            exec_end = now_ns();
+            job->error_kind = campaign_error_kind_name(error.kind());
+            job->error_message = error.what();
+            state = JobState::Failed;
+        } catch (const std::exception& error) {
+            exec_end = now_ns();
+            job->error_kind = "error";
+            job->error_message = error.what();
+            state = JobState::Failed;
+        }
+        if (telem) {
+            telemetry::observe(telemetry::Histogram::kExecuteNanos,
+                               exec_end - exec_begin);
+            // Deterministic family: completed trace counts are a pure
+            // function of the workload, so this histogram is bit-identical
+            // at any executor count.
+            if (state == JobState::Completed)
+                telemetry::observe(
+                    telemetry::Histogram::kJobTraces,
+                    static_cast<std::uint64_t>(
+                        job->outcome.completed_traces));
+        }
     }
-    finish_job(job, state);
+
+    std::vector<trace::SpanSummary> spans;
+    if (tracing) {
+        trace::record_span(
+            job->trace_root, "job", 0,
+            job->submit_ns != 0 ? job->submit_ns : job->start_ns, now_ns(),
+            {{"job", std::to_string(job->id)},
+             {"kind", campaign_kind_name(job->request.kind)},
+             {"fingerprint", job->fingerprint_key},
+             {"state", job_state_name(state)}});
+        const std::vector<trace::Span> tree =
+            harvest_job_trace(job->trace_root);
+        spans = trace::summarize_spans(tree);
+        if (!config_.trace_dir.empty()) {
+            try {
+                trace::write_chrome_trace(trace_path(job->id), tree);
+            } catch (const CampaignError& error) {
+                log::warn(std::string("service: cannot write job trace: ") +
+                          error.what());
+            }
+        }
+    } else {
+        // Tracing off: a two-entry rollup from the timestamps the service
+        // tracks anyway, so clients following a job always see *some*
+        // latency breakdown.  Name-sorted like summarize_spans.
+        if (exec_end >= exec_begin && exec_begin != 0)
+            spans.push_back({"execute", 1, exec_end - exec_begin});
+        if (job->submit_ns != 0 && job->start_ns >= job->submit_ns)
+            spans.push_back(
+                {"queue_wait", 1, job->start_ns - job->submit_ns});
+    }
+    finish_job(job, state, std::move(spans));
 }
 
-void CampaignService::finish_job(const JobPtr& job, JobState state) {
+void CampaignService::finish_job(const JobPtr& job, JobState state,
+                                 std::vector<trace::SpanSummary> spans) {
     std::vector<JobStatus> to_notify;
     {
         std::unique_lock<std::mutex> lock(mutex_);
         job->state = state;
+        job->spans = std::move(spans);
         running_--;
+        telemetry::set_gauge(telemetry::Gauge::kServiceRunningJobs, running_);
         switch (state) {
             case JobState::Completed:
                 stats_.executed++;
+                stats_.completed++;
                 count(telemetry::Counter::kServiceJobs);
                 if (config_.cache_capacity > 0) {
                     cache_.push_front(
                         CacheEntry{job->fingerprint_key, job->outcome});
                     while (cache_.size() > config_.cache_capacity)
                         cache_.pop_back();
+                    telemetry::set_gauge(
+                        telemetry::Gauge::kServiceCacheEntries,
+                        cache_.size());
                 }
                 // The result is in the cache; the spool snapshot has done
                 // its job and would only grow the spool unboundedly.
@@ -419,14 +646,17 @@ void CampaignService::finish_job(const JobPtr& job, JobState state) {
         }
         retire_job_locked(job);
         to_notify.push_back(snapshot_locked(*job));
-        // Followers ride the primary's terminal state and outcome.
+        // Followers ride the primary's terminal state, outcome, and span
+        // rollup (their latency *is* the primary's).
         for (const JobPtr& follower : job->followers) {
             follower->state = state;
             follower->outcome = job->outcome;
             follower->error_kind = job->error_kind;
             follower->error_message = job->error_message;
+            follower->spans = job->spans;
             retire_job_locked(follower);
             stats_.coalesced++;
+            if (state == JobState::Completed) stats_.completed++;
             to_notify.push_back(snapshot_locked(*follower));
         }
         job->followers.clear();
@@ -459,6 +689,12 @@ void CampaignService::watchdog_loop() {
                 if (last != 0 && now > last && now - last > timeout_ns &&
                     !job->watchdog_fired.exchange(true,
                                                   std::memory_order_relaxed)) {
+                    // How stale the job had gone before the watchdog
+                    // caught it (>= the configured timeout by design).
+                    if (telemetry::enabled())
+                        telemetry::observe(
+                            telemetry::Histogram::kWatchdogFireNanos,
+                            now - last);
                     log::warn("service: watchdog cancelling wedged job " +
                               std::to_string(id));
                     job->cancel.request();

@@ -50,6 +50,7 @@
 
 #include "service/campaign_request.hpp"
 #include "support/cancel.hpp"
+#include "support/trace.hpp"
 
 namespace glitchmask::service {
 
@@ -64,6 +65,10 @@ struct ServiceConfig {
     double watchdog_timeout_sec = 0.0;  // 0 = watchdog off
     std::string spool_dir;   // checkpoint spool; empty = no checkpoints
     std::string state_path;  // drain state file; empty = none
+    /// Per-job Chrome-trace export directory: each terminal job writes
+    /// <trace_dir>/job-<id>.trace.json when trace collection is on.
+    /// Empty = no files (span summaries still ride the job status).
+    std::string trace_dir;
 };
 
 enum class JobState {
@@ -94,6 +99,11 @@ struct JobStatus {
     bool coalesced = false;        // rode on an identical in-flight job
     std::string error_kind;        // Failed: campaign_error_kind_name / "error"
     std::string error_message;
+    /// Per-name span rollup of this job's trace (queue_wait, execute,
+    /// block, sim, ...).  Populated in terminal states; always carries at
+    /// least queue_wait + execute for executed jobs, the full tree when
+    /// trace collection is on.
+    std::vector<trace::SpanSummary> spans;
 };
 
 class CampaignService {
@@ -152,7 +162,10 @@ public:
     struct Stats {
         std::uint64_t submitted = 0;
         std::uint64_t executed = 0;       // ran a real campaign
+        std::uint64_t completed = 0;      // reached Completed (any path:
+                                          // executed, cached, coalesced)
         std::uint64_t cache_hits = 0;
+        std::uint64_t cache_misses = 0;   // fingerprint lookups that missed
         std::uint64_t coalesced = 0;
         std::uint64_t rejected_overloaded = 0;
         std::uint64_t failed = 0;
@@ -160,8 +173,23 @@ public:
         std::uint64_t timed_out = 0;
         std::size_t queued_now = 0;
         std::size_t running_now = 0;
+        std::size_t queue_peak = 0;       // high-water mark of queued_now
     };
     [[nodiscard]] Stats stats() const;
+
+    /// Instantaneous service-health view for the metrics surface: the
+    /// counters above plus derived cache/spool figures.  Also refreshes
+    /// the service gauges (queue depth, running jobs, cache entries,
+    /// spool bytes) so a snapshot taken right after is current.
+    struct MetricsInfo {
+        Stats stats;
+        std::size_t cache_entries = 0;
+        /// cache_hits / (cache_hits + cache_misses); 0 when no lookups.
+        double cache_hit_rate = 0.0;
+        /// Total bytes of spool checkpoints on disk (0 when no spool).
+        std::uint64_t spool_bytes = 0;
+    };
+    [[nodiscard]] MetricsInfo metrics_info() const;
 
 private:
     struct Job {
@@ -183,18 +211,32 @@ private:
         std::atomic<std::uint64_t> last_activity_ns{0};
         /// Followers coalesced onto this job; completed with its result.
         std::vector<std::shared_ptr<Job>> followers;
+        std::uint64_t submit_ns = 0;   // enqueue time (queue-wait origin)
+        std::uint64_t start_ns = 0;    // executor pickup time
+        /// Root span id of this job's trace tree (0 when tracing is off);
+        /// allocated at submit so queue-wait is part of the tree.
+        trace::SpanId trace_root = 0;
+        /// Per-name rollup, set under mutex_ at terminal transition.
+        std::vector<trace::SpanSummary> spans;
     };
     using JobPtr = std::shared_ptr<Job>;
 
     void executor_loop();
     void watchdog_loop();
     void run_job(const JobPtr& job);
-    void finish_job(const JobPtr& job, JobState state);
+    void finish_job(const JobPtr& job, JobState state,
+                    std::vector<trace::SpanSummary> spans = {});
+    /// Drains the global span buffer and extracts the spans whose parent
+    /// chain reaches `root` (this job's tree); spans of other in-flight
+    /// jobs stay pending for their own harvest.  Returns the job's spans.
+    [[nodiscard]] std::vector<trace::Span> harvest_job_trace(
+        trace::SpanId root);
     void retire_job_locked(const JobPtr& job);
     [[nodiscard]] JobPtr pop_next_locked();
     [[nodiscard]] JobStatus snapshot_locked(const Job& job) const;
     void write_state_locked();
     [[nodiscard]] std::string spool_path(const Job& job) const;
+    [[nodiscard]] std::string trace_path(std::uint64_t job_id) const;
 
     ServiceConfig config_;
     ProgressHook progress_hook_;
@@ -233,6 +275,13 @@ private:
         CampaignOutcome outcome;
     };
     std::deque<CacheEntry> cache_;
+
+    /// Spans drained from the global buffer while harvesting one job's
+    /// tree but belonging to a *different* in-flight job (executors share
+    /// the buffer); kept until that job's harvest claims them.  Bounded:
+    /// overflow drops the oldest.
+    mutable std::mutex trace_mutex_;
+    std::vector<trace::Span> trace_pending_;
 
     std::vector<std::thread> executors_;
     std::thread watchdog_;

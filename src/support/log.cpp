@@ -1,8 +1,11 @@
 #include "support/log.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <mutex>
+#include <utility>
 
 #include "support/env.hpp"
 
@@ -26,6 +29,20 @@ const char* level_tag(LogLevel level) noexcept {
     }
     return "off";
 }
+
+/// Monotonic milliseconds since the first log call: the anchor is a
+/// function-local static, so the first line reads +0.000s and every later
+/// line is orderable against it regardless of wall-clock adjustments.
+std::uint64_t log_uptime_ms() {
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point anchor = clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(clock::now() -
+                                                              anchor)
+            .count());
+}
+
+thread_local std::string g_log_context;
 
 int resolve_level() noexcept {
     int level = g_level.load(std::memory_order_relaxed);
@@ -69,10 +86,27 @@ bool log_enabled(LogLevel level) noexcept {
 
 void log_message(LogLevel level, const std::string& message) {
     if (level == LogLevel::kOff || !log_enabled(level)) return;
+    const std::uint64_t ms = log_uptime_ms();
     const std::lock_guard<std::mutex> lock(g_stderr_mutex);
-    std::fprintf(stderr, "[glitchmask] %s: %s\n", level_tag(level),
-                 message.c_str());
+    if (g_log_context.empty()) {
+        std::fprintf(stderr, "[glitchmask +%llu.%03us] %s: %s\n",
+                     static_cast<unsigned long long>(ms / 1000),
+                     static_cast<unsigned>(ms % 1000), level_tag(level),
+                     message.c_str());
+    } else {
+        std::fprintf(stderr, "[glitchmask +%llu.%03us] %s: [%s] %s\n",
+                     static_cast<unsigned long long>(ms / 1000),
+                     static_cast<unsigned>(ms % 1000), level_tag(level),
+                     g_log_context.c_str(), message.c_str());
+    }
     std::fflush(stderr);
+}
+
+ScopedLogContext::ScopedLogContext(std::string context)
+    : previous_(std::exchange(g_log_context, std::move(context))) {}
+
+ScopedLogContext::~ScopedLogContext() {
+    g_log_context = std::move(previous_);
 }
 
 }  // namespace glitchmask

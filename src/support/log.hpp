@@ -40,9 +40,28 @@ void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel parse_log_level(const std::string& text,
                                        LogLevel fallback) noexcept;
 
-/// Emits "[glitchmask] <level>: <message>\n" to stderr when the level is
-/// enabled; whole-line atomic with respect to other log calls.
+/// Emits "[glitchmask +<seconds>s] <level>: <message>\n" to stderr when
+/// the level is enabled; whole-line atomic with respect to other log
+/// calls.  The timestamp is monotonic seconds (millisecond resolution)
+/// since the process's first log call, so interleaved executor output is
+/// orderable without wall-clock skew.  When a thread has an active log
+/// context (see ScopedLogContext), it is inserted after the level:
+/// "[glitchmask +1.042s] info: [job 7 fp=1a2b3c4d] ...".
 void log_message(LogLevel level, const std::string& message);
+
+/// Tags every log line emitted by this thread with `context` (service
+/// executors set the active job id + fingerprint here) until destruction;
+/// nests by simple save/restore.
+class ScopedLogContext {
+public:
+    explicit ScopedLogContext(std::string context);
+    ~ScopedLogContext();
+    ScopedLogContext(const ScopedLogContext&) = delete;
+    ScopedLogContext& operator=(const ScopedLogContext&) = delete;
+
+private:
+    std::string previous_;
+};
 
 namespace log {
 inline void error(const std::string& message) {

@@ -2,6 +2,8 @@
 
 #include <cerrno>
 
+#include "support/telemetry.hpp"
+
 namespace glitchmask {
 
 bool errno_transient(int error_number) noexcept {
@@ -21,15 +23,30 @@ bool errno_transient(int error_number) noexcept {
 
 bool backoff_sleep(unsigned ms, const CancelToken* cancel) noexcept {
     using clock = std::chrono::steady_clock;
-    const auto deadline = clock::now() + std::chrono::milliseconds(ms);
+    const bool telem = telemetry::enabled();
+    const auto start = clock::now();
+    const auto deadline = start + std::chrono::milliseconds(ms);
+    bool completed = true;
     for (;;) {
-        if (cancel != nullptr && cancel->requested()) return false;
+        if (cancel != nullptr && cancel->requested()) {
+            completed = false;
+            break;
+        }
         const auto now = clock::now();
-        if (now >= deadline) return true;
+        if (now >= deadline) break;
         const auto slice = std::min<std::chrono::steady_clock::duration>(
             deadline - now, std::chrono::milliseconds(2));
         std::this_thread::sleep_for(slice);
     }
+    if (telem) {
+        const auto nanos =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                 start)
+                .count();
+        telemetry::observe(telemetry::Histogram::kRetryBackoffNanos,
+                           static_cast<std::uint64_t>(nanos));
+    }
+    return completed;
 }
 
 }  // namespace glitchmask

@@ -48,6 +48,35 @@ constexpr CounterInfo kCounterInfo[kCounterCount] = {
     {"service.cache_hits", MergeKind::kSum, false},
 };
 
+struct HistogramInfo {
+    const char* name;
+    bool deterministic;
+};
+
+constexpr HistogramInfo kHistogramInfo[kHistogramCount] = {
+    {"service.queue_wait_nanos", false},
+    {"service.execute_nanos", false},
+    {"checkpoint.write_latency_nanos", false},
+    {"service.cache_lookup_nanos", false},
+    {"io.retry_backoff_nanos", false},
+    {"service.watchdog_fire_nanos", false},
+    {"campaign.block_latency_nanos", false},
+    {"campaign.block_traces", true},
+    {"service.job_traces", true},
+};
+
+constexpr const char* kGaugeNames[kGaugeCount] = {
+    "service.queue_depth",
+    "service.running_jobs",
+    "service.cache_entries",
+    "service.spool_bytes",
+};
+
+std::array<std::atomic<std::uint64_t>, kGaugeCount>& gauges() noexcept {
+    static std::array<std::atomic<std::uint64_t>, kGaugeCount> instance{};
+    return instance;
+}
+
 std::atomic<int> g_enabled{-1};  // -1 = resolve GLITCHMASK_TELEMETRY
 
 /// Registry of live shards + totals of shards whose threads exited.
@@ -57,6 +86,7 @@ struct Registry {
     std::mutex mutex;
     std::vector<Shard*> live;
     std::array<std::uint64_t, kCounterCount> retired{};
+    std::array<HistogramSnapshot, kHistogramCount> retired_histograms{};
 };
 
 Registry& registry() {
@@ -73,6 +103,15 @@ void fold_into(std::array<std::uint64_t, kCounterCount>& into,
             into[i] += from[i];
         }
     }
+}
+
+void fold_histogram(HistogramSnapshot& into,
+                    const HistogramSnapshot& from) noexcept {
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b)
+        into.buckets[b] += from.buckets[b];
+    into.count += from.count;
+    into.sum += from.sum;
+    if (from.max > into.max) into.max = from.max;
 }
 
 /// Thread-local shard owner: registers at first use, folds the totals
@@ -93,6 +132,8 @@ struct ShardHandle {
         for (std::size_t i = 0; i < kCounterCount; ++i)
             totals[i] = shard.load(i);
         fold_into(reg.retired, totals);
+        for (std::size_t h = 0; h < kHistogramCount; ++h)
+            fold_histogram(reg.retired_histograms[h], shard.load_histogram(h));
         std::erase(reg.live, &shard);
     }
 };
@@ -129,19 +170,64 @@ bool counter_deterministic(Counter counter) noexcept {
     return kCounterInfo[static_cast<std::size_t>(counter)].deterministic;
 }
 
+const char* histogram_name(Histogram histogram) noexcept {
+    return kHistogramInfo[static_cast<std::size_t>(histogram)].name;
+}
+
+bool histogram_deterministic(Histogram histogram) noexcept {
+    return kHistogramInfo[static_cast<std::size_t>(histogram)].deterministic;
+}
+
+const char* gauge_name(Gauge gauge) noexcept {
+    return kGaugeNames[static_cast<std::size_t>(gauge)];
+}
+
+void set_gauge(Gauge gauge, std::uint64_t value) noexcept {
+    gauges()[static_cast<std::size_t>(gauge)].store(
+        value, std::memory_order_relaxed);
+}
+
+std::uint64_t gauge_value(Gauge gauge) noexcept {
+    return gauges()[static_cast<std::size_t>(gauge)].load(
+        std::memory_order_relaxed);
+}
+
 std::uint64_t steady_now_ns() noexcept {
     return static_cast<std::uint64_t>(steady_ns());
 }
 
-void PhaseClock::flush() noexcept {
-    if (!enabled_) return;
-    Shard& s = shard();
-    for (std::size_t i = 0; i < kCounterCount; ++i) {
-        if (nanos_[i] != 0) {
-            s.add(static_cast<Counter>(i), nanos_[i]);
-            nanos_[i] = 0;
+void PhaseClock::flush() {
+    if (!enabled_ && !tracing_) return;
+    // Stitch the phase totals into the trace as leaf spans under the
+    // ambient (block) span, laid out sequentially from the first mark --
+    // the per-phase durations are exact, the layout within the block is a
+    // rendering convention (phases interleave in reality).
+    if (tracing_ && first_ != 0) {
+        if (const trace::SpanId parent = trace::current_span(); parent != 0) {
+            static constexpr std::pair<Counter, const char*> kPhases[] = {
+                {Counter::kPhaseSimNanos, "sim"},
+                {Counter::kPhaseNoiseNanos, "noise"},
+                {Counter::kPhaseMomentsNanos, "moments"},
+                {Counter::kPhaseAttributionNanos, "attribution"},
+            };
+            std::uint64_t cursor = first_;
+            for (const auto& [counter, name] : kPhases) {
+                const std::uint64_t nanos =
+                    nanos_[static_cast<std::size_t>(counter)];
+                if (nanos == 0) continue;
+                trace::record_span(trace::new_span_id(), name, parent, cursor,
+                                   cursor + nanos);
+                cursor += nanos;
+            }
         }
     }
+    if (enabled_) {
+        Shard& s = shard();
+        for (std::size_t i = 0; i < kCounterCount; ++i)
+            if (nanos_[i] != 0) s.add(static_cast<Counter>(i), nanos_[i]);
+    }
+    nanos_.fill(0);
+    first_ = 0;
 }
 
 bool enabled() noexcept {
@@ -169,6 +255,20 @@ Snapshot Snapshot::delta_since(const Snapshot& start) const noexcept {
             delta.values[i] =
                 values[i] >= start.values[i] ? values[i] - start.values[i] : 0;
     }
+    const auto sub = [](std::uint64_t end, std::uint64_t begin) {
+        return end >= begin ? end - begin : 0;
+    };
+    for (std::size_t h = 0; h < kHistogramCount; ++h) {
+        const HistogramSnapshot& end = histograms[h];
+        const HistogramSnapshot& begin = start.histograms[h];
+        HistogramSnapshot& out = delta.histograms[h];
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b)
+            out.buckets[b] = sub(end.buckets[b], begin.buckets[b]);
+        out.count = sub(end.count, begin.count);
+        out.sum = sub(end.sum, begin.sum);
+        out.max = end.max;  // maxima don't subtract either
+    }
+    delta.gauges = gauges;  // instantaneous values: keep the end reading
     return delta;
 }
 
@@ -182,12 +282,17 @@ Snapshot snapshot() {
     const std::lock_guard<std::mutex> lock(reg.mutex);
     Snapshot merged;
     merged.values = reg.retired;
+    merged.histograms = reg.retired_histograms;
     for (const Shard* live : reg.live) {
         std::array<std::uint64_t, kCounterCount> totals{};
         for (std::size_t i = 0; i < kCounterCount; ++i)
             totals[i] = live->load(i);
         fold_into(merged.values, totals);
+        for (std::size_t h = 0; h < kHistogramCount; ++h)
+            fold_histogram(merged.histograms[h], live->load_histogram(h));
     }
+    for (std::size_t g = 0; g < kGaugeCount; ++g)
+        merged.gauges[g] = gauge_value(static_cast<Gauge>(g));
     return merged;
 }
 
@@ -195,7 +300,62 @@ void reset() {
     Registry& reg = registry();
     const std::lock_guard<std::mutex> lock(reg.mutex);
     reg.retired.fill(0);
+    reg.retired_histograms.fill(HistogramSnapshot{});
     for (Shard* live : reg.live) live->clear();
+    for (auto& gauge : gauges()) gauge.store(0, std::memory_order_relaxed);
+}
+
+std::string render_prometheus_text(const Snapshot& snapshot) {
+    std::string out;
+    out.reserve(4096);
+    const auto mangled = [](const char* name) {
+        std::string full = "glitchmask_";
+        for (const char* c = name; *c != '\0'; ++c)
+            full += *c == '.' ? '_' : *c;
+        return full;
+    };
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+        const auto counter = static_cast<Counter>(i);
+        const std::string name = mangled(counter_name(counter));
+        // Max-merged counters are high-water marks, i.e. gauges.
+        out += "# TYPE " + name +
+               (counter_merge(counter) == MergeKind::kMax ? " gauge\n"
+                                                          : " counter\n");
+        out += name + ' ' + std::to_string(snapshot.values[i]) + '\n';
+    }
+    for (std::size_t h = 0; h < kHistogramCount; ++h) {
+        const HistogramSnapshot& hist = snapshot.histograms[h];
+        const std::string name =
+            mangled(histogram_name(static_cast<Histogram>(h)));
+        out += "# TYPE " + name + " histogram\n";
+        std::size_t highest = 0;
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b)
+            if (hist.buckets[b] != 0) highest = b;
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b <= highest; ++b) {
+            cumulative += hist.buckets[b];
+            // Bucket b spans [floor(b), floor(b + 1)), so its inclusive
+            // upper bound is floor(b + 1) - 1; the last bucket tops out
+            // at the u64 maximum.
+            const std::uint64_t le =
+                b == 0 ? 0
+                : b + 1 >= kHistogramBuckets
+                    ? ~std::uint64_t{0}
+                    : histogram_bucket_floor(b + 1) - 1;
+            out += name + "_bucket{le=\"" + std::to_string(le) + "\"} " +
+                   std::to_string(cumulative) + '\n';
+        }
+        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(hist.count) +
+               '\n';
+        out += name + "_sum " + std::to_string(hist.sum) + '\n';
+        out += name + "_count " + std::to_string(hist.count) + '\n';
+    }
+    for (std::size_t g = 0; g < kGaugeCount; ++g) {
+        const std::string name = mangled(gauge_name(static_cast<Gauge>(g)));
+        out += "# TYPE " + name + " gauge\n";
+        out += name + ' ' + std::to_string(snapshot.gauges[g]) + '\n';
+    }
+    return out;
 }
 
 double process_cpu_seconds() noexcept {

@@ -31,10 +31,13 @@
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
+
+#include "support/trace.hpp"
 
 namespace glitchmask::telemetry {
 
@@ -79,6 +82,85 @@ enum class MergeKind { kSum, kMax };
 /// independent); false for wall-clock measurements.
 [[nodiscard]] bool counter_deterministic(Counter counter) noexcept;
 
+// ----- latency histograms ------------------------------------------------
+
+/// Fixed-bucket distributions, sharded and gated exactly like the
+/// counters.  Bucket counts are exact u64s merged by element-wise sum --
+/// associative and commutative, so the merged vector is independent of
+/// which worker observed what in which order.
+enum class Histogram : unsigned {
+    kQueueWaitNanos = 0,     // service: submit -> executor pickup
+    kExecuteNanos,           // service: campaign run wall time per job
+    kCheckpointWriteNanos,   // one atomic snapshot write (incl. retries)
+    kCacheLookupNanos,       // service: submit-time result-cache scan
+    kRetryBackoffNanos,      // retry_io backoff sleeps
+    kWatchdogFireNanos,      // observed silence when the watchdog fired
+    kBlockNanos,             // campaign block wall time
+    kBlockTraces,            // traces per completed block (deterministic)
+    kJobTraces,              // completed traces per completed service job
+    kCount
+};
+
+inline constexpr std::size_t kHistogramCount =
+    static_cast<std::size_t>(Histogram::kCount);
+
+/// Power-of-two buckets covering the full u64 range: bucket 0 holds the
+/// value 0, bucket i >= 1 spans [2^(i-1), 2^i).
+inline constexpr std::size_t kHistogramBuckets = 65;
+
+[[nodiscard]] constexpr std::size_t histogram_bucket(
+    std::uint64_t value) noexcept {
+    return value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value));
+}
+
+/// Lower edge of a bucket (sparse render paths key buckets by it).
+[[nodiscard]] constexpr std::uint64_t histogram_bucket_floor(
+    std::size_t bucket) noexcept {
+    return bucket == 0 ? 0 : std::uint64_t{1} << (bucket - 1);
+}
+
+/// Stable dotted name used in the metrics verb, run reports and bench
+/// JSON.
+[[nodiscard]] const char* histogram_name(Histogram histogram) noexcept;
+
+/// True when the observed values are a pure function of the campaign
+/// (trace counts), so the merged bucket counts are bit-identical at any
+/// worker/executor count; false for wall-clock latencies.
+[[nodiscard]] bool histogram_deterministic(Histogram histogram) noexcept;
+
+/// Merged state of one histogram: exact bucket counts plus count/sum/max
+/// rollups (max merges by max, the rest by sum).
+struct HistogramSnapshot {
+    std::array<std::uint64_t, kHistogramBuckets> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+
+    friend bool operator==(const HistogramSnapshot&,
+                           const HistogramSnapshot&) = default;
+};
+
+// ----- gauges ------------------------------------------------------------
+
+/// Instantaneous values: one relaxed global atomic each, set at service
+/// state transitions (under the service lock, so not sharded) and read
+/// into snapshots.  Cheap enough to stay ungated: a gauge without a
+/// writer simply reads 0.
+enum class Gauge : unsigned {
+    kServiceQueueDepth = 0,
+    kServiceRunningJobs,
+    kServiceCacheEntries,
+    kServiceSpoolBytes,
+    kCount
+};
+
+inline constexpr std::size_t kGaugeCount =
+    static_cast<std::size_t>(Gauge::kCount);
+
+[[nodiscard]] const char* gauge_name(Gauge gauge) noexcept;
+void set_gauge(Gauge gauge, std::uint64_t value) noexcept;
+[[nodiscard]] std::uint64_t gauge_value(Gauge gauge) noexcept;
+
 /// Global collection switch: GLITCHMASK_TELEMETRY (0/1, default off) on
 /// first call, overridable via set_enabled.  When off, instrumented call
 /// sites skip shard access entirely.
@@ -104,12 +186,22 @@ private:
 /// Merged registry state.  Values are u64; `value()` indexes by counter.
 struct Snapshot {
     std::array<std::uint64_t, kCounterCount> values{};
+    std::array<HistogramSnapshot, kHistogramCount> histograms{};
+    std::array<std::uint64_t, kGaugeCount> gauges{};
 
     [[nodiscard]] std::uint64_t value(Counter counter) const noexcept {
         return values[static_cast<std::size_t>(counter)];
     }
+    [[nodiscard]] const HistogramSnapshot& histogram(
+        Histogram histogram) const noexcept {
+        return histograms[static_cast<std::size_t>(histogram)];
+    }
+    [[nodiscard]] std::uint64_t gauge(Gauge gauge) const noexcept {
+        return gauges[static_cast<std::size_t>(gauge)];
+    }
 
-    /// Per-run view: sum counters diff against `start`, max counters keep
+    /// Per-run view: sum counters (and histogram buckets/count/sum) diff
+    /// against `start`; max counters, histogram maxima and gauges keep
     /// the end value (a high-water mark has no meaningful difference).
     [[nodiscard]] Snapshot delta_since(const Snapshot& start) const noexcept;
 };
@@ -133,17 +225,58 @@ public:
         }
     }
 
+    /// One histogram observation: bucket count, count/sum, max.
+    void observe(Histogram histogram, std::uint64_t value) noexcept {
+        HistogramCell& cell =
+            histograms_[static_cast<std::size_t>(histogram)];
+        cell.buckets[histogram_bucket(value)].fetch_add(
+            1, std::memory_order_relaxed);
+        cell.count.fetch_add(1, std::memory_order_relaxed);
+        cell.sum.fetch_add(value, std::memory_order_relaxed);
+        std::uint64_t current = cell.max.load(std::memory_order_relaxed);
+        while (value > current &&
+               !cell.max.compare_exchange_weak(current, value,
+                                               std::memory_order_relaxed)) {
+        }
+    }
+
     /// Concurrent read for snapshotting (relaxed; counters are
     /// independent, cross-counter consistency is not promised).
     [[nodiscard]] std::uint64_t load(std::size_t index) const noexcept {
         return values_[index].load(std::memory_order_relaxed);
     }
+    [[nodiscard]] HistogramSnapshot load_histogram(
+        std::size_t index) const noexcept {
+        const HistogramCell& cell = histograms_[index];
+        HistogramSnapshot out;
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b)
+            out.buckets[b] = cell.buckets[b].load(std::memory_order_relaxed);
+        out.count = cell.count.load(std::memory_order_relaxed);
+        out.sum = cell.sum.load(std::memory_order_relaxed);
+        out.max = cell.max.load(std::memory_order_relaxed);
+        return out;
+    }
     void clear() noexcept {
         for (auto& slot : values_) slot.store(0, std::memory_order_relaxed);
+        for (auto& cell : histograms_) {
+            for (auto& bucket : cell.buckets)
+                bucket.store(0, std::memory_order_relaxed);
+            cell.count.store(0, std::memory_order_relaxed);
+            cell.sum.store(0, std::memory_order_relaxed);
+            cell.max.store(0, std::memory_order_relaxed);
+        }
     }
 
 private:
+    struct HistogramCell {
+        std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<std::uint64_t> sum{0};
+        std::atomic<std::uint64_t> max{0};
+    };
+
     std::array<std::atomic<std::uint64_t>, kCounterCount> values_{};
+    std::array<HistogramCell, kHistogramCount> histograms_{};
 };
 
 /// The calling thread's shard; registers it on first use.  The shard
@@ -151,11 +284,22 @@ private:
 /// accumulator when the thread exits.
 [[nodiscard]] Shard& shard();
 
+/// Gated convenience for call sites without a cached shard reference.
+inline void observe(Histogram histogram, std::uint64_t value) {
+    if (enabled()) shard().observe(histogram, value);
+}
+
 /// Folds every live shard and the retired totals into one snapshot.
 [[nodiscard]] Snapshot snapshot();
 
-/// Zeroes all shards and retired totals (test isolation).
+/// Zeroes all shards, retired totals and gauges (test isolation).
 void reset();
+
+/// Prometheus text exposition of a snapshot: counters, histograms
+/// (cumulative `le` buckets in the native unit -- nanoseconds for the
+/// latency families) and gauges, names prefixed `glitchmask_` with dots
+/// mangled to underscores.
+[[nodiscard]] std::string render_prometheus_text(const Snapshot& snapshot);
 
 /// Process CPU time (user + system, all threads) in seconds.
 [[nodiscard]] double process_cpu_seconds() noexcept;
@@ -187,26 +331,34 @@ void record_sim_block(const SimStats& now, SimStats& last);
 /// previous mark/lap locally and re-pins, so consecutive laps chain
 /// through interleaved phases without re-reading the clock twice.
 /// flush() folds the local totals into the calling thread's shard once
-/// per block.  All methods are no-ops when telemetry is disabled, so the
-/// block bodies carry no clock reads in the default configuration.
+/// per block; when span tracing is on and an ambient span is open (the
+/// runner's block span), it additionally emits one leaf span per phase
+/// laid out sequentially from the first mark, so sim/noise/moments/
+/// attribution appear under each block in the exported trace.  All
+/// methods are no-ops when both telemetry and tracing are disabled, so
+/// the block bodies carry no clock reads in the default configuration.
 class PhaseClock {
 public:
-    PhaseClock() : enabled_(enabled()) {}
+    PhaseClock() : enabled_(enabled()), tracing_(trace::enabled()) {}
 
     void mark() noexcept {
-        if (enabled_) last_ = steady_now_ns();
+        if (!enabled_ && !tracing_) return;
+        last_ = steady_now_ns();
+        if (first_ == 0) first_ = last_;
     }
     void lap(Counter counter) noexcept {
-        if (!enabled_) return;
+        if (!enabled_ && !tracing_) return;
         const std::uint64_t now = steady_now_ns();
         nanos_[static_cast<std::size_t>(counter)] += now - last_;
         last_ = now;
     }
-    void flush() noexcept;
+    void flush();
 
 private:
     bool enabled_;
+    bool tracing_;
     std::uint64_t last_ = 0;
+    std::uint64_t first_ = 0;
     std::array<std::uint64_t, kCounterCount> nanos_{};
 };
 

@@ -12,7 +12,9 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,6 +27,8 @@
 #include "support/atomic_file.hpp"
 #include "support/campaign_error.hpp"
 #include "support/fault.hpp"
+#include "support/telemetry.hpp"
+#include "support/trace.hpp"
 
 namespace glitchmask::service {
 namespace {
@@ -220,6 +224,9 @@ TEST(Protocol, ParsesEveryOp) {
     EXPECT_EQ(parse_client_command("{\"op\":\"stats\"}").op,
               ClientCommand::Op::Stats);
 
+    EXPECT_EQ(parse_client_command("{\"op\":\"metrics\"}").op,
+              ClientCommand::Op::Metrics);
+
     const ClientCommand shutdown =
         parse_client_command("{\"op\":\"shutdown\",\"drain\":false}");
     EXPECT_EQ(shutdown.op, ClientCommand::Op::Shutdown);
@@ -297,9 +304,84 @@ TEST(Protocol, EventEncodersRoundTripThroughTheJsonReader) {
     CampaignService::Stats stats;
     stats.submitted = 11;
     stats.cache_hits = 4;
+    stats.completed = 9;
+    stats.cache_misses = 7;
+    stats.queue_peak = 5;
     const eval::JsonValue encoded = eval::parse_json(encode_stats(stats));
     EXPECT_EQ(encoded.find("submitted")->unsigned_value, 11u);
     EXPECT_EQ(encoded.find("cache_hits")->unsigned_value, 4u);
+    EXPECT_EQ(encoded.find("completed")->unsigned_value, 9u);
+    EXPECT_EQ(encoded.find("cache_misses")->unsigned_value, 7u);
+    EXPECT_EQ(encoded.find("queue_peak")->unsigned_value, 5u);
+
+    // A terminal status with a span rollup carries it on the wire; a
+    // non-terminal one never does.
+    completed.spans = {{"execute", 1, 2500000}, {"queue_wait", 1, 1000}};
+    const eval::JsonValue traced = eval::parse_json(encode_result(completed));
+    const eval::JsonValue* spans = traced.find("spans");
+    ASSERT_NE(spans, nullptr);
+    ASSERT_EQ(spans->array.size(), 2u);
+    EXPECT_EQ(spans->array[0].find("name")->string, "execute");
+    EXPECT_EQ(spans->array[0].find("count")->unsigned_value, 1u);
+    EXPECT_EQ(spans->array[0].find("total_ns")->unsigned_value, 2500000u);
+    JobStatus running = completed;
+    running.state = JobState::Running;
+    EXPECT_EQ(eval::parse_json(encode_status(running)).find("spans"),
+              nullptr);
+}
+
+TEST(Protocol, MetricsEncoderRoundTripsThroughTheJsonReader) {
+    telemetry::Snapshot snapshot;
+    snapshot.values[static_cast<std::size_t>(
+        telemetry::Counter::kServiceJobs)] = 3;
+    auto& wait = snapshot.histograms[static_cast<std::size_t>(
+        telemetry::Histogram::kQueueWaitNanos)];
+    wait.buckets[telemetry::histogram_bucket(1024)] = 2;
+    wait.count = 2;
+    wait.sum = 2048;
+    wait.max = 1024;
+    snapshot.gauges[static_cast<std::size_t>(
+        telemetry::Gauge::kServiceQueueDepth)] = 4;
+
+    CampaignService::MetricsInfo info;
+    info.stats.queued_now = 4;
+    info.stats.running_now = 1;
+    info.stats.queue_peak = 6;
+    info.cache_entries = 12;
+    info.cache_hit_rate = 0.25;
+    info.spool_bytes = 4096;
+
+    const eval::JsonValue doc =
+        eval::parse_json(encode_metrics(snapshot, info));
+    EXPECT_EQ(doc.find("event")->string, "metrics");
+    const eval::JsonValue* counters = doc.find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_EQ(counters->find("service.jobs")->unsigned_value, 3u);
+    const eval::JsonValue* histograms = doc.find("histograms");
+    ASSERT_NE(histograms, nullptr);
+    const eval::JsonValue* wait_out =
+        histograms->find("service.queue_wait_nanos");
+    ASSERT_NE(wait_out, nullptr);
+    EXPECT_EQ(wait_out->find("count")->unsigned_value, 2u);
+    EXPECT_EQ(wait_out->find("sum")->unsigned_value, 2048u);
+    EXPECT_EQ(wait_out->find("max")->unsigned_value, 1024u);
+    const eval::JsonValue* buckets = wait_out->find("buckets");
+    ASSERT_NE(buckets, nullptr);
+    ASSERT_EQ(buckets->array.size(), 1u);  // sparse: only occupied buckets
+    ASSERT_EQ(buckets->array[0].array.size(), 2u);
+    EXPECT_EQ(buckets->array[0].array[0].unsigned_value, 1024u);  // floor
+    EXPECT_EQ(buckets->array[0].array[1].unsigned_value, 2u);
+    const eval::JsonValue* gauges = doc.find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    EXPECT_EQ(gauges->find("service.queue_depth")->unsigned_value, 4u);
+    const eval::JsonValue* svc = doc.find("service");
+    ASSERT_NE(svc, nullptr);
+    EXPECT_EQ(svc->find("queue_depth")->unsigned_value, 4u);
+    EXPECT_EQ(svc->find("running")->unsigned_value, 1u);
+    EXPECT_EQ(svc->find("queue_peak")->unsigned_value, 6u);
+    EXPECT_EQ(svc->find("cache_entries")->unsigned_value, 12u);
+    EXPECT_EQ(svc->find("cache_hit_rate")->as_number(), 0.25);
+    EXPECT_EQ(svc->find("spool_bytes")->unsigned_value, 4096u);
 }
 
 // ----- scheduler behaviour -----------------------------------------------
@@ -890,6 +972,168 @@ TEST_F(ServiceTest, ChaosSoakEveryScheduleEndsBitIdentical) {
         fault::clear();
         svc.shutdown(false);
     }
+}
+
+// ----- observability ------------------------------------------------------
+
+TEST_F(ServiceTest, ExtendedStatsAndMetricsInfoTrackOutcomes) {
+    const telemetry::ScopedTelemetryEnable scoped;
+    telemetry::reset();
+    CampaignService svc(service_config(1));
+    const CampaignRequest request = small_gadget_request(400);
+
+    const auto first = svc.submit(request);
+    ASSERT_EQ(first.kind, CampaignService::SubmitResult::Kind::Accepted);
+    ASSERT_TRUE(svc.wait(first.job_id).has_value());
+    const auto second = svc.submit(request);  // cache hit
+    ASSERT_TRUE(svc.wait(second.job_id).has_value());
+
+    const CampaignService::Stats stats = svc.stats();
+    EXPECT_EQ(stats.submitted, 2u);
+    EXPECT_EQ(stats.executed, 1u);
+    EXPECT_EQ(stats.completed, 2u);  // executed + cached both count
+    EXPECT_EQ(stats.cache_hits, 1u);
+    EXPECT_EQ(stats.cache_misses, 1u);
+    EXPECT_GE(stats.queue_peak, 1u);
+
+    const CampaignService::MetricsInfo info = svc.metrics_info();
+    EXPECT_EQ(info.stats.completed, 2u);
+    EXPECT_EQ(info.cache_entries, 1u);
+    EXPECT_EQ(info.cache_hit_rate, 0.5);
+    EXPECT_EQ(info.spool_bytes, 0u);  // no spool configured
+
+    // metrics_info refreshed the gauges, and the executed job fed the
+    // service latency histograms.
+    const telemetry::Snapshot snap = telemetry::snapshot();
+    EXPECT_EQ(snap.gauge(telemetry::Gauge::kServiceCacheEntries), 1u);
+    EXPECT_EQ(snap.gauge(telemetry::Gauge::kServiceRunningJobs), 0u);
+    EXPECT_EQ(
+        snap.histogram(telemetry::Histogram::kQueueWaitNanos).count, 1u);
+    EXPECT_EQ(snap.histogram(telemetry::Histogram::kExecuteNanos).count, 1u);
+    EXPECT_EQ(snap.histogram(telemetry::Histogram::kCacheLookupNanos).count,
+              2u);
+    const telemetry::HistogramSnapshot& jobs =
+        snap.histogram(telemetry::Histogram::kJobTraces);
+    EXPECT_EQ(jobs.count, 1u);  // cache hits do not re-observe
+    EXPECT_EQ(jobs.sum, request.traces);
+    svc.shutdown(false);
+    telemetry::reset();
+}
+
+TEST_F(ServiceTest, TraceHistogramsAreExecutorCountInvariant) {
+    // The deterministic histogram families observe trace counts -- pure
+    // functions of the workload -- so the merged buckets must come out
+    // bit-identical whether one executor runs the jobs back to back or
+    // four run them concurrently.
+    const auto run_fleet = [&](unsigned executors) {
+        const telemetry::ScopedTelemetryEnable scoped;
+        telemetry::reset();
+        CampaignService svc(service_config(executors));
+        std::vector<std::uint64_t> jobs;
+        for (std::uint64_t seed = 500; seed < 503; ++seed) {
+            const auto submitted =
+                svc.submit(small_gadget_request(seed, 128 + 64 * seed % 256));
+            EXPECT_EQ(submitted.kind,
+                      CampaignService::SubmitResult::Kind::Accepted);
+            jobs.push_back(submitted.job_id);
+        }
+        for (const std::uint64_t job : jobs)
+            EXPECT_TRUE(svc.wait(job).has_value());
+        const telemetry::Snapshot snap = telemetry::snapshot();
+        svc.shutdown(false);
+        telemetry::reset();
+        return snap;
+    };
+    const telemetry::Snapshot one = run_fleet(1);
+    const telemetry::Snapshot four = run_fleet(4);
+    for (std::size_t i = 0; i < telemetry::kHistogramCount; ++i) {
+        const auto histogram = static_cast<telemetry::Histogram>(i);
+        if (!telemetry::histogram_deterministic(histogram)) continue;
+        EXPECT_EQ(one.histogram(histogram), four.histogram(histogram))
+            << telemetry::histogram_name(histogram);
+    }
+    // Sanity: the invariant families actually saw the three jobs.
+    EXPECT_EQ(one.histogram(telemetry::Histogram::kJobTraces).count, 3u);
+    EXPECT_GT(one.histogram(telemetry::Histogram::kBlockTraces).count, 0u);
+}
+
+TEST_F(ServiceTest, TerminalJobsCarrySpanRollups) {
+    // Tracing off: terminal statuses still get the two-entry fallback
+    // rollup (execute + queue_wait) measured from the job timestamps.
+    trace::set_enabled(false);
+    CampaignService svc(service_config(1));
+    const auto submitted = svc.submit(small_gadget_request(600));
+    const std::optional<JobStatus> done = svc.wait(submitted.job_id);
+    svc.shutdown(false);
+    ASSERT_TRUE(done.has_value());
+    ASSERT_EQ(done->state, JobState::Completed);
+    ASSERT_EQ(done->spans.size(), 2u);  // name-sorted
+    EXPECT_EQ(done->spans[0].name, "execute");
+    EXPECT_EQ(done->spans[0].count, 1u);
+    EXPECT_GT(done->spans[0].total_ns, 0u);
+    EXPECT_EQ(done->spans[1].name, "queue_wait");
+    EXPECT_EQ(done->spans[1].count, 1u);
+}
+
+TEST_F(ServiceTest, TracedJobExportsAChromeTraceTree) {
+    const trace::ScopedTraceEnable scoped;
+    trace::reset();
+    const std::string trace_dir = make_temp_dir("svc_trace");
+    ServiceConfig config = service_config(1);
+    config.trace_dir = trace_dir;
+    CampaignService svc(config);
+    const auto submitted = svc.submit(small_gadget_request(700));
+    const std::optional<JobStatus> done = svc.wait(submitted.job_id);
+    svc.shutdown(false);
+    ASSERT_TRUE(done.has_value());
+    ASSERT_EQ(done->state, JobState::Completed);
+
+    // The in-status rollup now covers the full tree, not the fallback.
+    const auto count_of = [&](const std::string& name) -> std::uint64_t {
+        for (const trace::SpanSummary& span : done->spans)
+            if (span.name == name) return span.count;
+        return 0;
+    };
+    EXPECT_EQ(count_of("job"), 1u);
+    EXPECT_EQ(count_of("execute"), 1u);
+    EXPECT_EQ(count_of("queue_wait"), 1u);
+    EXPECT_EQ(count_of("block"), 16u);  // 256 traces / block_size 16
+
+    // And the exported file is a loadable Chrome trace whose parent links
+    // form the queue_wait -> execute -> block chain under one root.
+    const std::string path = trace_dir + "/job-" +
+                             std::to_string(submitted.job_id) +
+                             ".trace.json";
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const eval::JsonValue doc = eval::parse_json(buffer.str());
+    const eval::JsonValue* events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    std::string root_id;
+    std::string execute_id;
+    for (const eval::JsonValue& event : events->array) {
+        if (event.find("name")->string == "job")
+            root_id = event.find("args")->find("id")->string;
+        else if (event.find("name")->string == "execute")
+            execute_id = event.find("args")->find("id")->string;
+    }
+    ASSERT_FALSE(root_id.empty());
+    ASSERT_FALSE(execute_id.empty());
+    for (const eval::JsonValue& event : events->array) {
+        const std::string& name = event.find("name")->string;
+        const std::string& parent =
+            event.find("args")->find("parent")->string;
+        if (name == "queue_wait" || name == "execute" ||
+            name == "cache_lookup") {
+            EXPECT_EQ(parent, root_id) << name;
+        } else if (name == "block") {
+            EXPECT_EQ(parent, execute_id);
+        }
+    }
+    std::remove(path.c_str());
+    trace::reset();
 }
 
 }  // namespace

@@ -134,6 +134,170 @@ TEST(TelemetryRegistry, RecordSimBlockFoldsDeltasAndAdvancesLast) {
     telemetry::reset();
 }
 
+// ----- histograms & gauges -----------------------------------------------
+
+TEST(TelemetryHistogram, BucketMappingCoversTheFullU64Range) {
+    // Bucket 0 holds exactly the value 0; bucket i >= 1 spans
+    // [2^(i-1), 2^i).  The topmost bucket (64) catches everything from
+    // 2^63 up to the u64 maximum.
+    EXPECT_EQ(telemetry::histogram_bucket(0), 0u);
+    EXPECT_EQ(telemetry::histogram_bucket(1), 1u);
+    EXPECT_EQ(telemetry::histogram_bucket(2), 2u);
+    EXPECT_EQ(telemetry::histogram_bucket(3), 2u);
+    EXPECT_EQ(telemetry::histogram_bucket(4), 3u);
+    EXPECT_EQ(telemetry::histogram_bucket(1023), 10u);
+    EXPECT_EQ(telemetry::histogram_bucket(1024), 11u);
+    EXPECT_EQ(telemetry::histogram_bucket(std::uint64_t{1} << 63), 64u);
+    EXPECT_EQ(telemetry::histogram_bucket(~std::uint64_t{0}), 64u);
+    // Floors invert the mapping: every bucket's floor maps back into it.
+    for (std::size_t b = 0; b < telemetry::kHistogramBuckets; ++b)
+        EXPECT_EQ(telemetry::histogram_bucket(
+                      telemetry::histogram_bucket_floor(b)),
+                  b);
+    // Metadata is stable, unique and classifies the trace-count families
+    // as deterministic.
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < telemetry::kHistogramCount; ++i) {
+        const auto histogram = static_cast<telemetry::Histogram>(i);
+        const std::string name = telemetry::histogram_name(histogram);
+        EXPECT_FALSE(name.empty());
+        for (const std::string& seen : names) EXPECT_NE(name, seen);
+        names.push_back(name);
+    }
+    EXPECT_TRUE(telemetry::histogram_deterministic(
+        telemetry::Histogram::kBlockTraces));
+    EXPECT_TRUE(telemetry::histogram_deterministic(
+        telemetry::Histogram::kJobTraces));
+    EXPECT_FALSE(telemetry::histogram_deterministic(
+        telemetry::Histogram::kExecuteNanos));
+}
+
+TEST(TelemetryHistogram, ShardMergeIsExactAcrossThreadsAndThreadExit) {
+    telemetry::reset();
+    const telemetry::ScopedTelemetryEnable scoped;
+    // Every thread observes the same value set (including 0 and the u64
+    // extremes); the merged buckets must be the analytic per-thread
+    // distribution times the thread count -- element-wise u64 sums are
+    // associative and commutative, so thread exit order cannot matter.
+    constexpr int kThreads = 8;
+    const std::vector<std::uint64_t> values = {
+        0, 1, 1, 7, 4096, std::uint64_t{1} << 63, ~std::uint64_t{0}};
+    {
+        std::vector<std::thread> workers;
+        for (int t = 0; t < kThreads; ++t)
+            workers.emplace_back([&] {
+                telemetry::Shard& shard = telemetry::shard();
+                for (const std::uint64_t v : values)
+                    shard.observe(telemetry::Histogram::kQueueWaitNanos, v);
+            });
+        for (std::thread& w : workers) w.join();  // all shards retired
+    }
+    const telemetry::HistogramSnapshot merged =
+        telemetry::snapshot().histogram(telemetry::Histogram::kQueueWaitNanos);
+    EXPECT_EQ(merged.count, values.size() * kThreads);
+    // Sum wraps mod 2^64 identically no matter the fold order.
+    std::uint64_t per_thread_sum = 0;
+    for (const std::uint64_t v : values) per_thread_sum += v;
+    EXPECT_EQ(merged.sum, per_thread_sum * kThreads);
+    EXPECT_EQ(merged.max, ~std::uint64_t{0});
+    EXPECT_EQ(merged.buckets[0], 1u * kThreads);   // the observed 0
+    EXPECT_EQ(merged.buckets[1], 2u * kThreads);   // both 1s
+    EXPECT_EQ(merged.buckets[3], 1u * kThreads);   // 7
+    EXPECT_EQ(merged.buckets[13], 1u * kThreads);  // 4096
+    EXPECT_EQ(merged.buckets[64], 2u * kThreads);  // 2^63 and u64 max
+    std::uint64_t total = 0;
+    for (const std::uint64_t b : merged.buckets) total += b;
+    EXPECT_EQ(total, merged.count);
+    telemetry::reset();
+    EXPECT_EQ(telemetry::snapshot()
+                  .histogram(telemetry::Histogram::kQueueWaitNanos)
+                  .count,
+              0u);
+}
+
+TEST(TelemetryHistogram, DeltaSubtractsBucketsAndKeepsMaxima) {
+    telemetry::Snapshot start;
+    auto& h0 = start.histograms[static_cast<std::size_t>(
+        telemetry::Histogram::kBlockNanos)];
+    h0.buckets[5] = 10;
+    h0.count = 10;
+    h0.sum = 200;
+    h0.max = 31;
+    telemetry::Snapshot end = start;
+    auto& h1 = end.histograms[static_cast<std::size_t>(
+        telemetry::Histogram::kBlockNanos)];
+    h1.buckets[5] = 14;
+    h1.buckets[7] = 2;
+    h1.count = 16;
+    h1.sum = 500;
+    h1.max = 100;
+    const telemetry::Snapshot delta = end.delta_since(start);
+    const telemetry::HistogramSnapshot& d =
+        delta.histogram(telemetry::Histogram::kBlockNanos);
+    EXPECT_EQ(d.buckets[5], 4u);
+    EXPECT_EQ(d.buckets[7], 2u);
+    EXPECT_EQ(d.count, 6u);
+    EXPECT_EQ(d.sum, 300u);
+    EXPECT_EQ(d.max, 100u);  // high-water keeps the end value
+}
+
+TEST(TelemetryGauge, SetReadResetAndSnapshot) {
+    telemetry::reset();
+    // Gauges are ungated instantaneous values: set wins over set, and a
+    // snapshot carries the latest stores.
+    telemetry::set_gauge(telemetry::Gauge::kServiceQueueDepth, 7);
+    telemetry::set_gauge(telemetry::Gauge::kServiceQueueDepth, 3);
+    telemetry::set_gauge(telemetry::Gauge::kServiceSpoolBytes, 1 << 20);
+    EXPECT_EQ(telemetry::gauge_value(telemetry::Gauge::kServiceQueueDepth),
+              3u);
+    const telemetry::Snapshot snap = telemetry::snapshot();
+    EXPECT_EQ(snap.gauge(telemetry::Gauge::kServiceQueueDepth), 3u);
+    EXPECT_EQ(snap.gauge(telemetry::Gauge::kServiceSpoolBytes),
+              std::uint64_t{1} << 20);
+    EXPECT_EQ(snap.gauge(telemetry::Gauge::kServiceRunningJobs), 0u);
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < telemetry::kGaugeCount; ++i) {
+        const std::string name =
+            telemetry::gauge_name(static_cast<telemetry::Gauge>(i));
+        EXPECT_FALSE(name.empty());
+        for (const std::string& seen : names) EXPECT_NE(name, seen);
+        names.push_back(name);
+    }
+    telemetry::reset();
+    EXPECT_EQ(telemetry::gauge_value(telemetry::Gauge::kServiceSpoolBytes),
+              0u);
+}
+
+TEST(TelemetryExposition, PrometheusTextRendersAllThreeFamilies) {
+    telemetry::Snapshot snap;
+    snap.values[static_cast<std::size_t>(telemetry::Counter::kSimEvents)] =
+        42;
+    auto& h = snap.histograms[static_cast<std::size_t>(
+        telemetry::Histogram::kExecuteNanos)];
+    h.buckets[1] = 2;  // two observations of 1
+    h.buckets[64] = 1;  // one top-bucket observation
+    h.count = 3;
+    h.sum = 2 + 0;  // sums are opaque to the renderer; any value works
+    h.max = ~std::uint64_t{0};
+    snap.gauges[static_cast<std::size_t>(
+        telemetry::Gauge::kServiceQueueDepth)] = 5;
+    const std::string text = telemetry::render_prometheus_text(snap);
+    EXPECT_NE(text.find("glitchmask_sim_events 42"), std::string::npos);
+    EXPECT_NE(text.find("glitchmask_service_queue_depth 5"),
+              std::string::npos);
+    // Cumulative buckets: le="1" sees both small observations, +Inf sees
+    // the full count, and _count matches.
+    EXPECT_NE(text.find("glitchmask_service_execute_nanos_bucket{le=\"1\"} 2"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("glitchmask_service_execute_nanos_bucket{le=\"+Inf\"} 3"),
+        std::string::npos);
+    EXPECT_NE(text.find("glitchmask_service_execute_nanos_count 3"),
+              std::string::npos);
+    // No dotted names escape the mangling.
+    EXPECT_EQ(text.find("glitchmask_sim.events"), std::string::npos);
+}
+
 // ----- exact campaign counts --------------------------------------------
 
 eval::SequenceExperimentConfig small_config(unsigned workers, unsigned lanes) {
@@ -185,6 +349,27 @@ TEST(TelemetryCampaign, Secand2CountsExactAtAnyWorkerCount) {
             << telemetry::counter_name(counter);
     }
     EXPECT_EQ(w1.result.max_abs_t1, w4.result.max_abs_t1);
+    // The trace-count histograms are pure functions of the workload too:
+    // 6 blocks of 16 traces, landing entirely in bucket [16, 32), and the
+    // whole HistogramSnapshot (buckets, count, sum, max) bit-identical at
+    // any worker count.
+    const telemetry::HistogramSnapshot& blocks1 =
+        w1.counters.histogram(telemetry::Histogram::kBlockTraces);
+    EXPECT_EQ(blocks1.count, 6u);
+    EXPECT_EQ(blocks1.sum, 96u);
+    EXPECT_EQ(blocks1.max, 16u);
+    EXPECT_EQ(blocks1.buckets[telemetry::histogram_bucket(16)], 6u);
+    for (std::size_t i = 0; i < telemetry::kHistogramCount; ++i) {
+        const auto histogram = static_cast<telemetry::Histogram>(i);
+        if (!telemetry::histogram_deterministic(histogram)) continue;
+        EXPECT_EQ(w1.counters.histogram(histogram),
+                  w4.counters.histogram(histogram))
+            << telemetry::histogram_name(histogram);
+    }
+    // And the wall-clock block-latency histogram saw every block even
+    // though its shape is schedule-dependent.
+    EXPECT_EQ(w1.counters.histogram(telemetry::Histogram::kBlockNanos).count,
+              6u);
 }
 
 TEST(TelemetryCampaign, DesGlitchCountsExactAtAnyWorkerCount) {

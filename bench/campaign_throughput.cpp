@@ -34,10 +34,13 @@
 // since the batched probe deposit).  A statistics-fold microbench times the pre-fusion gather
 // path against the fused MomentBank fold on identical data
 // ("stats_speedup", CI gate >= 1.5x), and every sweep row carries a
-// "phases" breakdown (sim/noise/moments/attribution/checkpoint wall
-// seconds from the phase.* telemetry counters) plus an "oversubscribed"
-// flag for worker counts beyond the machine's physical cores
-// (top-level "physical_cores").
+// "phases_cpu" breakdown (sim/noise/moments/attribution/checkpoint CPU
+// seconds from the phase.* telemetry counters -- summed across workers,
+// so a row's phases_cpu can exceed its wall "seconds") plus an
+// "oversubscribed" flag for worker counts beyond the machine's physical
+// cores (top-level "physical_cores").  Each run is stamped with its git
+// "revision", "hostname", and UTC timestamp so the results ledger
+// (src/obs/) can attribute entries without trusting file mtimes.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -57,6 +60,7 @@
 #include "leakage/tvla.hpp"
 #include "support/env.hpp"
 #include "support/rng.hpp"
+#include "support/runenv.hpp"
 #include "support/table.hpp"
 #include "support/telemetry.hpp"
 #include "support/trace.hpp"
@@ -92,9 +96,13 @@ struct Series {
     std::uint64_t sim_glitches = 0;
     std::uint64_t sim_inertial_cancels = 0;
     std::uint64_t sim_queue_peak = 0;
-    // Per-phase wall seconds (summed across workers) from the block-level
-    // phase.* telemetry counters; "other" is everything the phase clocks
-    // do not cover (thread handoff, block orchestration, finalization).
+    // Per-phase *CPU* seconds from the block-level phase.* telemetry
+    // counters.  Each worker's on-thread time is summed, so with W
+    // workers these can total up to W x the row's wall seconds -- they
+    // answer "where did the cores spend their cycles", not "what took so
+    // long".  Emitted as "phases_cpu" to keep the ambiguity out of the
+    // artifact; "other" is everything the phase clocks do not cover
+    // (thread handoff, block orchestration, finalization).
     double phase_sim = 0.0;
     double phase_noise = 0.0;
     double phase_moments = 0.0;
@@ -465,6 +473,9 @@ int main(int argc, char** argv) {
                 compiled_best_1w.lanes, compiled_speedup_1w);
 
     std::string json = "{\n  \"workload\": \"des_ff_tvla\",\n";
+    json += "  \"revision\": \"" + git_revision() + "\",\n";
+    json += "  \"hostname\": \"" + host_name() + "\",\n";
+    json += "  \"utc\": \"" + utc_timestamp() + "\",\n";
     json += "  \"traces\": " + std::to_string(traces) + ",\n";
     json += "  \"block_size\": " + std::to_string(kBlockSize) + ",\n";
     json += "  \"samples\": " + std::to_string(core.total_cycles()) + ",\n";
@@ -517,7 +528,8 @@ int main(int argc, char** argv) {
                 ", \"sim_queue_peak\": " + std::to_string(s.sim_queue_peak) +
                 ", \"speedup\": " + TablePrinter::num(s.speedup, 3) +
                 ", \"max_abs_t1\": " + TablePrinter::num(s.max_abs_t1, 9) +
-                ", \"phases\": {\"sim\": " + TablePrinter::num(s.phase_sim, 4) +
+                ", \"phases_cpu\": {\"sim\": " +
+                TablePrinter::num(s.phase_sim, 4) +
                 ", \"noise\": " + TablePrinter::num(s.phase_noise, 4) +
                 ", \"moments\": " + TablePrinter::num(s.phase_moments, 4) +
                 ", \"attribution\": " +

@@ -10,6 +10,14 @@
 //   campaign_client /tmp/gm.sock '{"op":"metrics"}'
 //   campaign_client /tmp/gm.sock '{"op":"shutdown","drain":false}'
 //
+// One convenience subcommand replaces the raw JSON:
+//
+//   campaign_client /tmp/gm.sock history <80-hex-fingerprint>
+//
+// sends {"op":"history","fingerprint":...} (the daemon must run with
+// --ledger) and renders the reply as a table -- one row per ledger
+// entry: verdict (status), wall time, revision, utc, campaign.
+//
 // For a submit, the client stays connected and relays progress events
 // until the result line; every other op gets exactly one reply.  With a
 // trailing --follow, a submit additionally renders the result's span
@@ -78,19 +86,75 @@ void render_span_summary(const std::string& result_line) {
     }
 }
 
+/// `history` subcommand: turn the daemon's {"event":"history",...} reply
+/// into a human table.  Returns 0 when the reply parsed (even with zero
+/// entries -- an empty history is an answer), 1 otherwise.
+int render_history_table(const std::string& reply_line) {
+    try {
+        const glitchmask::eval::JsonValue json =
+            glitchmask::eval::parse_json(reply_line);
+        const glitchmask::eval::JsonValue* entries = json.find("entries");
+        if (entries == nullptr ||
+            entries->kind != glitchmask::eval::JsonValue::Kind::kArray) {
+            std::fprintf(stderr, "history reply has no 'entries' array\n");
+            return 1;
+        }
+        const auto str = [](const glitchmask::eval::JsonValue& entry,
+                            const char* key) -> std::string {
+            const glitchmask::eval::JsonValue* v = entry.find(key);
+            return v != nullptr ? v->string : std::string("-");
+        };
+        const auto num = [](const glitchmask::eval::JsonValue& entry,
+                            const char* key) -> double {
+            const glitchmask::eval::JsonValue* v = entry.find(key);
+            if (v == nullptr) return 0.0;
+            if (v->kind == glitchmask::eval::JsonValue::Kind::kUnsigned)
+                return static_cast<double>(v->unsigned_value);
+            return v->number;
+        };
+        std::printf("%-4s %-10s %10s %-12s %-20s %-14s %12s\n", "#",
+                    "verdict", "wall_s", "revision", "utc", "campaign",
+                    "max_abs_t1");
+        std::size_t row = 0;
+        for (const glitchmask::eval::JsonValue& entry : entries->array) {
+            std::string revision = str(entry, "revision");
+            if (revision.size() > 12) revision.resize(12);
+            std::printf("%-4zu %-10s %10.3f %-12s %-20s %-14s %12.4f\n",
+                        row++, str(entry, "status").c_str(),
+                        num(entry, "wall_seconds"), revision.c_str(),
+                        str(entry, "utc").c_str(),
+                        str(entry, "campaign").c_str(),
+                        num(entry, "max_abs_t1"));
+        }
+        if (row == 0) std::printf("(no ledger entries for fingerprint)\n");
+        return 0;
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "unparsable history reply: %s\n", error.what());
+        return 1;
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     bool follow = false;
+    bool history_mode = false;
     if (argc == 4 && std::strcmp(argv[3], "--follow") == 0) {
         follow = true;
+    } else if (argc == 4 && std::strcmp(argv[2], "history") == 0) {
+        history_mode = true;
     } else if (argc != 3) {
-        std::fprintf(stderr, "usage: %s SOCKET_PATH REQUEST_JSON [--follow]\n",
-                     argv[0]);
+        std::fprintf(stderr,
+                     "usage: %s SOCKET_PATH REQUEST_JSON [--follow]\n"
+                     "       %s SOCKET_PATH history FINGERPRINT\n",
+                     argv[0], argv[0]);
         return 2;
     }
     const std::string socket_path = argv[1];
-    std::string request = argv[2];
+    std::string request =
+        history_mode ? std::string("{\"op\":\"history\",\"fingerprint\":\"") +
+                           argv[3] + "\"}"
+                     : std::string(argv[2]);
     if (request.empty() || request.back() != '\n') request += '\n';
     const bool is_submit =
         request.find("\"op\":\"submit\"") != std::string::npos;
@@ -144,8 +208,10 @@ int main(int argc, char** argv) {
             if (newline == std::string::npos) break;
             const std::string line = pending.substr(start, newline - start);
             start = newline + 1;
-            std::printf("%s\n", line.c_str());
-            std::fflush(stdout);
+            if (!history_mode) {
+                std::printf("%s\n", line.c_str());
+                std::fflush(stdout);
+            }
             if (line_ends_conversation(line, is_submit, exit_code)) {
                 last_line = line;
                 done = true;
@@ -156,6 +222,14 @@ int main(int argc, char** argv) {
         if (done) break;
     }
     ::close(fd);
+    if (history_mode) {
+        if (!last_line.empty() &&
+            last_line.find("\"event\":\"history\"") != std::string::npos)
+            return render_history_table(last_line);
+        if (!last_line.empty())
+            std::printf("%s\n", last_line.c_str());  // rejection line
+        return 1;
+    }
     if (follow && is_submit && !last_line.empty() &&
         last_line.find("\"event\":\"result\"") != std::string::npos)
         render_span_summary(last_line);

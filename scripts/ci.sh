@@ -17,24 +17,25 @@
 # chaos smoke (scripts/chaos_smoke.sh): glitchmaskd under seeded
 # fault-injection schedules -- EINTR storms, checkpoint ENOSPC, SIGTERM
 # mid-campaign -- must complete bit-identically, degrade gracefully, and
-# resume from its spool.  The release leg additionally gates
-# observability and performance:
+# resume from its spool.  Both legs also smoke the results ledger
+# (glitchmask_ledger): the attribution smoke's run report is ingested
+# twice and `diff` must prove every leakage field bit-identical (exit 0)
+# -- under asan this also leak-checks the whole obs/ stack.  The release
+# leg additionally gates observability and performance:
 #   * one extra ctest pass under GLITCHMASK_LOG=debug (log call sites in
 #     the hot paths must never change a result or crash);
 #   * one extra ctest pass under GLITCHMASK_SIMD=off, pinning every
 #     runtime-dispatched kernel to its portable scalar fallback (the
 #     bit-identity tests then prove scalar == vector end to end);
-#   * bench/campaign_throughput's telemetry_overhead must stay <= 3%,
-#     its trace_off_overhead <= 1% (the disabled span recorder must be
-#     free) and trace_overhead <= 5% (block+phase span collection),
-#     and its attribution_off_overhead <= 1% (the disabled probe tap
-#     must be free);
-#   * attribution_overhead <= 30% (the sbox-scoped probe taps), and
-#     compiled_speedup_1worker >= 2x (best compiled width vs event-64;
-#     the committed single-core reference run shows ~2.8x);
-#   * stats_speedup >= 1.5x (the fused bin-vectorized moment fold vs the
-#     pre-fusion per-point gather on identical data; the reference run
-#     shows ~6x with AVX2).
+#   * bench/campaign_throughput's overhead/speedup figures are bounds-
+#     checked through `glitchmask_ledger gate` (telemetry <= 3%,
+#     tracing-off <= 1%, tracing-on <= 5%, attribution-off <= 1%,
+#     attribution-on <= 30%, compiled_speedup_1worker >= 2x,
+#     stats_speedup >= 1.5x -- same bars the awk gates used to enforce);
+#   * the ledger regression radar is exercised end to end: the bench
+#     artifact is ingested twice (diff must exit 0, leakage
+#     bit-identical), then a deliberately perturbed copy is ingested and
+#     `diff` must exit with the regression code (3).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -61,8 +62,28 @@ for preset in "${presets[@]}"; do
     builddir="build"
     [ "$preset" = "asan" ] && builddir="build-asan"
     echo "==> $preset extras: attribution smoke (inspect_gadget trichina)"
+    report_dir="$(mktemp -d)"
     (cd "$builddir/examples" &&
-      ./inspect_gadget trichina --attribute --top-k 5 > /dev/null)
+      GLITCHMASK_REPORT_DIR="$report_dir" \
+        ./inspect_gadget trichina --attribute --top-k 5 > /dev/null)
+
+    echo "==> $preset extras: results-ledger smoke (run-report ingest + diff)"
+    # Same report ingested twice: the diff must find two same-fingerprint
+    # entries and prove every leakage field bit-identical (exit 0).
+    # Under asan this drives the whole obs/ stack through the sanitizer.
+    ledger="$report_dir/ci-ledger.ndjson"
+    "$builddir"/src/glitchmask_ledger ingest "$ledger" \
+      "$report_dir"/*.report.json > /dev/null
+    "$builddir"/src/glitchmask_ledger ingest "$ledger" \
+      "$report_dir"/*.report.json > /dev/null
+    ledger_diff="$("$builddir"/src/glitchmask_ledger diff "$ledger")"
+    if ! echo "$ledger_diff" | grep -q "leakage bit-identical"; then
+      echo "FAIL: ledger diff did not prove leakage bit-identity:" >&2
+      echo "$ledger_diff" >&2
+      exit 1
+    fi
+    "$builddir"/src/glitchmask_ledger list "$ledger" > /dev/null
+    rm -rf "$report_dir"
 
     echo "==> $preset extras: suite under GLITCHMASK_BACKEND=compiled"
     GLITCHMASK_BACKEND=compiled ctest --preset "$preset" -j "$jobs"
@@ -83,95 +104,47 @@ for preset in "${presets[@]}"; do
     # staging, checkpoint cadence) are representative and the off-vs-off
     # noise floor sits well under the 1% bar.
     (cd build/bench && GLITCHMASK_TRACES=256 ./campaign_throughput > /dev/null)
-    echo "==> release extras: telemetry overhead gate (bar: 3%)"
-    overhead="$(sed -n 's/.*"telemetry_overhead": \(-\{0,1\}[0-9.]*\).*/\1/p' \
-      build/bench/BENCH_batch_sim.json)"
-    if [ -z "$overhead" ]; then
-      echo "FAIL: telemetry_overhead missing from BENCH_batch_sim.json" >&2
-      exit 1
-    fi
-    if ! awk -v x="$overhead" 'BEGIN { exit !(x <= 0.03) }'; then
-      echo "FAIL: telemetry overhead ${overhead} exceeds the 0.03 bar" >&2
-      exit 1
-    fi
-    echo "telemetry overhead: ${overhead} (<= 0.03)"
+    build/src/glitchmask_ledger gate build/bench/BENCH_batch_sim.json \
+      --max telemetry_overhead=0.03 \
+      --max trace_off_overhead=0.01 \
+      --max trace_overhead=0.05 \
+      --max attribution_off_overhead=0.01 \
+      --max attribution_overhead=0.30 \
+      --min compiled_speedup_1worker=2.0 \
+      --min stats_speedup=1.5
 
-    echo "==> release extras: tracing-off overhead gate (bar: 1%)"
-    trace_off="$(sed -n 's/.*"trace_off_overhead": \(-\{0,1\}[0-9.]*\).*/\1/p' \
-      build/bench/BENCH_batch_sim.json)"
-    if [ -z "$trace_off" ]; then
-      echo "FAIL: trace_off_overhead missing from BENCH_batch_sim.json" >&2
+    echo "==> release extras: ledger regression radar (bench ingest + diff)"
+    radar_dir="$(mktemp -d)"
+    radar_ledger="$radar_dir/bench-ledger.ndjson"
+    # Twice the same artifact: every leakage field must prove
+    # bit-identical and diff must exit 0.
+    build/src/glitchmask_ledger ingest "$radar_ledger" \
+      build/bench/BENCH_batch_sim.json > /dev/null
+    build/src/glitchmask_ledger ingest "$radar_ledger" \
+      build/bench/BENCH_batch_sim.json > /dev/null
+    radar_out="$(build/src/glitchmask_ledger diff "$radar_ledger")"
+    if ! echo "$radar_out" | grep -q "leakage bit-identical"; then
+      echo "FAIL: bench ledger diff did not prove bit-identity:" >&2
+      echo "$radar_out" >&2
       exit 1
     fi
-    if ! awk -v x="$trace_off" 'BEGIN { exit !(x <= 0.01) }'; then
-      echo "FAIL: tracing-off overhead ${trace_off} exceeds the 0.01 bar" >&2
+    # A perturbed copy (leakage headline changed, timestamp bumped so it
+    # sorts newest) must trip the radar: diff exits with the regression
+    # code, nothing else.
+    sed -e 's/"max_abs_t1": [-0-9.eE+]*/"max_abs_t1": 99.5/' \
+        -e 's/"utc": "[^"]*"/"utc": "2999-12-31T23:59:59Z"/' \
+      build/bench/BENCH_batch_sim.json > "$radar_dir/perturbed.json"
+    build/src/glitchmask_ledger ingest "$radar_ledger" \
+      "$radar_dir/perturbed.json" > /dev/null
+    set +e
+    build/src/glitchmask_ledger diff "$radar_ledger" > /dev/null
+    radar_rc=$?
+    set -e
+    if [ "$radar_rc" -ne 3 ]; then
+      echo "FAIL: perturbed ledger diff exited $radar_rc, wanted 3" >&2
       exit 1
     fi
-    echo "tracing-off overhead: ${trace_off} (<= 0.01)"
-
-    echo "==> release extras: tracing-on overhead gate (bar: 5%)"
-    trace_on="$(sed -n 's/.*"trace_overhead": \(-\{0,1\}[0-9.]*\).*/\1/p' \
-      build/bench/BENCH_batch_sim.json)"
-    if [ -z "$trace_on" ]; then
-      echo "FAIL: trace_overhead missing from BENCH_batch_sim.json" >&2
-      exit 1
-    fi
-    if ! awk -v x="$trace_on" 'BEGIN { exit !(x <= 0.05) }'; then
-      echo "FAIL: tracing overhead ${trace_on} exceeds the 0.05 bar" >&2
-      exit 1
-    fi
-    echo "tracing overhead: ${trace_on} (<= 0.05)"
-
-    echo "==> release extras: attribution-off overhead gate (bar: 1%)"
-    attr_off="$(sed -n 's/.*"attribution_off_overhead": \(-\{0,1\}[0-9.]*\).*/\1/p' \
-      build/bench/BENCH_batch_sim.json)"
-    if [ -z "$attr_off" ]; then
-      echo "FAIL: attribution_off_overhead missing from BENCH_batch_sim.json" >&2
-      exit 1
-    fi
-    if ! awk -v x="$attr_off" 'BEGIN { exit !(x <= 0.01) }'; then
-      echo "FAIL: attribution-off overhead ${attr_off} exceeds the 0.01 bar" >&2
-      exit 1
-    fi
-    echo "attribution-off overhead: ${attr_off} (<= 0.01)"
-
-    echo "==> release extras: attribution-on overhead gate (bar: 30%)"
-    attr_on="$(sed -n 's/.*"attribution_overhead": \(-\{0,1\}[0-9.]*\).*/\1/p' \
-      build/bench/BENCH_batch_sim.json)"
-    if [ -z "$attr_on" ]; then
-      echo "FAIL: attribution_overhead missing from BENCH_batch_sim.json" >&2
-      exit 1
-    fi
-    if ! awk -v x="$attr_on" 'BEGIN { exit !(x <= 0.30) }'; then
-      echo "FAIL: attribution overhead ${attr_on} exceeds the 0.30 bar" >&2
-      exit 1
-    fi
-    echo "attribution overhead: ${attr_on} (<= 0.30)"
-
-    echo "==> release extras: compiled-backend speedup gate (bar: 2x)"
-    compiled="$(sed -n 's/.*"compiled_speedup_1worker": \(-\{0,1\}[0-9.]*\).*/\1/p' \
-      build/bench/BENCH_batch_sim.json)"
-    if [ -z "$compiled" ]; then
-      echo "FAIL: compiled_speedup_1worker missing from BENCH_batch_sim.json" >&2
-      exit 1
-    fi
-    if ! awk -v x="$compiled" 'BEGIN { exit !(x >= 2.0) }'; then
-      echo "FAIL: compiled speedup ${compiled} below the 2.0 bar" >&2
-      exit 1
-    fi
-    echo "compiled speedup: ${compiled} (>= 2.0)"
-
-    echo "==> release extras: statistics-fold speedup gate (bar: 1.5x)"
-    stats="$(sed -n 's/.*"stats_speedup": \(-\{0,1\}[0-9.]*\).*/\1/p' \
-      build/bench/BENCH_batch_sim.json)"
-    if [ -z "$stats" ]; then
-      echo "FAIL: stats_speedup missing from BENCH_batch_sim.json" >&2
-      exit 1
-    fi
-    if ! awk -v x="$stats" 'BEGIN { exit !(x >= 1.5) }'; then
-      echo "FAIL: statistics-fold speedup ${stats} below the 1.5 bar" >&2
-      exit 1
-    fi
-    echo "statistics-fold speedup: ${stats} (>= 1.5)"
+    echo "ledger radar: bit-identity proven, perturbation tripped (exit 3)"
+    rm -rf "$radar_dir"
   fi
 done

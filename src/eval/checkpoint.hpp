@@ -72,6 +72,9 @@ struct CampaignFingerprint {
     std::uint64_t traces = 0;
     std::uint64_t block_size = 0;
     std::uint64_t payload = 0;     // hash of the remaining config fields
+
+    friend bool operator==(const CampaignFingerprint&,
+                           const CampaignFingerprint&) = default;
 };
 
 /// Throws CampaignError{ConfigMismatch} naming the first differing field.

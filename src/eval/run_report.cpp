@@ -10,6 +10,7 @@
 #include "support/atomic_file.hpp"
 #include "support/campaign_error.hpp"
 #include "support/env.hpp"
+#include "support/runenv.hpp"
 
 namespace glitchmask::eval {
 
@@ -337,6 +338,12 @@ std::string render_run_report(const RunReport& report) {
     append_u64(out, report.workers);
     out += ",\n  \"lanes\": ";
     append_u64(out, report.lanes);
+    out += ",\n  \"revision\": ";
+    append_escaped(out, report.revision);
+    out += ",\n  \"hostname\": ";
+    append_escaped(out, report.hostname);
+    out += ",\n  \"utc\": ";
+    append_escaped(out, report.utc);
     out += ",\n  \"wall_seconds\": ";
     append_double(out, report.wall_seconds);
     out += ",\n  \"cpu_seconds\": ";
@@ -479,6 +486,10 @@ std::optional<RunReport> read_run_report(const std::string& path) {
     if (!bytes.has_value()) return std::nullopt;
     const JsonValue root = parse_json(std::string_view(
         reinterpret_cast<const char*>(bytes->data()), bytes->size()));
+    return decode_run_report(root);
+}
+
+RunReport decode_run_report(const JsonValue& root) {
     if (root.kind != JsonValue::Kind::kObject)
         throw std::runtime_error("run report: not a JSON object");
     const JsonValue& schema = require(root, "schema");
@@ -500,6 +511,12 @@ std::optional<RunReport> read_run_report(const std::string& path) {
     report.fingerprint.payload = require_u64(fp, "payload");
     report.workers = static_cast<unsigned>(require_u64(root, "workers"));
     report.lanes = static_cast<unsigned>(require_u64(root, "lanes"));
+    // v4 attribution fields; absent in v1-v3 files.
+    if (const JsonValue* revision = root.find("revision"))
+        report.revision = revision->string;
+    if (const JsonValue* hostname = root.find("hostname"))
+        report.hostname = hostname->string;
+    if (const JsonValue* utc = root.find("utc")) report.utc = utc->string;
     report.wall_seconds = require(root, "wall_seconds").as_number();
     report.cpu_seconds = require(root, "cpu_seconds").as_number();
     report.telemetry_enabled = require(root, "telemetry_enabled").boolean;
@@ -677,6 +694,9 @@ void RunTelemetrySession::finish(const CampaignProgress& progress) {
     report.fingerprint = fingerprint_;
     report.workers = workers_;
     report.lanes = lanes_;
+    report.revision = git_revision();
+    report.hostname = host_name();
+    report.utc = utc_timestamp();
     report.wall_seconds =
         static_cast<double>(steady_ns() - wall_start_ns_) * 1e-9;
     report.cpu_seconds = telemetry::process_cpu_seconds() - cpu_start_;

@@ -40,9 +40,12 @@ namespace glitchmask::eval {
 inline constexpr const char* kRunReportSchema = "glitchmask.run_report";
 /// v2 added the optional "attribution" section (per-net culprit summary);
 /// v3 adds the optional "histograms" (sparse latency-histogram dump) and
-/// "spans" (per-name trace rollup) sections.  The reader accepts v1/v2
-/// files -- absent sections read back empty/disabled.
-inline constexpr std::uint32_t kRunReportVersion = 3;
+/// "spans" (per-name trace rollup) sections; v4 adds run attribution --
+/// "revision", "hostname", "utc" (support/runenv.hpp) -- so the cross-run
+/// ledger (obs/ledger.hpp) can key history by where and when a report was
+/// produced.  The reader accepts v1-v3 files -- absent sections/fields
+/// read back empty/disabled.
+inline constexpr std::uint32_t kRunReportVersion = 4;
 
 /// One culprit row of the report's attribution section (a flat copy of
 /// leakage::NetAttribution, kept here so the report schema does not pull
@@ -83,6 +86,11 @@ struct RunReport {
     CampaignFingerprint fingerprint;
     unsigned workers = 0;
     unsigned lanes = 0;
+    /// v4 run attribution (support/runenv.hpp); "" in v1-v3 files and
+    /// when the producer could not resolve a value.
+    std::string revision;                 // git commit of the producer
+    std::string hostname;
+    std::string utc;                      // "YYYY-MM-DDTHH:MM:SSZ"
     double wall_seconds = 0.0;
     double cpu_seconds = 0.0;             // user+sys, all threads
     bool telemetry_enabled = false;
@@ -150,6 +158,12 @@ struct JsonValue {
 /// Parses one JSON document (object/array/scalar); throws
 /// std::runtime_error with a byte offset on malformed input.
 [[nodiscard]] JsonValue parse_json(std::string_view text);
+
+/// Decodes a parsed report document (any accepted schema version); throws
+/// std::runtime_error on schema violations.  Exposed so the ledger can
+/// ingest report *text* it obtained elsewhere (a spool, a socket) without
+/// a temp file; read_run_report delegates here.
+[[nodiscard]] RunReport decode_run_report(const JsonValue& root);
 
 /// Reads back a report written by write_run_report; nullopt when the
 /// file does not exist.  Throws on unreadable files, malformed JSON or a

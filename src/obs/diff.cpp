@@ -1,0 +1,168 @@
+#include "obs/diff.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+
+namespace glitchmask::obs {
+
+namespace {
+
+/// Bit-exact double equality: distinguishes -0.0 from 0.0 and treats a
+/// NaN as equal to the same NaN bit pattern -- "did the producer emit the
+/// same bits", not IEEE ==.
+bool same_bits(double a, double b) {
+    return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+FieldDiff field(std::string name, double before, double after,
+                bool identical) {
+    FieldDiff d;
+    d.name = std::move(name);
+    d.before = before;
+    d.after = after;
+    d.bit_identical = identical;
+    return d;
+}
+
+const LedgerNet* find_net(const LedgerEntry& entry, const std::string& name) {
+    for (const LedgerNet& net : entry.attribution)
+        if (net.name == name) return &net;
+    return nullptr;
+}
+
+std::string format_value(double value) {
+    char buffer[40];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    return buffer;
+}
+
+}  // namespace
+
+EntryDiff diff_entries(const LedgerEntry& before, const LedgerEntry& after) {
+    EntryDiff diff;
+    diff.same_fingerprint = before.fingerprint == after.fingerprint;
+
+    diff.leakage.push_back(field("max_abs_t1", before.max_abs_t1,
+                                 after.max_abs_t1,
+                                 same_bits(before.max_abs_t1,
+                                           after.max_abs_t1)));
+    diff.leakage.push_back(field("toggles",
+                                 static_cast<double>(before.toggles),
+                                 static_cast<double>(after.toggles),
+                                 before.toggles == after.toggles));
+    // Higher-order t statistics ride in the metrics bag; compare any the
+    // two entries share (a leakage metric present on only one side is a
+    // table-membership change, handled below for nets and ignored here).
+    for (const auto& [name, value] : before.metrics) {
+        if (name.rfind("max_abs_t_order", 0) != 0 || name == "max_abs_t_order1")
+            continue;
+        for (const auto& [other_name, other_value] : after.metrics)
+            if (other_name == name)
+                diff.leakage.push_back(
+                    field(name, value, other_value,
+                          same_bits(value, other_value)));
+    }
+
+    // Per-net rows, in `before`'s ranking order; then table membership.
+    bool table_identical = before.attribution.size() == after.attribution.size();
+    for (std::size_t i = 0; i < before.attribution.size(); ++i) {
+        const LedgerNet& net = before.attribution[i];
+        const LedgerNet* other = find_net(after, net.name);
+        if (other == nullptr) {
+            diff.net_changes.push_back(NetChange{net.name, false, net.max_abs_t});
+            table_identical = false;
+            continue;
+        }
+        const bool identical = same_bits(net.max_abs_t, other->max_abs_t) &&
+                               net.toggles == other->toggles &&
+                               net.glitches == other->glitches;
+        diff.leakage.push_back(field("net:" + net.name, net.max_abs_t,
+                                     other->max_abs_t, identical));
+        table_identical &= identical;
+        // Rank moves matter even when the statistics match: the ranked
+        // table IS the culprit ordering the paper's analysis reads.
+        if (i < after.attribution.size() &&
+            after.attribution[i].name != net.name)
+            table_identical = false;
+    }
+    for (const LedgerNet& net : after.attribution)
+        if (find_net(before, net.name) == nullptr) {
+            diff.net_changes.push_back(NetChange{net.name, true, net.max_abs_t});
+            table_identical = false;
+        }
+
+    diff.leakage_identical = table_identical;
+    for (const FieldDiff& f : diff.leakage)
+        diff.leakage_identical &= f.bit_identical;
+
+    // Side-by-side timings: never judged here (see obs/regression.hpp).
+    diff.timings.push_back(field("wall_seconds", before.wall_seconds,
+                                 after.wall_seconds,
+                                 same_bits(before.wall_seconds,
+                                           after.wall_seconds)));
+    diff.timings.push_back(field("cpu_seconds", before.cpu_seconds,
+                                 after.cpu_seconds,
+                                 same_bits(before.cpu_seconds,
+                                           after.cpu_seconds)));
+    for (const LedgerPhase& phase : before.phases) {
+        double other_cpu = 0.0;
+        for (const LedgerPhase& other : after.phases)
+            if (other.name == phase.name) other_cpu = other.cpu_seconds;
+        diff.timings.push_back(field("phase_cpu:" + phase.name,
+                                     phase.cpu_seconds, other_cpu,
+                                     same_bits(phase.cpu_seconds, other_cpu)));
+    }
+    for (const LedgerPhase& phase : after.phases) {
+        bool seen = false;
+        for (const LedgerPhase& other : before.phases)
+            seen |= other.name == phase.name;
+        if (!seen)
+            diff.timings.push_back(field("phase_cpu:" + phase.name, 0.0,
+                                         phase.cpu_seconds, false));
+    }
+    return diff;
+}
+
+std::string render_diff_markdown(const LedgerEntry& before,
+                                 const LedgerEntry& after,
+                                 const EntryDiff& diff) {
+    std::string out;
+    out += "## Ledger diff: " + after.campaign + "\n\n";
+    out += "- fingerprint: " + fingerprint_key(after.fingerprint) +
+           (diff.same_fingerprint ? "" : "  **(MISMATCH vs before!)**") + "\n";
+    out += "- before: revision `" +
+           (before.revision.empty() ? "?" : before.revision) + "` on " +
+           (before.host.empty() ? "?" : before.host) + " at " +
+           (before.utc.empty() ? "?" : before.utc) + "\n";
+    out += "- after:  revision `" +
+           (after.revision.empty() ? "?" : after.revision) + "` on " +
+           (after.host.empty() ? "?" : after.host) + " at " +
+           (after.utc.empty() ? "?" : after.utc) + "\n\n";
+    out += diff.leakage_identical
+               ? "**Leakage: bit-identical.**\n\n"
+               : "**Leakage: CHANGED.**\n\n";
+    out += "| field | before | after | verdict |\n";
+    out += "|---|---|---|---|\n";
+    for (const FieldDiff& f : diff.leakage)
+        out += "| " + f.name + " | " + format_value(f.before) + " | " +
+               format_value(f.after) + " | " +
+               (f.bit_identical ? "bit-identical" : "**changed**") + " |\n";
+    if (!diff.net_changes.empty()) {
+        out += "\nAttribution table membership:\n";
+        for (const NetChange& change : diff.net_changes)
+            out += std::string("- ") + (change.entered ? "entered" : "left") +
+                   ": " + change.name + " (max|t| " +
+                   format_value(change.max_abs_t) + ")\n";
+    }
+    out += "\nTimings (side by side; judged only against history -- see "
+           "`glitchmask_ledger trend`):\n\n";
+    out += "| metric | before | after |\n";
+    out += "|---|---|---|\n";
+    for (const FieldDiff& f : diff.timings)
+        out += "| " + f.name + " | " + format_value(f.before) + " | " +
+               format_value(f.after) + " |\n";
+    return out;
+}
+
+}  // namespace glitchmask::obs

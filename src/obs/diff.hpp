@@ -1,0 +1,68 @@
+// Entry-vs-entry comparison: did the *result* change, and did the cost?
+//
+// Leakage facts are deterministic by construction (the counter-based
+// per-trace RNG makes every campaign a pure function of its fingerprint),
+// so two same-fingerprint runs must agree on max|t1|, the toggle count
+// and the attribution table to the BIT -- any deviation is a real change
+// (an intentional algorithm change, or a nondeterminism bug), never
+// noise.  diff_entries() therefore compares leakage fields with
+// std::bit_cast, not epsilons, and reports per-field bit_identical /
+// changed verdicts plus the nets that entered or left the culprit table.
+// Timings are the opposite -- always noisy -- so the diff only *reports*
+// them side by side; judging them needs history and lives in
+// obs/regression.hpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/ledger.hpp"
+
+namespace glitchmask::obs {
+
+/// One exactly-compared leakage field.
+struct FieldDiff {
+    std::string name;        // "max_abs_t1", "toggles", "net:<name>", ...
+    bool bit_identical = false;
+    double before = 0.0;     // exact for u64 fields below 2^53
+    double after = 0.0;
+
+    friend bool operator==(const FieldDiff&, const FieldDiff&) = default;
+};
+
+/// Attribution-table membership change: a net that entered or left the
+/// ranked culprit table between the two entries.
+struct NetChange {
+    std::string name;
+    bool entered = false;  // false = left
+    double max_abs_t = 0.0;
+
+    friend bool operator==(const NetChange&, const NetChange&) = default;
+};
+
+struct EntryDiff {
+    bool same_fingerprint = false;
+    /// Every leakage field bit-identical AND the attribution table
+    /// unchanged (same nets, same order, same per-net statistics).
+    bool leakage_identical = false;
+    std::vector<FieldDiff> leakage;   // exact comparisons, fixed order
+    std::vector<NetChange> net_changes;
+    /// Side-by-side timings (never judged here -- see obs/regression.hpp):
+    /// wall/cpu seconds plus one row per phase present on either side.
+    std::vector<FieldDiff> timings;
+
+    friend bool operator==(const EntryDiff&, const EntryDiff&) = default;
+};
+
+/// Compares `after` against `before`.  Pure; field order in the result is
+/// fixed (leakage fields first by schema order, then per-net rows in
+/// `before`'s ranking order), so identical inputs render identically.
+[[nodiscard]] EntryDiff diff_entries(const LedgerEntry& before,
+                                     const LedgerEntry& after);
+
+/// Human-readable markdown rendering of a diff (deterministic).
+[[nodiscard]] std::string render_diff_markdown(const LedgerEntry& before,
+                                               const LedgerEntry& after,
+                                               const EntryDiff& diff);
+
+}  // namespace glitchmask::obs

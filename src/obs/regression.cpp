@@ -1,0 +1,189 @@
+#include "obs/regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <string_view>
+
+#include "obs/diff.hpp"
+
+namespace glitchmask::obs {
+
+namespace {
+
+bool contains(const std::string& haystack, const char* needle) {
+    return haystack.find(needle) != std::string::npos;
+}
+
+double median_of(std::vector<double> values) {
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    if (n == 0) return 0.0;
+    return n % 2 == 1 ? values[n / 2]
+                      : (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+/// The candidate-side value of one judged metric in a history entry;
+/// nullopt when that entry never recorded it (older schema, different
+/// producer) -- absent is "no sample", never "zero".
+std::optional<double> metric_value(const LedgerEntry& entry,
+                                   const std::string& name) {
+    if (name == "wall_seconds") return entry.wall_seconds;
+    if (name == "cpu_seconds") return entry.cpu_seconds;
+    constexpr std::string_view kPhasePrefix = "phase_cpu:";
+    if (name.rfind(kPhasePrefix, 0) == 0) {
+        const std::string phase = name.substr(kPhasePrefix.size());
+        for (const LedgerPhase& p : entry.phases)
+            if (p.name == phase) return p.cpu_seconds;
+        return std::nullopt;
+    }
+    for (const auto& [metric, value] : entry.metrics)
+        if (metric == name) return value;
+    return std::nullopt;
+}
+
+std::string format_value(double value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.6g", value);
+    return buffer;
+}
+
+}  // namespace
+
+bool metric_higher_is_better(const std::string& name) {
+    return contains(name, "per_sec") || contains(name, "speedup") ||
+           name == "deterministic";
+}
+
+bool metric_is_leakage(const std::string& name) {
+    return name.rfind("max_abs_t", 0) == 0 || name == "toggles" ||
+           name.rfind("net:", 0) == 0;
+}
+
+MetricJudgement judge_metric(const std::string& name, double value,
+                             const std::vector<double>& samples,
+                             const RegressionRule& rule) {
+    MetricJudgement judgement;
+    judgement.name = name;
+    judgement.value = value;
+    judgement.history = samples.size();
+    if (samples.size() < rule.min_history) {
+        judgement.verdict = MetricVerdict::kNoHistory;
+        return judgement;
+    }
+    judgement.median = median_of(samples);
+    std::vector<double> deviations;
+    deviations.reserve(samples.size());
+    for (const double sample : samples)
+        deviations.push_back(std::fabs(sample - judgement.median));
+    judgement.mad = median_of(std::move(deviations));
+    judgement.threshold = std::max(
+        {rule.mad_k * judgement.mad,
+         rule.deadband_rel * std::fabs(judgement.median), rule.deadband_abs});
+    const double delta = value - judgement.median;
+    if (std::fabs(delta) <= judgement.threshold) {
+        judgement.verdict = MetricVerdict::kStable;
+    } else if (metric_higher_is_better(name)) {
+        judgement.verdict =
+            delta > 0 ? MetricVerdict::kImproved : MetricVerdict::kRegressed;
+    } else {
+        judgement.verdict =
+            delta > 0 ? MetricVerdict::kRegressed : MetricVerdict::kImproved;
+    }
+    return judgement;
+}
+
+RegressionReport evaluate_candidate(const LedgerEntry& candidate,
+                                    std::vector<LedgerEntry> history,
+                                    const RegressionRule& rule) {
+    RegressionReport report;
+    report.fingerprint = fingerprint_key(candidate.fingerprint);
+    report.campaign = candidate.campaign;
+
+    // Only finished runs of the *same* campaign identity are evidence.
+    std::erase_if(history, [&](const LedgerEntry& entry) {
+        return !(entry.fingerprint == candidate.fingerprint) ||
+               entry.status != "completed";
+    });
+    // Canonical order makes the whole evaluation a pure function of the
+    // history *set*: the window and the leakage baseline land on the same
+    // entries for any arrival interleaving.
+    sort_ledger(history);
+    if (history.size() > rule.window)
+        history.erase(history.begin(),
+                      history.end() - static_cast<std::ptrdiff_t>(rule.window));
+
+    // Leakage: bit-exact vs the most recent history entry -- noise rules
+    // never apply to deterministic facts.
+    if (!history.empty()) {
+        report.leakage_checked = true;
+        const EntryDiff diff = diff_entries(history.back(), candidate);
+        report.leakage_changed = !diff.leakage_identical;
+        for (const FieldDiff& f : diff.leakage)
+            if (!f.bit_identical) report.leakage_changes.push_back(f.name);
+        for (const NetChange& change : diff.net_changes)
+            report.leakage_changes.push_back(
+                std::string(change.entered ? "net entered: " : "net left: ") +
+                change.name);
+    }
+
+    // Perf metrics, fixed order: the two clocks, the candidate's phases,
+    // then its remaining (non-leakage) metrics.
+    std::vector<std::string> names = {"wall_seconds", "cpu_seconds"};
+    for (const LedgerPhase& phase : candidate.phases)
+        names.push_back("phase_cpu:" + phase.name);
+    for (const auto& [name, value] : candidate.metrics)
+        if (!metric_is_leakage(name)) names.push_back(name);
+
+    for (const std::string& name : names) {
+        const std::optional<double> value = metric_value(candidate, name);
+        if (!value.has_value()) continue;
+        std::vector<double> samples;
+        samples.reserve(history.size());
+        for (const LedgerEntry& entry : history)
+            if (const std::optional<double> sample = metric_value(entry, name))
+                samples.push_back(*sample);
+        report.metrics.push_back(judge_metric(name, *value, samples, rule));
+    }
+
+    report.regressed = report.leakage_changed;
+    for (const MetricJudgement& judgement : report.metrics)
+        report.regressed |= judgement.verdict == MetricVerdict::kRegressed;
+    return report;
+}
+
+std::string render_regression_markdown(const RegressionReport& report) {
+    std::string out;
+    out += "## Regression radar: " + report.campaign + "\n\n";
+    out += "- fingerprint: " + report.fingerprint + "\n";
+    if (!report.leakage_checked) {
+        out += "- leakage: no history to compare against\n";
+    } else if (report.leakage_changed) {
+        out += "- leakage: **CHANGED** (";
+        for (std::size_t i = 0; i < report.leakage_changes.size(); ++i) {
+            if (i != 0) out += ", ";
+            out += report.leakage_changes[i];
+        }
+        out += ")\n";
+    } else {
+        out += "- leakage: bit-identical to the most recent run\n";
+    }
+    out += std::string("- overall: ") +
+           (report.regressed ? "**REGRESSED**" : "ok") + "\n\n";
+    out += "| metric | value | median | MAD | threshold | n | verdict |\n";
+    out += "|---|---|---|---|---|---|---|\n";
+    for (const MetricJudgement& j : report.metrics) {
+        out += "| " + j.name + " | " + format_value(j.value) + " | " +
+               format_value(j.median) + " | " + format_value(j.mad) + " | " +
+               format_value(j.threshold) + " | " + std::to_string(j.history) +
+               " | ";
+        out += j.verdict == MetricVerdict::kRegressed
+                   ? "**regressed**"
+                   : metric_verdict_name(j.verdict);
+        out += " |\n";
+    }
+    return out;
+}
+
+}  // namespace glitchmask::obs

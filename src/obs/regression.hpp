@@ -1,0 +1,120 @@
+// The regression radar: judge a candidate entry against its rolling
+// same-fingerprint history with a deterministic noise-aware rule.
+//
+// Timings are noisy, so "after != before" is meaningless; but CI still
+// needs a yes/no answer.  The rule: for each metric, take the last N
+// completed same-fingerprint history entries (canonical ledger order --
+// see sort_ledger), compute the median and the MAD (median absolute
+// deviation), and set the acceptance band to
+//
+//   threshold = max(mad_k * MAD, deadband_rel * |median|, deadband_abs)
+//
+// A candidate outside [median - threshold, median + threshold] is
+// `regressed` or `improved` depending on the metric's direction
+// (wall/cpu/phase seconds: lower is better; *_per_sec / *speedup*:
+// higher is better); inside the band it is `stable`.  Fewer than
+// min_history usable entries yields `no_history` -- never a verdict on
+// thin evidence.  The MAD term adapts the band to the machine's actual
+// jitter; the deadbands stop a microsecond-stable metric from flagging
+// microsecond wiggles, and mad_k * MAD == 0 history (bit-stable metrics)
+// still gets the deadband.
+//
+// Everything here is a pure function of its inputs: evaluate_candidate
+// sorts its own copy of the history canonically, so ANY arrival
+// interleaving of the same entries -- concurrent writers, shuffled
+// ingest -- produces a byte-identical report (asserted in tests and
+// gated in ci.sh).  Leakage fields never go through this rule: they are
+// compared bit-exactly (obs/diff.hpp), and any change is `leakage_changed`
+// regardless of magnitude.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/ledger.hpp"
+
+namespace glitchmask::obs {
+
+enum class MetricVerdict { kImproved, kStable, kRegressed, kNoHistory };
+
+[[nodiscard]] constexpr const char* metric_verdict_name(
+    MetricVerdict verdict) noexcept {
+    switch (verdict) {
+        case MetricVerdict::kImproved: return "improved";
+        case MetricVerdict::kStable: return "stable";
+        case MetricVerdict::kRegressed: return "regressed";
+        case MetricVerdict::kNoHistory: return "no_history";
+    }
+    return "unknown";
+}
+
+struct RegressionRule {
+    std::size_t window = 8;       // last N same-fingerprint entries
+    std::size_t min_history = 3;  // fewer -> kNoHistory
+    double mad_k = 4.0;           // band half-width in MADs
+    double deadband_rel = 0.05;   // ... but never under 5% of the median
+    double deadband_abs = 1e-6;   // ... nor under 1 microsecond/unit
+};
+
+/// Per-metric judgement against the history window.
+struct MetricJudgement {
+    std::string name;
+    MetricVerdict verdict = MetricVerdict::kNoHistory;
+    double value = 0.0;      // the candidate's value
+    double median = 0.0;     // history median (0 when no history)
+    double mad = 0.0;        // history MAD
+    double threshold = 0.0;  // resolved acceptance half-width
+    std::size_t history = 0; // usable history entries
+
+    friend bool operator==(const MetricJudgement&,
+                           const MetricJudgement&) = default;
+};
+
+struct RegressionReport {
+    std::string fingerprint;  // 80-hex key the history was filtered by
+    std::string campaign;
+    /// Leakage vs the most recent history entry (bit-exact, never noise-
+    /// judged); absent (equal = true, fields empty) with no history.
+    bool leakage_checked = false;
+    bool leakage_changed = false;
+    std::vector<std::string> leakage_changes;  // names of changed fields
+    std::vector<MetricJudgement> metrics;      // fixed order
+    /// Any metric regressed or leakage changed.
+    bool regressed = false;
+
+    friend bool operator==(const RegressionReport&,
+                           const RegressionReport&) = default;
+};
+
+/// True when the rule should treat larger values of `name` as better
+/// (throughput/speedup metrics) rather than worse (time/overhead).
+[[nodiscard]] bool metric_higher_is_better(const std::string& name);
+
+/// True for metric names the perf rule must never judge (leakage facts:
+/// max_abs_t*, toggles -- they are bit-compared instead).
+[[nodiscard]] bool metric_is_leakage(const std::string& name);
+
+/// Judges one metric value against its history samples.  Pure; `samples`
+/// must already be in canonical history order (oldest first) -- the
+/// median/MAD are order-independent, the windowing is not.
+[[nodiscard]] MetricJudgement judge_metric(const std::string& name,
+                                           double value,
+                                           const std::vector<double>& samples,
+                                           const RegressionRule& rule);
+
+/// Judges `candidate` against `history` (any order; filtered internally
+/// to completed entries with the candidate's fingerprint, sorted
+/// canonically, excluding entries identical to the candidate's canonical
+/// text is NOT done -- re-ingesting the same run twice is legitimate
+/// history).  Pure: byte-identical report for any permutation of
+/// `history`.
+[[nodiscard]] RegressionReport evaluate_candidate(
+    const LedgerEntry& candidate, std::vector<LedgerEntry> history,
+    const RegressionRule& rule);
+
+/// Deterministic markdown rendering (the `glitchmask_ledger trend`
+/// report body; byte-identical for equal reports).
+[[nodiscard]] std::string render_regression_markdown(
+    const RegressionReport& report);
+
+}  // namespace glitchmask::obs

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "obs/ledger.hpp"
 #include "service/json_writer.hpp"
 
 namespace glitchmask::service {
@@ -202,18 +203,9 @@ eval::CampaignFingerprint request_fingerprint(const CampaignRequest& request) {
 }
 
 std::string fingerprint_hex(const eval::CampaignFingerprint& fingerprint) {
-    const std::uint64_t words[5] = {fingerprint.kind, fingerprint.seed,
-                                    fingerprint.traces, fingerprint.block_size,
-                                    fingerprint.payload};
-    std::string hex;
-    hex.reserve(80);
-    for (const std::uint64_t word : words) {
-        char buffer[20];
-        std::snprintf(buffer, sizeof buffer, "%016llx",
-                      static_cast<unsigned long long>(word));
-        hex += buffer;
-    }
-    return hex;
+    // One canonical spelling: the ledger's history lookups and the
+    // daemon's cache/spool keys must agree on the hex form.
+    return obs::fingerprint_key(fingerprint);
 }
 
 std::string encode_request(const CampaignRequest& request) {

@@ -80,8 +80,9 @@ struct CampaignRequest {
 [[nodiscard]] eval::CampaignFingerprint request_fingerprint(
     const CampaignRequest& request);
 
-/// 40 lowercase hex digits of the five fingerprint words -- spool file
-/// stem and the wire form of the cache key.
+/// 80 lowercase hex digits of the five fingerprint words -- spool file
+/// stem, the wire form of the cache key, and the ledger's history key
+/// (delegates to obs::fingerprint_key so all three agree).
 [[nodiscard]] std::string fingerprint_hex(
     const eval::CampaignFingerprint& fingerprint);
 

@@ -25,6 +25,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/ledger.hpp"
 #include "service/protocol.hpp"
 #include "service/service.hpp"
 #include "service/socket_server.hpp"
@@ -57,6 +58,9 @@ void usage(const char* argv0) {
         "                    JSON per terminal job (job-<id>.trace.json)\n"
         "  --metrics-file P  enable telemetry; atomically refresh a\n"
         "                    Prometheus-text exposition file while serving\n"
+        "  --ledger PATH     append every executed terminal job to the\n"
+        "                    CRC-guarded NDJSON results ledger and serve\n"
+        "                    the 'history' verb from it\n"
         "  --faults SPEC     install a deterministic fault plan\n",
         argv0);
 }
@@ -123,6 +127,8 @@ int main(int argc, char** argv) {
             service_config.trace_dir = next();
         } else if (arg == "--metrics-file") {
             metrics_file = next();
+        } else if (arg == "--ledger") {
+            service_config.ledger_path = next();
         } else if (arg == "--faults") {
             faults = next();
         } else if (arg == "--help" || arg == "-h") {
@@ -281,6 +287,37 @@ int main(int argc, char** argv) {
                                    campaign_service.metrics_info()),
                     false);
                 break;
+            case ClientCommand::Op::History: {
+                if (service_config.ledger_path.empty()) {
+                    (void)server.send(client,
+                                      encode_rejected("no ledger configured"),
+                                      false);
+                    return;
+                }
+                // Re-read per request: the ledger is append-only and the
+                // reader skips torn tails, so a concurrent append is
+                // harmless and the reply is always current.
+                obs::LedgerFile ledger;
+                try {
+                    ledger = obs::read_ledger(service_config.ledger_path);
+                } catch (const std::exception& error) {
+                    (void)server.send(client, encode_rejected(error.what()),
+                                      false);
+                    return;
+                }
+                std::erase_if(ledger.entries,
+                              [&](const obs::LedgerEntry& entry) {
+                                  return obs::fingerprint_key(
+                                             entry.fingerprint) !=
+                                         command.fingerprint;
+                              });
+                obs::sort_ledger(ledger.entries);
+                (void)server.send(
+                    client,
+                    encode_history(command.fingerprint, ledger.entries),
+                    false);
+                break;
+            }
             case ClientCommand::Op::Shutdown:
                 (void)server.send(client, encode_shutting_down(), false);
                 if (command.drain) {

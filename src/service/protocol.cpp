@@ -95,6 +95,16 @@ ClientCommand parse_client_command(const std::string& line) {
         command.op = ClientCommand::Op::Metrics;
         return command;
     }
+    if (op->string == "history") {
+        command.op = ClientCommand::Op::History;
+        const eval::JsonValue* fp = json.find("fingerprint");
+        if (fp == nullptr || fp->kind != eval::JsonValue::Kind::kString ||
+            fp->string.empty())
+            throw std::runtime_error(
+                "'history' needs a string member 'fingerprint'");
+        command.fingerprint = fp->string;
+        return command;
+    }
     if (op->string == "shutdown") {
         command.op = ClientCommand::Op::Shutdown;
         if (const eval::JsonValue* drain = json.find("drain");
@@ -247,6 +257,32 @@ std::string encode_metrics(const telemetry::Snapshot& snapshot,
     w.member("spool_bytes", info.spool_bytes);
     w.end_object();
 
+    w.end_object();
+    return finish_line(w);
+}
+
+std::string encode_history(const std::string& fingerprint_hex,
+                           const std::vector<obs::LedgerEntry>& entries) {
+    JsonWriter w;
+    w.begin_object();
+    w.member("event", "history");
+    w.member("fingerprint", fingerprint_hex);
+    w.key("entries");
+    w.begin_array();
+    for (const obs::LedgerEntry& entry : entries) {
+        w.begin_object();
+        w.member("source", entry.source);
+        w.member("campaign", entry.campaign);
+        w.member("status", entry.status);
+        w.member("revision", entry.revision);
+        w.member("host", entry.host);
+        w.member("utc", entry.utc);
+        w.member("wall_seconds", entry.wall_seconds);
+        w.member("max_abs_t1", entry.max_abs_t1);
+        w.member("toggles", entry.toggles);
+        w.end_object();
+    }
+    w.end_array();
     w.end_object();
     return finish_line(w);
 }

@@ -8,6 +8,7 @@
 //   {"op":"cancel", "job":N}
 //   {"op":"stats"}
 //   {"op":"metrics"}
+//   {"op":"history", "fingerprint":"<80 hex>"}
 //   {"op":"shutdown", "drain":true}
 //
 // Responses and asynchronous events (one object per line, "event"
@@ -24,6 +25,7 @@
 //   {"event":"stats",     ...}
 //   {"event":"metrics",   "counters":{...}, "histograms":{...},
 //                         "gauges":{...}, "service":{...}}
+//   {"event":"history",   "fingerprint":"...", "entries":[{...},...]}
 //   {"event":"shutting_down"}
 //
 // Terminal result/status events for jobs that carry a span rollup also
@@ -39,7 +41,9 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "obs/ledger.hpp"
 #include "service/campaign_request.hpp"
 #include "service/service.hpp"
 #include "support/telemetry.hpp"
@@ -48,10 +52,13 @@ namespace glitchmask::service {
 
 /// One parsed client line.
 struct ClientCommand {
-    enum class Op { Submit, Status, Cancel, Stats, Metrics, Shutdown };
+    enum class Op {
+        Submit, Status, Cancel, Stats, Metrics, History, Shutdown
+    };
     Op op = Op::Stats;
     std::optional<CampaignRequest> request;  // Submit
     std::uint64_t job_id = 0;                // Status / Cancel
+    std::string fingerprint;                 // History (80-hex ledger key)
     bool drain = true;                       // Shutdown
 };
 
@@ -76,6 +83,14 @@ struct ClientCommand {
 [[nodiscard]] std::string encode_metrics(
     const telemetry::Snapshot& snapshot,
     const CampaignService::MetricsInfo& info);
+/// The ledger's view of one fingerprint: every matching entry in
+/// canonical (oldest-first) order, each reduced to the fields a client
+/// table needs (status, wall time, revision, host, utc, campaign,
+/// leakage headline).  `entries` must already be filtered and sorted --
+/// the encoder renders, it does not select.
+[[nodiscard]] std::string encode_history(
+    const std::string& fingerprint_hex,
+    const std::vector<obs::LedgerEntry>& entries);
 [[nodiscard]] std::string encode_shutting_down();
 
 }  // namespace glitchmask::service

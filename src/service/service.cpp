@@ -7,10 +7,12 @@
 #include <iterator>
 #include <unordered_set>
 
+#include "obs/ledger.hpp"
 #include "support/atomic_file.hpp"
 #include "support/campaign_error.hpp"
 #include "support/fault.hpp"
 #include "support/log.hpp"
+#include "support/runenv.hpp"
 #include "support/telemetry.hpp"
 
 namespace glitchmask::service {
@@ -609,6 +611,36 @@ void CampaignService::run_job(const JobPtr& job) {
                 {"queue_wait", 1, job->start_ns - job->submit_ns});
     }
     finish_job(job, state, std::move(spans));
+
+    // Cross-run ledger: one entry per executed job (after finish_job so a
+    // slow append never delays waiters).  Best-effort -- history must not
+    // fail jobs.
+    if (!config_.ledger_path.empty() && started) {
+        obs::LedgerEntry entry;
+        entry.source = "service";
+        entry.campaign = campaign_kind_name(job->request.kind);
+        entry.fingerprint = job->fingerprint;
+        entry.revision = git_revision();
+        entry.host = host_name();
+        entry.utc = utc_timestamp();
+        entry.status = job_state_name(state);
+        entry.workers = job->request.workers;
+        entry.lanes = job->request.lanes;
+        entry.wall_seconds =
+            static_cast<double>(exec_end - exec_begin) * 1e-9;
+        for (const auto& [name, value] : job->outcome.metrics) {
+            if (name == "max_abs_t_order1") entry.max_abs_t1 = value;
+            if (name == "toggles" && value >= 0.0)
+                entry.toggles = static_cast<std::uint64_t>(value);
+            entry.metrics.emplace_back(name, value);
+        }
+        try {
+            obs::append_ledger(config_.ledger_path, entry);
+        } catch (const std::exception& error) {
+            log::warn(std::string("service: cannot append ledger: ") +
+                      error.what());
+        }
+    }
 }
 
 void CampaignService::finish_job(const JobPtr& job, JobState state,

@@ -69,6 +69,13 @@ struct ServiceConfig {
     /// <trace_dir>/job-<id>.trace.json when trace collection is on.
     /// Empty = no files (span summaries still ride the job status).
     std::string trace_dir;
+    /// Cross-run results ledger (obs/ledger.hpp): every *executed*
+    /// primary job reaching a terminal state appends one entry here,
+    /// stamped with this host/revision/UTC.  Cache hits and coalesced
+    /// followers are deliberately not appended -- they did not re-run
+    /// the campaign, and their near-zero wall times would poison the
+    /// perf history the regression radar judges.  Empty = no ledger.
+    std::string ledger_path;
 };
 
 enum class JobState {

@@ -22,6 +22,7 @@
 #include <sys/stat.h>
 
 #include "eval/run_report.hpp"
+#include "obs/ledger.hpp"
 #include "service/protocol.hpp"
 #include "service/service.hpp"
 #include "support/atomic_file.hpp"
@@ -227,6 +228,11 @@ TEST(Protocol, ParsesEveryOp) {
     EXPECT_EQ(parse_client_command("{\"op\":\"metrics\"}").op,
               ClientCommand::Op::Metrics);
 
+    const ClientCommand history = parse_client_command(
+        "{\"op\":\"history\",\"fingerprint\":\"abc123\"}");
+    EXPECT_EQ(history.op, ClientCommand::Op::History);
+    EXPECT_EQ(history.fingerprint, "abc123");
+
     const ClientCommand shutdown =
         parse_client_command("{\"op\":\"shutdown\",\"drain\":false}");
     EXPECT_EQ(shutdown.op, ClientCommand::Op::Shutdown);
@@ -246,6 +252,42 @@ TEST(Protocol, RejectsMalformedLines) {
     EXPECT_THROW(
         (void)parse_client_command("{\"op\":\"submit\",\"kind\":\"x\"}"),
         std::runtime_error);
+    EXPECT_THROW((void)parse_client_command("{\"op\":\"history\"}"),
+                 std::runtime_error);
+    EXPECT_THROW((void)parse_client_command(
+                     "{\"op\":\"history\",\"fingerprint\":\"\"}"),
+                 std::runtime_error);
+}
+
+TEST(Protocol, HistoryEncoderRoundTripsThroughTheJsonReader) {
+    obs::LedgerEntry entry;
+    entry.source = "service";
+    entry.campaign = "gadget_tvla";
+    entry.status = "completed";
+    entry.revision = "cafe";
+    entry.host = "rig";
+    entry.utc = "2026-08-09T12:00:00Z";
+    entry.wall_seconds = 1.25;
+    entry.max_abs_t1 = 3.5;
+    entry.toggles = 0xFFFFFFFFFFFFFFFFull;
+
+    const eval::JsonValue reply =
+        eval::parse_json(encode_history("ab12", {entry, entry}));
+    EXPECT_EQ(reply.find("event")->string, "history");
+    EXPECT_EQ(reply.find("fingerprint")->string, "ab12");
+    const eval::JsonValue* entries = reply.find("entries");
+    ASSERT_NE(entries, nullptr);
+    ASSERT_EQ(entries->array.size(), 2u);
+    EXPECT_EQ(entries->array[0].find("status")->string, "completed");
+    EXPECT_EQ(entries->array[0].find("revision")->string, "cafe");
+    EXPECT_EQ(entries->array[0].find("wall_seconds")->as_number(), 1.25);
+    EXPECT_EQ(entries->array[0].find("toggles")->unsigned_value,
+              0xFFFFFFFFFFFFFFFFull);
+
+    const eval::JsonValue empty =
+        eval::parse_json(encode_history("ab12", {}));
+    ASSERT_NE(empty.find("entries"), nullptr);
+    EXPECT_TRUE(empty.find("entries")->array.empty());
 }
 
 TEST(Protocol, EventEncodersRoundTripThroughTheJsonReader) {
@@ -480,6 +522,42 @@ TEST_F(ServiceTest, OverloadIsAnExplicitRejection) {
     svc.wait_idle();
     EXPECT_EQ(svc.stats().executed, 2u);
     svc.shutdown(false);
+}
+
+TEST_F(ServiceTest, LedgerRecordsExecutedJobsButNotCacheHits) {
+    const std::string ledger =
+        ::testing::TempDir() + "glitchmask_service_ledger.ndjson";
+    std::remove(ledger.c_str());
+    ServiceConfig config = service_config(1);
+    config.ledger_path = ledger;
+    CampaignService svc(config);
+
+    const CampaignRequest request = small_gadget_request(150);
+    const auto first = svc.submit(request);
+    ASSERT_EQ(first.kind, CampaignService::SubmitResult::Kind::Accepted);
+    svc.wait_idle();
+    const auto second = svc.submit(request);  // cache hit: no new entry
+    ASSERT_EQ(second.kind, CampaignService::SubmitResult::Kind::Accepted);
+    svc.wait_idle();
+    svc.shutdown(false);
+
+    const obs::LedgerFile file = obs::read_ledger(ledger);
+    EXPECT_EQ(file.corrupt_lines, 0u);
+    ASSERT_EQ(file.entries.size(), 1u);
+    const obs::LedgerEntry& entry = file.entries[0];
+    EXPECT_EQ(entry.source, "service");
+    EXPECT_EQ(entry.campaign, "gadget_tvla");
+    EXPECT_EQ(entry.status, "completed");
+    EXPECT_EQ(obs::fingerprint_key(entry.fingerprint),
+              fingerprint_hex(request_fingerprint(request)));
+    EXPECT_GT(entry.wall_seconds, 0.0);
+    // The driver's headline number must have landed in the leakage field
+    // the diff layer compares bit-exactly.
+    const CampaignOutcome reference = reference_outcome(request);
+    double expected_t1 = 0.0;
+    for (const auto& [name, value] : reference.metrics)
+        if (name == "max_abs_t_order1") expected_t1 = value;
+    EXPECT_EQ(entry.max_abs_t1, expected_t1);
 }
 
 TEST_F(ServiceTest, HigherPriorityJumpsTheQueue) {
